@@ -1,0 +1,114 @@
+// Command enkiagent runs a household ECC agent that connects to a
+// neighborhood center (cmd/enkid) and plays the day-ahead protocol.
+// The agent reports -report each day; if -truth differs, it behaves as
+// a misreporter and consumes inside its true window instead of
+// following incompatible allocations.
+//
+// Usage:
+//
+//	enkiagent -addr 127.0.0.1:7600 -id 1 -truth 18,22,2
+//	enkiagent -addr 127.0.0.1:7600 -id 2 -truth 18,20,2 -report 14,20,2
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/netproto"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "enkiagent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("enkiagent", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7600", "center address")
+		id     = fs.Int("id", 0, "household id")
+		truth  = fs.String("truth", "18,22,2", "true preference begin,end,duration")
+		report = fs.String("report", "", "reported preference (defaults to the truth)")
+		rho    = fs.Float64("rho", 5, "valuation factor ρ")
+		days   = fs.Duration("for", time.Hour, "how long to keep serving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	truePref, err := parsePref(*truth)
+	if err != nil {
+		return fmt.Errorf("parse -truth: %w", err)
+	}
+	typ := core.Type{True: truePref, ValuationFactor: *rho}
+	if err := typ.Validate(); err != nil {
+		return err
+	}
+
+	var policy netproto.Policy
+	if *report == "" || *report == *truth {
+		policy = &netproto.Truthful{Type: typ}
+	} else {
+		reported, err := parsePref(*report)
+		if err != nil {
+			return fmt.Errorf("parse -report: %w", err)
+		}
+		policy = &netproto.Misreporter{Type: typ, Reported: reported}
+	}
+
+	agent, err := netproto.Dial(*addr, core.HouseholdID(*id), policy)
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+	fmt.Printf("enkiagent: household %d connected to %s\n", *id, *addr)
+
+	deadline := time.NewTimer(*days)
+	defer deadline.Stop()
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	seen := 0
+	for {
+		select {
+		case <-deadline.C:
+			return nil
+		case <-ticker.C:
+			if err := agent.Err(); err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil // center finished and closed the session
+				}
+				return err
+			}
+			for _, d := range agent.History()[seen:] {
+				seen++
+				fmt.Printf("settlement: pay $%.2f (f=%.2f δ=%.2f Ψ=%.2f, neighborhood $%.2f peak %.1f)\n",
+					d.Amount, d.Flexibility, d.Defection, d.SocialCost, d.TotalCost, d.PeakLoad)
+			}
+		}
+	}
+}
+
+func parsePref(s string) (core.Preference, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return core.Preference{}, fmt.Errorf("want begin,end,duration, got %q", s)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return core.Preference{}, err
+		}
+		vals[i] = v
+	}
+	return core.NewPreference(vals[0], vals[1], vals[2])
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParsePref(t *testing.T) {
+	p, err := parsePref("18,22,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window.Begin != 18 || p.Window.End != 22 || p.Duration != 2 {
+		t.Errorf("parsePref = %v", p)
+	}
+	if _, err := parsePref("18,22"); err == nil {
+		t.Error("two fields should be rejected")
+	}
+	if _, err := parsePref("18,22,x"); err == nil {
+		t.Error("non-numeric duration should be rejected")
+	}
+	if _, err := parsePref("22,18,2"); err == nil {
+		t.Error("inverted window should be rejected")
+	}
+	if _, err := parsePref("18,22,5"); err == nil {
+		t.Error("duration exceeding the window should be rejected")
+	}
+	if _, err := parsePref(" 18 , 22 , 2 "); err != nil {
+		t.Errorf("whitespace should be tolerated: %v", err)
+	}
+}

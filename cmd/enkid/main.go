@@ -1,0 +1,95 @@
+// Command enkid runs a neighborhood center daemon: it listens for
+// household ECC agents (cmd/enkiagent), waits until the expected
+// number have registered, then runs the Figure 1 day cycle the
+// requested number of times and prints each day's settlement.
+//
+// Usage:
+//
+//	enkid -addr 127.0.0.1:7600 -agents 3 -days 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"enki/internal/mechanism"
+	"enki/internal/netproto"
+	"enki/internal/pricing"
+	"enki/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "enkid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("enkid", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7600", "listen address")
+		agents  = fs.Int("agents", 2, "number of household agents to wait for")
+		days    = fs.Int("days", 1, "number of day cycles to run")
+		wait    = fs.Duration("wait", time.Minute, "how long to wait for agents")
+		sigma   = fs.Float64("sigma", pricing.DefaultSigma, "pricing scale σ")
+		rating  = fs.Float64("rating", 2, "power rating r (kW)")
+		xi      = fs.Float64("xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
+		journal = fs.String("journal", "", "append day settlements to this JSONL file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pricer, err := pricing.NewQuadratic(*sigma)
+	if err != nil {
+		return err
+	}
+	center, err := netproto.NewCenter(*addr, netproto.CenterConfig{
+		Scheduler: &sched.Greedy{Pricer: pricer, Rating: *rating},
+		Pricer:    pricer,
+		Mechanism: mechanism.Config{K: mechanism.DefaultK, Xi: *xi},
+		Rating:    *rating,
+	})
+	if err != nil {
+		return err
+	}
+	defer center.Close()
+
+	fmt.Printf("enkid: listening on %s, waiting for %d agents\n", center.Addr(), *agents)
+	if err := center.WaitForAgents(*agents, *wait); err != nil {
+		return err
+	}
+	fmt.Printf("enkid: %d agents registered\n", center.AgentCount())
+
+	var log *netproto.Journal
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		log = netproto.NewJournal(f)
+	}
+
+	for day := 1; day <= *days; day++ {
+		record, err := center.RunDay(day)
+		if err != nil {
+			return fmt.Errorf("day %d: %w", day, err)
+		}
+		if log != nil {
+			if err := log.Append(record); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("day %d: cost $%.2f, peak %.1f kWh\n", day, record.Cost, record.Peak)
+		for i, r := range record.Reports {
+			fmt.Printf("  household %d: reported %v, allocated %v, consumed %v, pays $%.2f (f=%.2f δ=%.2f)\n",
+				r.ID, r.Pref, record.Assignments[i].Interval, record.Consumptions[i].Interval,
+				record.Payments[i], record.Flexibility[i], record.Defection[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"Figure 4", "Figure 5", "Figure 6", "Figure 7",
+		"Table II", "Table III", "Table IV", "Figure 8", "Figure 9",
+		"ECC learning curve",
+		"Ablation: greedy processing order",
+		"Ablation: pricing function",
+		"Ablation: coalition swaps",
+		"Ablation: Eq. 5 overlap discount",
+		"subjects (",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var devNull strings.Builder
+	if err := run([]string{"-quick", "-o", path}, &devNull); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Enki reproduction report") {
+		t.Error("file report missing header")
+	}
+}

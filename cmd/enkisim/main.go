@@ -1,0 +1,135 @@
+// Command enkisim regenerates the paper's simulation study (Section
+// VI): the PAR, neighborhood-cost, and scheduling-time sweeps of
+// Figures 4-6 and the incentive-compatibility exploration of Figure 7.
+//
+// Usage:
+//
+//	enkisim -fig all -seed 1 -rounds 10 -populations 10,20,30,40,50
+//	enkisim -fig 6 -opt-limit 2s
+//	enkisim -fig 4 -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"enki/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "enkisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("enkisim", flag.ContinueOnError)
+	var (
+		fig         = fs.String("fig", "all", "which figure to regenerate: 4, 5, 6, 7, or all")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		rounds      = fs.Int("rounds", 10, "simulated days per population (Figures 4-6)")
+		populations = fs.String("populations", "10,20,30,40,50", "comma-separated neighborhood sizes")
+		optLimit    = fs.Duration("opt-limit", 2*time.Second, "time budget per Optimal solve (0 = unlimited)")
+		repeats     = fs.Int("repeats", 10, "repetitions per reported window (Figure 7)")
+		households  = fs.Int("households", 50, "neighborhood size for Figure 7")
+		csv         = fs.Bool("csv", false, "emit CSV instead of rendered tables")
+		ablations   = fs.Bool("ablations", false, "also run the design-choice ablations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Rounds = *rounds
+	cfg.OptimalOptions.TimeLimit = *optLimit
+	pops, err := parseInts(*populations)
+	if err != nil {
+		return fmt.Errorf("parse -populations: %w", err)
+	}
+	cfg.Populations = pops
+
+	wantSweep := *fig == "all" || *fig == "4" || *fig == "5" || *fig == "6"
+	wantFig7 := *fig == "all" || *fig == "7"
+	if !wantSweep && !wantFig7 {
+		return fmt.Errorf("unknown -fig %q (want 4, 5, 6, 7, or all)", *fig)
+	}
+
+	if wantSweep {
+		sweep, err := experiment.RunSweep(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(out, sweep.CSV())
+		} else {
+			if *fig == "all" || *fig == "4" {
+				fmt.Fprintln(out, sweep.RenderFigure4())
+			}
+			if *fig == "all" || *fig == "5" {
+				fmt.Fprintln(out, sweep.RenderFigure5())
+			}
+			if *fig == "all" || *fig == "6" {
+				fmt.Fprintln(out, sweep.RenderFigure6())
+			}
+		}
+	}
+
+	if wantFig7 {
+		fcfg := experiment.DefaultFig7Config()
+		fcfg.Repeats = *repeats
+		fcfg.Households = *households
+		res, err := experiment.RunFigure7(cfg, fcfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(out, res.CSV())
+		} else {
+			fmt.Fprintln(out, res.Render())
+		}
+	}
+
+	if *ablations {
+		ordering, err := experiment.RunOrderingAblation(cfg, 30, *rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ordering.Render())
+		tariffs, err := experiment.RunPricingAblation(cfg, 30, *rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tariffs.Render())
+		coalitions, err := experiment.RunCoalitionAblation(cfg, 30, *rounds, 0.25)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, coalitions.Render())
+		discount, err := experiment.RunDiscountAblation(cfg, 30, *rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, discount.Render())
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

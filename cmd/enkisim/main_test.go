@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("10, 20,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("10,x"); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestRunTinySweep(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-fig", "4",
+		"-populations", "6,8",
+		"-rounds", "2",
+		"-opt-limit", "200ms",
+		"-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 4") {
+		t.Errorf("missing Figure 4 header:\n%s", out.String())
+	}
+}
+
+func TestRunTinyFig7(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-fig", "7",
+		"-households", "8",
+		"-repeats", "2",
+		"-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "true interval") {
+		t.Errorf("missing truth marker:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-fig", "5",
+		"-populations", "6",
+		"-rounds", "2",
+		"-opt-limit", "200ms",
+		"-csv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "users,enki_par") {
+		t.Errorf("missing CSV header:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "9"}, &out); err == nil {
+		t.Error("unknown figure should be rejected")
+	}
+}
+
+func TestRunRejectsBadPopulations(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-populations", "abc"}, &out); err == nil {
+		t.Error("bad populations should be rejected")
+	}
+}

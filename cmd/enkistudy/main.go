@@ -1,0 +1,48 @@
+// Command enkistudy regenerates the paper's user study (Section VII):
+// Table II (average defection rates), Table III (Mann-Whitney tests),
+// Table IV (defection by treatment), Figure 8 (true-interval selecting
+// ratios), and Figure 9 (flexibility-ratio trajectories), with the 20
+// human subjects replaced by the behavioral models of internal/study.
+//
+// Usage:
+//
+//	enkistudy -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"enki/internal/experiment"
+	"enki/internal/study"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "enkistudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("enkistudy", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = *seed
+	res, err := experiment.RunUserStudy(cfg, study.DefaultStudyConfig())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(res.RenderTableII())
+	fmt.Println(res.RenderTableIII())
+	fmt.Println(res.RenderTableIV())
+	fmt.Println(res.RenderFigure8())
+	fmt.Println(res.RenderFigure9())
+	return nil
+}

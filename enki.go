@@ -1,0 +1,142 @@
+// Package enki is the public API of the Enki reproduction: a tractable,
+// ex ante budget-balanced, weakly Bayesian incentive-compatible
+// mechanism for cooperative residential demand-side management, after
+// Yuan, Hang, Huhns, and Singh, "A Mechanism for Cooperative
+// Demand-Side Management" (ICDCS 2017).
+//
+// A neighborhood center collects each household's day-ahead preference
+// χ = (α, β, v) — consume power for v consecutive hours anywhere in the
+// window [α, β) — allocates consumption intervals so that peak load is
+// reduced, and bills each household its social cost: flexible truthful
+// households pay less, defectors pay more, and the center's books
+// balance exactly at ξ·κ(ω).
+//
+// The top-level package re-exports the domain model, the schedulers,
+// and the mechanism; the heavier substrates keep their own facades:
+//
+//   - Neighborhood (here) — one-call day simulation for library users
+//   - internal/netproto — TCP center/agent protocol (cmd/enkid, cmd/enkiagent)
+//   - internal/experiment — regenerates every paper table and figure
+//   - internal/study — the Section VII user-study game
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package enki
+
+import (
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+	"enki/internal/sched"
+	"enki/internal/solver"
+)
+
+// Re-exported domain model (see internal/core).
+type (
+	// Hour is an hour-of-day slot in {0, ..., 23}.
+	Hour = core.Hour
+	// Interval is a half-open hour interval [Begin, End).
+	Interval = core.Interval
+	// Preference is a household request χ = (α, β, v).
+	Preference = core.Preference
+	// Type is a household's private type θ = (χ, ρ).
+	Type = core.Type
+	// HouseholdID identifies a household in a neighborhood.
+	HouseholdID = core.HouseholdID
+	// Household couples a type with the report it submitted.
+	Household = core.Household
+	// Report is a declared preference with its household ID.
+	Report = core.Report
+	// Assignment is a suggested allocation s_i.
+	Assignment = core.Assignment
+	// Load is an hourly consumption profile l_h.
+	Load = core.Load
+)
+
+// Re-exported pricing and scheduling (see internal/pricing, internal/sched).
+type (
+	// Pricer prices an hourly load level; implementations must be
+	// convex and nondecreasing.
+	Pricer = pricing.Pricer
+	// Quadratic is the paper's pricing function P_h(l) = σ·l² (Eq. 1).
+	Quadratic = pricing.Quadratic
+	// Scheduler allocates consumption intervals to reports.
+	Scheduler = sched.Scheduler
+	// GreedyScheduler is Enki's flexibility-ordered allocator.
+	GreedyScheduler = sched.Greedy
+	// OptimalScheduler solves the Eq. 2 MIQP exactly (or to a bounded
+	// gap), substituting for the paper's CPLEX solver.
+	OptimalScheduler = sched.Optimal
+	// SolverOptions bounds an OptimalScheduler's search.
+	SolverOptions = solver.Options
+	// MechanismConfig carries the k and ξ scaling factors.
+	MechanismConfig = mechanism.Config
+	// Settlement is a day's financial outcome under Enki.
+	Settlement = mechanism.Settlement
+	// Day is a completed day ready for settlement.
+	Day = mechanism.Day
+	// RNG is the deterministic random source used everywhere.
+	RNG = dist.RNG
+	// UsageProfile is a simulated household's narrow/wide usage profile.
+	UsageProfile = profile.Profile
+)
+
+// Paper-default parameters (Section VI).
+const (
+	// DefaultSigma is the pricing scale σ = 0.3.
+	DefaultSigma = pricing.DefaultSigma
+	// DefaultRating is the power rating r = 2 kW.
+	DefaultRating = core.DefaultPowerRating
+	// DefaultK is the social-cost scaling factor k = 1.
+	DefaultK = mechanism.DefaultK
+	// DefaultXi is the payment scaling factor ξ = 1.2.
+	DefaultXi = mechanism.DefaultXi
+)
+
+// NewPreference builds and validates a preference χ = (begin, end, v).
+func NewPreference(begin, end Hour, duration int) (Preference, error) {
+	return core.NewPreference(begin, end, duration)
+}
+
+// MustPreference is NewPreference for static literals; it panics on
+// invalid input.
+func MustPreference(begin, end Hour, duration int) Preference {
+	return core.MustPreference(begin, end, duration)
+}
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed uint64) *RNG { return dist.New(seed) }
+
+// DefaultMechanismConfig returns k = 1, ξ = 1.2.
+func DefaultMechanismConfig() MechanismConfig { return mechanism.DefaultConfig() }
+
+// Settle computes the Enki settlement (scores, payments, utilities) for
+// a completed day.
+func Settle(p Pricer, cfg MechanismConfig, day Day) (Settlement, error) {
+	return mechanism.Settle(p, cfg, day)
+}
+
+// FlexibilityScores computes the Eq. 4 flexibility score of every
+// preference against the whole population.
+func FlexibilityScores(prefs []Preference) []float64 {
+	return mechanism.FlexibilityScores(prefs)
+}
+
+// Valuation evaluates Eq. 3: a household's willingness to pay when an
+// allocation satisfies tau of its v preferred slots.
+func Valuation(tau, duration int, rho float64) float64 {
+	return core.Valuation(tau, duration, rho)
+}
+
+// ClosestConsumption returns the consumption inside the true window
+// closest to the allocation — the automated defection rule.
+func ClosestConsumption(truth Preference, allocation Interval) Interval {
+	return core.ClosestConsumption(truth, allocation)
+}
+
+// NewProfileGenerator returns the Section VI usage-profile generator
+// with the paper's distributions.
+func NewProfileGenerator(rng *RNG) (*profile.Generator, error) {
+	return profile.NewGenerator(profile.DefaultConfig(), rng)
+}

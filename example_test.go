@@ -1,0 +1,71 @@
+package enki_test
+
+import (
+	"fmt"
+
+	"enki"
+)
+
+// ExampleNeighborhood_RunDay runs one Enki day for three truthful
+// households and prints the budget-balance identity of Theorem 1.
+func ExampleNeighborhood_RunDay() {
+	neighborhood, err := enki.NewNeighborhood()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	households := []enki.Household{
+		{ID: 0, Type: enki.Type{True: enki.MustPreference(18, 22, 2), ValuationFactor: 5},
+			Reported: enki.MustPreference(18, 22, 2)},
+		{ID: 1, Type: enki.Type{True: enki.MustPreference(17, 23, 2), ValuationFactor: 4},
+			Reported: enki.MustPreference(17, 23, 2)},
+		{ID: 2, Type: enki.Type{True: enki.MustPreference(19, 24, 3), ValuationFactor: 6},
+			Reported: enki.MustPreference(19, 24, 3)},
+	}
+	out, err := neighborhood.RunDay(households, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("revenue - ξ·κ(ω) = %.10f\n", out.Settlement.Revenue()-enki.DefaultXi*out.Settlement.Cost)
+	fmt.Printf("peak %.0f kWh\n", out.Load.Peak())
+	// Output:
+	// revenue - ξ·κ(ω) = 0.0000000000
+	// peak 4 kWh
+}
+
+// ExampleFlexibilityScores reproduces the paper's Example 2: the
+// household with the narrower window is less flexible.
+func ExampleFlexibilityScores() {
+	f := enki.FlexibilityScores([]enki.Preference{
+		enki.MustPreference(18, 19, 1), // A: narrow
+		enki.MustPreference(18, 20, 1), // B
+		enki.MustPreference(18, 20, 1), // C
+	})
+	fmt.Printf("f_A=%.3f f_B=%.3f f_C=%.3f\n", f[0], f[1], f[2])
+	// Output:
+	// f_A=0.333 f_B=0.800 f_C=0.800
+}
+
+// ExampleValuation shows Eq. 3: concave, maximal at τ = v.
+func ExampleValuation() {
+	for tau := 0; tau <= 2; tau++ {
+		fmt.Printf("V(%d) = %.2f\n", tau, enki.Valuation(tau, 2, 5))
+	}
+	// Output:
+	// V(0) = 0.00
+	// V(1) = 3.75
+	// V(2) = 5.00
+}
+
+// ExampleClosestConsumption shows the automated defection rule: an
+// allocation outside the true window snaps to the nearest feasible
+// placement inside it.
+func ExampleClosestConsumption() {
+	truth := enki.MustPreference(18, 22, 2)
+	fmt.Println(enki.ClosestConsumption(truth, enki.Interval{Begin: 10, End: 12}))
+	fmt.Println(enki.ClosestConsumption(truth, enki.Interval{Begin: 19, End: 21}))
+	// Output:
+	// (18, 20)
+	// (19, 21)
+}

@@ -1,0 +1,45 @@
+// Userstudy: replay the Section VII experiment with simulated subjects
+// and print the paper's tables and figures side by side with the
+// published values.
+//
+// Run with:
+//
+//	go run ./examples/userstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"enki/internal/experiment"
+	"enki/internal/study"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = 42
+	res, err := experiment.RunUserStudy(cfg, study.DefaultStudyConfig())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(res.RenderTableII())
+	fmt.Println("paper Table II:  0.2049     0.3625     0.2938     0.125")
+	fmt.Println()
+	fmt.Println(res.RenderTableIII())
+	fmt.Println("paper Table III: < 0.0001   0.0532     0.0078     < 0.0001")
+	fmt.Println()
+	fmt.Println(res.RenderTableIV())
+	fmt.Println("paper Table IV:  T1 0.23/0.34/0.31/0.15; T2 0.14/0.44/0.25/0.03")
+	fmt.Println()
+	fmt.Println(res.RenderFigure8())
+	fmt.Println()
+	fmt.Println(res.RenderFigure9())
+	return nil
+}

@@ -1,0 +1,94 @@
+package enki
+
+import (
+	"enki/internal/appliances"
+	"enki/internal/coalition"
+	"enki/internal/ecc"
+	"enki/internal/market"
+	"enki/internal/mechanism"
+)
+
+// This file re-exports the extension subsystems — the multi-appliance
+// model (Section III), coalition formation (Section VIII future work),
+// the day-ahead wholesale market (Section I), and the ECC pattern
+// learner (Section I) — through the public facade.
+
+// Multi-appliance extension (see internal/appliances).
+type (
+	// Appliance is one shiftable load of a multi-appliance household.
+	Appliance = appliances.Appliance
+	// ApplianceHousehold declares several appliances plus a constant
+	// nonshiftable base load.
+	ApplianceHousehold = appliances.Household
+	// AppliancePlan is the center's per-appliance allocation.
+	AppliancePlan = appliances.Plan
+	// ApplianceConsumption is a household's realized per-appliance use.
+	ApplianceConsumption = appliances.Consumption
+	// ApplianceSettlement is the household-level financial outcome.
+	ApplianceSettlement = appliances.Settlement
+)
+
+// AllocateAppliances schedules every appliance of every household with
+// the rating-aware greedy allocator.
+func AllocateAppliances(p Pricer, households []ApplianceHousehold, rng *RNG) ([]AppliancePlan, error) {
+	return appliances.Allocate(p, households, rng)
+}
+
+// SettleAppliances settles a multi-appliance day (Eq. 4-8 aggregated
+// per household plus the base-load constant).
+func SettleAppliances(p Pricer, cfg MechanismConfig, households []ApplianceHousehold, plans []AppliancePlan, consumptions []ApplianceConsumption) (ApplianceSettlement, error) {
+	return appliances.Settle(p, mechanism.Config(cfg), households, plans, consumptions)
+}
+
+// Coalition extension (see internal/coalition).
+type (
+	// Coalition is a small group of households accountable as one.
+	Coalition = coalition.Coalition
+	// CoalitionSettlement is the coalition-aware day outcome.
+	CoalitionSettlement = coalition.Settlement
+)
+
+// FormCoalitions groups households by swap affinity into coalitions of
+// at most maxSize members.
+func FormCoalitions(households []Household, maxSize int) ([]Coalition, error) {
+	return coalition.Form(households, maxSize)
+}
+
+// PlanCoalitionConsumptions decides consumptions with coalition-
+// internal allocation exchanges.
+func PlanCoalitionConsumptions(households []Household, coalitions []Coalition, assignments []Interval) ([]Interval, error) {
+	return coalition.PlanConsumptions(households, coalitions, assignments)
+}
+
+// SettleCoalitions settles a coalition-aware day.
+func SettleCoalitions(p Pricer, cfg MechanismConfig, households []Household, coalitions []Coalition, assignments, consumptions []Interval, rating float64) (CoalitionSettlement, error) {
+	return coalition.Settle(p, mechanism.Config(cfg), households, coalitions, assignments, consumptions, rating)
+}
+
+// Wholesale market substrate (see internal/market).
+type (
+	// MarketOffer is a generator's hourly supply offer.
+	MarketOffer = market.Offer
+	// Market is a day-ahead merit-order auction.
+	Market = market.Market
+	// MarketClearing is one hour's dispatch.
+	MarketClearing = market.Clearing
+)
+
+// NewMarket builds a day-ahead market from generator offers; its
+// Pricer method yields a convex tariff usable by every scheduler.
+func NewMarket(offers []MarketOffer) (*Market, error) { return market.New(offers) }
+
+// ECC pattern learner (see internal/ecc).
+type (
+	// PatternLearner learns a household's consumption pattern online.
+	PatternLearner = ecc.Learner
+	// ECCReporter wraps a learner with a cold-start fallback.
+	ECCReporter = ecc.Reporter
+	// ECCForecast couples a predicted preference with its confidence.
+	ECCForecast = ecc.Forecast
+)
+
+// NewPatternLearner builds an ECC learner with the default decay and
+// coverage.
+func NewPatternLearner(opts ...ecc.Option) (*PatternLearner, error) { return ecc.NewLearner(opts...) }

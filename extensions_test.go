@@ -1,0 +1,130 @@
+package enki
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApplianceFacade(t *testing.T) {
+	households := []ApplianceHousehold{
+		{
+			ID:       0,
+			BaseLoad: 0.4,
+			Appliances: []Appliance{
+				{
+					Name:     "ev",
+					Type:     Type{True: MustPreference(18, 24, 3), ValuationFactor: 5},
+					Reported: MustPreference(18, 24, 3),
+					Rating:   3,
+				},
+			},
+		},
+		{
+			ID: 1,
+			Appliances: []Appliance{
+				{
+					Name:     "dryer",
+					Type:     Type{True: MustPreference(17, 22, 2), ValuationFactor: 4},
+					Reported: MustPreference(17, 22, 2),
+					Rating:   2,
+				},
+			},
+		},
+	}
+	pricer := Quadratic{Sigma: DefaultSigma}
+	plans, err := AllocateAppliances(pricer, households, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := make([]ApplianceConsumption, len(plans))
+	for i, p := range plans {
+		cons[i] = ApplianceConsumption{ID: p.ID, Intervals: p.Intervals}
+	}
+	s, err := SettleAppliances(pricer, DefaultMechanismConfig(), households, plans, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Revenue()-DefaultXi*s.Cost) > 1e-9 {
+		t.Errorf("appliance revenue %g != ξκ %g", s.Revenue(), DefaultXi*s.Cost)
+	}
+}
+
+func TestCoalitionFacade(t *testing.T) {
+	households := truthfulHouseholds()
+	coalitions, err := FormCoalitions(households, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNeighborhood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.RunDay(households, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignments := make([]Interval, len(households))
+	for i, a := range out.Assignments {
+		assignments[i] = a.Interval
+	}
+	cons, err := PlanCoalitionConsumptions(households, coalitions, assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SettleCoalitions(Quadratic{Sigma: DefaultSigma}, DefaultMechanismConfig(),
+		households, coalitions, assignments, cons, DefaultRating)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Revenue()-DefaultXi*s.Cost) > 1e-9 {
+		t.Errorf("coalition revenue %g != ξκ %g", s.Revenue(), DefaultXi*s.Cost)
+	}
+}
+
+func TestMarketFacade(t *testing.T) {
+	m, err := NewMarket([]MarketOffer{
+		{Generator: "hydro", Quantity: 30, Price: 0.05},
+		{Generator: "gas", Quantity: 50, Price: 0.30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Pricer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNeighborhood(WithPricer(p), WithScheduler(&GreedyScheduler{Pricer: p, Rating: DefaultRating}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.RunDay(truthfulHouseholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Settlement.Cost <= 0 {
+		t.Errorf("market-priced day cost %g", out.Settlement.Cost)
+	}
+	if _, _, err := m.ClearDay(out.Load); err != nil {
+		t.Errorf("realized day does not clear: %v", err)
+	}
+}
+
+func TestECCFacade(t *testing.T) {
+	l, err := NewPatternLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Observe(Interval{Begin: 19, End: 21}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := &ECCReporter{Learner: l, Fallback: MustPreference(0, 24, 2)}
+	f, err := r.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Preference.Window != (Interval{Begin: 19, End: 21}) {
+		t.Errorf("learned window %v, want (19, 21)", f.Preference.Window)
+	}
+}

@@ -1,0 +1,3 @@
+module enki
+
+go 1.22

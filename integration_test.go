@@ -1,0 +1,114 @@
+package enki
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFullStackStory exercises the whole public surface in one
+// scenario: a market-priced neighborhood with multi-appliance
+// households, coalition formation, and an ECC learner, run over several
+// days. Every layer must keep the budget identity and the mechanism's
+// qualitative orderings.
+func TestFullStackStory(t *testing.T) {
+	// A generation stack prices the day instead of the stylized σl².
+	market, err := NewMarket([]MarketOffer{
+		{Generator: "hydro", Quantity: 12, Price: 0.04},
+		{Generator: "wind", Quantity: 8, Price: 0.06},
+		{Generator: "gas", Quantity: 40, Price: 0.35},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricer, err := market.Pricer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighborhood, err := NewNeighborhood(
+		WithPricer(pricer),
+		WithScheduler(&GreedyScheduler{Pricer: pricer, Rating: DefaultRating}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Households: three truthful, one chronic misreporter.
+	mkType := func(b, e, v int, rho float64) Type {
+		return Type{True: MustPreference(b, e, v), ValuationFactor: rho}
+	}
+	households := []Household{
+		{ID: 0, Type: mkType(18, 22, 2, 5), Reported: MustPreference(18, 22, 2)},
+		{ID: 1, Type: mkType(8, 22, 2, 4), Reported: MustPreference(8, 22, 2)},
+		{ID: 2, Type: mkType(17, 23, 2, 6), Reported: MustPreference(17, 23, 2)},
+		{ID: 3, Type: mkType(18, 20, 2, 5), Reported: MustPreference(8, 12, 2)}, // liar
+	}
+
+	// An ECC learner shadows household 0, learning its consumption.
+	learner, err := NewPatternLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coalitions, err := FormCoalitions(households, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var liarCoalitionTotal, liarSoloTotal float64
+	for day := 1; day <= 5; day++ {
+		out, err := neighborhood.RunDay(households, ConsumeTruthfully)
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		// Budget identity under market prices.
+		if math.Abs(out.Settlement.Revenue()-DefaultXi*out.Settlement.Cost) > 1e-9 {
+			t.Fatalf("day %d: revenue %g != ξκ %g", day,
+				out.Settlement.Revenue(), DefaultXi*out.Settlement.Cost)
+		}
+		// The realized day clears on the actual market.
+		if _, _, err := market.ClearDay(out.Load); err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		if err := learner.Observe(out.Consumptions[0]); err != nil {
+			t.Fatal(err)
+		}
+		liarSoloTotal += out.Settlement.Payments[3]
+
+		// The same day settled coalition-aware: the liar may be rescued
+		// by its coalition partner.
+		assignments := make([]Interval, len(households))
+		for i, a := range out.Assignments {
+			assignments[i] = a.Interval
+		}
+		cons, err := PlanCoalitionConsumptions(households, coalitions, assignments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := SettleCoalitions(pricer, DefaultMechanismConfig(),
+			households, coalitions, assignments, cons, DefaultRating)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cs.Revenue()-DefaultXi*cs.Cost) > 1e-9 {
+			t.Fatalf("day %d: coalition revenue %g != ξκ %g", day, cs.Revenue(), DefaultXi*cs.Cost)
+		}
+		liarCoalitionTotal += cs.Payments[3]
+	}
+
+	// The ECC learned household 0's stable evening pattern.
+	pref, err := learner.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref.Duration != 2 {
+		t.Errorf("learned duration %d, want 2", pref.Duration)
+	}
+	if pref.Window.Begin < 17 || pref.Window.End > 23 {
+		t.Errorf("learned window %v outside the household's evening routine", pref.Window)
+	}
+
+	// Coalitions never cost the liar more than going it alone.
+	if liarCoalitionTotal > liarSoloTotal+1e-6 {
+		t.Errorf("liar pays %g in coalitions vs %g solo", liarCoalitionTotal, liarSoloTotal)
+	}
+}

@@ -1,0 +1,217 @@
+// Package appliances implements the multi-appliance extension the
+// paper sketches in Section III: a household declares several shiftable
+// loads ("the power rating r will vary when we model multiple
+// appliances for a given household") plus a constant nonshiftable base
+// load, and its payment adds the base load's constant cost to the
+// social-cost share of its shiftable appliances.
+//
+// Allocation generalizes the greedy scheduler to per-appliance ratings;
+// scoring aggregates Eq. 4-6 at the household level (an appliance's
+// flexibility weighted by its energy); payments remain Eq. 7 and stay
+// exactly budget balanced.
+package appliances
+
+import (
+	"fmt"
+	"sort"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+)
+
+// Appliance is one shiftable load of a household.
+type Appliance struct {
+	// Name labels the appliance ("ev", "dishwasher", ...).
+	Name string
+	// Type is the appliance's true preference and valuation factor.
+	Type core.Type
+	// Reported is the declared preference (equal to Type.True for a
+	// truthful household).
+	Reported core.Preference
+	// Rating is the appliance's power draw in kW while running.
+	Rating float64
+}
+
+// Validate checks the appliance's constraints.
+func (a Appliance) Validate() error {
+	if err := a.Type.Validate(); err != nil {
+		return fmt.Errorf("appliance %q: %w", a.Name, err)
+	}
+	if err := a.Reported.Validate(); err != nil {
+		return fmt.Errorf("appliance %q report: %w", a.Name, err)
+	}
+	if a.Reported.Duration != a.Type.True.Duration {
+		return fmt.Errorf("appliance %q: reported duration %d != true duration %d",
+			a.Name, a.Reported.Duration, a.Type.True.Duration)
+	}
+	if a.Rating <= 0 {
+		return fmt.Errorf("appliance %q: rating %g must be positive", a.Name, a.Rating)
+	}
+	return nil
+}
+
+// Energy is the appliance's shiftable energy (duration × rating, kWh).
+func (a Appliance) Energy() float64 {
+	return float64(a.Reported.Duration) * a.Rating
+}
+
+// Household is a multi-appliance household.
+type Household struct {
+	// ID identifies the household.
+	ID core.HouseholdID
+	// BaseLoad is the household's constant nonshiftable draw in kW,
+	// applied to every hour of the day. Its cost cannot be reduced by
+	// scheduling and enters the bill as a constant.
+	BaseLoad float64
+	// Appliances are the shiftable loads.
+	Appliances []Appliance
+}
+
+// Validate checks the household's constraints.
+func (h Household) Validate() error {
+	if h.BaseLoad < 0 {
+		return fmt.Errorf("household %d: negative base load %g", h.ID, h.BaseLoad)
+	}
+	if len(h.Appliances) == 0 {
+		return fmt.Errorf("household %d: no appliances", h.ID)
+	}
+	names := make(map[string]bool, len(h.Appliances))
+	for _, a := range h.Appliances {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("household %d: %w", h.ID, err)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("household %d: duplicate appliance %q", h.ID, a.Name)
+		}
+		names[a.Name] = true
+	}
+	return nil
+}
+
+// ShiftableEnergy is the household's total schedulable energy.
+func (h Household) ShiftableEnergy() float64 {
+	var sum float64
+	for _, a := range h.Appliances {
+		sum += a.Energy()
+	}
+	return sum
+}
+
+// Plan is the center's allocation for one household: one interval per
+// appliance, in appliance order.
+type Plan struct {
+	ID        core.HouseholdID
+	Intervals []core.Interval
+}
+
+// slot identifies one appliance in the flattened problem.
+type slot struct {
+	house, app int
+	flex       float64
+	energy     float64
+}
+
+// Allocate generalizes the Section IV-C greedy scheduler: it computes
+// Eq. 4 flexibility per appliance across the whole neighborhood,
+// processes appliances in increasing flexibility (ties broken by rng,
+// or deterministically when rng is nil), and places each at the
+// deferment minimizing (peak, marginal cost). The base loads are part
+// of the load profile from the start, so scheduling routes shiftable
+// energy around them.
+func Allocate(p pricing.Pricer, households []Household, rng *dist.RNG) ([]Plan, error) {
+	if p == nil {
+		return nil, fmt.Errorf("appliances: nil pricer")
+	}
+	if len(households) == 0 {
+		return nil, fmt.Errorf("appliances: no households")
+	}
+	seen := make(map[core.HouseholdID]bool, len(households))
+	for _, h := range households {
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[h.ID] {
+			return nil, fmt.Errorf("appliances: duplicate household id %d", h.ID)
+		}
+		seen[h.ID] = true
+	}
+
+	// Flatten appliances and compute neighborhood-wide flexibility.
+	var prefs []core.Preference
+	var slots []slot
+	for hi, h := range households {
+		for ai, a := range h.Appliances {
+			prefs = append(prefs, a.Reported)
+			slots = append(slots, slot{house: hi, app: ai, energy: a.Energy()})
+		}
+	}
+	flex := mechanism.FlexibilityScores(prefs)
+	for i := range slots {
+		slots[i].flex = flex[i]
+	}
+	jitter := make([]float64, len(slots))
+	for i := range jitter {
+		if rng != nil {
+			jitter[i] = rng.Float64()
+		} else {
+			jitter[i] = float64(i)
+		}
+	}
+	order := make([]int, len(slots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if slots[order[a]].flex != slots[order[b]].flex {
+			return slots[order[a]].flex < slots[order[b]].flex
+		}
+		return jitter[order[a]] < jitter[order[b]]
+	})
+
+	// Seed the profile with every household's base load.
+	var load core.Load
+	for _, h := range households {
+		for hr := 0; hr < core.HoursPerDay; hr++ {
+			load[hr] += h.BaseLoad
+		}
+	}
+
+	plans := make([]Plan, len(households))
+	for hi, h := range households {
+		plans[hi] = Plan{ID: h.ID, Intervals: make([]core.Interval, len(h.Appliances))}
+	}
+	for _, idx := range order {
+		s := slots[idx]
+		a := households[s.house].Appliances[s.app]
+		best := bestPlacement(p, a.Reported, a.Rating, &load)
+		plans[s.house].Intervals[s.app] = best
+		load.AddInterval(best, a.Rating)
+	}
+	return plans, nil
+}
+
+// bestPlacement mirrors the single-appliance greedy objective:
+// (resulting peak, marginal cost, earliest start).
+func bestPlacement(p pricing.Pricer, pref core.Preference, rating float64, load *core.Load) core.Interval {
+	best := pref.IntervalAt(0)
+	bestPeak, bestCost := placementKey(p, best, rating, load)
+	for d := 1; d <= pref.Slack(); d++ {
+		iv := pref.IntervalAt(d)
+		peak, cost := placementKey(p, iv, rating, load)
+		if peak < bestPeak || (peak == bestPeak && cost < bestCost-1e-12) {
+			best, bestPeak, bestCost = iv, peak, cost
+		}
+	}
+	return best
+}
+
+func placementKey(p pricing.Pricer, iv core.Interval, rating float64, load *core.Load) (peak, cost float64) {
+	for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+		if lv := load[h] + rating; lv > peak {
+			peak = lv
+		}
+	}
+	return peak, pricing.MarginalCost(p, load, iv, rating)
+}

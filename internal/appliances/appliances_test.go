@@ -1,0 +1,258 @@
+package appliances
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+)
+
+var quad = pricing.Quadratic{Sigma: pricing.DefaultSigma}
+
+func appliance(name string, pref core.Preference, rating float64) Appliance {
+	return Appliance{
+		Name:     name,
+		Type:     core.Type{True: pref, ValuationFactor: 5},
+		Reported: pref,
+		Rating:   rating,
+	}
+}
+
+func twoHouseholds() []Household {
+	return []Household{
+		{
+			ID:       0,
+			BaseLoad: 0.5,
+			Appliances: []Appliance{
+				appliance("ev", core.MustPreference(18, 24, 3), 3),
+				appliance("dishwasher", core.MustPreference(19, 23, 1), 1),
+			},
+		},
+		{
+			ID:       1,
+			BaseLoad: 0.3,
+			Appliances: []Appliance{
+				appliance("dryer", core.MustPreference(17, 22, 2), 2),
+			},
+		},
+	}
+}
+
+func TestHouseholdValidate(t *testing.T) {
+	hs := twoHouseholds()
+	for _, h := range hs {
+		if err := h.Validate(); err != nil {
+			t.Errorf("valid household rejected: %v", err)
+		}
+	}
+	bad := hs[0]
+	bad.BaseLoad = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative base load should be rejected")
+	}
+	bad = hs[0]
+	bad.Appliances = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no appliances should be rejected")
+	}
+	bad = hs[0]
+	bad.Appliances = []Appliance{
+		appliance("ev", core.MustPreference(18, 24, 3), 3),
+		appliance("ev", core.MustPreference(19, 23, 1), 1),
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate appliance names should be rejected")
+	}
+	bad = hs[0]
+	badApp := bad.Appliances[0]
+	badApp.Rating = 0
+	bad.Appliances = []Appliance{badApp}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rating should be rejected")
+	}
+	badApp = hs[0].Appliances[0]
+	badApp.Reported = core.MustPreference(18, 24, 2) // duration mismatch
+	bad.Appliances = []Appliance{badApp}
+	if err := bad.Validate(); err == nil {
+		t.Error("reported duration mismatch should be rejected")
+	}
+}
+
+func TestAllocateRespectsWindows(t *testing.T) {
+	hs := twoHouseholds()
+	plans, err := Allocate(quad, hs, dist.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(hs) {
+		t.Fatalf("got %d plans, want %d", len(plans), len(hs))
+	}
+	for hi, h := range hs {
+		if plans[hi].ID != h.ID {
+			t.Errorf("plan %d has id %d, want %d", hi, plans[hi].ID, h.ID)
+		}
+		for ai, a := range h.Appliances {
+			if !a.Reported.Admits(plans[hi].Intervals[ai]) {
+				t.Errorf("household %d appliance %q: %v not admitted by %v",
+					h.ID, a.Name, plans[hi].Intervals[ai], a.Reported)
+			}
+		}
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(nil, twoHouseholds(), nil); err == nil {
+		t.Error("nil pricer should be rejected")
+	}
+	if _, err := Allocate(quad, nil, nil); err == nil {
+		t.Error("no households should be rejected")
+	}
+	dup := twoHouseholds()
+	dup[1].ID = dup[0].ID
+	if _, err := Allocate(quad, dup, nil); err == nil {
+		t.Error("duplicate IDs should be rejected")
+	}
+}
+
+func TestAllocateSpreadsAroundBaseLoad(t *testing.T) {
+	// Two identical flexible appliances and one household with a huge
+	// base load: the scheduler still spreads shiftable energy, and the
+	// base load raises everyone's cost but not the peak placement rule.
+	hs := []Household{
+		{ID: 0, BaseLoad: 0, Appliances: []Appliance{appliance("a", core.MustPreference(18, 22, 1), 2)}},
+		{ID: 1, BaseLoad: 0, Appliances: []Appliance{appliance("b", core.MustPreference(18, 22, 1), 2)}},
+	}
+	plans, err := Allocate(quad, hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[0].Intervals[0] == plans[1].Intervals[0] {
+		t.Errorf("identical flexible appliances should be separated, both at %v", plans[0].Intervals[0])
+	}
+}
+
+func TestSettleBudgetBalance(t *testing.T) {
+	hs := twoHouseholds()
+	plans, err := Allocate(quad, hs, dist.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Comply(plans)
+	s, err := Settle(quad, mechanism.DefaultConfig(), hs, plans, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 1 carries over: revenue = ξ·κ(ω) exactly.
+	if math.Abs(s.Revenue()-mechanism.DefaultXi*s.Cost) > 1e-9 {
+		t.Errorf("revenue %g != ξκ = %g", s.Revenue(), mechanism.DefaultXi*s.Cost)
+	}
+	if s.BaseCost <= 0 || s.BaseCost >= s.Cost {
+		t.Errorf("base cost %g should be positive and below total %g", s.BaseCost, s.Cost)
+	}
+	for i, d := range s.Defection {
+		if d != 0 {
+			t.Errorf("compliant household %d has defection %g", i, d)
+		}
+	}
+}
+
+func TestSettleDefectorPaysMore(t *testing.T) {
+	// Two households with one appliance each, identical preferences;
+	// household 1's appliance defects onto household 0's slot.
+	hs := []Household{
+		{ID: 0, Appliances: []Appliance{appliance("a", core.MustPreference(18, 20, 1), 2)}},
+		{ID: 1, Appliances: []Appliance{appliance("b", core.MustPreference(18, 20, 1), 2)}},
+	}
+	plans, err := Allocate(quad, hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Comply(plans)
+	cons[1].Intervals[0] = plans[0].Intervals[0] // stack onto the neighbor
+	s, err := Settle(quad, mechanism.DefaultConfig(), hs, plans, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Defection[1] <= 0 {
+		t.Fatalf("defector's score %g, want > 0", s.Defection[1])
+	}
+	if s.Payments[1] <= s.Payments[0] {
+		t.Errorf("defector pays %g, compliant neighbor %g", s.Payments[1], s.Payments[0])
+	}
+	// Budget balance even with defection.
+	if math.Abs(s.Revenue()-mechanism.DefaultXi*s.Cost) > 1e-9 {
+		t.Errorf("revenue %g != ξκ = %g", s.Revenue(), mechanism.DefaultXi*s.Cost)
+	}
+}
+
+func TestSettleBaseLoadApportionment(t *testing.T) {
+	// Same single appliance each, very different base loads: the
+	// heavier base-load household pays more.
+	hs := []Household{
+		{ID: 0, BaseLoad: 2, Appliances: []Appliance{appliance("a", core.MustPreference(8, 12, 1), 2)}},
+		{ID: 1, BaseLoad: 0.2, Appliances: []Appliance{appliance("b", core.MustPreference(18, 22, 1), 2)}},
+	}
+	plans, err := Allocate(quad, hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Settle(quad, mechanism.DefaultConfig(), hs, plans, Comply(plans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Payments[0] <= s.Payments[1] {
+		t.Errorf("base-heavy household pays %g, light one %g", s.Payments[0], s.Payments[1])
+	}
+}
+
+func TestSettleValidation(t *testing.T) {
+	hs := twoHouseholds()
+	plans, err := Allocate(quad, hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Comply(plans)
+	if _, err := Settle(quad, mechanism.DefaultConfig(), hs, plans[:1], cons); err == nil {
+		t.Error("plan/household mismatch should be rejected")
+	}
+	badPlans := Comply(plans) // reuse as a deep copy of intervals
+	_ = badPlans
+	badPlan := []Plan{{ID: plans[0].ID, Intervals: []core.Interval{{Begin: 0, End: 3}, plans[0].Intervals[1]}}, plans[1]}
+	if _, err := Settle(quad, mechanism.DefaultConfig(), hs, badPlan, cons); err == nil {
+		t.Error("plan outside the reported window should be rejected")
+	}
+	badCons := Comply(plans)
+	badCons[0].Intervals[0] = core.Interval{Begin: 18, End: 19} // wrong duration
+	if _, err := Settle(quad, mechanism.DefaultConfig(), hs, plans, badCons); err == nil {
+		t.Error("consumption with wrong duration should be rejected")
+	}
+}
+
+func TestConsumeTruthfullyDefectsWhenMisreported(t *testing.T) {
+	hs := twoHouseholds()
+	// Household 1 misreports its dryer: true evening need, claims morning.
+	hs[1].Appliances[0].Reported = core.MustPreference(6, 10, 2)
+	plans, err := Allocate(quad, hs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := ConsumeTruthfully(hs, plans)
+	trueWindow := hs[1].Appliances[0].Type.True.Window
+	if !trueWindow.Covers(cons[1].Intervals[0]) {
+		t.Errorf("truthful consumption %v outside true window %v", cons[1].Intervals[0], trueWindow)
+	}
+	if cons[1].Intervals[0] == plans[1].Intervals[0] {
+		t.Error("misreported appliance should have defected")
+	}
+}
+
+func TestShiftableEnergy(t *testing.T) {
+	h := twoHouseholds()[0]
+	want := 3.0*3 + 1.0*1
+	if got := h.ShiftableEnergy(); got != want {
+		t.Errorf("ShiftableEnergy = %g, want %g", got, want)
+	}
+}

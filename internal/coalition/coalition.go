@@ -1,0 +1,221 @@
+// Package coalition implements the paper's future-work extension
+// (Section VIII): "direct cooperation among households forming small
+// coalitions to reduce their joint peak demand further."
+//
+// A coalition is a small group of households that the center treats as
+// one accountable entity:
+//
+//   - members may swap allocations internally (same duration, each slot
+//     admitted by the swap partner's true window), rescuing a member
+//     whose allocation misses its true preference from having to defect;
+//   - defection is scored at the coalition level: the multiset of the
+//     coalition's consumptions is matched against the multiset of its
+//     allocations, so an internal swap that leaves the aggregate load
+//     untouched is not a defection;
+//   - flexibility is the energy-weighted mean of member scores, and the
+//     coalition's Eq. 7 payment is split among members in proportion to
+//     their energy.
+//
+// Formation is greedy: households are grouped (up to MaxSize) by swap
+// affinity — same duration and overlapping true windows — since only
+// compatible members can rescue each other.
+package coalition
+
+import (
+	"fmt"
+	"sort"
+
+	"enki/internal/core"
+)
+
+// DefaultMaxSize bounds coalition membership ("small coalitions").
+const DefaultMaxSize = 3
+
+// Coalition is a group of household indices (positions into the day's
+// household slice, not IDs).
+type Coalition struct {
+	Members []int
+}
+
+// Form greedily groups households into coalitions of at most maxSize
+// members by swap affinity. Households that cannot rescue anyone stay
+// singletons. The grouping is deterministic: households are scanned in
+// order and joined to the open coalition with the highest affinity.
+func Form(households []core.Household, maxSize int) ([]Coalition, error) {
+	if maxSize <= 0 {
+		maxSize = DefaultMaxSize
+	}
+	if len(households) == 0 {
+		return nil, fmt.Errorf("coalition: no households")
+	}
+
+	coalitions := []Coalition{}
+	for i, h := range households {
+		bestC, bestScore := -1, 0
+		for ci := range coalitions {
+			if len(coalitions[ci].Members) >= maxSize {
+				continue
+			}
+			score := 0
+			for _, m := range coalitions[ci].Members {
+				score += affinity(households[m], h)
+			}
+			if score > bestScore {
+				bestC, bestScore = ci, score
+			}
+		}
+		if bestC >= 0 {
+			coalitions[bestC].Members = append(coalitions[bestC].Members, i)
+		} else {
+			coalitions = append(coalitions, Coalition{Members: []int{i}})
+		}
+	}
+	return coalitions, nil
+}
+
+// affinity scores how useful two households are to each other as swap
+// partners: 0 when they can never trade (different durations or
+// disjoint true windows), otherwise the overlap of their true windows.
+func affinity(a, b core.Household) int {
+	if a.Type.True.Duration != b.Type.True.Duration {
+		return 0
+	}
+	return a.Type.True.Window.Overlap(b.Type.True.Window)
+}
+
+// PlanConsumptions decides each household's consumption with
+// coalition-internal swaps: members first take their own allocation if
+// it satisfies their true preference; remaining members try to take an
+// unclaimed coalition slot that does; anyone left defects to the
+// closest true-window placement (as an individual household would).
+// The returned slice is aligned with households.
+func PlanConsumptions(households []core.Household, coalitions []Coalition, assignments []core.Interval) ([]core.Interval, error) {
+	if len(households) != len(assignments) {
+		return nil, fmt.Errorf("coalition: %d households but %d assignments", len(households), len(assignments))
+	}
+	if err := checkPartition(len(households), coalitions); err != nil {
+		return nil, err
+	}
+
+	consumptions := make([]core.Interval, len(households))
+	for _, c := range coalitions {
+		assignSwaps(households, c, assignments, consumptions)
+	}
+	return consumptions, nil
+}
+
+// assignSwaps finds the member-to-slot matching that satisfies the most
+// members (ties broken toward keeping members on their own slots) by
+// exhaustive search — coalitions are small by design. Members no
+// matching can satisfy defect individually from their own allocation.
+func assignSwaps(households []core.Household, c Coalition, assignments, consumptions []core.Interval) {
+	k := len(c.Members)
+	feasible := make([][]bool, k)
+	for mi, m := range c.Members {
+		feasible[mi] = make([]bool, k)
+		for si, s := range c.Members {
+			feasible[mi][si] = households[m].Type.True.Admits(assignments[s])
+		}
+	}
+
+	perm := make([]int, k)
+	bestPerm := make([]int, k)
+	used := make([]bool, k)
+	bestSat, bestOwn := -1, -1
+
+	var search func(mi, sat, own int)
+	search = func(mi, sat, own int) {
+		if mi == k {
+			if sat > bestSat || (sat == bestSat && own > bestOwn) {
+				bestSat, bestOwn = sat, own
+				copy(bestPerm, perm)
+			}
+			return
+		}
+		for si := 0; si < k; si++ {
+			if used[si] {
+				continue
+			}
+			used[si] = true
+			perm[mi] = si
+			dSat, dOwn := 0, 0
+			if feasible[mi][si] {
+				dSat = 1
+			}
+			if si == mi {
+				dOwn = 1
+			}
+			search(mi+1, sat+dSat, own+dOwn)
+			used[si] = false
+		}
+	}
+	search(0, 0, 0)
+
+	for mi, m := range c.Members {
+		slot := c.Members[bestPerm[mi]]
+		if feasible[mi][bestPerm[mi]] {
+			consumptions[m] = assignments[slot]
+		} else {
+			// No coalition slot satisfies this member: defect
+			// individually from its own allocation.
+			consumptions[m] = core.ClosestConsumption(households[m].Type.True, assignments[m])
+		}
+	}
+}
+
+// checkPartition verifies the coalitions partition {0, ..., n-1}.
+func checkPartition(n int, coalitions []Coalition) error {
+	seen := make([]bool, n)
+	count := 0
+	for _, c := range coalitions {
+		for _, m := range c.Members {
+			if m < 0 || m >= n {
+				return fmt.Errorf("coalition: member index %d out of range", m)
+			}
+			if seen[m] {
+				return fmt.Errorf("coalition: household %d in two coalitions", m)
+			}
+			seen[m] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("coalition: %d of %d households covered", count, n)
+	}
+	return nil
+}
+
+// UnmatchedConsumptions matches a coalition's consumption multiset
+// against its allocation multiset and returns, per member, whether its
+// consumption is covered by some coalition allocation (an internal
+// swap) or is a genuine coalition-level deviation. Matching is greedy
+// over sorted intervals, exact-match first.
+func UnmatchedConsumptions(coalition Coalition, assignments, consumptions []core.Interval) map[int]bool {
+	available := make(map[core.Interval]int, len(coalition.Members))
+	for _, m := range coalition.Members {
+		available[assignments[m]]++
+	}
+	unmatched := make(map[int]bool, len(coalition.Members))
+	members := append([]int(nil), coalition.Members...)
+	sort.Ints(members)
+	// Members following their own allocation have first claim on the
+	// multiset; swapped members match whatever remains. This keeps a
+	// compliant member from being displaced by a defector who happens
+	// to land on the same interval.
+	for _, m := range members {
+		if consumptions[m] == assignments[m] {
+			available[consumptions[m]]--
+		}
+	}
+	for _, m := range members {
+		if consumptions[m] == assignments[m] {
+			continue
+		}
+		if available[consumptions[m]] > 0 {
+			available[consumptions[m]]--
+		} else {
+			unmatched[m] = true
+		}
+	}
+	return unmatched
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClosestConsumption(t *testing.T) {
+	truth := MustPreference(18, 22, 2)
+	tests := []struct {
+		name  string
+		alloc Interval
+		want  Interval
+	}{
+		{"admitted allocation followed exactly", Interval{19, 21}, Interval{19, 21}},
+		{"too early clamps to window start", Interval{10, 12}, Interval{18, 20}},
+		{"too late clamps to window end", Interval{23, 25}, Interval{20, 22}},
+		{"overlapping left edge", Interval{17, 19}, Interval{18, 20}},
+		{"overlapping right edge", Interval{21, 23}, Interval{20, 22}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClosestConsumption(truth, tt.alloc); got != tt.want {
+				t.Errorf("ClosestConsumption(%v) = %v, want %v", tt.alloc, got, tt.want)
+			}
+		})
+	}
+}
+
+// Properties: the result always lies inside the true window with the
+// true duration, and is a fixed point for admitted allocations.
+func TestClosestConsumptionProperties(t *testing.T) {
+	prop := func(tb, tw, ab byte, dRaw byte) bool {
+		dur := int(dRaw%4) + 1
+		begin := int(tb) % (HoursPerDay - dur - 1)
+		end := begin + dur + 1 + int(tw)%(HoursPerDay-begin-dur-1+1)
+		if end > HoursPerDay {
+			end = HoursPerDay
+		}
+		truth := Preference{Window: Interval{Begin: begin, End: end}, Duration: dur}
+		if truth.Validate() != nil {
+			return true // skip infeasible fixtures
+		}
+		aStart := int(ab) % (HoursPerDay - dur)
+		alloc := Interval{Begin: aStart, End: aStart + dur}
+
+		got := ClosestConsumption(truth, alloc)
+		if got.Len() != dur {
+			return false
+		}
+		if !truth.Window.Covers(got) {
+			return false
+		}
+		if truth.Admits(alloc) && got != alloc {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("ClosestConsumption property violated: %v", err)
+	}
+}
+
+// The distance property: no feasible placement is closer to the
+// allocation start than the one returned.
+func TestClosestConsumptionIsClosest(t *testing.T) {
+	truth := MustPreference(10, 20, 3)
+	for aStart := 0; aStart <= HoursPerDay-3; aStart++ {
+		alloc := Interval{Begin: aStart, End: aStart + 3}
+		got := ClosestConsumption(truth, alloc)
+		best := 1 << 30
+		for d := 0; d <= truth.Slack(); d++ {
+			iv := truth.IntervalAt(d)
+			dist := iv.Begin - alloc.Begin
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < best {
+				best = dist
+			}
+		}
+		gotDist := got.Begin - alloc.Begin
+		if gotDist < 0 {
+			gotDist = -gotDist
+		}
+		if gotDist != best {
+			t.Errorf("alloc %v: returned %v at distance %d, best possible %d",
+				alloc, got, gotDist, best)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package core
+
+import "fmt"
+
+// ValidationError describes a domain object that violates a model
+// constraint from Section III of the paper.
+type ValidationError struct {
+	Field  string // which object or field is invalid
+	Reason string // human-readable constraint violation
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("invalid %s: %s", e.Field, e.Reason)
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Report is a household's declared preference χ̂_i for the next day.
+// The paper assumes durations are always reported truthfully; windows
+// may be misreported.
+type Report struct {
+	ID   HouseholdID `json:"id"`
+	Pref Preference  `json:"pref"`
+}
+
+// Assignment is the center's suggested allocation s_i for a household:
+// an occupancy interval of exactly the reported duration scheduled
+// inside the reported window.
+type Assignment struct {
+	ID       HouseholdID `json:"id"`
+	Interval Interval    `json:"interval"`
+}
+
+// Consumption is a household's realized consumption ω_i for the day.
+type Consumption struct {
+	ID       HouseholdID `json:"id"`
+	Interval Interval    `json:"interval"`
+}
+
+// Household couples a private type with the report the household chose
+// to submit. Reported and true preferences coincide for a truthful
+// household.
+type Household struct {
+	ID       HouseholdID `json:"id"`
+	Type     Type        `json:"type"`
+	Reported Preference  `json:"reported"`
+}
+
+// Truthful reports whether the household reported its true preference.
+func (h Household) Truthful() bool { return h.Reported == h.Type.True }
+
+// TruthfulHousehold builds a household that reports its true type.
+func TruthfulHousehold(id HouseholdID, t Type) Household {
+	return Household{ID: id, Type: t, Reported: t.True}
+}
+
+// ValidateReports checks a batch of reports: unique IDs and valid
+// preferences. It returns the first violation found.
+func ValidateReports(reports []Report) error {
+	seen := make(map[HouseholdID]bool, len(reports))
+	for _, r := range reports {
+		if seen[r.ID] {
+			return &ValidationError{
+				Field:  "reports",
+				Reason: fmt.Sprintf("duplicate household id %d", r.ID),
+			}
+		}
+		seen[r.ID] = true
+		if err := r.Pref.Validate(); err != nil {
+			return fmt.Errorf("household %d: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// ClosestConsumption returns the consumption interval of the true
+// preferred duration, inside the true window, whose start is closest to
+// the allocation's start — the "real consumption within the subject's
+// true interval and close to his allocation" rule automated in the user
+// study (Section VII-B). A household whose allocation already satisfies
+// its true preference follows it exactly.
+func ClosestConsumption(truth Preference, alloc Interval) Interval {
+	if truth.Admits(alloc) {
+		return alloc
+	}
+	lo := truth.Window.Begin
+	hi := truth.Window.End - truth.Duration
+	start := clamp(alloc.Begin, lo, hi)
+	return Interval{Begin: start, End: start + truth.Duration}
+}
+
+// Defected reports whether a consumption deviates from its assignment.
+func Defected(assigned, consumed Interval) bool { return assigned != consumed }
+
+// OverlapRatio is o_i ∈ [0, 1] of Eq. 5: the fraction of the assigned
+// interval the household actually followed, |s_i ∩ ω_i| / v_i.
+func OverlapRatio(assigned, consumed Interval) float64 {
+	if assigned.Len() == 0 {
+		return 0
+	}
+	return float64(assigned.Overlap(consumed)) / float64(assigned.Len())
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Interval is a half-open hour interval [Begin, End): it occupies the
+// slots Begin, Begin+1, ..., End-1. The paper writes an interval as a
+// pair such as (18, 20), which occupies hours 18 and 19.
+type Interval struct {
+	Begin Hour `json:"begin"`
+	End   Hour `json:"end"`
+}
+
+// NewInterval returns the interval [begin, end) after validating bounds.
+func NewInterval(begin, end Hour) (Interval, error) {
+	iv := Interval{Begin: begin, End: end}
+	if err := iv.Validate(); err != nil {
+		return Interval{}, err
+	}
+	return iv, nil
+}
+
+// Validate checks that the interval lies within the day and is ordered.
+func (iv Interval) Validate() error {
+	if !ValidBound(iv.Begin) || !ValidBound(iv.End) {
+		return &ValidationError{
+			Field:  "interval",
+			Reason: fmt.Sprintf("bounds [%d, %d) outside day [0, %d]", iv.Begin, iv.End, HoursPerDay),
+		}
+	}
+	if iv.Begin > iv.End {
+		return &ValidationError{
+			Field:  "interval",
+			Reason: fmt.Sprintf("begin %d after end %d", iv.Begin, iv.End),
+		}
+	}
+	return nil
+}
+
+// Len is the number of slots the interval occupies.
+func (iv Interval) Len() int { return iv.End - iv.Begin }
+
+// Empty reports whether the interval occupies no slots.
+func (iv Interval) Empty() bool { return iv.Len() == 0 }
+
+// Contains reports whether slot h is occupied by the interval.
+func (iv Interval) Contains(h Hour) bool { return h >= iv.Begin && h < iv.End }
+
+// Covers reports whether other lies entirely inside iv.
+func (iv Interval) Covers(other Interval) bool {
+	return iv.Begin <= other.Begin && other.End <= iv.End
+}
+
+// Overlap returns the number of slots shared by iv and other. This is
+// the |s_i ∩ ω_i| quantity of Eq. 5: Overlap((14,18), (15,19)) = 3.
+func (iv Interval) Overlap(other Interval) int {
+	lo := max(iv.Begin, other.Begin)
+	hi := min(iv.End, other.End)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Shift returns the interval translated by d slots. The result may be
+// invalid; callers that construct shifted intervals from untrusted
+// deferments should Validate it.
+func (iv Interval) Shift(d int) Interval {
+	return Interval{Begin: iv.Begin + d, End: iv.End + d}
+}
+
+// Slots returns the occupied slots in increasing order.
+func (iv Interval) Slots() []Hour {
+	out := make([]Hour, 0, iv.Len())
+	for h := iv.Begin; h < iv.End; h++ {
+		out = append(out, h)
+	}
+	return out
+}
+
+// String renders the interval in the paper's (begin, end) notation.
+func (iv Interval) String() string {
+	return "(" + strconv.Itoa(iv.Begin) + ", " + strconv.Itoa(iv.End) + ")"
+}

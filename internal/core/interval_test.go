@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInterval(t *testing.T) {
+	tests := []struct {
+		name       string
+		begin, end Hour
+		wantErr    bool
+	}{
+		{"valid evening", 18, 20, false},
+		{"empty", 5, 5, false},
+		{"full day", 0, 24, false},
+		{"end before begin", 20, 18, true},
+		{"negative begin", -1, 5, true},
+		{"end past day", 20, 25, true},
+		{"begin past day", 25, 25, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewInterval(tt.begin, tt.end)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewInterval(%d, %d) error = %v, wantErr %v", tt.begin, tt.end, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestIntervalLenAndContains(t *testing.T) {
+	iv := Interval{Begin: 18, End: 20}
+	if got := iv.Len(); got != 2 {
+		t.Errorf("Len() = %d, want 2", got)
+	}
+	if !iv.Contains(18) || !iv.Contains(19) {
+		t.Error("interval (18,20) should contain slots 18 and 19")
+	}
+	if iv.Contains(20) {
+		t.Error("interval (18,20) is half-open and must not contain slot 20")
+	}
+	if iv.Contains(17) {
+		t.Error("interval (18,20) must not contain slot 17")
+	}
+}
+
+func TestIntervalOverlapPaperExample(t *testing.T) {
+	// Section IV-B3: s_i = (14,18), ω_i = (15,19) gives |s ∩ ω| = 3.
+	s := Interval{Begin: 14, End: 18}
+	w := Interval{Begin: 15, End: 19}
+	if got := s.Overlap(w); got != 3 {
+		t.Errorf("Overlap((14,18),(15,19)) = %d, want 3", got)
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want int
+	}{
+		{"identical", Interval{18, 20}, Interval{18, 20}, 2},
+		{"disjoint", Interval{8, 10}, Interval{18, 20}, 0},
+		{"adjacent", Interval{8, 10}, Interval{10, 12}, 0},
+		{"nested", Interval{8, 20}, Interval{10, 12}, 2},
+		{"partial", Interval{8, 11}, Interval{10, 14}, 1},
+		{"empty operand", Interval{8, 8}, Interval{0, 24}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Overlap(tt.b); got != tt.want {
+				t.Errorf("Overlap(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalOverlapProperties(t *testing.T) {
+	norm := func(x, y byte) Interval {
+		b, e := int(x%25), int(y%25)
+		if b > e {
+			b, e = e, b
+		}
+		return Interval{Begin: b, End: e}
+	}
+	symmetric := func(a0, a1, b0, b1 byte) bool {
+		a, b := norm(a0, a1), norm(b0, b1)
+		return a.Overlap(b) == b.Overlap(a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("overlap not symmetric: %v", err)
+	}
+	bounded := func(a0, a1, b0, b1 byte) bool {
+		a, b := norm(a0, a1), norm(b0, b1)
+		ov := a.Overlap(b)
+		return ov >= 0 && ov <= a.Len() && ov <= b.Len()
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Errorf("overlap out of bounds: %v", err)
+	}
+	selfOverlap := func(a0, a1 byte) bool {
+		a := norm(a0, a1)
+		return a.Overlap(a) == a.Len()
+	}
+	if err := quick.Check(selfOverlap, nil); err != nil {
+		t.Errorf("self overlap must equal length: %v", err)
+	}
+}
+
+func TestIntervalCovers(t *testing.T) {
+	outer := Interval{Begin: 16, End: 24}
+	if !outer.Covers(Interval{Begin: 18, End: 20}) {
+		t.Error("(16,24) should cover (18,20)")
+	}
+	if !outer.Covers(outer) {
+		t.Error("an interval should cover itself")
+	}
+	if outer.Covers(Interval{Begin: 15, End: 20}) {
+		t.Error("(16,24) must not cover (15,20)")
+	}
+	if outer.Covers(Interval{Begin: 20, End: 25}) {
+		t.Error("(16,24) must not cover (20,25)")
+	}
+}
+
+func TestIntervalShiftAndSlots(t *testing.T) {
+	iv := Interval{Begin: 18, End: 20}
+	shifted := iv.Shift(2)
+	if shifted != (Interval{Begin: 20, End: 22}) {
+		t.Errorf("Shift(2) = %v, want (20, 22)", shifted)
+	}
+	slots := iv.Slots()
+	if len(slots) != 2 || slots[0] != 18 || slots[1] != 19 {
+		t.Errorf("Slots() = %v, want [18 19]", slots)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if got := (Interval{Begin: 18, End: 22}).String(); got != "(18, 22)" {
+		t.Errorf("String() = %q, want %q", got, "(18, 22)")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The domain types cross the wire (internal/netproto) and may be
+// persisted; their JSON encodings are a contract.
+
+func TestPreferenceJSONRoundTrip(t *testing.T) {
+	in := MustPreference(18, 22, 2)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"window":{"begin":18,"end":22},"duration":2}`
+	if string(data) != want {
+		t.Errorf("encoding = %s, want %s", data, want)
+	}
+	var out Preference
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %v vs %v", out, in)
+	}
+}
+
+func TestTypeJSONRoundTrip(t *testing.T) {
+	in := Type{True: MustPreference(18, 20, 2), ValuationFactor: 5}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Type
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestHouseholdJSONRoundTrip(t *testing.T) {
+	in := TruthfulHousehold(7, Type{True: MustPreference(16, 23, 3), ValuationFactor: 2.5})
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Household
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestReportAndAssignmentJSON(t *testing.T) {
+	r := Report{ID: 3, Pref: MustPreference(18, 22, 2)}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r2 Report
+	if err := json.Unmarshal(data, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r {
+		t.Errorf("report round trip: %+v vs %+v", r2, r)
+	}
+
+	a := Assignment{ID: 3, Interval: Interval{Begin: 19, End: 21}}
+	data, err = json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a2 Assignment
+	if err := json.Unmarshal(data, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Errorf("assignment round trip: %+v vs %+v", a2, a)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// DefaultPowerRating is the paper's appliance power rating r = 2 kW
+// (each occupied hour consumes 2 kWh).
+const DefaultPowerRating = 2.0
+
+// Load is the aggregated hourly consumption profile l_h (kWh) over a day.
+type Load [HoursPerDay]float64
+
+// AddInterval adds rating kWh to every slot occupied by iv. Slots
+// outside the day are ignored so that callers may pass unvalidated
+// shifted intervals without panicking.
+func (l *Load) AddInterval(iv Interval, rating float64) {
+	for h := max(iv.Begin, 0); h < min(iv.End, HoursPerDay); h++ {
+		l[h] += rating
+	}
+}
+
+// RemoveInterval subtracts rating kWh from every slot occupied by iv.
+func (l *Load) RemoveInterval(iv Interval, rating float64) {
+	l.AddInterval(iv, -rating)
+}
+
+// Peak returns the maximum hourly load.
+func (l *Load) Peak() float64 {
+	peak := l[0]
+	for _, v := range l[1:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Total returns the day's total energy.
+func (l *Load) Total() float64 {
+	var sum float64
+	for _, v := range l {
+		sum += v
+	}
+	return sum
+}
+
+// Average returns the mean hourly load over the 24 slots.
+func (l *Load) Average() float64 { return l.Total() / HoursPerDay }
+
+// PAR returns the peak-to-average ratio, the Figure 4 metric. It
+// returns 0 for an empty day.
+func (l *Load) PAR() float64 {
+	avg := l.Average()
+	if avg == 0 {
+		return 0
+	}
+	return l.Peak() / avg
+}
+
+// SumSquares returns Σ_h l_h², the kernel of the quadratic pricing
+// function (Eq. 1 divided by σ).
+func (l *Load) SumSquares() float64 {
+	var sum float64
+	for _, v := range l {
+		sum += v * v
+	}
+	return sum
+}
+
+// LoadOf aggregates the given occupancy intervals at a uniform power
+// rating into an hourly load profile.
+func LoadOf(intervals []Interval, rating float64) Load {
+	var l Load
+	for _, iv := range intervals {
+		l.AddInterval(iv, rating)
+	}
+	return l
+}
+
+// Occupancy returns n_h: the number of households whose preference
+// window could cover slot h, for every h. The flexibility score (Eq. 4)
+// averages these counts over each household's own window. Example 2 of
+// the paper: preferences (18,19,1), (18,20,1), (18,20,1) give
+// n_18 = 3 and n_19 = 2.
+func Occupancy(prefs []Preference) [HoursPerDay]int {
+	var n [HoursPerDay]int
+	for _, p := range prefs {
+		for h := max(p.Window.Begin, 0); h < min(p.Window.End, HoursPerDay); h++ {
+			n[h]++
+		}
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadAddRemove(t *testing.T) {
+	var l Load
+	l.AddInterval(Interval{18, 20}, 2)
+	if l[18] != 2 || l[19] != 2 || l[20] != 0 || l[17] != 0 {
+		t.Errorf("unexpected load after add: %v", l[16:21])
+	}
+	l.AddInterval(Interval{19, 21}, 2)
+	if l[19] != 4 || l[20] != 2 {
+		t.Errorf("overlapping add wrong: l[19]=%g l[20]=%g", l[19], l[20])
+	}
+	l.RemoveInterval(Interval{18, 20}, 2)
+	if l[18] != 0 || l[19] != 2 {
+		t.Errorf("remove wrong: l[18]=%g l[19]=%g", l[18], l[19])
+	}
+}
+
+func TestLoadIgnoresOutOfDaySlots(t *testing.T) {
+	var l Load
+	l.AddInterval(Interval{Begin: 23, End: 26}, 1) // clipped at 24
+	if l[23] != 1 {
+		t.Errorf("l[23] = %g, want 1", l[23])
+	}
+	if got := l.Total(); got != 1 {
+		t.Errorf("Total = %g, want 1 (out-of-day slots clipped)", got)
+	}
+	l.AddInterval(Interval{Begin: -2, End: 1}, 1)
+	if l[0] != 1 {
+		t.Errorf("l[0] = %g, want 1", l[0])
+	}
+}
+
+func TestLoadMetrics(t *testing.T) {
+	var l Load
+	l.AddInterval(Interval{18, 22}, 3) // 4 slots of 3 kWh
+	if got := l.Peak(); got != 3 {
+		t.Errorf("Peak = %g, want 3", got)
+	}
+	if got := l.Total(); got != 12 {
+		t.Errorf("Total = %g, want 12", got)
+	}
+	if got := l.Average(); got != 0.5 {
+		t.Errorf("Average = %g, want 0.5", got)
+	}
+	if got := l.PAR(); got != 6 {
+		t.Errorf("PAR = %g, want 6", got)
+	}
+	if got := l.SumSquares(); got != 36 {
+		t.Errorf("SumSquares = %g, want 36", got)
+	}
+	var empty Load
+	if got := empty.PAR(); got != 0 {
+		t.Errorf("empty PAR = %g, want 0", got)
+	}
+}
+
+func TestLoadOf(t *testing.T) {
+	l := LoadOf([]Interval{{18, 20}, {19, 21}}, 2)
+	want := map[int]float64{18: 2, 19: 4, 20: 2}
+	for h, w := range want {
+		if l[h] != w {
+			t.Errorf("l[%d] = %g, want %g", h, l[h], w)
+		}
+	}
+}
+
+// TestLoadConservation: total energy equals Σ_i v_i · r no matter how
+// intervals overlap (property).
+func TestLoadConservation(t *testing.T) {
+	prop := func(starts [6]byte, durs [6]byte) bool {
+		var ivs []Interval
+		var want float64
+		for k := range starts {
+			v := int(durs[k]%4) + 1
+			s := int(starts[k]) % (HoursPerDay - v)
+			ivs = append(ivs, Interval{Begin: s, End: s + v})
+			want += float64(v) * DefaultPowerRating
+		}
+		l := LoadOf(ivs, DefaultPowerRating)
+		return math.Abs(l.Total()-want) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("energy not conserved: %v", err)
+	}
+}
+
+// TestLoadPARAtLeastOne: any nonempty load has PAR ≥ 1.
+func TestLoadPARAtLeastOne(t *testing.T) {
+	prop := func(starts [5]byte, durs [5]byte) bool {
+		var ivs []Interval
+		for k := range starts {
+			v := int(durs[k]%4) + 1
+			s := int(starts[k]) % (HoursPerDay - v)
+			ivs = append(ivs, Interval{Begin: s, End: s + v})
+		}
+		l := LoadOf(ivs, 2)
+		return l.PAR() >= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("PAR below 1: %v", err)
+	}
+}
+
+func TestOccupancyPaperExample2(t *testing.T) {
+	// Example 2: χ_A = (18,19,1), χ_B = χ_C = (18,20,1).
+	prefs := []Preference{
+		MustPreference(18, 19, 1),
+		MustPreference(18, 20, 1),
+		MustPreference(18, 20, 1),
+	}
+	n := Occupancy(prefs)
+	if n[18] != 3 {
+		t.Errorf("n_18 = %d, want 3", n[18])
+	}
+	if n[19] != 2 {
+		t.Errorf("n_19 = %d, want 2", n[19])
+	}
+	if n[17] != 0 || n[20] != 0 {
+		t.Errorf("slots outside all windows must be empty: n_17=%d n_20=%d", n[17], n[20])
+	}
+}

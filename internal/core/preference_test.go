@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewPreference(t *testing.T) {
+	tests := []struct {
+		name       string
+		begin, end Hour
+		duration   int
+		wantErr    bool
+	}{
+		{"paper example", 18, 22, 2, false},
+		{"exact fit", 18, 20, 2, false},
+		{"duration too long", 18, 20, 3, true},
+		{"zero duration", 18, 20, 0, true},
+		{"negative duration", 18, 20, -1, true},
+		{"invalid window", 22, 18, 1, true},
+		{"window past day", 20, 26, 2, true},
+		{"full-day window", 0, 24, 4, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPreference(tt.begin, tt.end, tt.duration)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewPreference(%d, %d, %d) error = %v, wantErr %v",
+					tt.begin, tt.end, tt.duration, err, tt.wantErr)
+			}
+			if err != nil {
+				var verr *ValidationError
+				if !errors.As(err, &verr) {
+					t.Errorf("error %v is not a *ValidationError", err)
+				}
+			}
+		})
+	}
+}
+
+func TestMustPreferencePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPreference with invalid input should panic")
+		}
+	}()
+	MustPreference(20, 18, 1)
+}
+
+func TestPreferenceSlackAndChoices(t *testing.T) {
+	tests := []struct {
+		pref        Preference
+		slack       int
+		choices     int
+		firstStart  Hour
+		lastStart   Hour
+		description string
+	}{
+		{MustPreference(18, 22, 2), 2, 3, 18, 20, "paper χ=(18,22,2)"},
+		{MustPreference(18, 20, 2), 0, 1, 18, 18, "rigid"},
+		{MustPreference(0, 24, 1), 23, 24, 0, 23, "fully flexible"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.description, func(t *testing.T) {
+			if got := tt.pref.Slack(); got != tt.slack {
+				t.Errorf("Slack() = %d, want %d", got, tt.slack)
+			}
+			if got := tt.pref.StartChoices(); got != tt.choices {
+				t.Errorf("StartChoices() = %d, want %d", got, tt.choices)
+			}
+			if got := tt.pref.IntervalAt(0); got.Begin != tt.firstStart {
+				t.Errorf("IntervalAt(0).Begin = %d, want %d", got.Begin, tt.firstStart)
+			}
+			if got := tt.pref.IntervalAt(tt.slack); got.Begin != tt.lastStart {
+				t.Errorf("IntervalAt(slack).Begin = %d, want %d", got.Begin, tt.lastStart)
+			}
+		})
+	}
+}
+
+func TestPreferenceAdmits(t *testing.T) {
+	p := MustPreference(18, 22, 2)
+	for d := 0; d <= p.Slack(); d++ {
+		if iv := p.IntervalAt(d); !p.Admits(iv) {
+			t.Errorf("preference %v should admit its own IntervalAt(%d) = %v", p, d, iv)
+		}
+	}
+	if p.Admits(Interval{Begin: 17, End: 19}) {
+		t.Error("allocation starting before the window must be rejected")
+	}
+	if p.Admits(Interval{Begin: 21, End: 23}) {
+		t.Error("allocation ending after the window must be rejected")
+	}
+	if p.Admits(Interval{Begin: 18, End: 21}) {
+		t.Error("allocation with the wrong duration must be rejected")
+	}
+}
+
+func TestPreferenceString(t *testing.T) {
+	if got := MustPreference(18, 22, 2).String(); got != "(18, 22, 2)" {
+		t.Errorf("String() = %q, want %q", got, "(18, 22, 2)")
+	}
+}
+
+func TestTypeValidate(t *testing.T) {
+	valid := Type{True: MustPreference(18, 22, 2), ValuationFactor: 5}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid type rejected: %v", err)
+	}
+	badRho := Type{True: MustPreference(18, 22, 2), ValuationFactor: 0}
+	if err := badRho.Validate(); err == nil {
+		t.Error("type with ρ = 0 should be rejected")
+	}
+	badPref := Type{True: Preference{Window: Interval{18, 19}, Duration: 2}, ValuationFactor: 1}
+	if err := badPref.Validate(); err == nil {
+		t.Error("type with infeasible preference should be rejected")
+	}
+}
+
+func TestValidateReports(t *testing.T) {
+	good := []Report{
+		{ID: 1, Pref: MustPreference(18, 22, 2)},
+		{ID: 2, Pref: MustPreference(16, 24, 3)},
+	}
+	if err := ValidateReports(good); err != nil {
+		t.Errorf("valid reports rejected: %v", err)
+	}
+	dup := []Report{
+		{ID: 1, Pref: MustPreference(18, 22, 2)},
+		{ID: 1, Pref: MustPreference(16, 24, 3)},
+	}
+	if err := ValidateReports(dup); err == nil {
+		t.Error("duplicate household IDs should be rejected")
+	}
+	bad := []Report{{ID: 1, Pref: Preference{Window: Interval{18, 19}, Duration: 4}}}
+	if err := ValidateReports(bad); err == nil {
+		t.Error("infeasible preference should be rejected")
+	}
+}
+
+func TestHouseholdTruthful(t *testing.T) {
+	typ := Type{True: MustPreference(18, 20, 2), ValuationFactor: 5}
+	h := TruthfulHousehold(7, typ)
+	if !h.Truthful() {
+		t.Error("TruthfulHousehold should report its true preference")
+	}
+	h.Reported = MustPreference(14, 20, 2)
+	if h.Truthful() {
+		t.Error("household with widened report must not be truthful")
+	}
+}
+
+func TestOverlapRatioPaperExample(t *testing.T) {
+	// Section IV-B3: s_i = (14,18), ω_i = (15,19) gives o_i = 3/4.
+	got := OverlapRatio(Interval{14, 18}, Interval{15, 19})
+	if got != 0.75 {
+		t.Errorf("OverlapRatio = %g, want 0.75", got)
+	}
+	if OverlapRatio(Interval{14, 18}, Interval{14, 18}) != 1 {
+		t.Error("full compliance should give o_i = 1")
+	}
+	if OverlapRatio(Interval{14, 18}, Interval{19, 23}) != 0 {
+		t.Error("disjoint consumption should give o_i = 0")
+	}
+	if OverlapRatio(Interval{14, 14}, Interval{14, 18}) != 0 {
+		t.Error("empty assignment should give o_i = 0, not NaN")
+	}
+}
+
+func TestDefected(t *testing.T) {
+	s := Interval{18, 20}
+	if Defected(s, s) {
+		t.Error("identical consumption is not a defection")
+	}
+	if !Defected(s, Interval{19, 21}) {
+		t.Error("shifted consumption is a defection")
+	}
+}

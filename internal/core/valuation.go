@@ -1,0 +1,54 @@
+package core
+
+// Valuation implements Eq. 3, a household's willingness to pay for an
+// allocation that satisfies tau of its v preferred slots:
+//
+//	V_i(τ, v, ρ) = −ρ/(2v)·τ² + ρτ, τ ∈ [0, v]
+//
+// The function is increasing and concave in τ, reaches its maximum
+// ρv/2 at τ = v, increases with v, and increases with ρ — the four
+// criteria of Section IV-B1. τ outside [0, v] is clamped.
+func Valuation(tau, duration int, rho float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	t := float64(clamp(tau, 0, duration))
+	v := float64(duration)
+	return -rho/(2*v)*t*t + rho*t
+}
+
+// MaxValuation is the valuation of a fully satisfied household, ρv/2.
+func MaxValuation(duration int, rho float64) float64 {
+	return Valuation(duration, duration, rho)
+}
+
+// Satisfaction returns τ_i: the number of slots in which the allocation
+// satisfies the household's true preference — the overlap of the
+// allocated occupancy interval with the true preferred window, capped
+// at the preferred duration.
+func Satisfaction(allocation Interval, truePref Preference) int {
+	tau := truePref.Window.Overlap(allocation)
+	if tau > truePref.Duration {
+		tau = truePref.Duration
+	}
+	return tau
+}
+
+// ValuationOf evaluates Eq. 3 for an allocation against a household
+// type: V_i(τ_i, v_i, ρ_i) with τ_i = Satisfaction(allocation, χ_i).
+func ValuationOf(allocation Interval, t Type) float64 {
+	return Valuation(Satisfaction(allocation, t.True), t.True.Duration, t.ValuationFactor)
+}
+
+// Utility is the quasilinear utility of Eq. 8: valuation minus payment.
+func Utility(valuation, payment float64) float64 { return valuation - payment }
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

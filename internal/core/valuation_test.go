@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValuationShape(t *testing.T) {
+	const rho, v = 5.0, 4
+	// V(0) = 0; V(v) = ρv/2; V is increasing in τ on [0, v].
+	if got := Valuation(0, v, rho); got != 0 {
+		t.Errorf("V(0) = %g, want 0", got)
+	}
+	want := rho * float64(v) / 2
+	if got := Valuation(v, v, rho); math.Abs(got-want) > 1e-12 {
+		t.Errorf("V(v) = %g, want ρv/2 = %g", got, want)
+	}
+	if got := MaxValuation(v, rho); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxValuation = %g, want %g", got, want)
+	}
+	prev := math.Inf(-1)
+	for tau := 0; tau <= v; tau++ {
+		cur := Valuation(tau, v, rho)
+		if cur <= prev && tau > 0 {
+			t.Errorf("V not strictly increasing at τ=%d: %g <= %g", tau, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestValuationClampsTau(t *testing.T) {
+	const rho, v = 3.0, 2
+	if Valuation(5, v, rho) != Valuation(v, v, rho) {
+		t.Error("τ beyond v should clamp to the maximum valuation")
+	}
+	if Valuation(-1, v, rho) != 0 {
+		t.Error("negative τ should clamp to zero valuation")
+	}
+	if Valuation(1, 0, rho) != 0 {
+		t.Error("non-positive duration should yield zero valuation")
+	}
+}
+
+// TestValuationCriteria checks the four Section IV-B1 criteria as
+// properties over random (τ, v, ρ).
+func TestValuationCriteria(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	// Marginal benefit of τ is nonincreasing (concavity).
+	concave := func(tauRaw, vRaw byte, rhoRaw uint16) bool {
+		v := int(vRaw%8) + 2
+		tau := int(tauRaw) % v
+		rho := 1 + float64(rhoRaw%900)/100
+		m1 := Valuation(tau+1, v, rho) - Valuation(tau, v, rho)
+		m2 := Valuation(tau+2, v, rho) - Valuation(tau+1, v, rho)
+		return m2 <= m1+1e-9
+	}
+	if err := quick.Check(concave, cfg); err != nil {
+		t.Errorf("marginal benefit must be nonincreasing: %v", err)
+	}
+
+	// Valuation increases with v (for fixed τ ≤ both durations).
+	increasingInV := func(tauRaw, vRaw byte, rhoRaw uint16) bool {
+		v := int(vRaw%8) + 2
+		tau := int(tauRaw)%v + 1
+		rho := 1 + float64(rhoRaw%900)/100
+		return Valuation(tau, v+1, rho) >= Valuation(tau, v, rho)-1e-9
+	}
+	if err := quick.Check(increasingInV, cfg); err != nil {
+		t.Errorf("valuation must increase with v: %v", err)
+	}
+
+	// Valuation increases with ρ.
+	increasingInRho := func(tauRaw, vRaw byte, rhoRaw uint16) bool {
+		v := int(vRaw%8) + 2
+		tau := int(tauRaw)%v + 1
+		rho := 1 + float64(rhoRaw%900)/100
+		return Valuation(tau, v, rho+1) > Valuation(tau, v, rho)
+	}
+	if err := quick.Check(increasingInRho, cfg); err != nil {
+		t.Errorf("valuation must increase with ρ: %v", err)
+	}
+}
+
+func TestSatisfaction(t *testing.T) {
+	truth := MustPreference(18, 20, 2)
+	tests := []struct {
+		name  string
+		alloc Interval
+		want  int
+	}{
+		{"exact", Interval{18, 20}, 2},
+		{"disjoint earlier", Interval{14, 16}, 0},
+		{"half overlap", Interval{17, 19}, 1},
+		{"covering wider window", Interval{18, 20}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Satisfaction(tt.alloc, truth); got != tt.want {
+				t.Errorf("Satisfaction(%v) = %d, want %d", tt.alloc, got, tt.want)
+			}
+		})
+	}
+	// τ is capped at the preferred duration even when the true window is
+	// wider than the allocation duration.
+	wide := MustPreference(10, 20, 2)
+	if got := Satisfaction(Interval{10, 16}, wide); got != 2 {
+		t.Errorf("Satisfaction capped = %d, want 2", got)
+	}
+}
+
+func TestValuationOfAndUtility(t *testing.T) {
+	typ := Type{True: MustPreference(18, 20, 2), ValuationFactor: 5}
+	full := ValuationOf(Interval{18, 20}, typ)
+	if math.Abs(full-5) > 1e-12 { // ρv/2 = 5·2/2
+		t.Errorf("full valuation = %g, want 5", full)
+	}
+	none := ValuationOf(Interval{8, 10}, typ)
+	if none != 0 {
+		t.Errorf("disjoint valuation = %g, want 0", none)
+	}
+	if got := Utility(5, 1.5); got != 3.5 {
+		t.Errorf("Utility(5, 1.5) = %g, want 3.5", got)
+	}
+}

@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams should start differently")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g outside [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(2)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 6)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(6) value %d drawn %d times; expected ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(1, 4) // the paper's duration distribution U[1,4]
+		if v < 1 || v > 4 {
+			t.Fatalf("IntRange(1,4) = %d out of range", v)
+		}
+	}
+	if got := r.IntRange(7, 7); got != 7 {
+		t.Errorf("degenerate IntRange = %d, want 7", got)
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.FloatRange(1, 10) // the paper's ρ ~ U[1,10]
+		if v < 1 || v >= 10 {
+			t.Fatalf("FloatRange(1,10) = %g out of range", v)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(6)
+	const lambda = 16.0 // the paper's begin-time distribution
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(r.Poisson(lambda))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-lambda) > 0.2 {
+		t.Errorf("Poisson(16) mean = %g, want ~16", mean)
+	}
+	if math.Abs(variance-lambda) > 0.8 {
+		t.Errorf("Poisson(16) variance = %g, want ~16", variance)
+	}
+}
+
+func TestPoissonLargeLambda(t *testing.T) {
+	r := New(8)
+	const lambda = 100.0
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Poisson(lambda))
+	}
+	if mean := sum / n; math.Abs(mean-lambda) > 1 {
+		t.Errorf("Poisson(100) mean = %g, want ~100", mean)
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(0) should panic")
+		}
+	}()
+	New(1).Poisson(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %g, want ~1", variance)
+	}
+}
+
+func TestNormRange(t *testing.T) {
+	r := New(10)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormRange(5, 2)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.05 {
+		t.Errorf("NormRange(5,2) mean = %g, want ~5", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(11)
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm(10) = %v is not a permutation", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Perm(10) = %v missing elements", p)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(12)
+	const n = 50000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %g, want ~0.3", frac)
+	}
+}

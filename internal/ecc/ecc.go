@@ -1,0 +1,245 @@
+// Package ecc implements the Energy Consumption Controller unit the
+// paper embeds in each household's smart meter (Section I): it
+//
+//   - learns the household's daily power consumption pattern online,
+//   - decides a preference window wide enough to cover the pattern, and
+//   - reports the household's demand for the next day.
+//
+// The learner maintains exponentially weighted frequencies of observed
+// start hours and durations. A prediction extracts the modal duration
+// and the smallest contiguous start window capturing a configurable
+// probability mass, widened into a reported preference. Forgetting
+// (the EWMA decay) lets the ECC track routine changes — a household
+// that shifts its dinner hour re-converges within a few days.
+package ecc
+
+import (
+	"fmt"
+	"math"
+
+	"enki/internal/core"
+)
+
+// DefaultAlpha is the EWMA decay: each new observation carries this
+// weight and history decays by (1 − alpha).
+const DefaultAlpha = 0.15
+
+// DefaultCoverage is the start-hour probability mass a predicted window
+// must capture.
+const DefaultCoverage = 0.9
+
+// Learner learns one household's consumption pattern online. The zero
+// value is not ready; construct with NewLearner.
+type Learner struct {
+	alpha    float64
+	coverage float64
+
+	startWeight [core.HoursPerDay]float64
+	durWeight   [core.HoursPerDay + 1]float64
+	total       float64
+	days        int
+}
+
+// Option customizes a Learner.
+type Option func(*Learner)
+
+// WithAlpha sets the EWMA decay factor in (0, 1].
+func WithAlpha(alpha float64) Option {
+	return func(l *Learner) { l.alpha = alpha }
+}
+
+// WithCoverage sets the start-hour mass a predicted window captures,
+// in (0, 1].
+func WithCoverage(q float64) Option {
+	return func(l *Learner) { l.coverage = q }
+}
+
+// NewLearner builds a pattern learner.
+func NewLearner(opts ...Option) (*Learner, error) {
+	l := &Learner{alpha: DefaultAlpha, coverage: DefaultCoverage}
+	for _, opt := range opts {
+		opt(l)
+	}
+	if l.alpha <= 0 || l.alpha > 1 {
+		return nil, fmt.Errorf("ecc: alpha %g outside (0, 1]", l.alpha)
+	}
+	if l.coverage <= 0 || l.coverage > 1 {
+		return nil, fmt.Errorf("ecc: coverage %g outside (0, 1]", l.coverage)
+	}
+	return l, nil
+}
+
+// Days returns how many observations the learner has absorbed.
+func (l *Learner) Days() int { return l.days }
+
+// Observe absorbs one day's realized consumption interval.
+func (l *Learner) Observe(iv core.Interval) error {
+	if err := iv.Validate(); err != nil {
+		return fmt.Errorf("ecc: observe: %w", err)
+	}
+	if iv.Empty() {
+		return fmt.Errorf("ecc: observe: empty interval")
+	}
+	decay := 1 - l.alpha
+	for h := range l.startWeight {
+		l.startWeight[h] *= decay
+	}
+	for d := range l.durWeight {
+		l.durWeight[d] *= decay
+	}
+	l.total = l.total*decay + l.alpha
+	l.startWeight[iv.Begin] += l.alpha
+	l.durWeight[iv.Len()] += l.alpha
+	l.days++
+	return nil
+}
+
+// ErrNoObservations is reported by Predict before any Observe call.
+var ErrNoObservations = fmt.Errorf("ecc: no observations yet")
+
+// Predict reports the preference to declare for the next day: the modal
+// duration, and the smallest contiguous start window capturing the
+// configured coverage, widened by the duration so that every covered
+// start fits.
+func (l *Learner) Predict() (core.Preference, error) {
+	if l.days == 0 {
+		return core.Preference{}, ErrNoObservations
+	}
+	duration := l.modalDuration()
+
+	lo, hi := l.startWindow()
+	end := hi + duration
+	if end > core.HoursPerDay {
+		end = core.HoursPerDay
+		if end-lo < duration {
+			lo = end - duration
+		}
+	}
+	pref := core.Preference{Window: core.Interval{Begin: lo, End: end}, Duration: duration}
+	if err := pref.Validate(); err != nil {
+		return core.Preference{}, fmt.Errorf("ecc: predicted infeasible preference: %w", err)
+	}
+	return pref, nil
+}
+
+// Confidence returns the fraction of recent start mass inside the
+// window Predict would report — a measure of how settled the pattern
+// is (1 for a perfectly regular household).
+func (l *Learner) Confidence() float64 {
+	if l.days == 0 || l.total == 0 {
+		return 0
+	}
+	lo, hi := l.startWindow()
+	var mass float64
+	for h := lo; h <= hi && h < core.HoursPerDay; h++ {
+		mass += l.startWeight[h]
+	}
+	return mass / l.total
+}
+
+// modalDuration returns the duration with the largest smoothed weight
+// (ties to the shorter duration).
+func (l *Learner) modalDuration() int {
+	best, bestW := 1, -1.0
+	for d := 1; d <= core.HoursPerDay; d++ {
+		if l.durWeight[d] > bestW+1e-15 {
+			best, bestW = d, l.durWeight[d]
+		}
+	}
+	return best
+}
+
+// startWindow returns the smallest contiguous hour range [lo, hi]
+// whose start-hour mass reaches the coverage target.
+func (l *Learner) startWindow() (lo, hi int) {
+	target := l.coverage * l.total
+
+	bestLo, bestHi := 0, core.HoursPerDay-1
+	bestLen := core.HoursPerDay + 1
+	bestMass := 0.0
+	for a := 0; a < core.HoursPerDay; a++ {
+		var mass float64
+		for b := a; b < core.HoursPerDay; b++ {
+			mass += l.startWeight[b]
+			if mass+1e-12 >= target {
+				length := b - a + 1
+				if length < bestLen || (length == bestLen && mass > bestMass) {
+					bestLo, bestHi, bestLen, bestMass = a, b, length, mass
+				}
+				break
+			}
+		}
+	}
+	if bestLen == core.HoursPerDay+1 {
+		// Coverage unreachable (numerical fringe): fall back to the
+		// support of the distribution.
+		lo, hi = -1, -1
+		for h, w := range l.startWeight {
+			if w > 0 {
+				if lo == -1 {
+					lo = h
+				}
+				hi = h
+			}
+		}
+		if lo == -1 {
+			return 0, 0
+		}
+		return lo, hi
+	}
+	return bestLo, bestHi
+}
+
+// Forecast couples a prediction with its confidence.
+type Forecast struct {
+	Preference core.Preference
+	Confidence float64
+}
+
+// Reporter wraps a Learner with a cold-start default: before the
+// learner has seen MinDays observations it reports Fallback.
+type Reporter struct {
+	// Learner is the pattern learner; it must be non-nil.
+	Learner *Learner
+	// Fallback is reported during cold start.
+	Fallback core.Preference
+	// MinDays is the number of observations required before the
+	// learner's prediction is trusted (default 3 when zero).
+	MinDays int
+}
+
+// Report returns the preference to declare for the next day.
+func (r *Reporter) Report() (Forecast, error) {
+	minDays := r.MinDays
+	if minDays == 0 {
+		minDays = 3
+	}
+	if r.Learner == nil {
+		return Forecast{}, fmt.Errorf("ecc: nil learner")
+	}
+	if r.Learner.Days() < minDays {
+		if err := r.Fallback.Validate(); err != nil {
+			return Forecast{}, fmt.Errorf("ecc: cold start needs a valid fallback: %w", err)
+		}
+		return Forecast{Preference: r.Fallback, Confidence: 0}, nil
+	}
+	pref, err := r.Learner.Predict()
+	if err != nil {
+		return Forecast{}, err
+	}
+	return Forecast{Preference: pref, Confidence: r.Learner.Confidence()}, nil
+}
+
+// MeanAbsError is a convenience for evaluating a learner against a
+// known routine: the mean absolute difference between predicted and
+// true window begins over a horizon of observations.
+func MeanAbsError(predicted, actual []int) float64 {
+	if len(predicted) == 0 || len(predicted) != len(actual) {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range predicted {
+		sum += math.Abs(float64(predicted[i] - actual[i]))
+	}
+	return sum / float64(len(predicted))
+}

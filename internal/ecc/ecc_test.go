@@ -1,0 +1,299 @@
+package ecc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+)
+
+// routine synthesizes a household with start ~ round(N(mu, sigma)) and
+// a fixed duration.
+func routine(rng *dist.RNG, mu, sigma float64, dur int) core.Interval {
+	start := int(math.Round(rng.NormRange(mu, sigma)))
+	if start < 0 {
+		start = 0
+	}
+	if start > core.HoursPerDay-dur {
+		start = core.HoursPerDay - dur
+	}
+	return core.Interval{Begin: start, End: start + dur}
+}
+
+func TestNewLearnerValidation(t *testing.T) {
+	if _, err := NewLearner(WithAlpha(0)); err == nil {
+		t.Error("alpha 0 should be rejected")
+	}
+	if _, err := NewLearner(WithAlpha(1.5)); err == nil {
+		t.Error("alpha > 1 should be rejected")
+	}
+	if _, err := NewLearner(WithCoverage(0)); err == nil {
+		t.Error("coverage 0 should be rejected")
+	}
+	if _, err := NewLearner(WithCoverage(2)); err == nil {
+		t.Error("coverage > 1 should be rejected")
+	}
+	if _, err := NewLearner(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Observe(core.Interval{Begin: 20, End: 18}); err == nil {
+		t.Error("invalid interval should be rejected")
+	}
+	if err := l.Observe(core.Interval{Begin: 5, End: 5}); err == nil {
+		t.Error("empty interval should be rejected")
+	}
+}
+
+func TestPredictBeforeObserve(t *testing.T) {
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Predict(); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("expected ErrNoObservations, got %v", err)
+	}
+	if l.Confidence() != 0 {
+		t.Error("confidence before observations should be 0")
+	}
+}
+
+func TestLearnsRegularRoutine(t *testing.T) {
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly regular household: (19, 21) every day.
+	for day := 0; day < 10; day++ {
+		if err := l.Observe(core.Interval{Begin: 19, End: 21}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pref, err := l.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref.Duration != 2 {
+		t.Errorf("duration = %d, want 2", pref.Duration)
+	}
+	if pref.Window.Begin != 19 || pref.Window.End != 21 {
+		t.Errorf("window = %v, want (19, 21)", pref.Window)
+	}
+	if c := l.Confidence(); c < 0.99 {
+		t.Errorf("confidence = %g, want ~1 for a regular household", c)
+	}
+}
+
+func TestLearnsNoisyRoutine(t *testing.T) {
+	rng := dist.New(5)
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mu, sigma, dur = 19.0, 1.0, 2
+	for day := 0; day < 60; day++ {
+		if err := l.Observe(routine(rng, mu, sigma, dur)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pref, err := l.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref.Duration != dur {
+		t.Errorf("duration = %d, want %d", pref.Duration, dur)
+	}
+	// The window should cover the bulk of the start distribution:
+	// roughly μ ± 2σ.
+	if pref.Window.Begin > 18 || pref.Window.End < 21 {
+		t.Errorf("window %v does not cover the routine around hour 19", pref.Window)
+	}
+	// And not be absurdly wide.
+	if pref.Window.Len() > 10 {
+		t.Errorf("window %v too wide for σ = 1", pref.Window)
+	}
+	// Check forward coverage: the window admits ~coverage of future days.
+	hits := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		iv := routine(rng, mu, sigma, dur)
+		if pref.Window.Covers(iv) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.75 {
+		t.Errorf("window admits only %.0f%% of future days", 100*frac)
+	}
+}
+
+func TestAdaptsToRoutineChange(t *testing.T) {
+	rng := dist.New(9)
+	l, err := NewLearner(WithAlpha(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 30; day++ {
+		if err := l.Observe(routine(rng, 19, 0.5, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Routine shifts to the morning.
+	for day := 0; day < 20; day++ {
+		if err := l.Observe(routine(rng, 8, 0.5, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pref, err := l.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref.Window.Begin > 10 {
+		t.Errorf("learner did not adapt: window %v still in the evening", pref.Window)
+	}
+}
+
+func TestModalDurationTracksChange(t *testing.T) {
+	l, err := NewLearner(WithAlpha(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 10; day++ {
+		if err := l.Observe(core.Interval{Begin: 18, End: 20}); err != nil { // duration 2
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 15; day++ {
+		if err := l.Observe(core.Interval{Begin: 18, End: 22}); err != nil { // duration 4
+			t.Fatal(err)
+		}
+	}
+	pref, err := l.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref.Duration != 4 {
+		t.Errorf("duration = %d, want 4 after the routine lengthened", pref.Duration)
+	}
+}
+
+func TestPredictLateEveningClamps(t *testing.T) {
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A routine at the end of the day must still produce a feasible
+	// window inside [0, 24].
+	for day := 0; day < 5; day++ {
+		if err := l.Observe(core.Interval{Begin: 21, End: 24}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pref, err := l.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pref.Validate(); err != nil {
+		t.Fatalf("prediction infeasible: %v", err)
+	}
+	if pref.Window.End > core.HoursPerDay {
+		t.Errorf("window %v exceeds the day", pref.Window)
+	}
+}
+
+func TestPredictionsAlwaysFeasible(t *testing.T) {
+	// Property: whatever the observation stream, Predict returns a
+	// valid preference.
+	rng := dist.New(77)
+	for trial := 0; trial < 200; trial++ {
+		l, err := NewLearner(WithAlpha(0.1 + rng.Float64()*0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		days := 1 + rng.Intn(40)
+		for d := 0; d < days; d++ {
+			dur := 1 + rng.Intn(6)
+			start := rng.Intn(core.HoursPerDay - dur)
+			if err := l.Observe(core.Interval{Begin: start, End: start + dur}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pref, err := l.Predict()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := pref.Validate(); err != nil {
+			t.Fatalf("trial %d: infeasible prediction %v: %v", trial, pref, err)
+		}
+		if c := l.Confidence(); c < 0 || c > 1+1e-9 {
+			t.Fatalf("trial %d: confidence %g outside [0, 1]", trial, c)
+		}
+	}
+}
+
+func TestReporterColdStart(t *testing.T) {
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback := core.MustPreference(17, 23, 2)
+	r := &Reporter{Learner: l, Fallback: fallback}
+
+	f, err := r.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Preference != fallback || f.Confidence != 0 {
+		t.Errorf("cold start forecast = %+v, want fallback with zero confidence", f)
+	}
+
+	for day := 0; day < 5; day++ {
+		if err := l.Observe(core.Interval{Begin: 19, End: 21}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err = r.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Preference == fallback {
+		t.Error("after MinDays the learner's prediction should be used")
+	}
+	if f.Confidence <= 0.9 {
+		t.Errorf("confidence = %g, want high for a regular routine", f.Confidence)
+	}
+}
+
+func TestReporterValidation(t *testing.T) {
+	r := &Reporter{}
+	if _, err := r.Report(); err == nil {
+		t.Error("nil learner should be rejected")
+	}
+	l, err := NewLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &Reporter{Learner: l} // invalid zero fallback during cold start
+	if _, err := r.Report(); err == nil {
+		t.Error("cold start without a valid fallback should fail")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	if got := MeanAbsError([]int{18, 20}, []int{19, 18}); got != 1.5 {
+		t.Errorf("MeanAbsError = %g, want 1.5", got)
+	}
+	if !math.IsNaN(MeanAbsError(nil, nil)) {
+		t.Error("empty input should yield NaN")
+	}
+	if !math.IsNaN(MeanAbsError([]int{1}, []int{1, 2})) {
+		t.Error("mismatched lengths should yield NaN")
+	}
+}

@@ -1,0 +1,475 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"enki/internal/coalition"
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/market"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+	"enki/internal/sched"
+	"enki/internal/stats"
+)
+
+// AblationRow is one variant's aggregate performance.
+type AblationRow struct {
+	Name   string
+	Cost   stats.Interval // neighborhood cost κ(s), 95% CI
+	PAR    stats.Interval // peak-to-average ratio
+	TimeMS stats.Interval // allocation wall time
+}
+
+// AblationResult is a set of variants measured on identical days.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-24s %-20s %-18s %-14s\n", "variant", "cost ($ ±95%)", "PAR (±95%)", "time (ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %8.1f ±%-8.1f %7.3f ±%-8.3f %10.3f\n",
+			row.Name, row.Cost.Mean, row.Cost.Half, row.PAR.Mean, row.PAR.Half, row.TimeMS.Mean)
+	}
+	return b.String()
+}
+
+// RunOrderingAblation isolates the contribution of Enki's
+// increasing-flexibility processing order: the same greedy placement
+// rule under the Enki order, report order, a random order, the reversed
+// (widest-first) order, plus the uncoordinated and best-response
+// baselines, all on identical days.
+func RunOrderingAblation(cfg Config, households, rounds int) (*AblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pricer := cfg.Pricer()
+	rng := dist.New(cfg.Seed)
+	variants := []sched.Scheduler{
+		&sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()},
+		&sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderReport},
+		&sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderShuffled, RNG: rng.Split()},
+		&sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderWidestFirst},
+		&sched.LocalSearch{Base: sched.Earliest{}, Pricer: pricer, Rating: cfg.Rating},
+		sched.Earliest{},
+		&sched.Random{RNG: rng.Split()},
+	}
+	return runVariants(cfg, "Ablation: greedy processing order (n="+fmt.Sprint(households)+")",
+		variants, households, rounds, rng)
+}
+
+// runVariants measures each scheduler on the same sequence of days.
+func runVariants(cfg Config, title string, variants []sched.Scheduler, households, rounds int, rng *dist.RNG) (*AblationResult, error) {
+	pricer := cfg.Pricer()
+	costs := make([][]float64, len(variants))
+	pars := make([][]float64, len(variants))
+	times := make([][]float64, len(variants))
+
+	for round := 0; round < rounds; round++ {
+		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		reports := profile.WideReports(gen.DrawN(households))
+		for vi, v := range variants {
+			start := time.Now()
+			assignments, err := v.Allocate(reports)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", v.Name(), err)
+			}
+			times[vi] = append(times[vi], float64(time.Since(start).Microseconds())/1000)
+			load := sched.LoadOfAssignments(assignments, cfg.Rating)
+			costs[vi] = append(costs[vi], pricing.Cost(pricer, load))
+			pars[vi] = append(pars[vi], load.PAR())
+		}
+	}
+
+	res := &AblationResult{Title: title}
+	for vi, v := range variants {
+		res.Rows = append(res.Rows, AblationRow{
+			Name:   v.Name(),
+			Cost:   stats.CI95(costs[vi]),
+			PAR:    stats.CI95(pars[vi]),
+			TimeMS: stats.CI95(times[vi]),
+		})
+	}
+	return res, nil
+}
+
+// PricingAblationRow compares tariffs on identical days. Costs across
+// tariffs are not directly comparable (different units), so the row
+// reports the PAR the schedule achieves and the cost ratio versus the
+// uncoordinated baseline under the same tariff.
+type PricingAblationRow struct {
+	Name      string
+	PAR       stats.Interval
+	Saving    stats.Interval // 1 − greedyCost/earliestCost under this tariff
+	TimeMS    stats.Interval
+	Composite string // description of the tariff
+}
+
+// PricingAblationResult compares the Eq. 1 quadratic tariff with the
+// two-step convex tariff and a merit-order market pricer.
+type PricingAblationResult struct {
+	Rows []PricingAblationRow
+}
+
+// Render prints the tariff ablation.
+func (r *PricingAblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation: pricing function (greedy savings vs uncoordinated)\n")
+	fmt.Fprintf(&b, "%-14s %-18s %-20s %-30s\n", "tariff", "PAR (±95%)", "saving (±95%)", "form")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %7.3f ±%-8.3f %6.1f%% ±%-10.1f %-30s\n",
+			row.Name, row.PAR.Mean, row.PAR.Half, 100*row.Saving.Mean, 100*row.Saving.Half, row.Composite)
+	}
+	return b.String()
+}
+
+// RunPricingAblation measures how the choice of convex tariff affects
+// the greedy schedule's quality.
+func RunPricingAblation(cfg Config, households, rounds int) (*PricingAblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	twoStep, err := pricing.NewPiecewise([]pricing.Step{{Threshold: 0, Rate: 0.5}, {Threshold: 8, Rate: 3}})
+	if err != nil {
+		return nil, err
+	}
+	stack, err := market.New([]market.Offer{
+		{Generator: "hydro", Quantity: 20, Price: 0.05},
+		{Generator: "coal", Quantity: 40, Price: 0.12},
+		{Generator: "gas-peaker", Quantity: 60, Price: 0.40},
+	})
+	if err != nil {
+		return nil, err
+	}
+	meritOrder, err := stack.Pricer()
+	if err != nil {
+		return nil, err
+	}
+	tariffs := []struct {
+		name, desc string
+		p          pricing.Pricer
+	}{
+		{"quadratic", "σl² (Eq. 1), σ=0.3", cfg.Pricer()},
+		{"two-step", "0.5 then 3 $/kWh past 8", twoStep},
+		{"merit-order", "hydro/coal/peaker stack", meritOrder},
+	}
+
+	rng := dist.New(cfg.Seed)
+	res := &PricingAblationResult{}
+	pars := make([][]float64, len(tariffs))
+	savings := make([][]float64, len(tariffs))
+	times := make([][]float64, len(tariffs))
+
+	for round := 0; round < rounds; round++ {
+		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		reports := profile.WideReports(gen.DrawN(households))
+		base, err := sched.Earliest{}.Allocate(reports)
+		if err != nil {
+			return nil, err
+		}
+		baseLoad := sched.LoadOfAssignments(base, cfg.Rating)
+
+		for ti, tariff := range tariffs {
+			g := &sched.Greedy{Pricer: tariff.p, Rating: cfg.Rating}
+			start := time.Now()
+			assignments, err := g.Allocate(reports)
+			if err != nil {
+				return nil, err
+			}
+			times[ti] = append(times[ti], float64(time.Since(start).Microseconds())/1000)
+			load := sched.LoadOfAssignments(assignments, cfg.Rating)
+			pars[ti] = append(pars[ti], load.PAR())
+			gCost := pricing.Cost(tariff.p, load)
+			eCost := pricing.Cost(tariff.p, baseLoad)
+			if eCost > 0 {
+				savings[ti] = append(savings[ti], 1-gCost/eCost)
+			}
+		}
+	}
+	for ti, tariff := range tariffs {
+		res.Rows = append(res.Rows, PricingAblationRow{
+			Name:      tariff.name,
+			PAR:       stats.CI95(pars[ti]),
+			Saving:    stats.CI95(savings[ti]),
+			TimeMS:    stats.CI95(times[ti]),
+			Composite: tariff.desc,
+		})
+	}
+	return res, nil
+}
+
+// CoalitionAblationResult measures the future-work coalition extension:
+// on days where a fraction of households misreport, how many forced
+// defections do coalition swaps absorb, and what happens to the
+// misreporters' bills.
+type CoalitionAblationResult struct {
+	MisreportFraction float64
+	Rescued           stats.Interval // rescued members per day
+	Defectors         stats.Interval // genuine coalition-level defectors per day
+	SoloDefectors     stats.Interval // defectors in the singleton world
+	BillDelta         stats.Interval // mean payment change of misreporters (coalition − solo)
+}
+
+// Render prints the coalition ablation.
+func (r *CoalitionAblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: coalition swaps (%.0f%% misreporters)\n", 100*r.MisreportFraction)
+	fmt.Fprintf(&b, "  rescued per day:        %.2f ±%.2f\n", r.Rescued.Mean, r.Rescued.Half)
+	fmt.Fprintf(&b, "  coalition defectors:    %.2f ±%.2f\n", r.Defectors.Mean, r.Defectors.Half)
+	fmt.Fprintf(&b, "  singleton defectors:    %.2f ±%.2f\n", r.SoloDefectors.Mean, r.SoloDefectors.Half)
+	fmt.Fprintf(&b, "  misreporter bill delta: %+.2f ±%.2f $/day\n", r.BillDelta.Mean, r.BillDelta.Half)
+	return b.String()
+}
+
+// RunCoalitionAblation runs the coalition-vs-singleton comparison.
+func RunCoalitionAblation(cfg Config, households, rounds int, misreportFraction float64) (*CoalitionAblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if misreportFraction < 0 || misreportFraction > 1 {
+		return nil, fmt.Errorf("experiment: misreport fraction %g outside [0, 1]", misreportFraction)
+	}
+	pricer := cfg.Pricer()
+	rng := dist.New(cfg.Seed)
+
+	var rescued, defectors, solo, delta []float64
+	for round := 0; round < rounds; round++ {
+		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		profiles := gen.DrawN(households)
+		hhs := make([]core.Household, households)
+		misreporter := make([]bool, households)
+		for i, p := range profiles {
+			hhs[i] = core.TruthfulHousehold(core.HouseholdID(i), p.TypeWide())
+			if rng.Bool(misreportFraction) {
+				misreporter[i] = true
+				// Misreport: demand a rigid slot just past the true
+				// window's last feasible start — outside the truth, but
+				// still in the evening where a coalition partner's true
+				// window may cover it (an exchange is then feasible).
+				dur := p.Wide.Duration
+				start := p.Wide.Window.End - dur + 1 + rng.Intn(2)
+				if start+dur > core.HoursPerDay {
+					start = core.HoursPerDay - dur
+				}
+				hhs[i].Reported = core.Preference{
+					Window:   core.Interval{Begin: start, End: start + dur},
+					Duration: dur,
+				}
+			}
+		}
+		reports := make([]core.Report, households)
+		for i, h := range hhs {
+			reports[i] = core.Report{ID: h.ID, Pref: h.Reported}
+		}
+		greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()}
+		as, err := greedy.Allocate(reports)
+		if err != nil {
+			return nil, err
+		}
+		assignments := make([]core.Interval, households)
+		for i, a := range as {
+			assignments[i] = a.Interval
+		}
+
+		coalitions, err := coalition.Form(hhs, coalition.DefaultMaxSize)
+		if err != nil {
+			return nil, err
+		}
+		cCons, err := coalition.PlanConsumptions(hhs, coalitions, assignments)
+		if err != nil {
+			return nil, err
+		}
+		withC, err := coalition.Settle(pricer, cfg.Mechanism, hhs, coalitions, assignments, cCons, cfg.Rating)
+		if err != nil {
+			return nil, err
+		}
+
+		singletons := make([]coalition.Coalition, households)
+		for i := range singletons {
+			singletons[i] = coalition.Coalition{Members: []int{i}}
+		}
+		sCons, err := coalition.PlanConsumptions(hhs, singletons, assignments)
+		if err != nil {
+			return nil, err
+		}
+		withoutC, err := coalition.Settle(pricer, cfg.Mechanism, hhs, singletons, assignments, sCons, cfg.Rating)
+		if err != nil {
+			return nil, err
+		}
+
+		rescued = append(rescued, float64(withC.Rescued))
+		defectors = append(defectors, float64(withC.Defectors))
+		solo = append(solo, float64(withoutC.Defectors))
+		var d float64
+		var nMis int
+		for i := range hhs {
+			if misreporter[i] {
+				d += withC.Payments[i] - withoutC.Payments[i]
+				nMis++
+			}
+		}
+		if nMis > 0 {
+			delta = append(delta, d/float64(nMis))
+		}
+	}
+
+	return &CoalitionAblationResult{
+		MisreportFraction: misreportFraction,
+		Rescued:           stats.CI95(rescued),
+		Defectors:         stats.CI95(defectors),
+		SoloDefectors:     stats.CI95(solo),
+		BillDelta:         stats.CI95(delta),
+	}, nil
+}
+
+// DiscountAblationResult compares Eq. 5's e^{o_i} overlap discount with
+// a variant that omits it, on days with partial defections.
+type DiscountAblationResult struct {
+	WithDiscount    stats.Interval // mean defector payment with the e^{o} discount
+	WithoutDiscount stats.Interval // mean defector payment without it
+}
+
+// Render prints the discount ablation.
+func (r *DiscountAblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation: Eq. 5 overlap discount e^{o_i}\n")
+	fmt.Fprintf(&b, "  partial defector pays %.2f ±%.2f with the discount\n",
+		r.WithDiscount.Mean, r.WithDiscount.Half)
+	fmt.Fprintf(&b, "  partial defector pays %.2f ±%.2f without it\n",
+		r.WithoutDiscount.Mean, r.WithoutDiscount.Half)
+	return b.String()
+}
+
+// RunDiscountAblation measures how much the overlap discount softens a
+// partial defector's bill relative to a total defector's. Eq. 6
+// normalizes defection scores by Σδ, so the discount only moves money
+// between defectors: each day one household shifts its consumption by a
+// single hour (high overlap o) while another defects with no overlap at
+// all, and the partial defector's payment is compared with and without
+// the e^{o_i} denominator (the "without" variant multiplies δ back by
+// e^{o_i}).
+func RunDiscountAblation(cfg Config, households, rounds int) (*DiscountAblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pricer := cfg.Pricer()
+	rng := dist.New(cfg.Seed)
+
+	var with, without []float64
+	for round := 0; round < rounds; round++ {
+		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		profiles := gen.DrawN(households)
+		hhs := make([]core.Household, households)
+		reports := make([]core.Report, households)
+		for i, p := range profiles {
+			hhs[i] = core.TruthfulHousehold(core.HouseholdID(i), p.TypeWide())
+			reports[i] = core.Report{ID: hhs[i].ID, Pref: hhs[i].Reported}
+		}
+		greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()}
+		as, err := greedy.Allocate(reports)
+		if err != nil {
+			return nil, err
+		}
+		day := mechanism.Day{Households: hhs, Rating: cfg.Rating}
+		for _, a := range as {
+			day.Assignments = append(day.Assignments, a.Interval)
+			day.Consumptions = append(day.Consumptions, a.Interval)
+		}
+		// The partial defector must have duration ≥ 2, so that a
+		// one-hour shift keeps a positive overlap o and the e^{o}
+		// discount can bite; a second household defects with no overlap
+		// so the discount has a counterpart to move money toward.
+		defector, full := -1, -1
+		for i, h := range hhs {
+			if defector < 0 && h.Reported.Duration >= 2 {
+				defector = i
+				continue
+			}
+			if full < 0 && i != defector {
+				full = i
+			}
+		}
+		if defector < 0 || full < 0 {
+			continue // degenerate day
+		}
+		shifted := day.Assignments[defector].Shift(1)
+		if shifted.End > core.HoursPerDay {
+			shifted = day.Assignments[defector].Shift(-1)
+		}
+		day.Consumptions[defector] = shifted
+		// The total defector piles onto the peak hour (a harmful,
+		// zero-overlap defection; moving off-peak would be clamped to
+		// δ = 0 as a beneficial deviation).
+		allocLoad := core.LoadOf(day.Assignments, cfg.Rating)
+		peakHour, peak := 0, -1.0
+		for h, l := range allocLoad {
+			if l > peak {
+				peakHour, peak = h, l
+			}
+		}
+		v := day.Assignments[full].Len()
+		start := peakHour
+		if start > core.HoursPerDay-v {
+			start = core.HoursPerDay - v
+		}
+		target := core.Interval{Begin: start, End: start + v}
+		if target.Overlap(day.Assignments[full]) > 0 {
+			// Ensure zero overlap with its own slot so o = 0.
+			if start+v+v <= core.HoursPerDay {
+				target = core.Interval{Begin: start + v, End: start + 2*v}
+			} else {
+				target = core.Interval{Begin: start - v, End: start}
+			}
+		}
+		day.Consumptions[full] = target
+
+		s, err := mechanism.Settle(pricer, cfg.Mechanism, day)
+		if err != nil {
+			return nil, err
+		}
+		if s.Defection[defector] == 0 || s.Defection[full] == 0 {
+			continue // a harmless defection leaves nothing to compare
+		}
+		with = append(with, s.Payments[defector])
+
+		// Without the discount: scale δ back by e^{o} and recompute
+		// Eq. 6/7 by hand.
+		o := core.OverlapRatio(day.Assignments[defector], day.Consumptions[defector])
+		defect := append([]float64(nil), s.Defection...)
+		defect[defector] *= math.Exp(o)
+		psi, err := mechanism.SocialCostScores(s.Flexibility, defect, cfg.Mechanism.K)
+		if err != nil {
+			return nil, err
+		}
+		payments, err := mechanism.Payments(psi, cfg.Mechanism.Xi, s.Cost)
+		if err != nil {
+			return nil, err
+		}
+		without = append(without, payments[defector])
+	}
+	return &DiscountAblationResult{
+		WithDiscount:    stats.CI95(with),
+		WithoutDiscount: stats.CI95(without),
+	}, nil
+}

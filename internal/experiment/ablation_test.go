@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOrderingAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunOrderingAblation(cfg, 25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("got %d variants, want 7", len(res.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	enki := byName["enki-greedy"]
+	earliest := byName["earliest"]
+	random := byName["random"]
+	widest := byName["greedy-widest-first"]
+	if enki.Cost.Mean >= earliest.Cost.Mean {
+		t.Errorf("enki cost %g should beat uncoordinated %g", enki.Cost.Mean, earliest.Cost.Mean)
+	}
+	if enki.Cost.Mean >= random.Cost.Mean {
+		t.Errorf("enki cost %g should beat random %g", enki.Cost.Mean, random.Cost.Mean)
+	}
+	// The flexibility ordering should not lose to the reversed order.
+	if enki.Cost.Mean > widest.Cost.Mean*1.02 {
+		t.Errorf("enki cost %g worse than widest-first %g", enki.Cost.Mean, widest.Cost.Mean)
+	}
+	if !strings.Contains(res.Render(), "enki-greedy") {
+		t.Error("render missing variants")
+	}
+}
+
+func TestRunPricingAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunPricingAblation(cfg, 25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d tariffs, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PAR.Mean < 1 {
+			t.Errorf("%s: PAR %g below 1", row.Name, row.PAR.Mean)
+		}
+		if row.Saving.Mean < 0 {
+			t.Errorf("%s: greedy should never cost more than uncoordinated, saving %g",
+				row.Name, row.Saving.Mean)
+		}
+	}
+	if !strings.Contains(res.Render(), "quadratic") {
+		t.Error("render missing tariffs")
+	}
+}
+
+func TestRunCoalitionAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunCoalitionAblation(cfg, 30, 8, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coalitions can only absorb defections, never create them.
+	if res.Defectors.Mean > res.SoloDefectors.Mean+1e-9 {
+		t.Errorf("coalition defectors %g exceed singleton defectors %g",
+			res.Defectors.Mean, res.SoloDefectors.Mean)
+	}
+	if res.Rescued.Mean <= 0 {
+		t.Error("with 25% misreporters some rescues should occur")
+	}
+	if !strings.Contains(res.Render(), "rescued") {
+		t.Error("render missing fields")
+	}
+	if _, err := RunCoalitionAblation(cfg, 10, 2, 1.5); err == nil {
+		t.Error("fraction > 1 should be rejected")
+	}
+}
+
+func TestRunDiscountAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunDiscountAblation(cfg, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The e^{o} discount must soften the partial defector's bill.
+	if res.WithDiscount.Mean >= res.WithoutDiscount.Mean {
+		t.Errorf("discounted payment %g should be below undiscounted %g",
+			res.WithDiscount.Mean, res.WithoutDiscount.Mean)
+	}
+	if !strings.Contains(res.Render(), "discount") {
+		t.Error("render missing text")
+	}
+}
+
+func TestRunUtilityComparison(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunUtilityComparison(cfg, 25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 5: mean utility weakly higher with Enki.
+	if res.MeanEnki.Mean < res.MeanBaseline.Mean-1e-9 {
+		t.Errorf("Enki mean utility %g below baseline %g", res.MeanEnki.Mean, res.MeanBaseline.Mean)
+	}
+	// Theorem 6: the flexible quartile gains at least as much.
+	if res.FlexibleEnki.Mean < res.FlexibleBaseline.Mean-1e-9 {
+		t.Errorf("flexible Enki utility %g below baseline %g",
+			res.FlexibleEnki.Mean, res.FlexibleBaseline.Mean)
+	}
+	if !strings.Contains(res.Render(), "Theorems 5 & 6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunLearningCurve(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunLearningCurve(cfg, 8, 14, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DefectionsPerDay) != 14 {
+		t.Fatalf("got %d days, want 14", len(res.DefectionsPerDay))
+	}
+	// The ECC story: defections collapse as the learners converge.
+	if res.LastWeek.Mean >= res.FirstWeek.Mean {
+		t.Errorf("last week defections %g should be below first week %g",
+			res.LastWeek.Mean, res.FirstWeek.Mean)
+	}
+	if res.DefectionsPerDay[0].Mean <= 0 {
+		t.Error("cold-start day should force some defections")
+	}
+	if !strings.Contains(res.Render(), "ECC learning curve") {
+		t.Error("render missing title")
+	}
+	if _, err := RunLearningCurve(cfg, 0, 1, 1); err == nil {
+		t.Error("zero households should be rejected")
+	}
+}

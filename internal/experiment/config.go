@@ -1,0 +1,79 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section VI simulation study and Section VII user study).
+// Each generator returns a structured result with a Render method that
+// prints the same rows/series the paper reports, plus CSV export for
+// plotting.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+	"enki/internal/solver"
+)
+
+// Config carries the simulation-study parameters (Section VI).
+type Config struct {
+	// Seed makes every experiment reproducible.
+	Seed uint64
+	// Sigma is the pricing scale σ (paper: 0.3).
+	Sigma float64
+	// Rating is the power rating r in kW (paper: 2).
+	Rating float64
+	// Mechanism carries k and ξ (paper: 1 and 1.2).
+	Mechanism mechanism.Config
+	// Populations are the neighborhood sizes swept in Figures 4-6
+	// (paper: 10..50).
+	Populations []int
+	// Rounds is the number of simulated days per population (paper: 10).
+	Rounds int
+	// OptimalOptions bounds each Optimal solve. The default applies a
+	// per-solve time budget so a full sweep finishes on a laptop; the
+	// incumbent it returns is the converged branch-and-bound solution
+	// (see DESIGN.md on the CPLEX substitution).
+	OptimalOptions solver.Options
+}
+
+// DefaultConfig returns the paper's Section VI parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		Sigma:       pricing.DefaultSigma,
+		Rating:      core.DefaultPowerRating,
+		Mechanism:   mechanism.DefaultConfig(),
+		Populations: []int{10, 20, 30, 40, 50},
+		Rounds:      10,
+		OptimalOptions: solver.Options{
+			TimeLimit: 2 * time.Second,
+			RelGap:    1e-4,
+		},
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sigma <= 0 {
+		return fmt.Errorf("experiment: sigma %g must be positive", c.Sigma)
+	}
+	if c.Rating <= 0 {
+		return fmt.Errorf("experiment: rating %g must be positive", c.Rating)
+	}
+	if len(c.Populations) == 0 {
+		return fmt.Errorf("experiment: no populations")
+	}
+	for _, n := range c.Populations {
+		if n <= 0 {
+			return fmt.Errorf("experiment: population %d must be positive", n)
+		}
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("experiment: rounds %d must be positive", c.Rounds)
+	}
+	return c.Mechanism.Validate()
+}
+
+// Pricer returns the Eq. 1 pricer for the configured σ.
+func (c Config) Pricer() pricing.Quadratic { return pricing.Quadratic{Sigma: c.Sigma} }

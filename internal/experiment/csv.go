@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"enki/internal/study"
+)
+
+// TablesCSV renders Tables II-IV as one CSV: one row per (table, stage,
+// group) cell for easy plotting or regression against the paper.
+func (r *UserStudyResult) TablesCSV() string {
+	var b strings.Builder
+	b.WriteString("table,stage,group,value\n")
+	for _, stage := range study.Stages() {
+		fmt.Fprintf(&b, "II,%s,all,%g\n", stage.Name, r.TableII[stage.Name])
+		fmt.Fprintf(&b, "III,%s,all,%g\n", stage.Name, r.TableIII[stage.Name].P)
+		iv := r.TableIV[stage.Name]
+		fmt.Fprintf(&b, "IV,%s,T1,%g\n", stage.Name, iv[0])
+		fmt.Fprintf(&b, "IV,%s,T2,%g\n", stage.Name, iv[1])
+	}
+	return b.String()
+}
+
+// Figure8CSV renders the per-subject Initial/Cooperate ratios.
+func (r *UserStudyResult) Figure8CSV() string {
+	var b strings.Builder
+	b.WriteString("subject,initial,cooperate\n")
+	for _, s := range r.Figure8Subjects {
+		fmt.Fprintf(&b, "%d,%g,%g\n", s.Number, s.Initial, s.Cooperate)
+	}
+	return b.String()
+}
+
+// Figure9CSV renders the flexibility-ratio trajectories.
+func (r *UserStudyResult) Figure9CSV() string {
+	var b strings.Builder
+	b.WriteString("round,p7,p8,intermediate\n")
+	for i := range r.Figure9P7 {
+		fmt.Fprintf(&b, "%d,%g,%g,%g\n", i+1, r.Figure9P7[i], r.Figure9P8[i], r.Figure9Intermediate[i])
+	}
+	return b.String()
+}

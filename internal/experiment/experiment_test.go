@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/solver"
+	"enki/internal/study"
+)
+
+// testConfig returns a laptop-fast configuration that keeps the paper's
+// structure (multiple populations, repeated rounds).
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Populations = []int{8, 14}
+	cfg.Rounds = 3
+	cfg.OptimalOptions = solver.Options{TimeLimit: 500 * time.Millisecond, RelGap: 1e-4}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Sigma = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sigma should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Populations = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty populations should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Populations = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero population should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Rounds = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rounds should be rejected")
+	}
+}
+
+func TestRunSweepShape(t *testing.T) {
+	res, err := RunSweep(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Populations) != 2 {
+		t.Fatalf("got %d populations", len(res.Populations))
+	}
+	for i := range res.Populations {
+		// Figure 4/5 claim: Enki tracks Optimal closely from above.
+		if res.OptimalCost[i].Mean > res.EnkiCost[i].Mean+1e-9 {
+			t.Errorf("pop %d: optimal cost %g exceeds Enki cost %g",
+				res.Populations[i], res.OptimalCost[i].Mean, res.EnkiCost[i].Mean)
+		}
+		if res.EnkiCost[i].Mean > 1.25*res.OptimalCost[i].Mean {
+			t.Errorf("pop %d: Enki cost %g strays >25%% from optimal %g",
+				res.Populations[i], res.EnkiCost[i].Mean, res.OptimalCost[i].Mean)
+		}
+		if res.EnkiPAR[i].Mean < 1 || res.OptimalPAR[i].Mean < 1 {
+			t.Errorf("pop %d: PAR below 1", res.Populations[i])
+		}
+		// Figure 6 claim: optimal takes (much) longer than greedy.
+		if res.OptimalTime[i].Mean <= res.EnkiTimeMS[i].Mean {
+			t.Errorf("pop %d: optimal time %g not above greedy %g",
+				res.Populations[i], res.OptimalTime[i].Mean, res.EnkiTimeMS[i].Mean)
+		}
+		if res.OptimalGapMax[i] < 0 || res.OptimalGapMax[i] > 0.25 {
+			t.Errorf("pop %d: gap %g implausible", res.Populations[i], res.OptimalGapMax[i])
+		}
+	}
+	for _, s := range []string{res.RenderFigure4(), res.RenderFigure5(), res.RenderFigure6()} {
+		if !strings.Contains(s, "users") {
+			t.Errorf("render output missing header:\n%s", s)
+		}
+	}
+	if !strings.Contains(res.CSV(), "users,enki_par") {
+		t.Error("CSV missing header")
+	}
+	if got := strings.Count(res.CSV(), "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want 3 (header + 2 rows)", got)
+	}
+}
+
+func TestRunSweepDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Populations {
+		if a.EnkiPAR[i] != b.EnkiPAR[i] || a.EnkiCost[i] != b.EnkiCost[i] {
+			t.Fatalf("sweep not deterministic at population %d", a.Populations[i])
+		}
+	}
+}
+
+func TestRunFigure7TruthIsBestResponse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	fcfg := DefaultFig7Config()
+	fcfg.Households = 30 // faster than 50, same structure
+	fcfg.Repeats = 6
+	res, err := RunFigure7(cfg, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16..24 windows of duration ≥ 2: Σ_{w=2..8} (9−w−... ) → count.
+	wantCandidates := 0
+	for b := 16; b <= 22; b++ {
+		wantCandidates += 24 - (b + 2) + 1
+	}
+	if len(res.Reports) != wantCandidates {
+		t.Fatalf("got %d candidate reports, want %d", len(res.Reports), wantCandidates)
+	}
+	truthU, ok := res.UtilityOf(res.Truth.Window)
+	if !ok {
+		t.Fatal("truth window missing from candidates")
+	}
+	best := res.Best()
+	// Weak incentive compatibility: no report may beat the truth by a
+	// meaningful margin, and the truth must rank at or near the top.
+	if best.Utility > truthU+0.05*absF(truthU)+0.05 {
+		t.Errorf("report %v with utility %g beats the truth (%g) decisively",
+			best.Window, best.Utility, truthU)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "<- true interval") {
+		t.Errorf("render misses the truth marker:\n%s", out)
+	}
+	if !strings.Contains(res.CSV(), "begin,end,utility") {
+		t.Error("CSV missing header")
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRunFigure7Validation(t *testing.T) {
+	cfg := DefaultConfig()
+	fcfg := DefaultFig7Config()
+	fcfg.Households = 1
+	if _, err := RunFigure7(cfg, fcfg); err == nil {
+		t.Error("fig7 with one household should be rejected")
+	}
+	fcfg = DefaultFig7Config()
+	fcfg.Repeats = 0
+	if _, err := RunFigure7(cfg, fcfg); err == nil {
+		t.Error("fig7 with zero repeats should be rejected")
+	}
+	fcfg = DefaultFig7Config()
+	fcfg.Truth = core.Preference{Window: core.Interval{Begin: 20, End: 19}, Duration: 1}
+	if _, err := RunFigure7(cfg, fcfg); err == nil {
+		t.Error("invalid truth should be rejected")
+	}
+}
+
+func TestRunUserStudyRenders(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	res, err := RunUserStudy(cfg, study.DefaultStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TableII) != 4 || len(res.TableIII) != 4 || len(res.TableIV) != 4 {
+		t.Fatalf("missing stages: %d/%d/%d", len(res.TableII), len(res.TableIII), len(res.TableIV))
+	}
+	if len(res.Figure8Subjects) != 16 {
+		t.Errorf("figure 8 has %d subjects, want 16", len(res.Figure8Subjects))
+	}
+	if len(res.Figure9P7) != 16 || len(res.Figure9P8) != 16 || len(res.Figure9Intermediate) != 16 {
+		t.Error("figure 9 series must cover all 16 rounds")
+	}
+	// Table II ordering claim.
+	if !(res.TableII["Initial"] > res.TableII["Cooperate"]) {
+		t.Errorf("initial defection %g must exceed cooperate %g",
+			res.TableII["Initial"], res.TableII["Cooperate"])
+	}
+	// Table IV claim: T2 defects less in Cooperate.
+	iv := res.TableIV["Cooperate"]
+	if iv[1] >= iv[0] {
+		t.Errorf("T2 cooperate defection %g should be below T1 %g", iv[1], iv[0])
+	}
+	for name, render := range map[string]string{
+		"TableII":  res.RenderTableII(),
+		"TableIII": res.RenderTableIII(),
+		"TableIV":  res.RenderTableIV(),
+		"Figure8":  res.RenderFigure8(),
+		"Figure9":  res.RenderFigure9(),
+	} {
+		if len(render) == 0 {
+			t.Errorf("%s render is empty", name)
+		}
+		if !strings.Contains(render, ":") {
+			t.Errorf("%s render missing title:\n%s", name, render)
+		}
+	}
+}
+
+func TestUserStudyCSVExports(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	res, err := RunUserStudy(cfg, study.DefaultStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := res.TablesCSV()
+	if !strings.HasPrefix(tables, "table,stage,group,value\n") {
+		t.Errorf("tables CSV header missing:\n%s", tables)
+	}
+	// 4 stages × (II + III + IV×2) = 16 data rows.
+	if got := strings.Count(tables, "\n") - 1; got != 16 {
+		t.Errorf("tables CSV has %d data rows, want 16", got)
+	}
+	fig8 := res.Figure8CSV()
+	if got := strings.Count(fig8, "\n") - 1; got != 16 {
+		t.Errorf("figure 8 CSV has %d rows, want 16 subjects", got)
+	}
+	fig9 := res.Figure9CSV()
+	if got := strings.Count(fig9, "\n") - 1; got != 16 {
+		t.Errorf("figure 9 CSV has %d rows, want 16 rounds", got)
+	}
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/ecc"
+	"enki/internal/mechanism"
+	"enki/internal/netproto"
+	"enki/internal/sched"
+	"enki/internal/sim"
+	"enki/internal/stats"
+)
+
+// LearningCurveResult measures the ECC story of Section I as an
+// experiment: households whose smart meters learn their routine online,
+// simulated over many days and seeds. Defections (forced when a
+// prediction misses the real tolerance window) should collapse as the
+// learners converge.
+type LearningCurveResult struct {
+	Days       int
+	Households int
+	// DefectionsPerDay is the mean defection count per day across
+	// seeds, indexed by day (0-based).
+	DefectionsPerDay []stats.Interval
+	// FirstWeek and LastWeek aggregate defections per run.
+	FirstWeek stats.Interval
+	LastWeek  stats.Interval
+}
+
+// Render prints the learning curve.
+func (r *LearningCurveResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ECC learning curve (%d households, %d days)\n", r.Households, r.Days)
+	fmt.Fprintf(&b, "%-6s %-18s\n", "day", "defections (±95%)")
+	for i, iv := range r.DefectionsPerDay {
+		if i < 5 || (i+1)%7 == 0 || i == len(r.DefectionsPerDay)-1 {
+			fmt.Fprintf(&b, "%-6d %6.2f ±%-10.2f\n", i+1, iv.Mean, iv.Half)
+		}
+	}
+	fmt.Fprintf(&b, "first week total: %.1f ±%.1f; last week total: %.1f ±%.1f\n",
+		r.FirstWeek.Mean, r.FirstWeek.Half, r.LastWeek.Mean, r.LastWeek.Half)
+	return b.String()
+}
+
+// learningHousehold is an in-process ECC-driven policy (the smartmeter
+// example's policy, reusable under the sim driver): a hidden tolerance
+// window, a learner fed by realized consumption, and an all-day
+// cold-start fallback.
+type learningHousehold struct {
+	reporter  *ecc.Reporter
+	tolerance core.Preference
+}
+
+func newLearningHousehold(mu float64, dur int, alpha float64) (*learningHousehold, error) {
+	learner, err := ecc.NewLearner(ecc.WithAlpha(alpha))
+	if err != nil {
+		return nil, err
+	}
+	begin := int(math.Round(mu)) - 2
+	if begin < 0 {
+		begin = 0
+	}
+	end := begin + dur + 4
+	if end > core.HoursPerDay {
+		end = core.HoursPerDay
+		begin = end - dur - 4
+	}
+	return &learningHousehold{
+		reporter: &ecc.Reporter{
+			Learner:  learner,
+			Fallback: core.Preference{Window: core.Interval{Begin: 0, End: 24}, Duration: dur},
+			MinDays:  2,
+		},
+		tolerance: core.Preference{
+			Window:   core.Interval{Begin: begin, End: end},
+			Duration: dur,
+		},
+	}, nil
+}
+
+func (h *learningHousehold) Report(int) core.Preference {
+	forecast, err := h.reporter.Report()
+	if err != nil {
+		return core.Preference{Window: core.Interval{Begin: 0, End: 24}, Duration: h.tolerance.Duration}
+	}
+	return forecast.Preference
+}
+
+func (h *learningHousehold) Consume(_ int, allocation core.Interval) core.Interval {
+	consumed := core.ClosestConsumption(h.tolerance, allocation)
+	_ = h.reporter.Learner.Observe(consumed)
+	return consumed
+}
+
+func (h *learningHousehold) Feedback(int, netproto.PaymentDetail) {}
+
+// RunLearningCurve simulates ECC-driven households over `days` days and
+// `seeds` independent populations, recording per-day defection counts.
+func RunLearningCurve(cfg Config, households, days, seeds int) (*LearningCurveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if households <= 0 || days <= 0 || seeds <= 0 {
+		return nil, fmt.Errorf("experiment: learning curve needs positive sizes")
+	}
+	pricer := cfg.Pricer()
+
+	perDay := make([][]float64, days)
+	var firstWeek, lastWeek []float64
+	week := min(7, days)
+
+	for seed := 0; seed < seeds; seed++ {
+		rng := dist.New(cfg.Seed + uint64(seed)*7919)
+		policies := make([]netproto.Policy, households)
+		for i := range policies {
+			mu := 14 + rng.Float64()*7 // evening-leaning routines
+			dur := 1 + rng.Intn(3)
+			p, err := newLearningHousehold(mu, dur, 0.3)
+			if err != nil {
+				return nil, err
+			}
+			policies[i] = p
+		}
+		res, err := sim.Run(sim.Config{
+			Scheduler: &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()},
+			Pricer:    pricer,
+			Mechanism: mechanism.Config(cfg.Mechanism),
+			Rating:    cfg.Rating,
+		}, policies, days)
+		if err != nil {
+			return nil, err
+		}
+		var fw, lw float64
+		for d, metrics := range res.Days {
+			perDay[d] = append(perDay[d], float64(metrics.Defections))
+			if d < week {
+				fw += float64(metrics.Defections)
+			}
+			if d >= days-week {
+				lw += float64(metrics.Defections)
+			}
+		}
+		firstWeek = append(firstWeek, fw)
+		lastWeek = append(lastWeek, lw)
+	}
+
+	out := &LearningCurveResult{
+		Days:       days,
+		Households: households,
+		FirstWeek:  stats.CI95(firstWeek),
+		LastWeek:   stats.CI95(lastWeek),
+	}
+	for _, day := range perDay {
+		out.DefectionsPerDay = append(out.DefectionsPerDay, stats.CI95(day))
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"enki/internal/dist"
+	"enki/internal/profile"
+	"enki/internal/sched"
+	"enki/internal/stats"
+)
+
+// SweepResult holds the data behind Figures 4, 5, and 6: per population
+// size, the peak-to-average ratio, the neighborhood cost, and the
+// scheduling time of Enki's greedy allocator versus the Optimal solver,
+// averaged over Rounds simulated days with 95% confidence intervals.
+type SweepResult struct {
+	Populations []int
+
+	// Per population, aligned with Populations.
+	EnkiPAR     []stats.Interval
+	OptimalPAR  []stats.Interval
+	EnkiCost    []stats.Interval
+	OptimalCost []stats.Interval
+	EnkiTimeMS  []stats.Interval
+	OptimalTime []stats.Interval // milliseconds
+
+	// OptimalGapMax is the largest proven optimality gap the Optimal
+	// solver reported per population (0 when every solve was proven).
+	OptimalGapMax []float64
+}
+
+// RunSweep simulates the Section VI-A social-welfare study: for each
+// population size, Rounds days are generated (every household
+// truthfully reports its wide interval, regenerated each day), and both
+// schedulers allocate the same day. Metrics assume compliant
+// consumption, as in the paper.
+func RunSweep(cfg Config) (*SweepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pricer := cfg.Pricer()
+	rootRNG := dist.New(cfg.Seed)
+
+	res := &SweepResult{Populations: append([]int(nil), cfg.Populations...)}
+	for _, n := range cfg.Populations {
+		var enkiPAR, optPAR, enkiCost, optCost, enkiMS, optMS []float64
+		var gapMax float64
+
+		popRNG := rootRNG.Split()
+		for round := 0; round < cfg.Rounds; round++ {
+			gen, err := profile.NewGenerator(profile.DefaultConfig(), popRNG.Split())
+			if err != nil {
+				return nil, err
+			}
+			reports := profile.WideReports(gen.DrawN(n))
+
+			greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: popRNG.Split()}
+			start := time.Now()
+			ga, err := greedy.Allocate(reports)
+			if err != nil {
+				return nil, fmt.Errorf("population %d round %d: greedy: %w", n, round, err)
+			}
+			enkiMS = append(enkiMS, float64(time.Since(start).Microseconds())/1000)
+
+			optimal := &sched.Optimal{Pricer: pricer, Rating: cfg.Rating, Options: cfg.OptimalOptions}
+			start = time.Now()
+			oa, err := optimal.Allocate(reports)
+			if err != nil {
+				return nil, fmt.Errorf("population %d round %d: optimal: %w", n, round, err)
+			}
+			optMS = append(optMS, float64(time.Since(start).Microseconds())/1000)
+			if g := optimal.LastResult.Gap(); g > gapMax {
+				gapMax = g
+			}
+
+			gl := sched.LoadOfAssignments(ga, cfg.Rating)
+			ol := sched.LoadOfAssignments(oa, cfg.Rating)
+			enkiPAR = append(enkiPAR, gl.PAR())
+			optPAR = append(optPAR, ol.PAR())
+			enkiCost = append(enkiCost, pricer.Sigma*gl.SumSquares())
+			optCost = append(optCost, pricer.Sigma*ol.SumSquares())
+		}
+
+		res.EnkiPAR = append(res.EnkiPAR, stats.CI95(enkiPAR))
+		res.OptimalPAR = append(res.OptimalPAR, stats.CI95(optPAR))
+		res.EnkiCost = append(res.EnkiCost, stats.CI95(enkiCost))
+		res.OptimalCost = append(res.OptimalCost, stats.CI95(optCost))
+		res.EnkiTimeMS = append(res.EnkiTimeMS, stats.CI95(enkiMS))
+		res.OptimalTime = append(res.OptimalTime, stats.CI95(optMS))
+		res.OptimalGapMax = append(res.OptimalGapMax, gapMax)
+	}
+	return res, nil
+}
+
+// RenderFigure4 prints the PAR series (Figure 4).
+func (r *SweepResult) RenderFigure4() string {
+	return r.renderSeries("Figure 4: Peak-to-average ratio (PAR)",
+		"PAR", r.EnkiPAR, r.OptimalPAR, "%.3f")
+}
+
+// RenderFigure5 prints the neighborhood-cost series (Figure 5).
+func (r *SweepResult) RenderFigure5() string {
+	return r.renderSeries("Figure 5: Cost to the neighborhood (dollars)",
+		"cost", r.EnkiCost, r.OptimalCost, "%.1f")
+}
+
+// RenderFigure6 prints the scheduling-time series (Figure 6), plus the
+// speedup factor the paper highlights (~600x at n ≥ 40).
+func (r *SweepResult) RenderFigure6() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Scheduling time (milliseconds)\n")
+	fmt.Fprintf(&b, "%-8s %16s %18s %12s %10s\n", "users", "Enki (ms ±95%)", "Optimal (ms ±95%)", "speedup", "max gap")
+	for i, n := range r.Populations {
+		speedup := 0.0
+		if r.EnkiTimeMS[i].Mean > 0 {
+			speedup = r.OptimalTime[i].Mean / r.EnkiTimeMS[i].Mean
+		}
+		fmt.Fprintf(&b, "%-8d %9.3f ±%5.3f %10.1f ±%5.1f %11.0fx %9.2f%%\n",
+			n, r.EnkiTimeMS[i].Mean, r.EnkiTimeMS[i].Half,
+			r.OptimalTime[i].Mean, r.OptimalTime[i].Half,
+			speedup, 100*r.OptimalGapMax[i])
+	}
+	return b.String()
+}
+
+func (r *SweepResult) renderSeries(title, unit string, enki, optimal []stats.Interval, format string) string {
+	cell := func(iv stats.Interval) string {
+		return fmt.Sprintf(format+" ±"+format, iv.Mean, iv.Half)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-22s %-22s\n", "users", "Enki "+unit+" (±95%)", "Optimal "+unit+" (±95%)")
+	for i, n := range r.Populations {
+		fmt.Fprintf(&b, "%-8d %-22s %-22s\n", n, cell(enki[i]), cell(optimal[i]))
+	}
+	return b.String()
+}
+
+// CSV renders the full sweep as CSV for plotting.
+func (r *SweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("users,enki_par,enki_par_ci,opt_par,opt_par_ci,enki_cost,enki_cost_ci,opt_cost,opt_cost_ci,enki_ms,enki_ms_ci,opt_ms,opt_ms_ci,opt_gap_max\n")
+	for i, n := range r.Populations {
+		fmt.Fprintf(&b, "%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n", n,
+			r.EnkiPAR[i].Mean, r.EnkiPAR[i].Half,
+			r.OptimalPAR[i].Mean, r.OptimalPAR[i].Half,
+			r.EnkiCost[i].Mean, r.EnkiCost[i].Half,
+			r.OptimalCost[i].Mean, r.OptimalCost[i].Half,
+			r.EnkiTimeMS[i].Mean, r.EnkiTimeMS[i].Half,
+			r.OptimalTime[i].Mean, r.OptimalTime[i].Half,
+			r.OptimalGapMax[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"enki/internal/dist"
+	"enki/internal/stats"
+	"enki/internal/study"
+)
+
+// UserStudyResult bundles every Section VII deliverable: Table II
+// (average defection rate per stage), Table III (Mann-Whitney tests of
+// the defection counts), Table IV (defection rate by treatment),
+// Figure 8 (true-interval selecting ratios with the Initial-vs-
+// Cooperate test), and Figure 9 (flexibility-ratio trajectories).
+type UserStudyResult struct {
+	Study *study.StudyResult
+
+	// TableII: mean defection rate per stage over all 20 subjects.
+	TableII map[string]float64
+	// TableIII: Mann-Whitney result per stage vs the random-defection
+	// null.
+	TableIII map[string]stats.MannWhitneyResult
+	// TableIV: mean defection rate per stage, per treatment.
+	TableIV map[string][2]float64 // [T1, T2]
+	// Figure8: per non-confused subject, true-selecting ratio in
+	// Initial and Cooperate, plus the test over the population.
+	Figure8Subjects []Fig8Subject
+	Figure8Test     stats.MannWhitneyResult
+	Fig8Initial     float64 // mean over all 20 subjects, Initial
+	Fig8Cooperate   float64 // mean over all 20 subjects, Cooperate
+	// Figure9: flexibility-ratio series for P7, P8, and the average of
+	// the intermediate-understanding subjects.
+	Figure9P7           []float64
+	Figure9P8           []float64
+	Figure9Intermediate []float64
+}
+
+// Fig8Subject is one bar pair of Figure 8.
+type Fig8Subject struct {
+	Number    int
+	Initial   float64
+	Cooperate float64
+}
+
+// RunUserStudy executes the full study and computes every Section VII
+// metric.
+func RunUserStudy(cfg Config, scfg study.StudyConfig) (*UserStudyResult, error) {
+	res, err := study.RunStudy(scfg, dist.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	out := &UserStudyResult{
+		Study:    res,
+		TableII:  make(map[string]float64, 4),
+		TableIII: make(map[string]stats.MannWhitneyResult, 4),
+		TableIV:  make(map[string][2]float64, 4),
+	}
+
+	all := res.AllSubjects()
+	t1 := res.SubjectsByTreatment(1)
+	t2 := res.SubjectsByTreatment(2)
+	for _, stage := range study.Stages() {
+		out.TableII[stage.Name] = study.MeanDefectionRate(all, stage)
+		mw, err := study.DefectionTest(all, stage)
+		if err != nil {
+			return nil, err
+		}
+		out.TableIII[stage.Name] = mw
+		out.TableIV[stage.Name] = [2]float64{
+			study.MeanDefectionRate(t1, stage),
+			study.MeanDefectionRate(t2, stage),
+		}
+	}
+
+	out.Fig8Initial = study.MeanTrueSelectingRatio(all, study.StageInitial)
+	out.Fig8Cooperate = study.MeanTrueSelectingRatio(all, study.StageCooperate)
+	nonConfused := res.NonConfused()
+	mw, err := study.TrueSelectingTest(nonConfused)
+	if err != nil {
+		return nil, err
+	}
+	out.Figure8Test = mw
+	for _, s := range res.Subjects {
+		if s.Result.Model == "confused" {
+			continue
+		}
+		out.Figure8Subjects = append(out.Figure8Subjects, Fig8Subject{
+			Number:    s.Number,
+			Initial:   study.TrueSelectingRatio(s.Result, study.StageInitial),
+			Cooperate: study.TrueSelectingRatio(s.Result, study.StageCooperate),
+		})
+	}
+	sort.Slice(out.Figure8Subjects, func(i, j int) bool {
+		return out.Figure8Subjects[i].Number < out.Figure8Subjects[j].Number
+	})
+
+	var interCount int
+	for _, s := range res.Subjects {
+		series := study.FlexibilitySeries(s.Result)
+		switch {
+		case s.Number == 7:
+			out.Figure9P7 = series
+		case s.Number == 8:
+			out.Figure9P8 = series
+		case s.Result.Model == "intermediate":
+			if out.Figure9Intermediate == nil {
+				out.Figure9Intermediate = make([]float64, len(series))
+			}
+			for i, v := range series {
+				out.Figure9Intermediate[i] += v
+			}
+			interCount++
+		}
+	}
+	for i := range out.Figure9Intermediate {
+		out.Figure9Intermediate[i] /= float64(interCount)
+	}
+	return out, nil
+}
+
+// RenderTableII prints Table II.
+func (r *UserStudyResult) RenderTableII() string {
+	var b strings.Builder
+	b.WriteString("Table II: Average defection rate of 20 subjects\n")
+	b.WriteString(stageHeader())
+	for _, stage := range study.Stages() {
+		fmt.Fprintf(&b, " %-10.4f", r.TableII[stage.Name])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderTableIII prints Table III.
+func (r *UserStudyResult) RenderTableIII() string {
+	var b strings.Builder
+	b.WriteString("Table III: Mann-Whitney U test of defection vs random play\n")
+	b.WriteString(stageHeader())
+	for _, stage := range study.Stages() {
+		fmt.Fprintf(&b, " %-10s", stats.FormatP(r.TableIII[stage.Name].P))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderTableIV prints Table IV.
+func (r *UserStudyResult) RenderTableIV() string {
+	var b strings.Builder
+	b.WriteString("Table IV: Average defection rate in two treatments\n")
+	b.WriteString("     " + stageHeader())
+	for t := 0; t < 2; t++ {
+		fmt.Fprintf(&b, "T%d   ", t+1)
+		for _, stage := range study.Stages() {
+			fmt.Fprintf(&b, " %-10.2f", r.TableIV[stage.Name][t])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints the per-subject true-selecting ratios and test.
+func (r *UserStudyResult) RenderFigure8() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: True-interval selecting ratio (non-confused subjects)\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-10s\n", "subject", "Initial", "Cooperate")
+	for _, s := range r.Figure8Subjects {
+		fmt.Fprintf(&b, "%-8d %-10.2f %-10.2f\n", s.Number, s.Initial, s.Cooperate)
+	}
+	fmt.Fprintf(&b, "all-subject means: Initial %.4f, Cooperate %.4f\n", r.Fig8Initial, r.Fig8Cooperate)
+	fmt.Fprintf(&b, "Mann-Whitney p = %s (paper: 0.0143)\n", stats.FormatP(r.Figure8Test.P))
+	return b.String()
+}
+
+// RenderFigure9 prints the flexibility trajectories.
+func (r *UserStudyResult) RenderFigure9() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Flexibility ratio by round\n")
+	fmt.Fprintf(&b, "%-6s %-8s %-8s %-14s\n", "round", "P7", "P8", "intermediate")
+	for i := range r.Figure9P7 {
+		fmt.Fprintf(&b, "%-6d %-8.2f %-8.2f %-14.2f\n",
+			i+1, r.Figure9P7[i], r.Figure9P8[i], r.Figure9Intermediate[i])
+	}
+	return b.String()
+}
+
+func stageHeader() string {
+	var b strings.Builder
+	for _, stage := range study.Stages() {
+		fmt.Fprintf(&b, " %-10s", stage.Name)
+	}
+	return b.String() + "\n"
+}

@@ -1,0 +1,158 @@
+// Package market implements the day-ahead wholesale power market the
+// paper situates Enki in (Section I): "a wholesale power market
+// functions as a single-sided auction where resource providers bid for
+// a given amount of power for the next day and wholesale prices are
+// lower during off-peak periods."
+//
+// Generators submit supply offers (quantity at a marginal price); the
+// market dispatches them in merit order. The resulting supply curve is
+// convex piecewise-linear, so it plugs straight into the rest of the
+// system as a pricing.Pricer: a neighborhood can run Enki against real
+// merit-order prices instead of the stylized quadratic tariff, and the
+// "prices are lower off-peak" property emerges because low demand stops
+// at the cheap end of the merit order.
+package market
+
+import (
+	"fmt"
+	"sort"
+
+	"enki/internal/core"
+	"enki/internal/pricing"
+)
+
+// Offer is one generator's supply offer for every hour of the next day:
+// up to Quantity kWh per hour at Price dollars per kWh.
+type Offer struct {
+	Generator string  // who offers
+	Quantity  float64 // kWh per hour
+	Price     float64 // $/kWh
+}
+
+// Validate checks the offer.
+func (o Offer) Validate() error {
+	if o.Generator == "" {
+		return fmt.Errorf("market: offer without generator name")
+	}
+	if o.Quantity <= 0 {
+		return fmt.Errorf("market: offer %q: quantity %g must be positive", o.Generator, o.Quantity)
+	}
+	if o.Price < 0 {
+		return fmt.Errorf("market: offer %q: negative price %g", o.Generator, o.Price)
+	}
+	return nil
+}
+
+// Dispatch is one generator's cleared output for an hour.
+type Dispatch struct {
+	Generator string
+	Quantity  float64
+	Price     float64 // the generator's own offer price (pay-as-bid)
+}
+
+// Clearing is the outcome of clearing one hour's demand.
+type Clearing struct {
+	Demand        float64    // kWh requested
+	MarginalPrice float64    // price of the last dispatched unit
+	Cost          float64    // pay-as-bid procurement cost
+	Dispatched    []Dispatch // merit-order dispatch
+	Shortfall     float64    // unmet demand when capacity is exhausted
+}
+
+// Market is a day-ahead single-sided auction over a fixed offer stack.
+// Construct with New; the offer stack is sorted into merit order once.
+type Market struct {
+	offers   []Offer // merit order (ascending price)
+	capacity float64
+}
+
+// New builds a market from generator offers.
+func New(offers []Offer) (*Market, error) {
+	if len(offers) == 0 {
+		return nil, fmt.Errorf("market: no offers")
+	}
+	sorted := make([]Offer, len(offers))
+	copy(sorted, offers)
+	var capacity float64
+	for _, o := range sorted {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		capacity += o.Quantity
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Price < sorted[j].Price })
+	return &Market{offers: sorted, capacity: capacity}, nil
+}
+
+// Capacity is the stack's total hourly capacity in kWh.
+func (m *Market) Capacity() float64 { return m.capacity }
+
+// Clear dispatches one hour of demand in merit order.
+func (m *Market) Clear(demand float64) (Clearing, error) {
+	if demand < 0 {
+		return Clearing{}, fmt.Errorf("market: negative demand %g", demand)
+	}
+	c := Clearing{Demand: demand}
+	remaining := demand
+	for _, o := range m.offers {
+		if remaining <= 0 {
+			break
+		}
+		take := min(remaining, o.Quantity)
+		c.Dispatched = append(c.Dispatched, Dispatch{Generator: o.Generator, Quantity: take, Price: o.Price})
+		c.Cost += take * o.Price
+		c.MarginalPrice = o.Price
+		remaining -= take
+	}
+	if remaining > 0 {
+		c.Shortfall = remaining
+	}
+	return c, nil
+}
+
+// ClearDay clears every hour of a load profile and returns the 24
+// hourly clearings plus the day's total procurement cost.
+func (m *Market) ClearDay(load core.Load) ([core.HoursPerDay]Clearing, float64, error) {
+	var out [core.HoursPerDay]Clearing
+	var total float64
+	for h, demand := range load {
+		c, err := m.Clear(demand)
+		if err != nil {
+			return out, 0, err
+		}
+		if c.Shortfall > 0 {
+			return out, 0, fmt.Errorf("market: hour %d demand %g exceeds capacity %g", h, demand, m.capacity)
+		}
+		out[h] = c
+		total += c.Cost
+	}
+	return out, total, nil
+}
+
+// ScarcityMultiplier prices demand beyond the stack's capacity in the
+// derived Pricer: the most expensive offer's price times this factor.
+const ScarcityMultiplier = 10
+
+// Pricer converts the merit-order supply curve into a convex
+// piecewise-linear pricing.Pricer usable anywhere a Quadratic is: the
+// cost of an hourly load is the pay-as-bid cost of serving it, and
+// loads beyond the stack's capacity are charged a scarcity rate so the
+// function stays defined (and strongly discourages such schedules).
+func (m *Market) Pricer() (pricing.Pricer, error) {
+	steps := make([]pricing.Step, 0, len(m.offers)+1)
+	var cum float64
+	lastPrice := 0.0
+	for _, o := range m.offers {
+		if len(steps) > 0 && steps[len(steps)-1].Rate == o.Price {
+			// Merge equal-price offers into one segment.
+			cum += o.Quantity
+			lastPrice = o.Price
+			continue
+		}
+		steps = append(steps, pricing.Step{Threshold: cum, Rate: o.Price})
+		cum += o.Quantity
+		lastPrice = o.Price
+	}
+	steps = append(steps, pricing.Step{Threshold: cum, Rate: lastPrice * ScarcityMultiplier})
+	return pricing.NewPiecewise(steps)
+}

@@ -1,0 +1,224 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+	"enki/internal/sched"
+)
+
+func testOffers() []Offer {
+	return []Offer{
+		{Generator: "hydro", Quantity: 20, Price: 0.05},
+		{Generator: "coal", Quantity: 30, Price: 0.12},
+		{Generator: "gas-peaker", Quantity: 25, Price: 0.40},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("no offers should be rejected")
+	}
+	if _, err := New([]Offer{{Generator: "", Quantity: 1, Price: 1}}); err == nil {
+		t.Error("unnamed generator should be rejected")
+	}
+	if _, err := New([]Offer{{Generator: "g", Quantity: 0, Price: 1}}); err == nil {
+		t.Error("zero quantity should be rejected")
+	}
+	if _, err := New([]Offer{{Generator: "g", Quantity: 1, Price: -1}}); err == nil {
+		t.Error("negative price should be rejected")
+	}
+}
+
+func TestClearMeritOrder(t *testing.T) {
+	m, err := New(testOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity() != 75 {
+		t.Errorf("capacity = %g, want 75", m.Capacity())
+	}
+
+	// 10 kWh: hydro alone.
+	c, err := m.Clear(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Dispatched) != 1 || c.Dispatched[0].Generator != "hydro" {
+		t.Fatalf("dispatch = %+v, want hydro only", c.Dispatched)
+	}
+	if !almost(c.Cost, 0.5) || !almost(c.MarginalPrice, 0.05) {
+		t.Errorf("cost %g marginal %g, want 0.5 and 0.05", c.Cost, c.MarginalPrice)
+	}
+
+	// 40 kWh: hydro full + 20 coal.
+	c, err = m.Clear(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCost := 20*0.05 + 20*0.12
+	if !almost(c.Cost, wantCost) {
+		t.Errorf("cost = %g, want %g", c.Cost, wantCost)
+	}
+	if c.MarginalPrice != 0.12 {
+		t.Errorf("marginal price = %g, want 0.12", c.MarginalPrice)
+	}
+
+	// Beyond capacity: shortfall reported.
+	c, err = m.Clear(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c.Shortfall, 25) {
+		t.Errorf("shortfall = %g, want 25", c.Shortfall)
+	}
+}
+
+func TestClearNegativeDemand(t *testing.T) {
+	m, err := New(testOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Clear(-1); err == nil {
+		t.Error("negative demand should be rejected")
+	}
+}
+
+func TestOffPeakPricesLower(t *testing.T) {
+	// The Section I property: off-peak (low-demand) hours clear at a
+	// lower marginal price than peak hours.
+	m, err := New(testOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	offPeak, err := m.Clear(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := m.Clear(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offPeak.MarginalPrice >= peak.MarginalPrice {
+		t.Errorf("off-peak marginal %g should be below peak marginal %g",
+			offPeak.MarginalPrice, peak.MarginalPrice)
+	}
+}
+
+func TestClearDay(t *testing.T) {
+	m, err := New(testOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load core.Load
+	load.AddInterval(core.Interval{Begin: 18, End: 22}, 30)
+	clearings, total, err := m.ClearDay(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range clearings {
+		sum += c.Cost
+	}
+	if !almost(total, sum) {
+		t.Errorf("total %g != sum of hourly costs %g", total, sum)
+	}
+	// An overloaded day errors.
+	load.AddInterval(core.Interval{Begin: 18, End: 19}, 100)
+	if _, _, err := m.ClearDay(load); err == nil {
+		t.Error("demand beyond capacity should fail the day")
+	}
+}
+
+func TestPricerMatchesClearing(t *testing.T) {
+	m, err := New(testOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Pricer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, demand := range []float64{0, 5, 20, 35, 50, 75} {
+		c, err := m.Clear(demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.HourCost(demand); !almost(got, c.Cost) {
+			t.Errorf("Pricer.HourCost(%g) = %g, clearing cost %g", demand, got, c.Cost)
+		}
+	}
+	// Beyond capacity the pricer applies the scarcity rate instead of
+	// failing, and stays monotone.
+	inCap := p.HourCost(75)
+	beyond := p.HourCost(80)
+	if beyond <= inCap {
+		t.Errorf("scarcity pricing must increase the cost: %g -> %g", inCap, beyond)
+	}
+	wantScarcity := inCap + 5*0.40*ScarcityMultiplier
+	if !almost(beyond, wantScarcity) {
+		t.Errorf("scarcity cost = %g, want %g", beyond, wantScarcity)
+	}
+}
+
+func TestPricerMergesEqualPrices(t *testing.T) {
+	m, err := New([]Offer{
+		{Generator: "a", Quantity: 10, Price: 0.1},
+		{Generator: "b", Quantity: 10, Price: 0.1},
+		{Generator: "c", Quantity: 10, Price: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Pricer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.HourCost(20); !almost(got, 2.0) {
+		t.Errorf("HourCost(20) = %g, want 2.0", got)
+	}
+}
+
+// TestEnkiOnMarketPrices runs the whole pipeline against merit-order
+// prices: greedy scheduling against the market pricer lowers the
+// procurement cost versus uncoordinated consumption.
+func TestEnkiOnMarketPrices(t *testing.T) {
+	m, err := New(testOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Pricer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := profile.WideReports(gen.DrawN(25))
+
+	greedy := &sched.Greedy{Pricer: p, Rating: 2}
+	ga, err := greedy.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := sched.Earliest{}.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gCost := pricing.Cost(p, sched.LoadOfAssignments(ga, 2))
+	eCost := pricing.Cost(p, sched.LoadOfAssignments(ea, 2))
+	if gCost > eCost {
+		t.Errorf("greedy on market prices costs %g, uncoordinated %g", gCost, eCost)
+	}
+	// The realized greedy day must clear without shortfall.
+	if _, _, err := m.ClearDay(sched.LoadOfAssignments(ga, 2)); err != nil {
+		t.Errorf("greedy day does not clear: %v", err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

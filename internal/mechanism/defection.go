@@ -1,0 +1,42 @@
+package mechanism
+
+import (
+	"math"
+
+	"enki/internal/core"
+	"enki/internal/pricing"
+)
+
+// DefectionScores computes δ_i of Eq. 5 for every household:
+//
+//	δ_i = (κ(s_{−i} ∪ ω_i) − κ(s)) / e^{o_i}
+//
+// where κ(s) is the neighborhood cost if everyone followed their
+// allocations, κ(s_{−i} ∪ ω_i) replaces household i's allocation with
+// its realized consumption, and o_i is the overlap fraction between
+// allocation and consumption. A household that follows its allocation
+// has δ_i = 0. A defection that happens to lower the neighborhood cost
+// is clamped to 0 rather than rewarded: the mechanism punishes harm, it
+// does not pay for accidental help.
+func DefectionScores(p pricing.Pricer, rating float64, assignments, consumptions []core.Interval) []float64 {
+	base := core.LoadOf(assignments, rating)
+	baseCost := pricing.Cost(p, base)
+
+	out := make([]float64, len(assignments))
+	for i := range assignments {
+		if assignments[i] == consumptions[i] {
+			continue // exact compliance: δ_i = 0 without recomputation
+		}
+		// κ(s_{−i} ∪ ω_i): swap i's allocation for its consumption.
+		swapped := base
+		swapped.RemoveInterval(assignments[i], rating)
+		swapped.AddInterval(consumptions[i], rating)
+		harm := pricing.Cost(p, swapped) - baseCost
+		if harm < 0 {
+			harm = 0
+		}
+		o := core.OverlapRatio(assignments[i], consumptions[i])
+		out[i] = harm / math.Exp(o)
+	}
+	return out
+}

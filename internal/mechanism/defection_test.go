@@ -1,0 +1,99 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/pricing"
+)
+
+var quad = pricing.Quadratic{Sigma: pricing.DefaultSigma}
+
+func TestDefectionPaperExample4(t *testing.T) {
+	// Example 4 / Figure 3: A and B both report (18,20,1); A is
+	// allocated hour 18, B hour 19. A complies; B defects to hour 18.
+	assignments := []core.Interval{{Begin: 18, End: 19}, {Begin: 19, End: 20}}
+	consumptions := []core.Interval{{Begin: 18, End: 19}, {Begin: 18, End: 19}}
+	d := DefectionScores(quad, 2, assignments, consumptions)
+	if d[0] != 0 {
+		t.Errorf("δ_A = %g, want 0 (A complies)", d[0])
+	}
+	if d[1] <= 0 {
+		t.Errorf("δ_B = %g, want > 0 (B defects and raises the peak)", d[1])
+	}
+	// Hand check: κ(s) = σ(4+4) = 2.4; with B defecting onto hour 18 the
+	// load is 4 kWh there: κ = σ·16 = 4.8; o_B = 0 → δ_B = 2.4/e⁰ = 2.4.
+	if !almost(d[1], 2.4, 1e-9) {
+		t.Errorf("δ_B = %g, want 2.4", d[1])
+	}
+}
+
+func TestDefectionOverlapDiscount(t *testing.T) {
+	// A partial defection (higher o_i) is punished less than a total one
+	// causing the same harm, because of the e^{o_i} denominator. A second
+	// household at (18,20) makes both defections collide with one loaded
+	// hour, so the raw harms are identical.
+	assignments := []core.Interval{{Begin: 14, End: 18}, {Begin: 18, End: 20}}
+	partial := []core.Interval{{Begin: 15, End: 19}, {Begin: 18, End: 20}} // o = 3/4, collides at 18
+	d := DefectionScores(quad, 2, assignments, partial)
+	if d[0] <= 0 {
+		t.Fatalf("δ = %g, want > 0", d[0])
+	}
+	// Same harm but with zero overlap (collides at 19 instead).
+	zero := []core.Interval{{Begin: 19, End: 23}, {Begin: 18, End: 20}}
+	dz := DefectionScores(quad, 2, assignments, zero)
+	// Raw harms are equal, so the o = 3/4 case must be e^{3/4} cheaper.
+	if dz[0] <= d[0] {
+		t.Errorf("zero-overlap defection %g should exceed partial-overlap %g", dz[0], d[0])
+	}
+	if !almost(d[0]*math.Exp(0.75), dz[0]*math.Exp(0), 1e-9) {
+		t.Errorf("overlap discount mismatch: %g vs %g", d[0]*math.Exp(0.75), dz[0])
+	}
+}
+
+func TestDefectionBeneficialClampedToZero(t *testing.T) {
+	// A defector that moves off the peak reduces the cost; its score is
+	// clamped to zero rather than rewarded.
+	assignments := []core.Interval{{Begin: 18, End: 20}, {Begin: 18, End: 20}}
+	consumptions := []core.Interval{{Begin: 18, End: 20}, {Begin: 8, End: 10}}
+	d := DefectionScores(quad, 2, assignments, consumptions)
+	if d[1] != 0 {
+		t.Errorf("beneficial defection score = %g, want 0", d[1])
+	}
+}
+
+func TestDefectionAllCompliant(t *testing.T) {
+	assignments := []core.Interval{{Begin: 18, End: 20}, {Begin: 20, End: 22}}
+	d := DefectionScores(quad, 2, assignments, assignments)
+	for i, v := range d {
+		if v != 0 {
+			t.Errorf("δ_%d = %g, want 0 for full compliance", i, v)
+		}
+	}
+}
+
+func TestDefectionMoreHarmMoreScore(t *testing.T) {
+	// Property 3 quantified: defecting onto a taller peak scores higher.
+	assignments := []core.Interval{
+		{Begin: 10, End: 12},                                             // defector
+		{Begin: 18, End: 20}, {Begin: 18, End: 20}, {Begin: 18, End: 20}, // the peak
+		{Begin: 2, End: 4}, // a quiet slot
+	}
+	ontoPeak := []core.Interval{
+		{Begin: 18, End: 20},
+		{Begin: 18, End: 20}, {Begin: 18, End: 20}, {Begin: 18, End: 20},
+		{Begin: 2, End: 4},
+	}
+	ontoQuiet := []core.Interval{
+		{Begin: 2, End: 4},
+		{Begin: 18, End: 20}, {Begin: 18, End: 20}, {Begin: 18, End: 20},
+		{Begin: 2, End: 4},
+	}
+	dPeak := DefectionScores(quad, 2, assignments, ontoPeak)
+	dQuiet := DefectionScores(quad, 2, assignments, ontoQuiet)
+	if dPeak[0] <= dQuiet[0] {
+		t.Errorf("defecting onto the peak (%g) must score above defecting onto a quiet slot (%g)",
+			dPeak[0], dQuiet[0])
+	}
+}

@@ -1,0 +1,132 @@
+package mechanism_test
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/mechanism"
+	"enki/internal/sched"
+)
+
+// These tests reproduce the paper's motivating Examples 1-4 (Section
+// IV-B2 and Figures 2-3) end-to-end through the greedy scheduler and
+// the full settlement.
+
+func settleExample(t *testing.T, prefs []core.Preference, consume func(i int, alloc core.Interval) core.Interval) mechanism.Settlement {
+	t.Helper()
+	households := make([]core.Household, len(prefs))
+	reports := make([]core.Report, len(prefs))
+	for i, p := range prefs {
+		typ := core.Type{True: p, ValuationFactor: 5}
+		households[i] = core.TruthfulHousehold(core.HouseholdID(i), typ)
+		reports[i] = core.Report{ID: core.HouseholdID(i), Pref: p}
+	}
+	greedy := &sched.Greedy{Pricer: quad, Rating: 2}
+	assignments, err := greedy.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := mechanism.Day{Households: households, Rating: 2}
+	for i, a := range assignments {
+		day.Assignments = append(day.Assignments, a.Interval)
+		c := a.Interval
+		if consume != nil {
+			c = consume(i, a.Interval)
+		}
+		day.Consumptions = append(day.Consumptions, c)
+	}
+	s, err := mechanism.Settle(quad, mechanism.DefaultConfig(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Example 1: identical true preferences (18,20,1) → equal payments.
+func TestPaperExample1EqualPayments(t *testing.T) {
+	prefs := []core.Preference{
+		core.MustPreference(18, 20, 1),
+		core.MustPreference(18, 20, 1),
+		core.MustPreference(18, 20, 1),
+	}
+	s := settleExample(t, prefs, nil)
+	if math.Abs(s.Payments[0]-s.Payments[1]) > 1e-9 ||
+		math.Abs(s.Payments[1]-s.Payments[2]) > 1e-9 {
+		t.Errorf("identical preferences must pay equally, got %v", s.Payments)
+	}
+}
+
+// Example 2: A's narrower window (18,19,1) vs B = C = (18,20,1) →
+// A is less flexible and pays more.
+func TestPaperExample2NarrowPaysMore(t *testing.T) {
+	prefs := []core.Preference{
+		core.MustPreference(18, 19, 1), // A
+		core.MustPreference(18, 20, 1), // B
+		core.MustPreference(18, 20, 1), // C
+	}
+	s := settleExample(t, prefs, nil)
+	if s.Payments[0] <= s.Payments[1] || s.Payments[0] <= s.Payments[2] {
+		t.Errorf("A (narrow) must pay more: payments %v", s.Payments)
+	}
+	if math.Abs(s.Payments[1]-s.Payments[2]) > 1e-9 {
+		t.Errorf("B and C must pay equally, got %v", s.Payments)
+	}
+}
+
+// Example 3: A's off-peak (16,18,2) vs B = C = (18,21,2) → A is more
+// flexible despite the narrower window and pays less.
+func TestPaperExample3OffPeakPaysLess(t *testing.T) {
+	prefs := []core.Preference{
+		core.MustPreference(16, 18, 2), // A
+		core.MustPreference(18, 21, 2), // B
+		core.MustPreference(18, 21, 2), // C
+	}
+	s := settleExample(t, prefs, nil)
+	if s.Payments[0] >= s.Payments[1] || s.Payments[0] >= s.Payments[2] {
+		t.Errorf("A (off-peak) must pay less: payments %v", s.Payments)
+	}
+}
+
+// Example 4 / Figure 3: A and B report (18,20,1); B defects onto A's
+// hour and must pay more.
+func TestPaperExample4DefectorPaysMore(t *testing.T) {
+	prefs := []core.Preference{
+		core.MustPreference(18, 20, 1), // A
+		core.MustPreference(18, 20, 1), // B
+	}
+	s := settleExample(t, prefs, func(i int, alloc core.Interval) core.Interval {
+		if i == 1 {
+			// B ignores its slot and consumes hour 18.
+			return core.Interval{Begin: 18, End: 19}
+		}
+		return alloc
+	})
+	if s.Defection[0] != 0 {
+		t.Fatalf("A complied but has defection %g", s.Defection[0])
+	}
+	if s.Defection[1] <= 0 {
+		t.Fatalf("B defected but has defection %g", s.Defection[1])
+	}
+	if s.Payments[1] <= s.Payments[0] {
+		t.Errorf("the defector must pay more: A %g, B %g", s.Payments[0], s.Payments[1])
+	}
+}
+
+// Property 1 (Section IV-B2), end to end: widening a truthful window
+// weakly lowers the payment, all else equal.
+func TestProperty1WiderWindowPaysLess(t *testing.T) {
+	base := []core.Preference{
+		core.MustPreference(18, 20, 1),
+		core.MustPreference(18, 20, 1),
+		core.MustPreference(18, 20, 1),
+	}
+	wide := append([]core.Preference(nil), base...)
+	wide[0] = core.MustPreference(18, 23, 1)
+	sBase := settleExample(t, base, nil)
+	sWide := settleExample(t, wide, nil)
+	if sWide.Payments[0] >= sBase.Payments[0] {
+		t.Errorf("widening the window must lower the payment: %g -> %g",
+			sBase.Payments[0], sWide.Payments[0])
+	}
+}

@@ -1,0 +1,219 @@
+package mechanism
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizedShares(t *testing.T) {
+	got := NormalizedShares([]float64{1, 3})
+	if !almost(got[0], 0.75, 1e-12) || !almost(got[1], 1.25, 1e-12) {
+		t.Errorf("NormalizedShares = %v, want [0.75 1.25]", got)
+	}
+	zeros := NormalizedShares([]float64{0, 0, 0})
+	for _, v := range zeros {
+		if v != 0.5 {
+			t.Errorf("all-zero shares must normalize to 0.5, got %v", zeros)
+		}
+	}
+}
+
+func TestNormalizedSharesRange(t *testing.T) {
+	// Eq. 6: normalized scores live in [0.5, 1.5].
+	prop := func(raw [6]uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		for _, s := range NormalizedShares(xs) {
+			if s < 0.5 || s > 1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("normalized shares out of [0.5, 1.5]: %v", err)
+	}
+}
+
+func TestSocialCostScores(t *testing.T) {
+	// Truthful compliant household: f > 0, δ = 0 → Ψ = k·0.5/(F).
+	// Defector: f = 0, δ > 0 → Ψ = k·(∆)/0.5.
+	flex := []float64{2, 0}
+	defect := []float64{0, 3}
+	psi, err := SocialCostScores(flex, defect, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Household 0: ∆ = 0.5, F = 1.5 → Ψ = 1/3.
+	if !almost(psi[0], 0.5/1.5, 1e-12) {
+		t.Errorf("Ψ_0 = %g, want 1/3", psi[0])
+	}
+	// Household 1: ∆ = 1.5, F = 0.5 → Ψ = 3.
+	if !almost(psi[1], 3, 1e-12) {
+		t.Errorf("Ψ_1 = %g, want 3", psi[1])
+	}
+	if psi[1] <= psi[0] {
+		t.Error("the defector must carry a larger social cost")
+	}
+}
+
+func TestSocialCostScoresValidation(t *testing.T) {
+	if _, err := SocialCostScores([]float64{1}, []float64{0, 0}, 1); err == nil {
+		t.Error("mismatched lengths should be rejected")
+	}
+	if _, err := SocialCostScores([]float64{1}, []float64{0}, 0); err == nil {
+		t.Error("k = 0 should be rejected")
+	}
+}
+
+func TestSocialCostScoresScaleWithK(t *testing.T) {
+	flex := []float64{1, 2}
+	defect := []float64{0.5, 0}
+	psi1, err := SocialCostScores(flex, defect, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi3, err := SocialCostScores(flex, defect, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range psi1 {
+		if !almost(psi3[i], 3*psi1[i], 1e-12) {
+			t.Errorf("Ψ must scale linearly with k: %g vs %g", psi3[i], psi1[i])
+		}
+	}
+}
+
+func TestPayments(t *testing.T) {
+	psi := []float64{1, 3}
+	p, err := Payments(psi, 1.2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p[0], 30, 1e-9) || !almost(p[1], 90, 1e-9) {
+		t.Errorf("payments = %v, want [30 90]", p)
+	}
+}
+
+func TestPaymentsBudgetBalance(t *testing.T) {
+	// Theorem 1: Σ p_i = ξ·κ(ω), so U_c = (ξ − 1)·κ(ω) ≥ 0 for ξ ≥ 1.
+	prop := func(raw [8]uint8, costRaw uint16, xiRaw uint8) bool {
+		psi := make([]float64, 0, len(raw))
+		var sum float64
+		for _, v := range raw {
+			psi = append(psi, float64(v)+0.5) // Ψ ∈ [0.5, ...] like Eq. 6 output
+			sum += float64(v) + 0.5
+		}
+		cost := float64(costRaw) / 10
+		xi := 1 + float64(xiRaw)/100
+		p, err := Payments(psi, xi, cost)
+		if err != nil {
+			return false
+		}
+		var revenue float64
+		for _, x := range p {
+			revenue += x
+		}
+		return revenue >= cost-1e-9 && almost(revenue, xi*cost, 1e-6*(1+cost))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("budget balance violated: %v", err)
+	}
+}
+
+func TestPaymentsValidation(t *testing.T) {
+	if _, err := Payments([]float64{1}, 0.9, 10); err == nil {
+		t.Error("ξ < 1 should be rejected")
+	}
+	if _, err := Payments([]float64{1}, 1.2, -1); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+	if _, err := Payments([]float64{0, 0}, 1.2, 10); err == nil {
+		t.Error("all-zero social costs should be rejected")
+	}
+	p, err := Payments(nil, 1.2, 10)
+	if err != nil || len(p) != 0 {
+		t.Errorf("empty settlement should yield no payments, got %v, %v", p, err)
+	}
+}
+
+func TestProportionalPayments(t *testing.T) {
+	p, err := ProportionalPayments([]float64{2, 6}, 1.2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p[0], 30, 1e-9) || !almost(p[1], 90, 1e-9) {
+		t.Errorf("proportional payments = %v, want [30 90]", p)
+	}
+	if _, err := ProportionalPayments([]float64{-1}, 1.2, 10); err == nil {
+		t.Error("negative energy should be rejected")
+	}
+	if _, err := ProportionalPayments([]float64{1}, 0.5, 10); err == nil {
+		t.Error("ξ < 1 should be rejected")
+	}
+	zero, err := ProportionalPayments([]float64{0, 0}, 1.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zero {
+		if v != 0 {
+			t.Errorf("zero-energy day should have zero payments, got %v", zero)
+		}
+	}
+}
+
+func TestPaymentsStrictIC(t *testing.T) {
+	psi := []float64{0.5, 1.5}
+	p, err := PaymentsStrictIC(psi, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p[0], 5, 1e-12) || !almost(p[1], 15, 1e-12) {
+		t.Errorf("strict IC payments = %v, want [5 15]", p)
+	}
+	if _, err := PaymentsStrictIC(psi, -1); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+	if _, err := PaymentsStrictIC([]float64{-1}, 10); err == nil {
+		t.Error("negative score should be rejected")
+	}
+}
+
+// TestStrictICBreaksBudgetBalance demonstrates the Section V-B
+// trade-off: the strict-IC rule's revenue is ΣΨ·κ, which deviates from
+// κ whenever ΣΨ differs from 1 — unlike Eq. 7, which always collects
+// exactly ξ·κ.
+func TestStrictICBreaksBudgetBalance(t *testing.T) {
+	// Ψ for one truthful flexible household and one defector: the sum
+	// is far from 1.
+	psi, err := SocialCostScores([]float64{2, 0}, []float64{0, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cost = 100.0
+	strict, err := PaymentsStrictIC(psi, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strictRevenue float64
+	for _, p := range strict {
+		strictRevenue += p
+	}
+	if almost(strictRevenue, cost, 1e-6) {
+		t.Fatalf("strict IC revenue %g coincidentally balanced; pick a different fixture", strictRevenue)
+	}
+
+	balanced, err := Payments(psi, 1, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var balancedRevenue float64
+	for _, p := range balanced {
+		balancedRevenue += p
+	}
+	if !almost(balancedRevenue, cost, 1e-9) {
+		t.Errorf("Eq. 7 revenue %g should equal κ = %g at ξ = 1", balancedRevenue, cost)
+	}
+}

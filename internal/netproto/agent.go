@@ -1,0 +1,210 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"enki/internal/core"
+)
+
+// Policy is a household agent's decision logic — the ECC unit of the
+// paper: it decides what preference to report for a day and how to
+// consume given an allocation, and observes the resulting settlement.
+type Policy interface {
+	// Report returns the preference χ̂ to declare for the day.
+	Report(day int) core.Preference
+	// Consume returns the realized consumption ω given the center's
+	// allocation. It must have the reported duration.
+	Consume(day int, allocation core.Interval) core.Interval
+	// Feedback delivers the settlement for a completed day.
+	Feedback(day int, detail PaymentDetail)
+}
+
+// Truthful is the prosocial policy: report the true preference and
+// follow the allocation exactly.
+type Truthful struct {
+	// Type is the household's private type.
+	Type core.Type
+}
+
+var _ Policy = (*Truthful)(nil)
+
+// Report implements Policy.
+func (p *Truthful) Report(int) core.Preference { return p.Type.True }
+
+// Consume implements Policy.
+func (p *Truthful) Consume(_ int, allocation core.Interval) core.Interval { return allocation }
+
+// Feedback implements Policy.
+func (p *Truthful) Feedback(int, PaymentDetail) {}
+
+// Misreporter widens or shifts its reported window but consumes inside
+// its true window, defecting whenever the allocation misses its true
+// preference — the Section V-B scenario.
+type Misreporter struct {
+	// Type is the household's private type.
+	Type core.Type
+	// Reported is the misreported preference (same duration).
+	Reported core.Preference
+}
+
+var _ Policy = (*Misreporter)(nil)
+
+// Report implements Policy.
+func (p *Misreporter) Report(int) core.Preference { return p.Reported }
+
+// Consume implements Policy: follow the allocation when it satisfies
+// the true preference, otherwise defect to the closest true-window
+// placement.
+func (p *Misreporter) Consume(_ int, allocation core.Interval) core.Interval {
+	return core.ClosestConsumption(p.Type.True, allocation)
+}
+
+// Feedback implements Policy.
+func (p *Misreporter) Feedback(int, PaymentDetail) {}
+
+// Agent is a household ECC client connected to a neighborhood center.
+// It answers the center's protocol messages using its Policy. Create
+// with Dial; stop with Close, which closes the connection and waits for
+// the message loop to exit.
+type Agent struct {
+	id     core.HouseholdID
+	conn   net.Conn
+	policy Policy
+
+	mu      sync.Mutex
+	history []PaymentDetail
+	err     error
+	closed  bool // Close was called; suppress the resulting read error
+
+	done chan struct{}
+	once sync.Once
+}
+
+// Dial connects to a center over plain TCP, registers the household,
+// and starts the agent's message loop. For TLS or other transports,
+// establish the connection yourself and use NewAgent.
+func Dial(addr string, id core.HouseholdID, policy Policy) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: dial center: %w", err)
+	}
+	a, err := NewAgent(conn, id, policy)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewAgent registers the household over a caller-provided connection —
+// typically a tls.Conn — and starts the agent's message loop. The agent
+// takes ownership of the connection and closes it on Close.
+func NewAgent(conn net.Conn, id core.HouseholdID, policy Policy) (*Agent, error) {
+	if policy == nil {
+		return nil, errors.New("netproto: nil policy")
+	}
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ID: id}); err != nil {
+		return nil, err
+	}
+	welcome, err := ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: read welcome: %w", err)
+	}
+	if welcome.Kind != KindWelcome {
+		return nil, fmt.Errorf("netproto: registration rejected: %s %s", welcome.Kind, welcome.Err)
+	}
+
+	a := &Agent{id: id, conn: conn, policy: policy, done: make(chan struct{})}
+	go a.loop()
+	return a, nil
+}
+
+// ID returns the agent's household ID.
+func (a *Agent) ID() core.HouseholdID { return a.id }
+
+// Close shuts the connection and waits for the message loop to exit.
+func (a *Agent) Close() error {
+	a.once.Do(func() {
+		a.mu.Lock()
+		a.closed = true
+		a.mu.Unlock()
+		a.conn.Close()
+	})
+	<-a.done
+	return nil
+}
+
+// Err returns the terminal error of the message loop, if any (nil for
+// a clean shutdown via Close).
+func (a *Agent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// History returns the settlements observed so far, oldest first.
+func (a *Agent) History() []PaymentDetail {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]PaymentDetail, len(a.history))
+	copy(out, a.history)
+	return out
+}
+
+func (a *Agent) loop() {
+	defer close(a.done)
+	for {
+		m, err := ReadMessage(a.conn)
+		if err != nil {
+			a.setErr(err)
+			return
+		}
+		switch m.Kind {
+		case KindRequest:
+			pref := a.policy.Report(m.Day)
+			reply := &Message{Kind: KindPreference, ID: a.id, Day: m.Day, Pref: &pref}
+			if err := WriteMessage(a.conn, reply); err != nil {
+				a.setErr(err)
+				return
+			}
+		case KindAllocation:
+			if m.Interval == nil {
+				a.setErr(errors.New("netproto: allocation frame without interval"))
+				return
+			}
+			cons := a.policy.Consume(m.Day, *m.Interval)
+			reply := &Message{Kind: KindConsumption, ID: a.id, Day: m.Day, Interval: &cons}
+			if err := WriteMessage(a.conn, reply); err != nil {
+				a.setErr(err)
+				return
+			}
+		case KindPayment:
+			if m.Payment != nil {
+				a.mu.Lock()
+				a.history = append(a.history, *m.Payment)
+				a.mu.Unlock()
+				a.policy.Feedback(m.Day, *m.Payment)
+			}
+		case KindError:
+			a.setErr(fmt.Errorf("netproto: center error: %s", m.Err))
+			return
+		default:
+			a.setErr(fmt.Errorf("netproto: unexpected %s from center", m.Kind))
+			return
+		}
+	}
+}
+
+func (a *Agent) setErr(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return // shutdown initiated locally; the read error is expected
+	}
+	if a.err == nil && err != nil {
+		a.err = err
+	}
+}

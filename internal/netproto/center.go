@@ -1,0 +1,443 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+	"enki/internal/sched"
+)
+
+// CenterConfig configures a neighborhood center.
+type CenterConfig struct {
+	// Scheduler produces allocations from reports; it must be non-nil.
+	Scheduler sched.Scheduler
+	// Pricer prices hourly load; it must be non-nil.
+	Pricer pricing.Pricer
+	// Mechanism carries the payment scaling factors.
+	Mechanism mechanism.Config
+	// Rating is the per-household power rating r in kW.
+	Rating float64
+	// ReplyTimeout bounds each protocol phase (preference collection,
+	// consumption collection). Zero means DefaultReplyTimeout.
+	ReplyTimeout time.Duration
+}
+
+// DefaultReplyTimeout is the per-phase wait applied when
+// CenterConfig.ReplyTimeout is zero.
+const DefaultReplyTimeout = 10 * time.Second
+
+func (c CenterConfig) validate() error {
+	if c.Scheduler == nil {
+		return errors.New("netproto: nil scheduler")
+	}
+	if c.Pricer == nil {
+		return errors.New("netproto: nil pricer")
+	}
+	if c.Rating <= 0 {
+		return fmt.Errorf("netproto: rating %g must be positive", c.Rating)
+	}
+	return c.Mechanism.Validate()
+}
+
+// inbound is a message received from a registered agent. The conn
+// pointer lets the center discard stale events from a connection that
+// has since been replaced by a reconnect.
+type inbound struct {
+	id   core.HouseholdID
+	conn *centerConn
+	msg  *Message
+	err  error // non-nil when the connection died
+}
+
+// centerConn is the center's view of one agent connection.
+type centerConn struct {
+	id   core.HouseholdID
+	conn net.Conn
+	mu   sync.Mutex // serializes writes
+}
+
+func (c *centerConn) send(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WriteMessage(c.conn, m)
+}
+
+// Center is the neighborhood controller: it accepts household agent
+// connections and orchestrates the Figure 1 day cycle. Create with
+// NewCenter; stop with Close, which shuts the listener, drops every
+// connection, and waits for all goroutines to exit.
+type Center struct {
+	cfg CenterConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[core.HouseholdID]*centerConn
+	joined chan struct{} // signaled (best effort) on each registration
+
+	inbox chan inbound
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+	once    sync.Once
+}
+
+// NewCenter starts a center listening on a plain TCP addr (e.g.
+// "127.0.0.1:0"). For TLS or other transports, bring your own listener
+// via NewCenterWithListener.
+func NewCenter(addr string, cfg CenterConfig) (*Center, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: listen: %w", err)
+	}
+	c, err := NewCenterWithListener(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewCenterWithListener starts a center on a caller-provided listener —
+// typically a tls.Listener for encrypted smart-meter links. The center
+// takes ownership of the listener and closes it on Close.
+func NewCenterWithListener(ln net.Listener, cfg CenterConfig) (*Center, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ReplyTimeout == 0 {
+		cfg.ReplyTimeout = DefaultReplyTimeout
+	}
+	c := &Center{
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[core.HouseholdID]*centerConn),
+		joined:  make(chan struct{}, 1),
+		inbox:   make(chan inbound),
+		closing: make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address, for agents to dial.
+func (c *Center) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts down the center and waits for all goroutines to exit.
+func (c *Center) Close() error {
+	c.once.Do(func() {
+		close(c.closing)
+		c.ln.Close()
+		c.mu.Lock()
+		for _, cc := range c.conns {
+			cc.conn.Close()
+		}
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// AgentCount returns the number of registered agents.
+func (c *Center) AgentCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
+// WaitForAgents blocks until n agents have registered or the timeout
+// elapses.
+func (c *Center) WaitForAgents(n int, timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if c.AgentCount() >= n {
+			return nil
+		}
+		select {
+		case <-c.joined:
+		case <-deadline.C:
+			return fmt.Errorf("netproto: %d of %d agents after %v", c.AgentCount(), n, timeout)
+		case <-c.closing:
+			return errors.New("netproto: center closed")
+		}
+	}
+}
+
+func (c *Center) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.handleConn(conn)
+	}
+}
+
+// handleConn performs registration then pumps messages into the inbox.
+func (c *Center) handleConn(conn net.Conn) {
+	defer c.wg.Done()
+
+	hello, err := ReadMessage(conn)
+	if err != nil || hello.Kind != KindHello {
+		conn.Close()
+		return
+	}
+	cc := &centerConn{id: hello.ID, conn: conn}
+
+	c.mu.Lock()
+	if _, dup := c.conns[hello.ID]; dup {
+		c.mu.Unlock()
+		_ = WriteMessage(conn, &Message{Kind: KindError, ID: hello.ID, Err: "duplicate household id"})
+		conn.Close()
+		return
+	}
+	c.conns[hello.ID] = cc
+	c.mu.Unlock()
+
+	if err := cc.send(&Message{Kind: KindWelcome, ID: hello.ID}); err != nil {
+		c.dropConn(cc)
+		return
+	}
+	select {
+	case c.joined <- struct{}{}:
+	default:
+	}
+
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			c.dropConn(cc)
+			select {
+			case c.inbox <- inbound{id: cc.id, conn: cc, err: err}:
+			case <-c.closing:
+			}
+			return
+		}
+		select {
+		case c.inbox <- inbound{id: cc.id, conn: cc, msg: m}:
+		case <-c.closing:
+			return
+		}
+	}
+}
+
+func (c *Center) dropConn(cc *centerConn) {
+	cc.conn.Close()
+	c.mu.Lock()
+	if c.conns[cc.id] == cc {
+		delete(c.conns, cc.id)
+	}
+	c.mu.Unlock()
+}
+
+// DayRecord is the full outcome of one protocol day. It is the unit of
+// persistence (see Journal), hence the JSON tags.
+type DayRecord struct {
+	Day          int                `json:"day"`
+	Reports      []core.Report      `json:"reports"`
+	Assignments  []core.Assignment  `json:"assignments"`
+	Consumptions []core.Consumption `json:"consumptions"`
+	Payments     []float64          `json:"payments"` // aligned with Reports
+	Flexibility  []float64          `json:"flexibility"`
+	Defection    []float64          `json:"defection"`
+	SocialCost   []float64          `json:"socialCost"`
+	Cost         float64            `json:"cost"` // κ(ω)
+	Peak         float64            `json:"peak"` // peak hourly load
+}
+
+// RunDay orchestrates one full day cycle over the currently registered
+// agents: request → preferences → allocation → consumptions → payments.
+// It is not safe for concurrent use with itself.
+func (c *Center) RunDay(day int) (*DayRecord, error) {
+	members := c.snapshot()
+	if len(members) == 0 {
+		return nil, errors.New("netproto: no registered agents")
+	}
+
+	for _, cc := range members {
+		if err := cc.send(&Message{Kind: KindRequest, ID: cc.id, Day: day}); err != nil {
+			return nil, fmt.Errorf("netproto: request to %d: %w", cc.id, err)
+		}
+	}
+
+	prefMsgs, err := c.collect(members, KindPreference, day)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]core.Report, 0, len(members))
+	for _, cc := range members {
+		m := prefMsgs[cc.id]
+		if m.Pref == nil {
+			return nil, fmt.Errorf("netproto: household %d sent preference frame without pref", cc.id)
+		}
+		reports = append(reports, core.Report{ID: cc.id, Pref: *m.Pref})
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+
+	assignments, err := c.cfg.Scheduler.Allocate(reports)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: allocate: %w", err)
+	}
+	byID := make(map[core.HouseholdID]core.Interval, len(assignments))
+	for _, a := range assignments {
+		byID[a.ID] = a.Interval
+	}
+	for _, cc := range members {
+		iv := byID[cc.id]
+		if err := cc.send(&Message{Kind: KindAllocation, ID: cc.id, Day: day, Interval: &iv}); err != nil {
+			return nil, fmt.Errorf("netproto: allocation to %d: %w", cc.id, err)
+		}
+	}
+
+	consMsgs, err := c.collect(members, KindConsumption, day)
+	if err != nil {
+		return nil, err
+	}
+	consumptions := make([]core.Consumption, len(reports))
+	for i, r := range reports {
+		m := consMsgs[r.ID]
+		if m.Interval == nil {
+			return nil, fmt.Errorf("netproto: household %d sent consumption frame without interval", r.ID)
+		}
+		if m.Interval.Len() != r.Pref.Duration {
+			return nil, fmt.Errorf("netproto: household %d consumed %d slots, declared %d",
+				r.ID, m.Interval.Len(), r.Pref.Duration)
+		}
+		consumptions[i] = core.Consumption{ID: r.ID, Interval: *m.Interval}
+	}
+
+	record, err := c.settle(day, reports, assignments, consumptions)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, r := range reports {
+		detail := &PaymentDetail{
+			Amount:      record.Payments[i],
+			Flexibility: record.Flexibility[i],
+			Defection:   record.Defection[i],
+			SocialCost:  record.SocialCost[i],
+			TotalCost:   record.Cost,
+			PeakLoad:    record.Peak,
+		}
+		cc := c.lookup(r.ID)
+		if cc == nil {
+			return nil, fmt.Errorf("netproto: household %d disconnected before payment", r.ID)
+		}
+		if err := cc.send(&Message{Kind: KindPayment, ID: r.ID, Day: day, Payment: detail}); err != nil {
+			return nil, fmt.Errorf("netproto: payment to %d: %w", r.ID, err)
+		}
+	}
+	return record, nil
+}
+
+// settle computes scores, payments, and aggregates for a completed day.
+func (c *Center) settle(day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption) (*DayRecord, error) {
+	prefs := make([]core.Preference, len(reports))
+	assigned := make([]core.Interval, len(reports))
+	consumed := make([]core.Interval, len(reports))
+	for i := range reports {
+		prefs[i] = reports[i].Pref
+		assigned[i] = assignments[i].Interval
+		consumed[i] = consumptions[i].Interval
+	}
+	predicted := mechanism.FlexibilityScores(prefs)
+	flex := mechanism.ActualFlexibilities(predicted, assigned, consumed)
+	defect := mechanism.DefectionScores(c.cfg.Pricer, c.cfg.Rating, assigned, consumed)
+	psi, err := mechanism.SocialCostScores(flex, defect, c.cfg.Mechanism.K)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: social cost: %w", err)
+	}
+	load := core.LoadOf(consumed, c.cfg.Rating)
+	cost := pricing.Cost(c.cfg.Pricer, load)
+	payments, err := mechanism.Payments(psi, c.cfg.Mechanism.Xi, cost)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: payments: %w", err)
+	}
+	return &DayRecord{
+		Day:          day,
+		Reports:      reports,
+		Assignments:  assignments,
+		Consumptions: consumptions,
+		Payments:     payments,
+		Flexibility:  flex,
+		Defection:    defect,
+		SocialCost:   psi,
+		Cost:         cost,
+		Peak:         load.Peak(),
+	}, nil
+}
+
+// snapshot returns the registered connections sorted by household ID.
+func (c *Center) snapshot() []*centerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*centerConn, 0, len(c.conns))
+	for _, cc := range c.conns {
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (c *Center) lookup(id core.HouseholdID) *centerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conns[id]
+}
+
+// collect waits until every member has sent a message of the wanted
+// kind for the given day, or the phase times out.
+func (c *Center) collect(members []*centerConn, want Kind, day int) (map[core.HouseholdID]*Message, error) {
+	pending := make(map[core.HouseholdID]bool, len(members))
+	for _, cc := range members {
+		pending[cc.id] = true
+	}
+	got := make(map[core.HouseholdID]*Message, len(members))
+	timer := time.NewTimer(c.cfg.ReplyTimeout)
+	defer timer.Stop()
+
+	for len(pending) > 0 {
+		select {
+		case in := <-c.inbox:
+			if c.lookup(in.id) != in.conn {
+				// Stale event from a connection that has been replaced
+				// (reconnect) or already dropped: ignore it.
+				continue
+			}
+			if in.err != nil {
+				if pending[in.id] {
+					return nil, fmt.Errorf("netproto: household %d disconnected during %s phase: %w",
+						in.id, want, in.err)
+				}
+				continue
+			}
+			if in.msg.Kind != want || in.msg.Day != day || !pending[in.id] {
+				return nil, fmt.Errorf("netproto: unexpected %s(day %d) from %d during %s phase",
+					in.msg.Kind, in.msg.Day, in.id, want)
+			}
+			delete(pending, in.id)
+			got[in.id] = in.msg
+		case <-timer.C:
+			missing := make([]core.HouseholdID, 0, len(pending))
+			for id := range pending {
+				missing = append(missing, id)
+			}
+			sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+			return nil, fmt.Errorf("netproto: timeout waiting for %s from %v", want, missing)
+		case <-c.closing:
+			return nil, errors.New("netproto: center closed")
+		}
+	}
+	return got, nil
+}

@@ -1,0 +1,84 @@
+package netproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Journal persists DayRecords as JSON Lines — one settlement per line —
+// so a neighborhood's history survives restarts and can be replayed for
+// billing audits. Writes are serialized; a Journal may be shared by a
+// Center and ad-hoc writers.
+type Journal struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJournal wraps a writer (typically an os.File opened with append).
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Append writes one day record as a JSON line.
+func (j *Journal) Append(record *DayRecord) error {
+	if record == nil {
+		return fmt.Errorf("netproto: nil day record")
+	}
+	data, err := json.Marshal(record)
+	if err != nil {
+		return fmt.Errorf("netproto: encode day record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("netproto: append day record: %w", err)
+	}
+	return nil
+}
+
+// ReadJournal loads every day record from a JSONL stream, in order.
+func ReadJournal(r io.Reader) ([]DayRecord, error) {
+	var out []DayRecord
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), MaxFrameSize)
+	line := 0
+	for scanner.Scan() {
+		line++
+		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		var rec DayRecord
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("netproto: journal line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("netproto: read journal: %w", err)
+	}
+	return out, nil
+}
+
+// Replay summarizes a journal: total cost, total revenue, and the
+// per-household cumulative payments — the billing-audit view.
+type Replay struct {
+	Days      int
+	TotalCost float64
+	Revenue   float64
+	ByID      map[int64]float64 // cumulative payment per household ID
+}
+
+// ReplayJournal folds a journal into its billing summary.
+func ReplayJournal(records []DayRecord) Replay {
+	rep := Replay{ByID: make(map[int64]float64)}
+	for _, rec := range records {
+		rep.Days++
+		rep.TotalCost += rec.Cost
+		for i, r := range rec.Reports {
+			rep.Revenue += rec.Payments[i]
+			rep.ByID[int64(r.ID)] += rec.Payments[i]
+		}
+	}
+	return rep
+}

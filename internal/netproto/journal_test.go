@@ -1,0 +1,102 @@
+package netproto
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"enki/internal/core"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	c := newTestCenter(t)
+	types := []core.Type{
+		{True: core.MustPreference(18, 22, 2), ValuationFactor: 5},
+		{True: core.MustPreference(17, 23, 2), ValuationFactor: 4},
+	}
+	for i, typ := range types {
+		a, err := Dial(c.Addr(), core.HouseholdID(i), &Truthful{Type: typ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+	}
+	if err := c.WaitForAgents(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	journal := NewJournal(&buf)
+	var wantCost, wantRevenue float64
+	for day := 1; day <= 3; day++ {
+		record, err := c.RunDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := journal.Append(record); err != nil {
+			t.Fatal(err)
+		}
+		wantCost += record.Cost
+		for _, p := range record.Payments {
+			wantRevenue += p
+		}
+	}
+
+	records, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("read %d records, want 3", len(records))
+	}
+	for i, rec := range records {
+		if rec.Day != i+1 {
+			t.Errorf("record %d has day %d", i, rec.Day)
+		}
+		if len(rec.Reports) != 2 || len(rec.Payments) != 2 {
+			t.Errorf("record %d incomplete: %d reports, %d payments",
+				i, len(rec.Reports), len(rec.Payments))
+		}
+	}
+
+	rep := ReplayJournal(records)
+	if rep.Days != 3 {
+		t.Errorf("replay days = %d, want 3", rep.Days)
+	}
+	if math.Abs(rep.TotalCost-wantCost) > 1e-9 {
+		t.Errorf("replay cost %g, want %g", rep.TotalCost, wantCost)
+	}
+	if math.Abs(rep.Revenue-wantRevenue) > 1e-9 {
+		t.Errorf("replay revenue %g, want %g", rep.Revenue, wantRevenue)
+	}
+	if len(rep.ByID) != 2 {
+		t.Errorf("replay tracked %d households, want 2", len(rep.ByID))
+	}
+	for id, paid := range rep.ByID {
+		if paid <= 0 {
+			t.Errorf("household %d cumulative payment %g", id, paid)
+		}
+	}
+}
+
+func TestJournalAppendNil(t *testing.T) {
+	j := NewJournal(&bytes.Buffer{})
+	if err := j.Append(nil); err == nil {
+		t.Error("nil record should be rejected")
+	}
+}
+
+func TestReadJournalGarbage(t *testing.T) {
+	if _, err := ReadJournal(strings.NewReader("{bad json}\n")); err == nil {
+		t.Error("corrupt journal line should be rejected")
+	}
+	records, err := ReadJournal(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Errorf("blank journal yielded %d records", len(records))
+	}
+}

@@ -1,0 +1,85 @@
+package netproto
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+)
+
+// TestNoGoroutineLeaks asserts the Close contract of the style guide:
+// every goroutine the center and agents spawn exits after Close.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		c := newTestCenter(t)
+		agents := make([]*Agent, 4)
+		for i := range agents {
+			typ := core.Type{True: core.MustPreference(18, 22, 2), ValuationFactor: 5}
+			a, err := Dial(c.Addr(), core.HouseholdID(i), &Truthful{Type: typ})
+			if err != nil {
+				t.Fatal(err)
+			}
+			agents[i] = a
+		}
+		if err := c.WaitForAgents(len(agents), 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunDay(1); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range agents {
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Goroutine counts settle asynchronously; poll briefly.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}
+
+// TestReadMessageNeverPanicsOnGarbage feeds random bytes into the frame
+// reader: it must return errors, never panic, and never allocate
+// absurd buffers.
+func TestReadMessageNeverPanicsOnGarbage(t *testing.T) {
+	rng := dist.New(2026)
+	for trial := 0; trial < 2000; trial++ {
+		size := rng.Intn(64)
+		raw := make([]byte, size)
+		for i := range raw {
+			raw[i] = byte(rng.Intn(256))
+		}
+		// Must not panic; errors are expected and fine.
+		_, _ = ReadMessage(bytes.NewReader(raw))
+	}
+}
+
+// TestReadMessageTruncatedPayload: a frame header promising more bytes
+// than the stream holds must error cleanly.
+func TestReadMessageTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Kind: KindHello, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadMessage(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes should error", cut)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/mechanism"
+	"enki/internal/sched"
+)
+
+// rawDial opens a raw TCP connection to the center for protocol-abuse
+// tests.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestCenterIgnoresNonHelloFirstFrame(t *testing.T) {
+	c := newTestCenter(t)
+	conn := rawDial(t, c.Addr())
+	// First frame must be a hello; anything else drops the connection.
+	if err := WriteMessage(conn, &Message{Kind: KindPreference, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The center should close the connection without registering.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadMessage(conn); err == nil {
+		t.Error("expected the center to drop a connection that skips hello")
+	}
+	if c.AgentCount() != 0 {
+		t.Errorf("agent count = %d, want 0", c.AgentCount())
+	}
+}
+
+func TestCenterDropsGarbageFrame(t *testing.T) {
+	c := newTestCenter(t)
+	conn := rawDial(t, c.Addr())
+	// A syntactically broken frame: huge length prefix.
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], MaxFrameSize+1)
+	if _, err := conn.Write(header[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadMessage(conn); err == nil {
+		t.Error("expected the center to drop a connection with an oversized frame")
+	}
+}
+
+func TestCenterRejectsUnsolicitedMessageDuringPhase(t *testing.T) {
+	c := newTestCenter(t)
+	conn := rawDial(t, c.Addr())
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	welcome, err := ReadMessage(conn)
+	if err != nil || welcome.Kind != KindWelcome {
+		t.Fatalf("registration failed: %v %v", welcome, err)
+	}
+
+	// Start a day in the background; answer the preference request with
+	// the wrong message kind.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunDay(1)
+		done <- err
+	}()
+	req, err := ReadMessage(conn)
+	if err != nil || req.Kind != KindRequest {
+		t.Fatalf("expected request, got %v %v", req, err)
+	}
+	iv := core.Interval{Begin: 18, End: 20}
+	if err := WriteMessage(conn, &Message{Kind: KindConsumption, ID: 9, Day: 1, Interval: &iv}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RunDay should fail on an out-of-phase message")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunDay hung on an out-of-phase message")
+	}
+}
+
+func TestCenterRejectsPreferenceFrameWithoutPref(t *testing.T) {
+	c := newTestCenter(t)
+	conn := rawDial(t, c.Addr())
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunDay(1)
+		done <- err
+	}()
+	if _, err := ReadMessage(conn); err != nil { // the request
+		t.Fatal(err)
+	}
+	if err := WriteMessage(conn, &Message{Kind: KindPreference, ID: 3, Day: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RunDay should fail on a preference frame without a preference")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunDay hung")
+	}
+}
+
+func TestCenterRejectsWrongDurationConsumption(t *testing.T) {
+	c := newTestCenter(t)
+	conn := rawDial(t, c.Addr())
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ID: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunDay(1)
+		done <- err
+	}()
+	if _, err := ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	pref := core.MustPreference(18, 22, 2)
+	if err := WriteMessage(conn, &Message{Kind: KindPreference, ID: 4, Day: 1, Pref: &pref}); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ReadMessage(conn)
+	if err != nil || alloc.Kind != KindAllocation {
+		t.Fatalf("expected allocation, got %v %v", alloc, err)
+	}
+	bad := core.Interval{Begin: 18, End: 21} // duration 3, declared 2
+	if err := WriteMessage(conn, &Message{Kind: KindConsumption, ID: 4, Day: 1, Interval: &bad}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RunDay should reject a consumption with the wrong duration")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunDay hung")
+	}
+}
+
+func TestCenterPhaseTimeout(t *testing.T) {
+	cfg := CenterConfig{
+		Scheduler:    &sched.Greedy{Pricer: quad, Rating: 2},
+		Pricer:       quad,
+		Mechanism:    mechanism.DefaultConfig(),
+		Rating:       2,
+		ReplyTimeout: 200 * time.Millisecond,
+	}
+	c, err := NewCenter("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	conn := rawDial(t, c.Addr())
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	// Never answer the preference request: the phase must time out.
+	start := time.Now()
+	_, err = c.RunDay(1)
+	if err == nil {
+		t.Fatal("RunDay should time out when an agent stays silent")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v, configured 200ms", elapsed)
+	}
+}
+
+func TestLargeNeighborhoodOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large integration test")
+	}
+	c := newTestCenter(t)
+	const n = 40
+	agents := make([]*Agent, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			begin := 14 + i%6
+			typ := core.Type{
+				True:            core.MustPreference(begin, min(begin+4+i%3, 24), 2),
+				ValuationFactor: 5,
+			}
+			a, err := Dial(c.Addr(), core.HouseholdID(i), &Truthful{Type: typ})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			agents[i] = a
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, a := range agents {
+			if a != nil {
+				a.Close()
+			}
+		}
+	}()
+	if err := c.WaitForAgents(n, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for day := 1; day <= 3; day++ {
+		record, err := c.RunDay(day)
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		if len(record.Reports) != n {
+			t.Fatalf("day %d: %d reports, want %d", day, len(record.Reports), n)
+		}
+		var revenue float64
+		for _, p := range record.Payments {
+			revenue += p
+		}
+		if diff := revenue - mechanism.DefaultXi*record.Cost; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("day %d: revenue %g != ξκ %g", day, revenue, mechanism.DefaultXi*record.Cost)
+		}
+	}
+}
+
+func TestConcurrentWritesSerialized(t *testing.T) {
+	// The per-connection write mutex must keep frames intact even when
+	// payment broadcasts race with the next day's requests. Exercise a
+	// few fast consecutive days.
+	c := newTestCenter(t)
+	types := []core.Type{
+		{True: core.MustPreference(18, 22, 2), ValuationFactor: 5},
+		{True: core.MustPreference(16, 22, 2), ValuationFactor: 5},
+		{True: core.MustPreference(17, 23, 3), ValuationFactor: 5},
+	}
+	for i, typ := range types {
+		a, err := Dial(c.Addr(), core.HouseholdID(i), &Truthful{Type: typ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+	}
+	if err := c.WaitForAgents(len(types), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for day := 1; day <= 10; day++ {
+		if _, err := c.RunDay(day); err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+	}
+}
+
+func TestWireMessageFuzzedFields(t *testing.T) {
+	// Round-trip odd but legal field combinations.
+	for i := 0; i < 50; i++ {
+		m := &Message{
+			Kind: Kind(fmt.Sprintf("kind-%d", i)),
+			ID:   core.HouseholdID(i * 7),
+			Day:  i,
+			Err:  fmt.Sprintf("err-%d", i),
+		}
+		conn1, conn2 := net.Pipe()
+		go func() {
+			_ = WriteMessage(conn1, m)
+			conn1.Close()
+		}()
+		got, err := ReadMessage(conn2)
+		conn2.Close()
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		if got.Kind != m.Kind || got.ID != m.ID || got.Day != m.Day || got.Err != m.Err {
+			t.Fatalf("round trip %d mismatch: %+v vs %+v", i, got, m)
+		}
+	}
+}
+
+func TestAgentReconnectAfterDrop(t *testing.T) {
+	// A household whose connection drops can re-register with the same
+	// ID (the center frees the slot on disconnect) and the next day
+	// proceeds normally.
+	c := newTestCenter(t)
+	typ := core.Type{True: core.MustPreference(18, 22, 2), ValuationFactor: 5}
+	a1, err := Dial(c.Addr(), 0, &Truthful{Type: typ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := Dial(c.Addr(), 1, &Truthful{Type: typ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForAgents(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunDay(1); err != nil {
+		t.Fatal(err)
+	}
+
+	a2.Close()
+	// Wait for the center to notice the drop.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.AgentCount() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.AgentCount() != 1 {
+		t.Fatalf("agent count = %d after drop, want 1", c.AgentCount())
+	}
+
+	a2b, err := Dial(c.Addr(), 1, &Truthful{Type: typ})
+	if err != nil {
+		t.Fatalf("reconnect with the same ID rejected: %v", err)
+	}
+	defer a2b.Close()
+	if err := c.WaitForAgents(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	record, err := c.RunDay(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(record.Reports) != 2 {
+		t.Fatalf("day 2 has %d reports, want 2", len(record.Reports))
+	}
+}

@@ -1,0 +1,111 @@
+// Package netproto implements the neighborhood model's communication
+// substrate (Figure 1): a neighborhood center server and household ECC
+// agents exchanging the day-ahead protocol over TCP —
+//
+//	center → agent: preference request for day d
+//	agent → center: reported preference χ̂
+//	center → agent: suggested allocation s
+//	agent → center: realized consumption ω
+//	center → agent: payment p (with score breakdown)
+//
+// Messages are length-prefixed JSON frames. The package uses only the
+// standard library (net, encoding/json, sync).
+package netproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"enki/internal/core"
+)
+
+// MaxFrameSize bounds a single message frame; anything larger is a
+// protocol violation (guards against a misbehaving or malicious peer).
+const MaxFrameSize = 1 << 20
+
+// Kind discriminates protocol messages.
+type Kind string
+
+// Protocol message kinds.
+const (
+	KindHello       Kind = "hello"       // agent → center: join the neighborhood
+	KindWelcome     Kind = "welcome"     // center → agent: registration accepted
+	KindRequest     Kind = "request"     // center → agent: report tomorrow's preference
+	KindPreference  Kind = "preference"  // agent → center: reported preference
+	KindAllocation  Kind = "allocation"  // center → agent: suggested allocation
+	KindConsumption Kind = "consumption" // agent → center: realized consumption
+	KindPayment     Kind = "payment"     // center → agent: settlement for the day
+	KindError       Kind = "error"       // either direction: fatal protocol error
+)
+
+// Message is the single frame type exchanged on the wire. Fields are
+// populated according to Kind.
+type Message struct {
+	Kind Kind             `json:"kind"`
+	ID   core.HouseholdID `json:"id"`
+	Day  int              `json:"day"`
+
+	Pref     *core.Preference `json:"pref,omitempty"`     // preference
+	Interval *core.Interval   `json:"interval,omitempty"` // allocation, consumption
+
+	Payment *PaymentDetail `json:"payment,omitempty"` // payment
+
+	Err string `json:"err,omitempty"` // error
+}
+
+// PaymentDetail is the per-household settlement the center reveals: the
+// bill plus the score breakdown and the neighborhood aggregates, which
+// is the "load statistics and score history" information step of the
+// user study (Section VII-B).
+type PaymentDetail struct {
+	Amount      float64 `json:"amount"`      // p_i
+	Flexibility float64 `json:"flexibility"` // f_i (0 when defected)
+	Defection   float64 `json:"defection"`   // δ_i
+	SocialCost  float64 `json:"socialCost"`  // Ψ_i
+	TotalCost   float64 `json:"totalCost"`   // κ(ω) for the whole neighborhood
+	PeakLoad    float64 `json:"peakLoad"`    // peak hourly load
+}
+
+// WriteMessage frames and writes one message: a 4-byte big-endian
+// length followed by the JSON encoding.
+func WriteMessage(w io.Writer, m *Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("netproto: encode %s: %w", m.Kind, err)
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("netproto: frame of %d bytes exceeds limit", len(payload))
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("netproto: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("netproto: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err // io.EOF is meaningful to callers; do not wrap
+	}
+	size := binary.BigEndian.Uint32(header[:])
+	if size > MaxFrameSize {
+		return nil, fmt.Errorf("netproto: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("netproto: read payload: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("netproto: decode frame: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,156 @@
+// Package pricing implements the neighborhood cost model of Section III.
+//
+// The neighborhood buys power on the day-ahead market at a superlinear
+// (strictly convex) hourly price. The paper adopts the quadratic form
+// P_h(l_h) = σ·l_h² (Eq. 1) following Mohsenian-Rad et al., and notes
+// that other convex forms (e.g. a two-step piecewise-linear tariff)
+// satisfy the same assumptions; both are provided here so that the
+// ablation benches can swap them.
+package pricing
+
+import (
+	"fmt"
+	"sort"
+
+	"enki/internal/core"
+)
+
+// DefaultSigma is the paper's scaling factor σ = 0.3 (Section VI).
+const DefaultSigma = 0.3
+
+// Pricer computes the hourly cost of an aggregate load level.
+type Pricer interface {
+	// HourCost returns P_h(l) for an hourly load l (kWh). It must be
+	// nonnegative, nondecreasing, and convex in l.
+	HourCost(load float64) float64
+	// MarginalRate returns a subgradient of HourCost at load — the
+	// instantaneous $/kWh price. Exact solvers use it for relaxation
+	// bounds; any value in the subdifferential is valid.
+	MarginalRate(load float64) float64
+}
+
+// Quadratic is the paper's pricing function P_h(l) = σ·l² (Eq. 1).
+type Quadratic struct {
+	// Sigma is the scaling factor σ > 0.
+	Sigma float64
+}
+
+var _ Pricer = Quadratic{}
+
+// NewQuadratic returns the Eq. 1 pricer, validating σ > 0.
+func NewQuadratic(sigma float64) (Quadratic, error) {
+	if sigma <= 0 {
+		return Quadratic{}, fmt.Errorf("pricing: sigma %g must be positive", sigma)
+	}
+	return Quadratic{Sigma: sigma}, nil
+}
+
+// HourCost returns σ·l².
+func (q Quadratic) HourCost(load float64) float64 { return q.Sigma * load * load }
+
+// MarginalRate returns the derivative 2σl.
+func (q Quadratic) MarginalRate(load float64) float64 { return 2 * q.Sigma * load }
+
+// Step is one segment of a piecewise-linear convex tariff: loads above
+// Threshold are charged at Rate per kWh.
+type Step struct {
+	Threshold float64 // kWh above which Rate applies
+	Rate      float64 // $/kWh marginal price on this segment
+}
+
+// Piecewise is a convex piecewise-linear tariff, the two-step
+// alternative the paper attributes to Mohsenian-Rad et al. Rates must
+// be nondecreasing across steps for convexity.
+type Piecewise struct {
+	steps []Step
+}
+
+var _ Pricer = (*Piecewise)(nil)
+
+// NewPiecewise builds a convex piecewise tariff from marginal-rate
+// steps. Steps are sorted by threshold; the first threshold must be 0
+// and rates must be nondecreasing.
+func NewPiecewise(steps []Step) (*Piecewise, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("pricing: piecewise tariff needs at least one step")
+	}
+	sorted := make([]Step, len(steps))
+	copy(sorted, steps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Threshold < sorted[j].Threshold })
+	if sorted[0].Threshold != 0 {
+		return nil, fmt.Errorf("pricing: first step threshold is %g, want 0", sorted[0].Threshold)
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Rate < sorted[i-1].Rate {
+			return nil, fmt.Errorf("pricing: rates must be nondecreasing for convexity (step %d)", i)
+		}
+		if sorted[i].Threshold == sorted[i-1].Threshold {
+			return nil, fmt.Errorf("pricing: duplicate threshold %g", sorted[i].Threshold)
+		}
+	}
+	return &Piecewise{steps: sorted}, nil
+}
+
+// HourCost integrates the marginal rates up to load.
+func (p *Piecewise) HourCost(load float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	var cost float64
+	for i, s := range p.steps {
+		upper := load
+		if i+1 < len(p.steps) && p.steps[i+1].Threshold < load {
+			upper = p.steps[i+1].Threshold
+		}
+		if upper <= s.Threshold {
+			break
+		}
+		cost += (upper - s.Threshold) * s.Rate
+	}
+	return cost
+}
+
+// MarginalRate returns the marginal rate of the segment containing
+// load; at a kink the steeper (right) rate is returned, which is a
+// valid subgradient.
+func (p *Piecewise) MarginalRate(load float64) float64 {
+	if load < 0 {
+		return 0
+	}
+	rate := p.steps[0].Rate
+	for _, s := range p.steps[1:] {
+		if load >= s.Threshold {
+			rate = s.Rate
+		}
+	}
+	return rate
+}
+
+// Cost returns κ(ω) = Σ_h P_h(l_h) (Eq. 1): the price the neighborhood
+// pays the power company for the day's aggregate load.
+func Cost(p Pricer, l core.Load) float64 {
+	var sum float64
+	for _, v := range l {
+		sum += p.HourCost(v)
+	}
+	return sum
+}
+
+// CostOfIntervals aggregates occupancy intervals at a uniform rating
+// and prices the resulting load.
+func CostOfIntervals(p Pricer, intervals []core.Interval, rating float64) float64 {
+	l := core.LoadOf(intervals, rating)
+	return Cost(p, l)
+}
+
+// MarginalCost returns the cost increase of adding an occupancy
+// interval at the given rating on top of base: κ(base + iv) − κ(base).
+// Schedulers use this as the greedy objective and the optimal solver
+// uses it as a lower bound (superadditivity of convex costs).
+func MarginalCost(p Pricer, base *core.Load, iv core.Interval, rating float64) float64 {
+	var delta float64
+	for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+		delta += p.HourCost(base[h]+rating) - p.HourCost(base[h])
+	}
+	return delta
+}

@@ -1,0 +1,172 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"enki/internal/core"
+)
+
+func TestNewQuadratic(t *testing.T) {
+	if _, err := NewQuadratic(0.3); err != nil {
+		t.Fatalf("valid sigma rejected: %v", err)
+	}
+	if _, err := NewQuadratic(0); err == nil {
+		t.Error("sigma 0 should be rejected")
+	}
+	if _, err := NewQuadratic(-1); err == nil {
+		t.Error("negative sigma should be rejected")
+	}
+}
+
+func TestQuadraticHourCost(t *testing.T) {
+	q := Quadratic{Sigma: 0.3}
+	tests := []struct {
+		load, want float64
+	}{
+		{0, 0},
+		{1, 0.3},
+		{2, 1.2},
+		{10, 30},
+	}
+	for _, tt := range tests {
+		if got := q.HourCost(tt.load); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("HourCost(%g) = %g, want %g", tt.load, got, tt.want)
+		}
+	}
+}
+
+func TestQuadraticConvexity(t *testing.T) {
+	q := Quadratic{Sigma: DefaultSigma}
+	prop := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw % 1000)
+		b := float64(bRaw % 1000)
+		mid := q.HourCost((a + b) / 2)
+		avg := (q.HourCost(a) + q.HourCost(b)) / 2
+		return mid <= avg+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("quadratic pricer not convex: %v", err)
+	}
+}
+
+func TestNewPiecewiseValidation(t *testing.T) {
+	if _, err := NewPiecewise(nil); err == nil {
+		t.Error("empty step list should be rejected")
+	}
+	if _, err := NewPiecewise([]Step{{Threshold: 5, Rate: 1}}); err == nil {
+		t.Error("first threshold must be zero")
+	}
+	if _, err := NewPiecewise([]Step{{0, 2}, {10, 1}}); err == nil {
+		t.Error("decreasing rates should be rejected (non-convex)")
+	}
+	if _, err := NewPiecewise([]Step{{0, 1}, {0, 2}}); err == nil {
+		t.Error("duplicate thresholds should be rejected")
+	}
+}
+
+func TestPiecewiseHourCost(t *testing.T) {
+	// Two-step tariff: $1/kWh up to 4 kWh, $3/kWh beyond.
+	p, err := NewPiecewise([]Step{{0, 1}, {4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		load, want float64
+	}{
+		{0, 0},
+		{-1, 0},
+		{2, 2},
+		{4, 4},
+		{6, 4 + 2*3},
+	}
+	for _, tt := range tests {
+		if got := p.HourCost(tt.load); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("HourCost(%g) = %g, want %g", tt.load, got, tt.want)
+		}
+	}
+}
+
+func TestPiecewiseConvexAndMonotone(t *testing.T) {
+	p, err := NewPiecewise([]Step{{0, 0.5}, {4, 2}, {8, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monotone := func(aRaw, dRaw uint16) bool {
+		a := float64(aRaw % 500)
+		d := float64(dRaw%100) / 10
+		return p.HourCost(a+d) >= p.HourCost(a)-1e-12
+	}
+	if err := quick.Check(monotone, nil); err != nil {
+		t.Errorf("piecewise pricer not monotone: %v", err)
+	}
+	convex := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw % 500)
+		b := float64(bRaw % 500)
+		return p.HourCost((a+b)/2) <= (p.HourCost(a)+p.HourCost(b))/2+1e-9
+	}
+	if err := quick.Check(convex, nil); err != nil {
+		t.Errorf("piecewise pricer not convex: %v", err)
+	}
+}
+
+func TestCost(t *testing.T) {
+	q := Quadratic{Sigma: 0.3}
+	var l core.Load
+	l.AddInterval(core.Interval{Begin: 18, End: 20}, 2) // two slots of 2 kWh
+	want := 2 * 0.3 * 4.0
+	if got := Cost(q, l); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cost = %g, want %g", got, want)
+	}
+}
+
+func TestCostOfIntervals(t *testing.T) {
+	q := Quadratic{Sigma: 1}
+	// Overlapping pair: slot 19 has 4 kWh, slots 18 and 20 have 2 kWh.
+	got := CostOfIntervals(q, []core.Interval{{Begin: 18, End: 20}, {Begin: 19, End: 21}}, 2)
+	want := 4.0 + 16 + 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CostOfIntervals = %g, want %g", got, want)
+	}
+}
+
+func TestMarginalCost(t *testing.T) {
+	q := Quadratic{Sigma: 1}
+	var base core.Load
+	base.AddInterval(core.Interval{Begin: 18, End: 20}, 2)
+	iv := core.Interval{Begin: 19, End: 21}
+	got := MarginalCost(q, &base, iv, 2)
+	// slot 19: 16−4 = 12; slot 20: 4−0 = 4.
+	if math.Abs(got-16) > 1e-12 {
+		t.Errorf("MarginalCost = %g, want 16", got)
+	}
+	// Marginal cost must equal the full-cost difference.
+	after := base
+	after.AddInterval(iv, 2)
+	if diff := Cost(q, after) - Cost(q, base); math.Abs(got-diff) > 1e-9 {
+		t.Errorf("MarginalCost %g disagrees with cost difference %g", got, diff)
+	}
+}
+
+// TestMarginalCostSuperadditive: for convex pricing, the sum of solo
+// marginal costs lower-bounds the joint marginal cost — the bound the
+// optimal solver's pruning relies on.
+func TestMarginalCostSuperadditive(t *testing.T) {
+	q := Quadratic{Sigma: DefaultSigma}
+	prop := func(s1, s2, baseRaw byte) bool {
+		var base core.Load
+		bs := int(baseRaw) % 20
+		base.AddInterval(core.Interval{Begin: bs, End: min(bs+4, 24)}, 3)
+		iv1 := core.Interval{Begin: int(s1) % 22, End: int(s1)%22 + 2}
+		iv2 := core.Interval{Begin: int(s2) % 22, End: int(s2)%22 + 2}
+		solo := MarginalCost(q, &base, iv1, 2) + MarginalCost(q, &base, iv2, 2)
+		joint := base
+		joint.AddInterval(iv1, 2)
+		jointDelta := MarginalCost(q, &base, iv1, 2) + MarginalCost(q, &joint, iv2, 2)
+		return solo <= jointDelta+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("solo marginal costs must lower-bound joint cost: %v", err)
+	}
+}

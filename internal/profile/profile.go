@@ -1,0 +1,194 @@
+// Package profile generates the household usage profiles of the
+// paper's simulation study (Section VI).
+//
+// Each household has a usage profile consisting of a narrow interval
+// (what it most prefers), a wide interval (what it can tolerate), and a
+// duration. The paper's generative model is:
+//
+//   - beginning time of the narrow and wide intervals ~ Poisson(16),
+//   - duration ~ Uniform{1, ..., 4},
+//   - narrow end = begin + duration,
+//   - wide end ~ Uniform{narrow end + 2, ..., 24},
+//   - consumption 2 kWh per occupied hour, valuation factor ρ ~ U[1, 10].
+//
+// Draws are clamped so every profile is feasible within H = {0..23}.
+package profile
+
+import (
+	"fmt"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+)
+
+// Profile is one household's usage profile for a day.
+type Profile struct {
+	Narrow core.Preference // most-preferred request
+	Wide   core.Preference // tolerable request (same begin and duration, wider end)
+	Rho    float64         // valuation factor ρ
+	Rating float64         // power rating r in kW
+}
+
+// TypeNarrow returns the household type whose true preference is the
+// narrow interval (the Section VI-B incentive-compatibility setting).
+func (p Profile) TypeNarrow() core.Type {
+	return core.Type{True: p.Narrow, ValuationFactor: p.Rho}
+}
+
+// TypeWide returns the household type whose true preference is the wide
+// interval (the Section VI-A social-welfare setting, where "every
+// household reports its wide interval as its true preference").
+func (p Profile) TypeWide() core.Type {
+	return core.Type{True: p.Wide, ValuationFactor: p.Rho}
+}
+
+// Validate checks internal consistency of the profile.
+func (p Profile) Validate() error {
+	if err := p.Narrow.Validate(); err != nil {
+		return fmt.Errorf("narrow: %w", err)
+	}
+	if err := p.Wide.Validate(); err != nil {
+		return fmt.Errorf("wide: %w", err)
+	}
+	if p.Narrow.Duration != p.Wide.Duration {
+		return fmt.Errorf("profile: narrow duration %d != wide duration %d",
+			p.Narrow.Duration, p.Wide.Duration)
+	}
+	if !p.Wide.Window.Covers(p.Narrow.Window) {
+		return fmt.Errorf("profile: wide window %v does not cover narrow window %v",
+			p.Wide.Window, p.Narrow.Window)
+	}
+	if p.Rho <= 0 {
+		return fmt.Errorf("profile: rho %g must be positive", p.Rho)
+	}
+	if p.Rating <= 0 {
+		return fmt.Errorf("profile: rating %g must be positive", p.Rating)
+	}
+	return nil
+}
+
+// Config parameterizes the generator. The zero value is not useful;
+// call DefaultConfig for the paper's parameters.
+type Config struct {
+	BeginLambda   float64 // Poisson mean of the narrow begin time (paper: 16)
+	MinDuration   int     // inclusive lower bound of duration (paper: 1)
+	MaxDuration   int     // inclusive upper bound of duration (paper: 4)
+	WideEndMargin int     // minimum extra width of the wide window (paper: 2)
+	RhoLo         float64 // valuation factor lower bound (paper: 1)
+	RhoHi         float64 // valuation factor upper bound (paper: 10)
+	Rating        float64 // power rating in kW (paper: 2)
+}
+
+// DefaultConfig returns the Section VI parameters.
+func DefaultConfig() Config {
+	return Config{
+		BeginLambda:   16,
+		MinDuration:   1,
+		MaxDuration:   4,
+		WideEndMargin: 2,
+		RhoLo:         1,
+		RhoHi:         10,
+		Rating:        core.DefaultPowerRating,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.BeginLambda <= 0 {
+		return fmt.Errorf("profile: begin lambda %g must be positive", c.BeginLambda)
+	}
+	if c.MinDuration < 1 || c.MaxDuration < c.MinDuration {
+		return fmt.Errorf("profile: bad duration range [%d, %d]", c.MinDuration, c.MaxDuration)
+	}
+	if c.MaxDuration+c.WideEndMargin > core.HoursPerDay {
+		return fmt.Errorf("profile: duration %d + margin %d exceeds the day", c.MaxDuration, c.WideEndMargin)
+	}
+	if c.WideEndMargin < 0 {
+		return fmt.Errorf("profile: margin %d must be nonnegative", c.WideEndMargin)
+	}
+	if c.RhoLo <= 0 || c.RhoHi < c.RhoLo {
+		return fmt.Errorf("profile: bad rho range [%g, %g]", c.RhoLo, c.RhoHi)
+	}
+	if c.Rating <= 0 {
+		return fmt.Errorf("profile: rating %g must be positive", c.Rating)
+	}
+	return nil
+}
+
+// Generator draws usage profiles from a Config using a deterministic
+// RNG stream.
+type Generator struct {
+	cfg Config
+	rng *dist.RNG
+}
+
+// NewGenerator builds a generator; it returns an error on an invalid
+// configuration.
+func NewGenerator(cfg Config, rng *dist.RNG) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("profile: nil RNG")
+	}
+	return &Generator{cfg: cfg, rng: rng}, nil
+}
+
+// Draw samples one usage profile per the Section VI model.
+func (g *Generator) Draw() Profile {
+	c := g.cfg
+	duration := g.rng.IntRange(c.MinDuration, c.MaxDuration)
+
+	// The begin time must leave room for the duration plus the wide
+	// margin before the end of the day.
+	maxBegin := core.HoursPerDay - duration - c.WideEndMargin
+	begin := g.rng.Poisson(c.BeginLambda)
+	if begin > maxBegin {
+		begin = maxBegin
+	}
+
+	narrowEnd := begin + duration
+	wideEnd := g.rng.IntRange(narrowEnd+c.WideEndMargin, core.HoursPerDay)
+
+	return Profile{
+		Narrow: core.Preference{
+			Window:   core.Interval{Begin: begin, End: narrowEnd},
+			Duration: duration,
+		},
+		Wide: core.Preference{
+			Window:   core.Interval{Begin: begin, End: wideEnd},
+			Duration: duration,
+		},
+		Rho:    g.rng.FloatRange(c.RhoLo, c.RhoHi),
+		Rating: c.Rating,
+	}
+}
+
+// DrawN samples n profiles.
+func (g *Generator) DrawN(n int) []Profile {
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = g.Draw()
+	}
+	return out
+}
+
+// WideReports converts profiles into the reports used by the
+// social-welfare study: every household truthfully reports its wide
+// interval. IDs are assigned positionally.
+func WideReports(profiles []Profile) []core.Report {
+	out := make([]core.Report, len(profiles))
+	for i, p := range profiles {
+		out[i] = core.Report{ID: core.HouseholdID(i), Pref: p.Wide}
+	}
+	return out
+}
+
+// NarrowReports converts profiles into reports of the narrow intervals.
+func NarrowReports(profiles []Profile) []core.Report {
+	out := make([]core.Report, len(profiles))
+	for i, p := range profiles {
+		out[i] = core.Report{ID: core.HouseholdID(i), Pref: p.Narrow}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+)
+
+func newTestGenerator(t *testing.T, seed uint64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(DefaultConfig(), dist.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(DefaultConfig(), nil); err == nil {
+		t.Error("nil RNG should be rejected")
+	}
+	bad := DefaultConfig()
+	bad.BeginLambda = 0
+	if _, err := NewGenerator(bad, dist.New(1)); err == nil {
+		t.Error("zero lambda should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.MinDuration = 3
+	bad.MaxDuration = 2
+	if _, err := NewGenerator(bad, dist.New(1)); err == nil {
+		t.Error("inverted duration range should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.MaxDuration = 23
+	if _, err := NewGenerator(bad, dist.New(1)); err == nil {
+		t.Error("duration + margin exceeding the day should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.RhoLo = 0
+	if _, err := NewGenerator(bad, dist.New(1)); err == nil {
+		t.Error("nonpositive rho should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Rating = 0
+	if _, err := NewGenerator(bad, dist.New(1)); err == nil {
+		t.Error("zero rating should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.WideEndMargin = -1
+	if _, err := NewGenerator(bad, dist.New(1)); err == nil {
+		t.Error("negative margin should be rejected")
+	}
+}
+
+func TestDrawProducesValidProfiles(t *testing.T) {
+	g := newTestGenerator(t, 42)
+	cfg := DefaultConfig()
+	for i := 0; i < 5000; i++ {
+		p := g.Draw()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("draw %d invalid: %v (profile %+v)", i, err, p)
+		}
+		if p.Narrow.Duration < cfg.MinDuration || p.Narrow.Duration > cfg.MaxDuration {
+			t.Fatalf("duration %d outside [%d, %d]", p.Narrow.Duration, cfg.MinDuration, cfg.MaxDuration)
+		}
+		if p.Narrow.Slack() != 0 {
+			t.Fatalf("narrow interval must be rigid (slack 0), got %d", p.Narrow.Slack())
+		}
+		if p.Wide.Width()-p.Narrow.Width() < cfg.WideEndMargin {
+			t.Fatalf("wide window %v narrower than narrow %v + margin", p.Wide.Window, p.Narrow.Window)
+		}
+		if p.Rho < cfg.RhoLo || p.Rho >= cfg.RhoHi {
+			t.Fatalf("rho %g outside [%g, %g)", p.Rho, cfg.RhoLo, cfg.RhoHi)
+		}
+		if p.Rating != core.DefaultPowerRating {
+			t.Fatalf("rating %g, want %g", p.Rating, core.DefaultPowerRating)
+		}
+	}
+}
+
+func TestDrawBeginTimeDistribution(t *testing.T) {
+	g := newTestGenerator(t, 7)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(g.Draw().Narrow.Window.Begin)
+	}
+	mean := sum / n
+	// Poisson(16) clamped into the feasible range pulls the mean down
+	// slightly; it must remain an evening-peaked distribution.
+	if mean < 14 || mean > 17 {
+		t.Errorf("mean begin time %g not in the evening-peak band [14, 17]", mean)
+	}
+}
+
+func TestDrawDeterministic(t *testing.T) {
+	g1 := newTestGenerator(t, 11)
+	g2 := newTestGenerator(t, 11)
+	for i := 0; i < 100; i++ {
+		p1, p2 := g1.Draw(), g2.Draw()
+		if p1 != p2 {
+			t.Fatalf("same seed diverged at draw %d: %+v vs %+v", i, p1, p2)
+		}
+	}
+}
+
+func TestDrawN(t *testing.T) {
+	g := newTestGenerator(t, 3)
+	ps := g.DrawN(50)
+	if len(ps) != 50 {
+		t.Fatalf("DrawN(50) returned %d profiles", len(ps))
+	}
+}
+
+func TestTypeNarrowAndWide(t *testing.T) {
+	p := Profile{
+		Narrow: core.MustPreference(18, 20, 2),
+		Wide:   core.MustPreference(18, 24, 2),
+		Rho:    5,
+		Rating: 2,
+	}
+	tn := p.TypeNarrow()
+	if tn.True != p.Narrow || tn.ValuationFactor != 5 {
+		t.Errorf("TypeNarrow = %+v", tn)
+	}
+	tw := p.TypeWide()
+	if tw.True != p.Wide || tw.ValuationFactor != 5 {
+		t.Errorf("TypeWide = %+v", tw)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	valid := Profile{
+		Narrow: core.MustPreference(18, 20, 2),
+		Wide:   core.MustPreference(18, 24, 2),
+		Rho:    5,
+		Rating: 2,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	bad := valid
+	bad.Wide = core.MustPreference(19, 24, 2) // does not cover narrow
+	if err := bad.Validate(); err == nil {
+		t.Error("wide window not covering narrow should be rejected")
+	}
+	bad = valid
+	bad.Narrow = core.MustPreference(18, 21, 3) // duration mismatch
+	if err := bad.Validate(); err == nil {
+		t.Error("duration mismatch should be rejected")
+	}
+	bad = valid
+	bad.Rho = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("rho 0 should be rejected")
+	}
+	bad = valid
+	bad.Rating = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rating should be rejected")
+	}
+}
+
+func TestReports(t *testing.T) {
+	g := newTestGenerator(t, 5)
+	ps := g.DrawN(10)
+	wide := WideReports(ps)
+	narrow := NarrowReports(ps)
+	if len(wide) != 10 || len(narrow) != 10 {
+		t.Fatalf("report lengths %d, %d, want 10", len(wide), len(narrow))
+	}
+	for i := range ps {
+		if wide[i].ID != core.HouseholdID(i) || narrow[i].ID != core.HouseholdID(i) {
+			t.Errorf("report %d has wrong ID", i)
+		}
+		if wide[i].Pref != ps[i].Wide {
+			t.Errorf("wide report %d = %v, want %v", i, wide[i].Pref, ps[i].Wide)
+		}
+		if narrow[i].Pref != ps[i].Narrow {
+			t.Errorf("narrow report %d = %v, want %v", i, narrow[i].Pref, ps[i].Narrow)
+		}
+	}
+	if err := core.ValidateReports(wide); err != nil {
+		t.Errorf("wide reports invalid: %v", err)
+	}
+}
+
+func TestRhoMean(t *testing.T) {
+	g := newTestGenerator(t, 13)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Draw().Rho
+	}
+	if mean := sum / n; math.Abs(mean-5.5) > 0.1 {
+		t.Errorf("rho mean = %g, want ~5.5 for U[1,10]", mean)
+	}
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"sort"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+)
+
+// Greedy is Enki's allocator (Section IV-C): it computes each
+// household's predicted flexibility score assuming truthful reports,
+// processes households in order of increasing flexibility (ties broken
+// randomly), and places each household at the deferment that greedily
+// minimizes the peak load of the households handled so far, with the
+// marginal cost and then the earliest start as tie-breakers.
+type Greedy struct {
+	// Pricer prices hourly load (used for the cost tie-breaker). It
+	// must be non-nil.
+	Pricer pricing.Pricer
+	// Rating is the per-household power rating r in kW.
+	Rating float64
+	// RNG breaks flexibility ties randomly, as the paper prescribes.
+	// A nil RNG breaks ties deterministically by household position,
+	// which experiments use for reproducibility.
+	RNG *dist.RNG
+}
+
+var _ Scheduler = (*Greedy)(nil)
+
+// Name implements Scheduler.
+func (g *Greedy) Name() string { return "enki-greedy" }
+
+// Allocate implements Scheduler.
+func (g *Greedy) Allocate(reports []core.Report) ([]core.Assignment, error) {
+	if err := validateReports(reports); err != nil {
+		return nil, err
+	}
+
+	prefs := make([]core.Preference, len(reports))
+	for i, r := range reports {
+		prefs[i] = r.Pref
+	}
+	flex := mechanism.FlexibilityScores(prefs)
+
+	// Order positions by increasing predicted flexibility. Random
+	// jitter implements the paper's "breaking ties randomly".
+	type ranked struct {
+		pos    int
+		flex   float64
+		jitter float64
+	}
+	order := make([]ranked, len(reports))
+	for i := range reports {
+		j := float64(i) // deterministic fallback: report order
+		if g.RNG != nil {
+			j = g.RNG.Float64()
+		}
+		order[i] = ranked{pos: i, flex: flex[i], jitter: j}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].flex != order[b].flex {
+			return order[a].flex < order[b].flex
+		}
+		return order[a].jitter < order[b].jitter
+	})
+
+	intervals := make([]core.Interval, len(reports))
+	var load core.Load
+	for _, o := range order {
+		pref := prefs[o.pos]
+		best := g.bestPlacement(pref, &load)
+		intervals[o.pos] = best
+		load.AddInterval(best, g.Rating)
+	}
+
+	assignments := assignmentsOf(reports, intervals)
+	if err := CheckAssignments(reports, assignments); err != nil {
+		return nil, err
+	}
+	return assignments, nil
+}
+
+// bestPlacement chooses the deferment minimizing (resulting peak,
+// marginal cost, start hour) against the current partial load.
+func (g *Greedy) bestPlacement(pref core.Preference, load *core.Load) core.Interval {
+	best := pref.IntervalAt(0)
+	bestPeak, bestCost := g.placementKey(best, load)
+	for d := 1; d <= pref.Slack(); d++ {
+		iv := pref.IntervalAt(d)
+		peak, cost := g.placementKey(iv, load)
+		if peak < bestPeak || (peak == bestPeak && cost < bestCost-1e-12) {
+			best, bestPeak, bestCost = iv, peak, cost
+		}
+	}
+	return best
+}
+
+// placementKey returns the peak over iv's slots after placement and the
+// marginal cost of the placement.
+func (g *Greedy) placementKey(iv core.Interval, load *core.Load) (peak, cost float64) {
+	for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+		if lv := load[h] + g.Rating; lv > peak {
+			peak = lv
+		}
+	}
+	return peak, pricing.MarginalCost(g.Pricer, load, iv, g.Rating)
+}

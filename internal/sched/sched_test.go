@@ -1,0 +1,343 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+	"enki/internal/solver"
+)
+
+var quad = pricing.Quadratic{Sigma: pricing.DefaultSigma}
+
+func randomReports(t *testing.T, seed uint64, n int) []core.Report {
+	t.Helper()
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profile.WideReports(gen.DrawN(n))
+}
+
+func costOfAssignments(assignments []core.Assignment) float64 {
+	return pricing.Cost(quad, LoadOfAssignments(assignments, 2))
+}
+
+func TestGreedyRespectsReports(t *testing.T) {
+	g := &Greedy{Pricer: quad, Rating: 2}
+	for seed := uint64(1); seed <= 5; seed++ {
+		reports := randomReports(t, seed, 30)
+		assignments, err := g.Allocate(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckAssignments(reports, assignments); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGreedyEmptyReports(t *testing.T) {
+	g := &Greedy{Pricer: quad, Rating: 2}
+	if _, err := g.Allocate(nil); err == nil {
+		t.Error("empty report set should be rejected")
+	}
+}
+
+func TestGreedyPaperExample3Order(t *testing.T) {
+	// Example 3 with the Section IV-C narrative: Enki processes B and C
+	// (less flexible) before A, separating B and C and leaving A at
+	// (16,18). The resulting cost matches the optimum.
+	reports := []core.Report{
+		{ID: 0, Pref: core.MustPreference(16, 18, 2)}, // A
+		{ID: 1, Pref: core.MustPreference(18, 21, 2)}, // B
+		{ID: 2, Pref: core.MustPreference(18, 21, 2)}, // C
+	}
+	g := &Greedy{Pricer: quad, Rating: 2}
+	assignments, err := g.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assignments[0].Interval != (core.Interval{Begin: 16, End: 18}) {
+		t.Errorf("A allocated %v, want (16,18)", assignments[0].Interval)
+	}
+	if assignments[1].Interval == assignments[2].Interval {
+		t.Errorf("B and C must be separated, both got %v", assignments[1].Interval)
+	}
+	if got := costOfAssignments(assignments); math.Abs(got-9.6) > 1e-9 {
+		t.Errorf("greedy cost = %g, want optimal 9.6", got)
+	}
+}
+
+func TestGreedyFlattensIdenticalRequests(t *testing.T) {
+	// Four households that could all stack at 18:00 but have room to
+	// spread: greedy must produce PAR 1 over the window.
+	reports := []core.Report{
+		{ID: 0, Pref: core.MustPreference(18, 22, 1)},
+		{ID: 1, Pref: core.MustPreference(18, 22, 1)},
+		{ID: 2, Pref: core.MustPreference(18, 22, 1)},
+		{ID: 3, Pref: core.MustPreference(18, 22, 1)},
+	}
+	g := &Greedy{Pricer: quad, Rating: 2}
+	assignments, err := g.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := LoadOfAssignments(assignments, 2)
+	if load.Peak() != 2 {
+		t.Errorf("peak = %g, want 2 (perfectly spread)", load.Peak())
+	}
+}
+
+func TestGreedyRandomTieBreakIsStillValid(t *testing.T) {
+	g := &Greedy{Pricer: quad, Rating: 2, RNG: dist.New(7)}
+	reports := randomReports(t, 3, 25)
+	assignments, err := g.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAssignments(reports, assignments); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyDeterministicWithoutRNG(t *testing.T) {
+	g1 := &Greedy{Pricer: quad, Rating: 2}
+	g2 := &Greedy{Pricer: quad, Rating: 2}
+	reports := randomReports(t, 9, 20)
+	a1, err := g1.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := g2.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("deterministic greedy diverged at %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestOptimalMatchesSolver(t *testing.T) {
+	reports := randomReports(t, 11, 10)
+	o := &Optimal{Pricer: quad, Rating: 2}
+	assignments, err := o.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAssignments(reports, assignments); err != nil {
+		t.Fatal(err)
+	}
+	if !o.LastResult.Optimal {
+		t.Error("small instance must be solved to proven optimality")
+	}
+	if got := costOfAssignments(assignments); math.Abs(got-o.LastResult.Cost) > 1e-6 {
+		t.Errorf("allocation cost %g != solver cost %g", got, o.LastResult.Cost)
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	for seed := uint64(30); seed < 36; seed++ {
+		reports := randomReports(t, seed, 12)
+		g := &Greedy{Pricer: quad, Rating: 2}
+		o := &Optimal{Pricer: quad, Rating: 2}
+		ga, err := g.Allocate(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa, err := o.Allocate(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc, oc := costOfAssignments(ga), costOfAssignments(oa)
+		if oc > gc+1e-9 {
+			t.Errorf("seed %d: optimal cost %g exceeds greedy cost %g", seed, oc, gc)
+		}
+	}
+}
+
+func TestOptimalTimeLimited(t *testing.T) {
+	reports := randomReports(t, 50, 40)
+	o := &Optimal{Pricer: quad, Rating: 2, Options: solver.Options{NodeLimit: 50000}}
+	assignments, err := o.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAssignments(reports, assignments); err != nil {
+		t.Fatal(err)
+	}
+	if o.LastResult.Gap() < 0 {
+		t.Errorf("gap %g must be nonnegative", o.LastResult.Gap())
+	}
+}
+
+func TestEarliestBaseline(t *testing.T) {
+	reports := []core.Report{
+		{ID: 0, Pref: core.MustPreference(18, 22, 2)},
+		{ID: 1, Pref: core.MustPreference(16, 20, 1)},
+	}
+	assignments, err := Earliest{}.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assignments[0].Interval != (core.Interval{Begin: 18, End: 20}) {
+		t.Errorf("assignment 0 = %v, want (18,20)", assignments[0].Interval)
+	}
+	if assignments[1].Interval != (core.Interval{Begin: 16, End: 17}) {
+		t.Errorf("assignment 1 = %v, want (16,17)", assignments[1].Interval)
+	}
+}
+
+func TestRandomBaselineValid(t *testing.T) {
+	s := &Random{RNG: dist.New(4)}
+	reports := randomReports(t, 13, 20)
+	assignments, err := s.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAssignments(reports, assignments); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyBeatsUncoordinatedBaselines(t *testing.T) {
+	// The core value proposition: Enki's greedy coordination yields a
+	// lower neighborhood cost than no coordination, on average.
+	var greedyTotal, earliestTotal float64
+	for seed := uint64(60); seed < 70; seed++ {
+		reports := randomReports(t, seed, 30)
+		g := &Greedy{Pricer: quad, Rating: 2}
+		ga, err := g.Allocate(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, err := Earliest{}.Allocate(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyTotal += costOfAssignments(ga)
+		earliestTotal += costOfAssignments(ea)
+	}
+	if greedyTotal >= earliestTotal {
+		t.Errorf("greedy total cost %g should beat earliest-start %g", greedyTotal, earliestTotal)
+	}
+}
+
+func TestGreedyOrderedAblations(t *testing.T) {
+	reports := randomReports(t, 21, 25)
+	for _, s := range []Scheduler{
+		&GreedyOrdered{Pricer: quad, Rating: 2, Order: OrderReport},
+		&GreedyOrdered{Pricer: quad, Rating: 2, Order: OrderShuffled, RNG: dist.New(1)},
+		&GreedyOrdered{Pricer: quad, Rating: 2, Order: OrderWidestFirst},
+	} {
+		assignments, err := s.Allocate(reports)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := CheckAssignments(reports, assignments); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestLocalSearchImprovesEarliest(t *testing.T) {
+	reports := randomReports(t, 31, 25)
+	base := Earliest{}
+	ls := &LocalSearch{Base: base, Pricer: quad, Rating: 2}
+	ba, err := base.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := ls.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costOfAssignments(la) > costOfAssignments(ba)+1e-9 {
+		t.Errorf("local search must not worsen its base: %g vs %g",
+			costOfAssignments(la), costOfAssignments(ba))
+	}
+	if costOfAssignments(la) >= costOfAssignments(ba) {
+		t.Errorf("local search should strictly improve a stacked start: %g vs %g",
+			costOfAssignments(la), costOfAssignments(ba))
+	}
+}
+
+func TestLocalSearchMaxSweeps(t *testing.T) {
+	reports := randomReports(t, 32, 20)
+	ls := &LocalSearch{Base: Earliest{}, Pricer: quad, Rating: 2, MaxSweeps: 1}
+	assignments, err := ls.Allocate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAssignments(reports, assignments); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	tests := []struct {
+		s    Scheduler
+		want string
+	}{
+		{&Greedy{}, "enki-greedy"},
+		{&Optimal{}, "optimal"},
+		{Earliest{}, "earliest"},
+		{&Random{}, "random"},
+		{&GreedyOrdered{Order: OrderReport}, "greedy-report-order"},
+		{&GreedyOrdered{Order: OrderShuffled}, "greedy-shuffled"},
+		{&GreedyOrdered{Order: OrderWidestFirst}, "greedy-widest-first"},
+		{&LocalSearch{Base: Earliest{}}, "local-search(earliest)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestCheckAssignmentsCatchesViolations(t *testing.T) {
+	reports := []core.Report{{ID: 1, Pref: core.MustPreference(18, 22, 2)}}
+	bad := []core.Assignment{{ID: 1, Interval: core.Interval{Begin: 14, End: 16}}}
+	if err := CheckAssignments(reports, bad); err == nil {
+		t.Error("out-of-window assignment should be rejected")
+	}
+	wrongID := []core.Assignment{{ID: 2, Interval: core.Interval{Begin: 18, End: 20}}}
+	if err := CheckAssignments(reports, wrongID); err == nil {
+		t.Error("mismatched ID should be rejected")
+	}
+	if err := CheckAssignments(reports, nil); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+}
+
+func TestGreedyNearOptimalAtScale(t *testing.T) {
+	// The Figure 4/5 claim: greedy stays close to optimal. At n = 12,
+	// exhaustively provable sizes, greedy must be within 15% of optimal
+	// across seeds (it is usually exactly optimal).
+	var worst float64
+	for seed := uint64(80); seed < 90; seed++ {
+		reports := randomReports(t, seed, 12)
+		g := &Greedy{Pricer: quad, Rating: 2}
+		o := &Optimal{Pricer: quad, Rating: 2}
+		ga, err := g.Allocate(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa, err := o.Allocate(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := costOfAssignments(ga) / costOfAssignments(oa)
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.15 {
+		t.Errorf("greedy/optimal cost ratio %g exceeds 1.15", worst)
+	}
+}

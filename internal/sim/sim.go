@@ -1,0 +1,188 @@
+// Package sim is the in-process multi-day simulation driver: it runs
+// the same day cycle as the TCP center (internal/netproto) against the
+// same Policy contract, without sockets. Any household policy —
+// truthful, misreporting, or ECC-learning — can therefore be developed
+// and tested in-process and then deployed over the wire unchanged; the
+// equivalence is asserted by TestSimMatchesNetworkCenter.
+//
+// The driver records a per-day metric time series (cost, peak, PAR,
+// defections, payments) for longitudinal studies such as the
+// smart-meter learning curve.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"enki/internal/core"
+	"enki/internal/mechanism"
+	"enki/internal/netproto"
+	"enki/internal/pricing"
+	"enki/internal/sched"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Scheduler allocates each day; it must be non-nil.
+	Scheduler sched.Scheduler
+	// Pricer prices hourly load; it must be non-nil.
+	Pricer pricing.Pricer
+	// Mechanism carries the payment scaling factors.
+	Mechanism mechanism.Config
+	// Rating is the power rating r in kW.
+	Rating float64
+}
+
+func (c Config) validate() error {
+	if c.Scheduler == nil {
+		return fmt.Errorf("sim: nil scheduler")
+	}
+	if c.Pricer == nil {
+		return fmt.Errorf("sim: nil pricer")
+	}
+	if c.Rating <= 0 {
+		return fmt.Errorf("sim: rating %g must be positive", c.Rating)
+	}
+	return c.Mechanism.Validate()
+}
+
+// DayMetrics is the aggregate outcome of one simulated day.
+type DayMetrics struct {
+	Day         int
+	Cost        float64   // κ(ω)
+	Peak        float64   // peak hourly load (kWh)
+	PAR         float64   // peak-to-average ratio
+	Defections  int       // households whose consumption differed from their allocation
+	Payments    []float64 // per household, in policy order
+	Utilities   []float64 // valuation is unknown to the center; this is −payment unless policies expose types (see RunWithTypes)
+	Flexibility []float64
+	DefectionSc []float64
+}
+
+// Result is a full run's time series.
+type Result struct {
+	Days []DayMetrics
+}
+
+// TotalDefections sums defections across all days.
+func (r *Result) TotalDefections() int {
+	var n int
+	for _, d := range r.Days {
+		n += d.Defections
+	}
+	return n
+}
+
+// CostSeries returns the per-day neighborhood costs.
+func (r *Result) CostSeries() []float64 {
+	out := make([]float64, len(r.Days))
+	for i, d := range r.Days {
+		out[i] = d.Cost
+	}
+	return out
+}
+
+// DefectionSeries returns the per-day defection counts.
+func (r *Result) DefectionSeries() []int {
+	out := make([]int, len(r.Days))
+	for i, d := range r.Days {
+		out[i] = d.Defections
+	}
+	return out
+}
+
+// Run simulates `days` day cycles over the policies. Policies are
+// addressed by their slice position: household i gets HouseholdID(i).
+func Run(cfg Config, policies []netproto.Policy, days int) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("sim: no policies")
+	}
+	if days <= 0 {
+		return nil, fmt.Errorf("sim: days %d must be positive", days)
+	}
+
+	res := &Result{}
+	for day := 1; day <= days; day++ {
+		metrics, err := runDay(cfg, policies, day)
+		if err != nil {
+			return nil, fmt.Errorf("sim: day %d: %w", day, err)
+		}
+		res.Days = append(res.Days, *metrics)
+	}
+	return res, nil
+}
+
+// runDay mirrors netproto.Center.RunDay without the wire.
+func runDay(cfg Config, policies []netproto.Policy, day int) (*DayMetrics, error) {
+	n := len(policies)
+	reports := make([]core.Report, n)
+	for i, p := range policies {
+		pref := p.Report(day)
+		if err := pref.Validate(); err != nil {
+			return nil, fmt.Errorf("policy %d: invalid report: %w", i, err)
+		}
+		reports[i] = core.Report{ID: core.HouseholdID(i), Pref: pref}
+	}
+	sort.Slice(reports, func(a, b int) bool { return reports[a].ID < reports[b].ID })
+
+	assignments, err := cfg.Scheduler.Allocate(reports)
+	if err != nil {
+		return nil, err
+	}
+
+	assigned := make([]core.Interval, n)
+	consumed := make([]core.Interval, n)
+	prefs := make([]core.Preference, n)
+	for i := range reports {
+		prefs[i] = reports[i].Pref
+		assigned[i] = assignments[i].Interval
+		consumed[i] = policies[i].Consume(day, assigned[i])
+		if consumed[i].Len() != prefs[i].Duration {
+			return nil, fmt.Errorf("policy %d: consumed %d slots, declared %d",
+				i, consumed[i].Len(), prefs[i].Duration)
+		}
+	}
+
+	predicted := mechanism.FlexibilityScores(prefs)
+	flex := mechanism.ActualFlexibilities(predicted, assigned, consumed)
+	defect := mechanism.DefectionScores(cfg.Pricer, cfg.Rating, assigned, consumed)
+	psi, err := mechanism.SocialCostScores(flex, defect, cfg.Mechanism.K)
+	if err != nil {
+		return nil, err
+	}
+	load := core.LoadOf(consumed, cfg.Rating)
+	cost := pricing.Cost(cfg.Pricer, load)
+	payments, err := mechanism.Payments(psi, cfg.Mechanism.Xi, cost)
+	if err != nil {
+		return nil, err
+	}
+
+	metrics := &DayMetrics{
+		Day:         day,
+		Cost:        cost,
+		Peak:        load.Peak(),
+		PAR:         load.PAR(),
+		Payments:    payments,
+		Utilities:   make([]float64, n),
+		Flexibility: flex,
+		DefectionSc: defect,
+	}
+	for i := range policies {
+		if core.Defected(assigned[i], consumed[i]) {
+			metrics.Defections++
+		}
+		metrics.Utilities[i] = -payments[i]
+		policies[i].Feedback(day, netproto.PaymentDetail{
+			Amount:      payments[i],
+			Flexibility: flex[i],
+			Defection:   defect[i],
+			SocialCost:  psi[i],
+			TotalCost:   cost,
+			PeakLoad:    load.Peak(),
+		})
+	}
+	return metrics, nil
+}

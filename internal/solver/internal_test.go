@@ -1,0 +1,140 @@
+package solver
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"enki/internal/core"
+	"enki/internal/pricing"
+)
+
+func TestWaterLevelExact(t *testing.T) {
+	tests := []struct {
+		name   string
+		levels []float64
+		energy float64
+		want   float64
+	}{
+		{"flat base", []float64{0, 0, 0, 0}, 8, 2},
+		{"single slot", []float64{3}, 4, 7},
+		{"staircase filled", []float64{0, 2, 4}, 3, 2.5}, // fill 0→2 (2), then two slots 0.5 each
+		{"fills past all levels", []float64{1, 2}, 10, 6.5},
+		{"zero energy", []float64{5, 7}, 0, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			levels := append([]float64(nil), tt.levels...)
+			sort.Float64s(levels)
+			got := waterLevel(levels, tt.energy)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("waterLevel(%v, %g) = %g, want %g", tt.levels, tt.energy, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestWaterLevelConservation: raising every level below λ to λ absorbs
+// exactly the requested energy.
+func TestWaterLevelConservation(t *testing.T) {
+	prop := func(raw [6]uint8, eRaw uint16) bool {
+		levels := make([]float64, len(raw))
+		for i, v := range raw {
+			levels[i] = float64(v) / 4
+		}
+		sort.Float64s(levels)
+		energy := float64(eRaw) / 100
+		lambda := waterLevel(levels, energy)
+		var absorbed float64
+		for _, l := range levels {
+			if l < lambda {
+				absorbed += lambda - l
+			}
+		}
+		return math.Abs(absorbed-energy) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("water level does not conserve energy: %v", err)
+	}
+}
+
+// TestWaterfillBoundIsLowerBound: for random small instances, the
+// bbState waterfill bound at the root never exceeds the exhaustive
+// optimum.
+func TestWaterfillBoundIsLowerBound(t *testing.T) {
+	p := pricing.Quadratic{Sigma: 0.3}
+	mk := func(begin, width, dur int) Item {
+		return ItemFromPreference(core.Preference{
+			Window:   core.Interval{Begin: begin, End: begin + width},
+			Duration: dur,
+		}, 2)
+	}
+	instances := [][]Item{
+		{mk(18, 4, 2), mk(18, 4, 2), mk(16, 6, 3)},
+		{mk(0, 24, 1), mk(10, 8, 4), mk(12, 5, 2), mk(14, 4, 1)},
+		{mk(20, 4, 2), mk(20, 4, 2), mk(20, 4, 2)},
+	}
+	for k, items := range instances {
+		ex, err := Exhaustive(p, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build a root bbState the way BranchAndBound does, then query
+		// the bound directly.
+		starved, err := BranchAndBound(p, items, Options{NodeLimit: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if starved.LowerBound > ex.Cost+1e-9 {
+			t.Errorf("instance %d: root bound %g exceeds optimum %g", k, starved.LowerBound, ex.Cost)
+		}
+	}
+}
+
+func TestSeedIncumbentFeasible(t *testing.T) {
+	p := pricing.Quadratic{Sigma: 0.3}
+	items := []Item{
+		ItemFromPreference(core.MustPreference(18, 22, 2), 2),
+		ItemFromPreference(core.MustPreference(16, 24, 3), 2),
+		ItemFromPreference(core.MustPreference(10, 14, 2), 2),
+	}
+	ordered := make([]bbItem, len(items))
+	for i, it := range items {
+		ordered[i] = bbItem{Item: it, pos: i, energy: float64(it.Candidates[0].Len()) * it.Rating}
+	}
+	best := make([]int, len(items))
+	cost := seedIncumbent(p, ordered, best)
+	if cost <= 0 {
+		t.Fatalf("seed cost %g must be positive", cost)
+	}
+	var load core.Load
+	for i, c := range best {
+		if c < 0 || c >= len(ordered[i].Candidates) {
+			t.Fatalf("seed choice %d out of range", c)
+		}
+		load.AddInterval(ordered[i].Candidates[c], ordered[i].Rating)
+	}
+	if got := pricing.Cost(p, load); math.Abs(got-cost) > 1e-9 {
+		t.Errorf("seed cost %g != recomputed %g", cost, got)
+	}
+	// Local search means no single move improves.
+	for i := range ordered {
+		cur := ordered[i].Candidates[best[i]]
+		load.RemoveInterval(cur, ordered[i].Rating)
+		for _, iv := range ordered[i].Candidates {
+			if m := pricing.MarginalCost(p, &load, iv, ordered[i].Rating); m <
+				pricing.MarginalCost(p, &load, cur, ordered[i].Rating)-1e-9 {
+				t.Errorf("seed not a local optimum: item %d can move to %v", i, iv)
+			}
+		}
+		load.AddInterval(cur, ordered[i].Rating)
+	}
+}
+
+func TestGapZeroCost(t *testing.T) {
+	r := Result{Cost: 0, LowerBound: 0}
+	if r.Gap() != 0 {
+		t.Errorf("zero-cost gap = %g, want 0", r.Gap())
+	}
+}

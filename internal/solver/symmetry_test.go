@@ -1,0 +1,25 @@
+package solver
+
+import (
+	"testing"
+)
+
+func TestSymCorrect(t *testing.T) {
+	// TestSymCorrect: duplicated (identical) items exercise the symmetry-
+	// breaking path; the optimum must match the exhaustive oracle.
+	for seed := uint64(1); seed <= 5; seed++ {
+		items := randomItems(t, seed, 6)
+		items = append(items, items[0], items[0], items[1])
+		ex, err := Exhaustive(sigma, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := BranchAndBound(sigma, items, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := ex.Cost - bb.Cost; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("seed %d: %g vs %g", seed, ex.Cost, bb.Cost)
+		}
+	}
+}

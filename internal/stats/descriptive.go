@@ -1,0 +1,100 @@
+// Package stats implements the statistical machinery the paper's
+// evaluation relies on: descriptive statistics with 95% confidence
+// intervals (Figures 4-6 error bars) and the Mann-Whitney U test
+// (Table III and Figure 8).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator), or 0
+// when fewer than two observations are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SEM returns the standard error of the mean.
+func SEM(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values indexed by
+// degrees of freedom (1-based; index 0 unused).
+var tCritical95 = []float64{
+	math.NaN(),
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% critical value of Student's t
+// distribution with df degrees of freedom (normal 1.96 for df > 30).
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df < len(tCritical95) {
+		return tCritical95[df]
+	}
+	return 1.96
+}
+
+// Interval is a symmetric confidence interval around a sample mean.
+type Interval struct {
+	Mean float64 // point estimate
+	Half float64 // half-width: the interval is Mean ± Half
+}
+
+// Lo returns the lower bound of the interval.
+func (iv Interval) Lo() float64 { return iv.Mean - iv.Half }
+
+// Hi returns the upper bound of the interval.
+func (iv Interval) Hi() float64 { return iv.Mean + iv.Half }
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo() && x <= iv.Hi() }
+
+// CI95 returns the 95% Student-t confidence interval for the mean of
+// xs, the quantity plotted as error bars in Figures 4-6.
+func CI95(xs []float64) Interval {
+	n := len(xs)
+	if n == 0 {
+		return Interval{}
+	}
+	if n == 1 {
+		return Interval{Mean: xs[0]}
+	}
+	return Interval{Mean: Mean(xs), Half: TCritical95(n-1) * SEM(xs)}
+}
+
+// NormalCDF returns Φ(z), the standard normal cumulative distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almost(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %g, want %g", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic dataset is 32/7.
+	if got := Variance(xs); !almost(got, 32.0/7, 1e-9) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7), 1e-9) {
+		t.Errorf("StdDev = %g", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("variance of a single observation should be 0")
+	}
+	if Variance(nil) != 0 {
+		t.Error("variance of empty slice should be 0")
+	}
+}
+
+func TestVarianceNonnegative(t *testing.T) {
+	prop := func(raw [8]int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("variance must be nonnegative: %v", err)
+	}
+}
+
+func TestSEM(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	want := StdDev(xs) / math.Sqrt(5)
+	if got := SEM(xs); !almost(got, want, 1e-12) {
+		t.Errorf("SEM = %g, want %g", got, want)
+	}
+	if SEM(nil) != 0 {
+		t.Error("SEM of empty slice should be 0")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	tests := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{9, 2.262}, // 10 rounds per population in Figs. 4-6
+		{19, 2.093},
+		{30, 2.042},
+		{100, 1.96},
+	}
+	for _, tt := range tests {
+		if got := TCritical95(tt.df); !almost(got, tt.want, 1e-9) {
+			t.Errorf("TCritical95(%d) = %g, want %g", tt.df, got, tt.want)
+		}
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("TCritical95(0) should be NaN")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 13, 10, 12, 11, 10, 12}
+	iv := CI95(xs)
+	if !almost(iv.Mean, Mean(xs), 1e-12) {
+		t.Errorf("CI mean = %g, want %g", iv.Mean, Mean(xs))
+	}
+	wantHalf := TCritical95(9) * SEM(xs)
+	if !almost(iv.Half, wantHalf, 1e-12) {
+		t.Errorf("CI half-width = %g, want %g", iv.Half, wantHalf)
+	}
+	if !iv.Contains(iv.Mean) {
+		t.Error("interval must contain its own mean")
+	}
+	if iv.Lo() >= iv.Hi() {
+		t.Error("interval bounds inverted")
+	}
+	single := CI95([]float64{7})
+	if single.Mean != 7 || single.Half != 0 {
+		t.Errorf("single-observation CI = %+v, want {7 0}", single)
+	}
+	if got := CI95(nil); got != (Interval{}) {
+		t.Errorf("empty CI = %+v, want zero", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	tests := []struct {
+		z, want float64
+	}{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{3, 0.99865},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.z); !almost(got, tt.want, 1e-3) {
+			t.Errorf("NormalCDF(%g) = %g, want %g", tt.z, got, tt.want)
+		}
+	}
+}

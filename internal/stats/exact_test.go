@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/dist"
+)
+
+func TestExactRejectsEmptyAndTies(t *testing.T) {
+	if _, err := MannWhitneyUExact(nil, []float64{1}); err == nil {
+		t.Error("empty sample should be rejected")
+	}
+	if _, err := MannWhitneyUExact([]float64{1, 2}, []float64{2, 3}); err == nil {
+		t.Error("tied samples should be rejected")
+	}
+	if _, err := MannWhitneyUExact([]float64{1, 1}, []float64{3, 4}); err == nil {
+		t.Error("within-sample ties should be rejected")
+	}
+}
+
+// TestExactSmallTable checks hand-computed exact p-values for tiny
+// samples, where the null distribution is easy to enumerate by hand.
+func TestExactSmallTable(t *testing.T) {
+	// n1 = n2 = 2, sample1 holds the two smallest values: R1 = 3, the
+	// most extreme of C(4,2) = 6 assignments; P(R1 ≤ 3) = 1/6, two-sided
+	// p = 2/6.
+	res, err := MannWhitneyUExact([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-2.0/6) > 1e-12 {
+		t.Errorf("p = %g, want 1/3", res.P)
+	}
+	if res.U != 0 {
+		t.Errorf("U = %g, want 0", res.U)
+	}
+
+	// n1 = n2 = 3, fully separated: R1 = 6, 1 of C(6,3) = 20; p = 2/20.
+	res, err = MannWhitneyUExact([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-0.1) > 1e-12 {
+		t.Errorf("p = %g, want 0.1", res.P)
+	}
+
+	// Perfectly interleaved samples: no evidence, p should be large.
+	res, err = MannWhitneyUExact([]float64{1, 3, 5}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.5 {
+		t.Errorf("interleaved p = %g, want ≥ 0.5", res.P)
+	}
+}
+
+// TestExactMatchesNormalApproximation: at the paper's sample sizes the
+// exact and normal-approximate p-values agree closely.
+func TestExactMatchesNormalApproximation(t *testing.T) {
+	rng := dist.New(31)
+	for trial := 0; trial < 50; trial++ {
+		s1 := make([]float64, 16)
+		s2 := make([]float64, 16)
+		for i := range s1 {
+			s1[i] = rng.Float64()
+			s2[i] = rng.Float64() + 0.3*rng.Float64()
+		}
+		exact, err := MannWhitneyUExact(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := MannWhitneyU(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact.P-approx.P) > 0.03 {
+			t.Errorf("trial %d: exact p %g vs approx p %g differ by more than 0.03",
+				trial, exact.P, approx.P)
+		}
+		if exact.U != approx.U {
+			t.Errorf("trial %d: U statistics disagree: %g vs %g", trial, exact.U, approx.U)
+		}
+	}
+}
+
+// TestExactSymmetry: swapping the samples leaves the p-value unchanged.
+func TestExactSymmetry(t *testing.T) {
+	s1 := []float64{0.1, 0.7, 1.3, 2.2, 3.1}
+	s2 := []float64{0.4, 0.9, 1.8, 2.9}
+	a, err := MannWhitneyUExact(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MannWhitneyUExact(s2, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.P-b.P) > 1e-12 {
+		t.Errorf("exact p not symmetric: %g vs %g", a.P, b.P)
+	}
+}
+
+// TestExactNullCalibration: under the null the exact test's rejection
+// rate is at most the nominal level (exact tests are conservative for
+// discrete statistics).
+func TestExactNullCalibration(t *testing.T) {
+	rng := dist.New(77)
+	const trials = 1500
+	rejects := 0
+	for trial := 0; trial < trials; trial++ {
+		s1 := make([]float64, 10)
+		s2 := make([]float64, 10)
+		for i := range s1 {
+			s1[i] = rng.Float64()
+			s2[i] = rng.Float64()
+		}
+		res, err := MannWhitneyUExact(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejects++
+		}
+	}
+	if rate := float64(rejects) / trials; rate > 0.06 {
+		t.Errorf("exact test rejected %g under the null at α = 0.05", rate)
+	}
+}

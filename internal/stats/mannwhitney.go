@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult is the outcome of a two-sided Mann-Whitney U test,
+// the test Section VII applies in Table III and Figure 8.
+type MannWhitneyResult struct {
+	U1 float64 // U statistic of sample 1
+	U2 float64 // U statistic of sample 2
+	U  float64 // min(U1, U2), the test statistic
+	Z  float64 // normal approximation z-score (tie-corrected, continuity-corrected)
+	P  float64 // two-sided p-value
+}
+
+// Significant reports whether the test rejects the null at level alpha.
+func (r MannWhitneyResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// MannWhitneyU runs the two-sided Mann-Whitney U test on two independent
+// samples using the tie-corrected normal approximation with continuity
+// correction. The paper's samples have n = 16..20 per group, where the
+// normal approximation is the standard choice.
+func MannWhitneyU(sample1, sample2 []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(sample1), len(sample2)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{}, fmt.Errorf("stats: mann-whitney needs non-empty samples (n1=%d, n2=%d)", n1, n2)
+	}
+
+	type obs struct {
+		value float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range sample1 {
+		all = append(all, obs{v, 1})
+	}
+	for _, v := range sample2 {
+		all = append(all, obs{v, 2})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].value < all[j].value })
+
+	// Assign mid-ranks to ties and accumulate the tie correction term
+	// Σ(t³ − t).
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].value == all[i].value {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	var r1 float64
+	for i, o := range all {
+		if o.group == 1 {
+			r1 += ranks[i]
+		}
+	}
+
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	u2 := fn1*fn2 - u1
+	u := math.Min(u1, u2)
+
+	mu := fn1 * fn2 / 2
+	n := fn1 + fn2
+	varU := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	res := MannWhitneyResult{U1: u1, U2: u2, U: u}
+	if varU <= 0 {
+		// All observations identical: no evidence against the null.
+		res.P = 1
+		return res, nil
+	}
+	// Continuity correction toward the mean.
+	num := u - mu
+	switch {
+	case num > 0.5:
+		num -= 0.5
+	case num < -0.5:
+		num += 0.5
+	default:
+		num = 0
+	}
+	res.Z = num / math.Sqrt(varU)
+	res.P = 2 * NormalCDF(-math.Abs(res.Z))
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}
+
+// FormatP renders a p-value the way the paper's tables do: values below
+// 0.0001 print as "< 0.0001", others with four decimals.
+func FormatP(p float64) string {
+	if p < 0.0001 {
+		return "< 0.0001"
+	}
+	return fmt.Sprintf("%.4f", p)
+}

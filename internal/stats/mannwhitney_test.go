@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/dist"
+)
+
+func TestMannWhitneyRejectsEmpty(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1}); err == nil {
+		t.Error("empty sample 1 should be rejected")
+	}
+	if _, err := MannWhitneyU([]float64{1}, nil); err == nil {
+		t.Error("empty sample 2 should be rejected")
+	}
+}
+
+func TestMannWhitneyUStatistics(t *testing.T) {
+	// Hand-computed example without ties:
+	// sample1 = {1, 3, 5}, sample2 = {2, 4, 6}.
+	// Ranks: 1→1, 2→2, 3→3, 4→4, 5→5, 6→6. R1 = 9, U1 = 9 − 6 = 3, U2 = 6.
+	res, err := MannWhitneyU([]float64{1, 3, 5}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 3 || res.U2 != 6 || res.U != 3 {
+		t.Errorf("U1=%g U2=%g U=%g, want 3, 6, 3", res.U1, res.U2, res.U)
+	}
+	if res.P < 0.5 {
+		t.Errorf("interleaved samples should not be significant: p = %g", res.P)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	s := []float64{4, 4, 4, 4}
+	res, err := MannWhitneyU(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constant samples should give p = 1, got %g", res.P)
+	}
+}
+
+func TestMannWhitneySeparatedSamples(t *testing.T) {
+	// Completely separated samples of the paper's size (n = 20) must be
+	// overwhelmingly significant — the Table III "Overall" situation.
+	lo := make([]float64, 20)
+	hi := make([]float64, 20)
+	for i := range lo {
+		lo[i] = float64(i)       // 0..19
+		hi[i] = float64(i) + 100 // 100..119
+	}
+	res, err := MannWhitneyU(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Errorf("fully separated samples should give U = 0, got %g", res.U)
+	}
+	if res.P >= 0.0001 {
+		t.Errorf("fully separated samples: p = %g, want < 0.0001", res.P)
+	}
+	if FormatP(res.P) != "< 0.0001" {
+		t.Errorf("FormatP = %q, want \"< 0.0001\"", FormatP(res.P))
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	b := []float64{2, 7, 1, 8, 2, 8}
+	r1, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MannWhitneyU(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r1.P, r2.P, 1e-12) {
+		t.Errorf("p-value not symmetric: %g vs %g", r1.P, r2.P)
+	}
+	if !almost(r1.U, r2.U, 1e-12) {
+		t.Errorf("U not symmetric: %g vs %g", r1.U, r2.U)
+	}
+}
+
+func TestMannWhitneyWithTies(t *testing.T) {
+	// Ties across groups exercise the mid-rank path and tie correction.
+	a := []float64{1, 2, 2, 3}
+	b := []float64{2, 3, 3, 4}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1+res.U2 != float64(len(a)*len(b)) {
+		t.Errorf("U1 + U2 = %g, want n1·n2 = %d", res.U1+res.U2, len(a)*len(b))
+	}
+	if res.P <= 0 || res.P > 1 {
+		t.Errorf("p = %g outside (0, 1]", res.P)
+	}
+}
+
+// TestMannWhitneyFalsePositiveRate: under the null (same distribution),
+// the test should reject at roughly the nominal rate.
+func TestMannWhitneyFalsePositiveRate(t *testing.T) {
+	rng := dist.New(99)
+	const trials = 2000
+	rejects := 0
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 20)
+		b := make([]float64, 20)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		res, err := MannWhitneyU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / trials
+	if rate > 0.08 {
+		t.Errorf("false positive rate %g too high for α = 0.05", rate)
+	}
+}
+
+// TestMannWhitneyPower: a real location shift of the paper's magnitude
+// should usually be detected at n = 20.
+func TestMannWhitneyPower(t *testing.T) {
+	rng := dist.New(123)
+	const trials = 500
+	detected := 0
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 20)
+		b := make([]float64, 20)
+		for i := range a {
+			a[i] = rng.NormRange(0, 1)
+			b[i] = rng.NormRange(1.5, 1)
+		}
+		res, err := MannWhitneyU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			detected++
+		}
+	}
+	if power := float64(detected) / trials; power < 0.9 {
+		t.Errorf("power %g too low for a 1.5σ shift at n = 20", power)
+	}
+}
+
+func TestFormatP(t *testing.T) {
+	if got := FormatP(0.0532); got != "0.0532" {
+		t.Errorf("FormatP(0.0532) = %q", got)
+	}
+	if got := FormatP(0.00005); got != "< 0.0001" {
+		t.Errorf("FormatP(0.00005) = %q", got)
+	}
+}
+
+func TestMannWhitneyZFinite(t *testing.T) {
+	res, err := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Z) || math.IsInf(res.Z, 0) {
+		t.Errorf("z = %g must be finite", res.Z)
+	}
+}

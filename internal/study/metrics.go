@@ -1,0 +1,130 @@
+package study
+
+import (
+	"fmt"
+
+	"enki/internal/stats"
+)
+
+// Stage is one of the paper's round ranges (Section VII-D).
+type Stage struct {
+	Name  string
+	First int // inclusive, 1-based
+	Last  int // inclusive
+}
+
+// The paper's four stages over a 16-round session.
+var (
+	StageOverall   = Stage{Name: "Overall", First: 1, Last: 16}
+	StageInitial   = Stage{Name: "Initial", First: 1, Last: 4}
+	StageDefect    = Stage{Name: "Defect", First: 1, Last: 8}
+	StageCooperate = Stage{Name: "Cooperate", First: 9, Last: 16}
+)
+
+// Stages lists the paper's stages in Table II order.
+func Stages() []Stage {
+	return []Stage{StageOverall, StageInitial, StageDefect, StageCooperate}
+}
+
+// Rounds returns the number of rounds the stage covers.
+func (s Stage) Rounds() int { return s.Last - s.First + 1 }
+
+// contains reports whether a 1-based round lies in the stage.
+func (s Stage) contains(round int) bool { return round >= s.First && round <= s.Last }
+
+// DefectionCount returns how many rounds of the stage the participant
+// defected in.
+func DefectionCount(p ParticipantResult, s Stage) int {
+	var n int
+	for _, r := range p.Rounds {
+		if s.contains(r.Round) && r.Defected {
+			n++
+		}
+	}
+	return n
+}
+
+// DefectionRate is the participant's defection count over the stage's
+// round count.
+func DefectionRate(p ParticipantResult, s Stage) float64 {
+	return float64(DefectionCount(p, s)) / float64(s.Rounds())
+}
+
+// TrueSelectingRatio is the fraction of the stage's rounds in which the
+// participant submitted exactly its true interval (Section VII-D RQ2).
+func TrueSelectingRatio(p ParticipantResult, s Stage) float64 {
+	var n int
+	for _, r := range p.Rounds {
+		if s.contains(r.Round) && r.SubmittedTruth {
+			n++
+		}
+	}
+	return float64(n) / float64(s.Rounds())
+}
+
+// FlexibilitySeries returns the participant's per-round flexibility
+// ratios in round order (the Figure 9 series).
+func FlexibilitySeries(p ParticipantResult) []float64 {
+	out := make([]float64, len(p.Rounds))
+	for i, r := range p.Rounds {
+		out[i] = r.FlexibilityRatio()
+	}
+	return out
+}
+
+// MeanDefectionRate averages DefectionRate over participants.
+func MeanDefectionRate(ps []ParticipantResult, s Stage) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range ps {
+		sum += DefectionRate(p, s)
+	}
+	return sum / float64(len(ps))
+}
+
+// MeanTrueSelectingRatio averages TrueSelectingRatio over participants.
+func MeanTrueSelectingRatio(ps []ParticipantResult, s Stage) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range ps {
+		sum += TrueSelectingRatio(p, s)
+	}
+	return sum / float64(len(ps))
+}
+
+// DefectionTest runs the Table III Mann-Whitney U test for a stage:
+// sample 1 holds each subject's defection count, sample 2 the
+// random-defection null (half the stage's rounds for every subject).
+func DefectionTest(ps []ParticipantResult, s Stage) (stats.MannWhitneyResult, error) {
+	if len(ps) == 0 {
+		return stats.MannWhitneyResult{}, fmt.Errorf("study: no participants")
+	}
+	observed := make([]float64, len(ps))
+	null := make([]float64, len(ps))
+	for i, p := range ps {
+		observed[i] = float64(DefectionCount(p, s))
+		null[i] = float64(s.Rounds()) / 2
+	}
+	return stats.MannWhitneyU(observed, null)
+}
+
+// TrueSelectingTest runs the Figure 8 Mann-Whitney U test: each
+// subject's true-interval selecting ratio in Initial (sample 1) against
+// Cooperate (sample 2). Confused subjects should be excluded by the
+// caller, as the paper does.
+func TrueSelectingTest(ps []ParticipantResult) (stats.MannWhitneyResult, error) {
+	if len(ps) == 0 {
+		return stats.MannWhitneyResult{}, fmt.Errorf("study: no participants")
+	}
+	initial := make([]float64, len(ps))
+	cooperate := make([]float64, len(ps))
+	for i, p := range ps {
+		initial[i] = TrueSelectingRatio(p, StageInitial)
+		cooperate[i] = TrueSelectingRatio(p, StageCooperate)
+	}
+	return stats.MannWhitneyU(initial, cooperate)
+}

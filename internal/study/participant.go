@@ -1,0 +1,158 @@
+// Package study reproduces the paper's user study (Section VII) as a
+// simulation: the same 16-round game, treatments, artificial-agent
+// schedule, scoring, and metrics, with the 20 human subjects replaced
+// by parametric behavioral models. The substitution is documented in
+// DESIGN.md: the mechanism-side code paths (allocation, payments,
+// defection punishment, flexibility rewards) are identical; only the
+// human decision policy is synthetic.
+package study
+
+import (
+	"enki/internal/core"
+	"enki/internal/dist"
+)
+
+// RoundRecord is one participant's outcome in one round.
+type RoundRecord struct {
+	Round          int             // 1-based round number
+	Truth          core.Preference // the true preference provided
+	Submitted      core.Preference // the interval the participant reported
+	Allocation     core.Interval   // the center's suggestion
+	Consumption    core.Interval   // realized consumption
+	Payment        float64         // p_i
+	Utility        float64         // U_i (Eq. 8)
+	Score          float64         // utility transformed to [0, 100]
+	Defected       bool            // consumption != allocation
+	SubmittedTruth bool            // submitted exactly the true interval
+}
+
+// FlexibilityRatio is the Section VII-D metric: the length of the
+// submitted interval lying within the true interval over the length of
+// the true interval — 0 when the subject's report is disjoint from its
+// truth (a defection setup), 1 when the subject submits its exact true
+// interval (or a superset).
+func (r RoundRecord) FlexibilityRatio() float64 {
+	trueLen := r.Truth.Window.Len()
+	if trueLen == 0 {
+		return 0
+	}
+	return float64(r.Submitted.Window.Overlap(r.Truth.Window)) / float64(trueLen)
+}
+
+// Participant is a player in the game: given its true preference for
+// the round and its past outcomes, it submits a preferred interval.
+// Consumption is automated by the engine per Section VII-B (within the
+// true interval, close to the allocation).
+type Participant interface {
+	// Model names the behavioral model for reporting.
+	Model() string
+	// Submit returns the preference to report this round. It must have
+	// the truth's duration and be feasible (window width ≥ duration).
+	Submit(round int, truth core.Preference, history []RoundRecord) core.Preference
+}
+
+// clampWindow builds a valid preference of the given duration whose
+// window is clipped into the day.
+func clampWindow(begin, end, duration int) core.Preference {
+	if end-begin < duration {
+		end = begin + duration
+	}
+	if begin < 0 {
+		end -= begin
+		begin = 0
+	}
+	if end > core.HoursPerDay {
+		shift := end - core.HoursPerDay
+		begin -= shift
+		end = core.HoursPerDay
+		if begin < 0 {
+			begin = 0
+		}
+	}
+	if end-begin < duration {
+		begin = max(0, end-duration)
+	}
+	return core.Preference{Window: core.Interval{Begin: begin, End: end}, Duration: duration}
+}
+
+// shifted returns the truth's exact interval displaced by delta — a
+// defection setup when delta moves it off the true window.
+func shifted(truth core.Preference, delta int) core.Preference {
+	return clampWindow(truth.Window.Begin+delta, truth.Window.End+delta, truth.Duration)
+}
+
+// pinned returns a rigid window (width = duration) starting delta slots
+// from the truth's begin. A rigid window forces the allocation onto
+// that exact interval, so a displacement off the true window guarantees
+// a defection — the "shifting his submitted interval" temptation of
+// Section VII-B.
+func pinned(truth core.Preference, delta int, rng *dist.RNG) core.Preference {
+	var start int
+	if delta >= 0 {
+		// Exit past the window's right edge: beyond the last feasible
+		// start. Fall back to the left when the day boundary clamps.
+		start = truth.Window.End - truth.Duration + delta
+		if start+truth.Duration > core.HoursPerDay {
+			start = truth.Window.Begin - delta
+		}
+	} else {
+		start = truth.Window.Begin + delta
+		if start < 0 {
+			start = truth.Window.End - truth.Duration - delta
+		}
+	}
+	_ = rng
+	return clampWindow(start, start+truth.Duration, truth.Duration)
+}
+
+// narrowed returns a sub-window of the truth covering frac of its
+// width (at least the duration).
+func narrowed(truth core.Preference, frac float64, rng *dist.RNG) core.Preference {
+	width := truth.Window.Len()
+	target := int(float64(width)*frac + 0.5)
+	if target < truth.Duration {
+		target = truth.Duration
+	}
+	if target >= width {
+		return truth
+	}
+	offset := rng.Intn(width - target + 1)
+	begin := truth.Window.Begin + offset
+	return clampWindow(begin, begin+target, truth.Duration)
+}
+
+// Artificial is the paper's scripted agent: its true preference updates
+// every round; in defect mode it submits a shifted interval and (per
+// the engine's consumption rule) overrides its allocation; in
+// cooperate mode it reports truthfully. Half of the artificial agents
+// defect during rounds 1-8; all cooperate during rounds 9-16.
+type Artificial struct {
+	// DefectsEarly marks the half of the agents that defect in the
+	// Defect stage (rounds 1-8).
+	DefectsEarly bool
+	// RNG drives the defection offsets.
+	RNG *dist.RNG
+}
+
+var _ Participant = (*Artificial)(nil)
+
+// Model implements Participant.
+func (a *Artificial) Model() string {
+	if a.DefectsEarly {
+		return "agent-defector"
+	}
+	return "agent-cooperator"
+}
+
+// Submit implements Participant.
+func (a *Artificial) Submit(round int, truth core.Preference, _ []RoundRecord) core.Preference {
+	if a.DefectsEarly && round <= 8 {
+		// Misreport: demand a rigid slot displaced off the truth.
+		delta := 2 + a.RNG.Intn(3)
+		if a.RNG.Bool(0.5) {
+			delta = -delta
+		}
+		return pinned(truth, delta, a.RNG)
+	}
+	return truth
+}

@@ -1,0 +1,157 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"enki/internal/dist"
+)
+
+// Understanding is a subject's self-reported grasp of the game in the
+// post-study questionnaire (Section VII-B).
+type Understanding int
+
+// Self-reported understanding levels.
+const (
+	// UnderstoodWell corresponds to the paper's P7/P8 cluster.
+	UnderstoodWell Understanding = iota + 1
+	// UnderstoodPartly is the intermediate cluster.
+	UnderstoodPartly
+	// DidNotUnderstand marks the four subjects who "had not understood
+	// the game at all".
+	DidNotUnderstand
+)
+
+// String implements fmt.Stringer.
+func (u Understanding) String() string {
+	switch u {
+	case UnderstoodWell:
+		return "well"
+	case UnderstoodPartly:
+		return "partly"
+	case DidNotUnderstand:
+		return "not at all"
+	default:
+		return fmt.Sprintf("Understanding(%d)", int(u))
+	}
+}
+
+// Questionnaire is one subject's post-study answers: the demographic
+// attributes Section VII-A reports (20 computer-science students, four
+// female, three undergraduates, four with prior gambling experience)
+// and the self-assessments Section VII-B asks for.
+type Questionnaire struct {
+	Number        int           // 1-based subject number
+	Female        bool          // 4 of 20
+	Undergraduate bool          // 3 of 20
+	Gambling      bool          // 4 of 20 with prior gambling experience
+	Understanding Understanding // self-reported understanding
+	RiskTolerance float64       // self-reported risk attitude in [0, 1]
+}
+
+// QuestionnaireFor synthesizes a subject's questionnaire consistent
+// with its behavioral model: confused subjects report not understanding
+// at all, learners report understanding well, and risk tolerance rises
+// with how aggressively the model explores. Demographics follow the
+// paper's marginals deterministically by subject number.
+func QuestionnaireFor(rec SubjectRecord, rng *dist.RNG) Questionnaire {
+	q := Questionnaire{
+		Number: rec.Number,
+		// Section VII-A marginals, assigned by fixed positions.
+		Female:        rec.Number == 2 || rec.Number == 5 || rec.Number == 12 || rec.Number == 18,
+		Undergraduate: rec.Number == 3 || rec.Number == 10 || rec.Number == 17,
+		Gambling:      rec.Number == 4 || rec.Number == 8 || rec.Number == 14 || rec.Number == 20,
+	}
+	switch rec.Result.Model {
+	case "confused":
+		q.Understanding = DidNotUnderstand
+		q.RiskTolerance = 0.4 + 0.3*rng.Float64()
+	case "learner":
+		q.Understanding = UnderstoodWell
+		q.RiskTolerance = 0.6 + 0.3*rng.Float64()
+	case "rational":
+		q.Understanding = UnderstoodWell
+		q.RiskTolerance = 0.1 + 0.2*rng.Float64()
+	default:
+		q.Understanding = UnderstoodPartly
+		q.RiskTolerance = 0.3 + 0.4*rng.Float64()
+	}
+	return q
+}
+
+// Questionnaires builds the full post-study questionnaire set.
+func Questionnaires(res *StudyResult, rng *dist.RNG) []Questionnaire {
+	out := make([]Questionnaire, len(res.Subjects))
+	for i, rec := range res.Subjects {
+		out[i] = QuestionnaireFor(rec, rng.Split())
+	}
+	return out
+}
+
+// QuestionnaireSummary aggregates the questionnaire the way Section
+// VII-A reports it.
+type QuestionnaireSummary struct {
+	Subjects        int
+	Female          int
+	Undergraduates  int
+	Gambling        int
+	ByUnderstanding map[Understanding]int
+}
+
+// Summarize computes the questionnaire marginals.
+func Summarize(qs []Questionnaire) QuestionnaireSummary {
+	s := QuestionnaireSummary{
+		Subjects:        len(qs),
+		ByUnderstanding: make(map[Understanding]int, 3),
+	}
+	for _, q := range qs {
+		if q.Female {
+			s.Female++
+		}
+		if q.Undergraduate {
+			s.Undergraduates++
+		}
+		if q.Gambling {
+			s.Gambling++
+		}
+		s.ByUnderstanding[q.Understanding]++
+	}
+	return s
+}
+
+// Render prints the Section VII-A style summary line.
+func (s QuestionnaireSummary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d subjects (%d female; %d undergraduates; %d with prior gambling experience)\n",
+		s.Subjects, s.Female, s.Undergraduates, s.Gambling)
+	fmt.Fprintf(&b, "self-reported understanding: well %d, partly %d, not at all %d\n",
+		s.ByUnderstanding[UnderstoodWell], s.ByUnderstanding[UnderstoodPartly],
+		s.ByUnderstanding[DidNotUnderstand])
+	return b.String()
+}
+
+// UnderstandingPredictsBehavior checks the paper's qualitative link:
+// subjects reporting better understanding defect less in the Cooperate
+// stage. It returns the mean Cooperate defection rate per reported
+// understanding level.
+func UnderstandingPredictsBehavior(res *StudyResult, qs []Questionnaire) map[Understanding]float64 {
+	sums := make(map[Understanding]float64, 3)
+	counts := make(map[Understanding]float64, 3)
+	byNumber := make(map[int]ParticipantResult, len(res.Subjects))
+	for _, rec := range res.Subjects {
+		byNumber[rec.Number] = rec.Result
+	}
+	for _, q := range qs {
+		p, ok := byNumber[q.Number]
+		if !ok {
+			continue
+		}
+		sums[q.Understanding] += DefectionRate(p, StageCooperate)
+		counts[q.Understanding]++
+	}
+	out := make(map[Understanding]float64, len(sums))
+	for u, s := range sums {
+		out[u] = s / counts[u]
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"enki/internal/dist"
+)
+
+func TestQuestionnaireMarginals(t *testing.T) {
+	res := runDefaultStudy(t, 1)
+	qs := Questionnaires(res, dist.New(9))
+	if len(qs) != 20 {
+		t.Fatalf("got %d questionnaires, want 20", len(qs))
+	}
+	s := Summarize(qs)
+	// Section VII-A: four female, three undergraduates, four with prior
+	// gambling experience, four who did not understand at all.
+	if s.Female != 4 {
+		t.Errorf("female = %d, want 4", s.Female)
+	}
+	if s.Undergraduates != 3 {
+		t.Errorf("undergraduates = %d, want 3", s.Undergraduates)
+	}
+	if s.Gambling != 4 {
+		t.Errorf("gambling = %d, want 4", s.Gambling)
+	}
+	if s.ByUnderstanding[DidNotUnderstand] != 4 {
+		t.Errorf("did-not-understand = %d, want 4", s.ByUnderstanding[DidNotUnderstand])
+	}
+	total := 0
+	for _, n := range s.ByUnderstanding {
+		total += n
+	}
+	if total != 20 {
+		t.Errorf("understanding counts sum to %d, want 20", total)
+	}
+	render := s.Render()
+	if !strings.Contains(render, "4 female") || !strings.Contains(render, "3 undergraduates") {
+		t.Errorf("render missing marginals:\n%s", render)
+	}
+}
+
+func TestQuestionnaireRiskBounds(t *testing.T) {
+	res := runDefaultStudy(t, 2)
+	for _, q := range Questionnaires(res, dist.New(4)) {
+		if q.RiskTolerance < 0 || q.RiskTolerance > 1 {
+			t.Errorf("subject %d: risk tolerance %g outside [0, 1]", q.Number, q.RiskTolerance)
+		}
+		if q.Understanding < UnderstoodWell || q.Understanding > DidNotUnderstand {
+			t.Errorf("subject %d: invalid understanding %v", q.Number, q.Understanding)
+		}
+	}
+}
+
+func TestUnderstandingPredictsBehavior(t *testing.T) {
+	// Average across seeds: well-understanding subjects defect less in
+	// Cooperate than subjects who did not understand.
+	var well, notAtAll float64
+	const reps = 8
+	for seed := uint64(0); seed < reps; seed++ {
+		res := runDefaultStudy(t, seed)
+		qs := Questionnaires(res, dist.New(seed+100))
+		rates := UnderstandingPredictsBehavior(res, qs)
+		well += rates[UnderstoodWell]
+		notAtAll += rates[DidNotUnderstand]
+	}
+	if well/reps >= notAtAll/reps {
+		t.Errorf("understanding should predict cooperation: well %g vs not-at-all %g",
+			well/reps, notAtAll/reps)
+	}
+}
+
+func TestUnderstandingString(t *testing.T) {
+	if UnderstoodWell.String() != "well" || DidNotUnderstand.String() != "not at all" {
+		t.Error("Understanding.String labels wrong")
+	}
+	if !strings.Contains(Understanding(99).String(), "99") {
+		t.Error("unknown understanding should render its value")
+	}
+}

@@ -1,0 +1,157 @@
+package study
+
+import (
+	"fmt"
+
+	"enki/internal/dist"
+)
+
+// StudyConfig parameterizes the full two-treatment study.
+type StudyConfig struct {
+	// Session is the per-session game configuration.
+	Session SessionConfig
+	// T1Sessions is the number of Treatment 1 sessions (paper: 4),
+	// each with T1SubjectsPerSession subjects and T1Agents artificial
+	// agents.
+	T1Sessions           int
+	T1SubjectsPerSession int
+	T1Agents             int
+	// T2Sessions is the number of Treatment 2 sessions (paper: 4),
+	// each with one subject and T2Agents artificial agents.
+	T2Sessions int
+	T2Agents   int
+}
+
+// DefaultStudyConfig returns the paper's design: four T1 sessions of
+// four subjects plus six artificial agents, and four T2 sessions of one
+// subject plus four artificial agents — 20 subjects in total.
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		Session:              DefaultSessionConfig(),
+		T1Sessions:           4,
+		T1SubjectsPerSession: 4,
+		T1Agents:             6,
+		T2Sessions:           4,
+		T2Agents:             4,
+	}
+}
+
+// SubjectRecord couples a subject's trajectory with its study-wide
+// numbering and treatment.
+type SubjectRecord struct {
+	// Number is the 1-based subject number. The roster places the two
+	// well-understanding learners at 7 and 8 (the paper's P7 and P8)
+	// and the four confused subjects at numbers 6, 9, 13, and 15 —
+	// inside Treatment 1, since the paper's Treatment 2 defection rates
+	// (0.03 in Cooperate) are incompatible with a confused subject.
+	Number    int
+	Treatment int
+	Result    ParticipantResult
+}
+
+// StudyResult is the outcome of the full study.
+type StudyResult struct {
+	Sessions []SessionResult
+	Subjects []SubjectRecord // all 20 subjects in roster order
+}
+
+// SubjectsByTreatment returns the trajectories of one treatment's
+// subjects.
+func (r *StudyResult) SubjectsByTreatment(treatment int) []ParticipantResult {
+	var out []ParticipantResult
+	for _, s := range r.Subjects {
+		if s.Treatment == treatment {
+			out = append(out, s.Result)
+		}
+	}
+	return out
+}
+
+// AllSubjects returns every subject trajectory in roster order.
+func (r *StudyResult) AllSubjects() []ParticipantResult {
+	out := make([]ParticipantResult, len(r.Subjects))
+	for i, s := range r.Subjects {
+		out[i] = s.Result
+	}
+	return out
+}
+
+// NonConfused returns the subjects who understood the game — the
+// paper removes the four confused subjects before the Figure 8 test.
+func (r *StudyResult) NonConfused() []ParticipantResult {
+	var out []ParticipantResult
+	for _, s := range r.Subjects {
+		if s.Result.Model != "confused" {
+			out = append(out, s.Result)
+		}
+	}
+	return out
+}
+
+// rosterModel returns the behavioral model for a 1-based subject
+// number: confused at 6, 9, 13, 15; learners at 7 and 8; rational at
+// 1, 11, 16; intermediate elsewhere (including all four Treatment 2
+// subjects, 17-20).
+func rosterModel(number int, rng *dist.RNG) Participant {
+	switch number {
+	case 6, 9, 13, 15:
+		return &Confused{RNG: rng}
+	case 7, 8:
+		return &Learner{RNG: rng}
+	case 1, 11, 16:
+		return &Rational{RNG: rng}
+	default:
+		return &Intermediate{RNG: rng}
+	}
+}
+
+// RunStudy executes the full two-treatment study. Subject numbers 1-16
+// fill the Treatment 1 sessions in order; numbers 17-20 are the
+// Treatment 2 subjects.
+func RunStudy(cfg StudyConfig, rng *dist.RNG) (*StudyResult, error) {
+	if cfg.T1Sessions < 0 || cfg.T2Sessions < 0 {
+		return nil, fmt.Errorf("study: negative session counts")
+	}
+	res := &StudyResult{}
+	number := 1
+
+	runOne := func(treatment, subjectCount, agentCount int) error {
+		subjects := make([]Participant, subjectCount)
+		numbers := make([]int, subjectCount)
+		for i := range subjects {
+			subjects[i] = rosterModel(number, rng.Split())
+			numbers[i] = number
+			number++
+		}
+		agents := make([]Participant, agentCount)
+		for i := range agents {
+			// Half of the artificial agents defect in rounds 1-8.
+			agents[i] = &Artificial{DefectsEarly: i < agentCount/2, RNG: rng.Split()}
+		}
+		session, err := RunSession(cfg.Session, treatment, subjects, agents, rng.Split())
+		if err != nil {
+			return fmt.Errorf("treatment %d: %w", treatment, err)
+		}
+		res.Sessions = append(res.Sessions, *session)
+		for i, p := range session.Subjects() {
+			res.Subjects = append(res.Subjects, SubjectRecord{
+				Number:    numbers[i],
+				Treatment: treatment,
+				Result:    p,
+			})
+		}
+		return nil
+	}
+
+	for s := 0; s < cfg.T1Sessions; s++ {
+		if err := runOne(1, cfg.T1SubjectsPerSession, cfg.T1Agents); err != nil {
+			return nil, err
+		}
+	}
+	for s := 0; s < cfg.T2Sessions; s++ {
+		if err := runOne(2, 1, cfg.T2Agents); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,354 @@
+package study
+
+import (
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+)
+
+func runDefaultStudy(t *testing.T, seed uint64) *StudyResult {
+	t.Helper()
+	res, err := RunStudy(DefaultStudyConfig(), dist.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStudyStructure(t *testing.T) {
+	res := runDefaultStudy(t, 1)
+	if len(res.Sessions) != 8 {
+		t.Fatalf("got %d sessions, want 8 (4 T1 + 4 T2)", len(res.Sessions))
+	}
+	if len(res.Subjects) != 20 {
+		t.Fatalf("got %d subjects, want 20", len(res.Subjects))
+	}
+	if got := len(res.SubjectsByTreatment(1)); got != 16 {
+		t.Errorf("treatment 1 has %d subjects, want 16", got)
+	}
+	if got := len(res.SubjectsByTreatment(2)); got != 4 {
+		t.Errorf("treatment 2 has %d subjects, want 4", got)
+	}
+	if got := len(res.NonConfused()); got != 16 {
+		t.Errorf("non-confused count %d, want 16", got)
+	}
+	for _, s := range res.Subjects {
+		if len(s.Result.Rounds) != 16 {
+			t.Fatalf("subject %d played %d rounds, want 16", s.Number, len(s.Result.Rounds))
+		}
+	}
+	// Roster placement: P7 and P8 are learners; 6, 9, 13, 15 confused.
+	models := map[int]string{}
+	for _, s := range res.Subjects {
+		models[s.Number] = s.Result.Model
+	}
+	for _, n := range []int{7, 8} {
+		if models[n] != "learner" {
+			t.Errorf("subject %d model %q, want learner", n, models[n])
+		}
+	}
+	for _, n := range []int{6, 9, 13, 15} {
+		if models[n] != "confused" {
+			t.Errorf("subject %d model %q, want confused", n, models[n])
+		}
+	}
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	a := runDefaultStudy(t, 5)
+	b := runDefaultStudy(t, 5)
+	for i := range a.Subjects {
+		ra, rb := a.Subjects[i].Result.Rounds, b.Subjects[i].Result.Rounds
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("subject %d round %d diverged", i, j)
+			}
+		}
+	}
+}
+
+// TestTableIIBands checks the Table II defection-rate pattern across
+// seeds: Overall low, Initial highest, Cooperate lowest.
+func TestTableIIBands(t *testing.T) {
+	var overall, initial, defectStage, coop float64
+	const reps = 10
+	for seed := uint64(0); seed < reps; seed++ {
+		res := runDefaultStudy(t, seed)
+		all := res.AllSubjects()
+		overall += MeanDefectionRate(all, StageOverall)
+		initial += MeanDefectionRate(all, StageInitial)
+		defectStage += MeanDefectionRate(all, StageDefect)
+		coop += MeanDefectionRate(all, StageCooperate)
+	}
+	overall, initial, defectStage, coop = overall/reps, initial/reps, defectStage/reps, coop/reps
+
+	if overall < 0.12 || overall > 0.30 {
+		t.Errorf("overall defection %g outside the paper band around 0.205", overall)
+	}
+	if initial < 0.25 || initial > 0.50 {
+		t.Errorf("initial defection %g outside the paper band around 0.363", initial)
+	}
+	if !(initial > defectStage && defectStage > coop) {
+		t.Errorf("stage ordering violated: initial %g, defect %g, cooperate %g",
+			initial, defectStage, coop)
+	}
+	if coop > 0.20 {
+		t.Errorf("cooperate defection %g too high (paper 0.125)", coop)
+	}
+}
+
+// TestTableIVBands checks the treatment split: T2 subjects defect less
+// in Cooperate (paper: 0.03 vs 0.15).
+func TestTableIVBands(t *testing.T) {
+	var t1coop, t2coop float64
+	const reps = 10
+	for seed := uint64(20); seed < 20+reps; seed++ {
+		res := runDefaultStudy(t, seed)
+		t1coop += MeanDefectionRate(res.SubjectsByTreatment(1), StageCooperate)
+		t2coop += MeanDefectionRate(res.SubjectsByTreatment(2), StageCooperate)
+	}
+	t1coop, t2coop = t1coop/reps, t2coop/reps
+	if t2coop >= t1coop {
+		t.Errorf("T2 cooperate defection %g should be below T1's %g", t2coop, t1coop)
+	}
+	if t2coop > 0.10 {
+		t.Errorf("T2 cooperate defection %g too high (paper 0.03)", t2coop)
+	}
+}
+
+// TestTableIIIMannWhitney: the Overall stage must reject the
+// random-defection null decisively; Initial must not be decisive.
+func TestTableIIIMannWhitney(t *testing.T) {
+	res := runDefaultStudy(t, 42)
+	all := res.AllSubjects()
+	overall, err := DefectionTest(all, StageOverall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall.P >= 0.001 {
+		t.Errorf("overall p = %g, want < 0.001 (paper < 0.0001)", overall.P)
+	}
+	coop, err := DefectionTest(all, StageCooperate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coop.P >= 0.01 {
+		t.Errorf("cooperate p = %g, want < 0.01 (paper < 0.0001)", coop.P)
+	}
+	initial, err := DefectionTest(all, StageInitial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.P <= overall.P {
+		t.Errorf("initial p (%g) should exceed overall p (%g): early rounds look closer to random",
+			initial.P, overall.P)
+	}
+}
+
+// TestFigure8TrueSelecting: non-confused subjects select their exact
+// true interval more often in Cooperate than in Initial, and the
+// Mann-Whitney test detects it (paper: 23.75% → 37.5%, p = 0.0143).
+func TestFigure8TrueSelecting(t *testing.T) {
+	var initial, coop float64
+	const reps = 10
+	for seed := uint64(50); seed < 50+reps; seed++ {
+		res := runDefaultStudy(t, seed)
+		all := res.AllSubjects()
+		initial += MeanTrueSelectingRatio(all, StageInitial)
+		coop += MeanTrueSelectingRatio(all, StageCooperate)
+	}
+	initial, coop = initial/reps, coop/reps
+	if coop <= initial {
+		t.Errorf("true-selecting ratio must rise: initial %g, cooperate %g", initial, coop)
+	}
+	if coop < 0.28 || coop > 0.50 {
+		t.Errorf("cooperate true-selecting ratio %g outside the paper band around 0.375", coop)
+	}
+
+	res := runDefaultStudy(t, 42)
+	mw, err := TrueSelectingTest(res.NonConfused())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mw.Significant(0.05) {
+		t.Errorf("figure 8 test p = %g, want < 0.05 (paper 0.0143)", mw.P)
+	}
+}
+
+// TestFigure9Flexibility: the learners (P7, P8) defect early and then
+// lock onto flexibility ratio 1; the intermediate average rises.
+func TestFigure9Flexibility(t *testing.T) {
+	res := runDefaultStudy(t, 7)
+	var learnerLate, learnerEarly, nLearner float64
+	var interEarly, interLate, nInter float64
+	for _, s := range res.Subjects {
+		series := FlexibilitySeries(s.Result)
+		var early, late float64
+		for i, v := range series {
+			if i < 4 {
+				early += v / 4
+			}
+			if i >= 12 {
+				late += v / 4
+			}
+		}
+		switch s.Result.Model {
+		case "learner":
+			learnerEarly += early
+			learnerLate += late
+			nLearner++
+		case "intermediate":
+			interEarly += early
+			interLate += late
+			nInter++
+		}
+	}
+	if nLearner == 0 || nInter == 0 {
+		t.Fatal("roster missing learner or intermediate subjects")
+	}
+	if learnerLate/nLearner < 0.99 {
+		t.Errorf("learners' late flexibility ratio %g, want 1.0 (exact truth)", learnerLate/nLearner)
+	}
+	if learnerEarly/nLearner >= learnerLate/nLearner {
+		t.Errorf("learners should start lower than they end: %g vs %g",
+			learnerEarly/nLearner, learnerLate/nLearner)
+	}
+	if interLate/nInter <= interEarly/nInter {
+		t.Errorf("intermediate flexibility ratio should rise: %g -> %g",
+			interEarly/nInter, interLate/nInter)
+	}
+}
+
+func TestStagesTable(t *testing.T) {
+	want := map[string][2]int{
+		"Overall":   {1, 16},
+		"Initial":   {1, 4},
+		"Defect":    {1, 8},
+		"Cooperate": {9, 16},
+	}
+	for _, s := range Stages() {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected stage %q", s.Name)
+			continue
+		}
+		if s.First != w[0] || s.Last != w[1] {
+			t.Errorf("stage %s = [%d, %d], want %v", s.Name, s.First, s.Last, w)
+		}
+	}
+	if StageOverall.Rounds() != 16 || StageInitial.Rounds() != 4 {
+		t.Error("stage round counts wrong")
+	}
+}
+
+func TestFlexibilityRatioMetric(t *testing.T) {
+	truth := core.MustPreference(16, 22, 2)
+	rec := RoundRecord{Truth: truth, Submitted: truth}
+	if rec.FlexibilityRatio() != 1 {
+		t.Errorf("exact truth ratio = %g, want 1", rec.FlexibilityRatio())
+	}
+	rec.Submitted = core.MustPreference(2, 6, 2) // disjoint: defection setup
+	if rec.FlexibilityRatio() != 0 {
+		t.Errorf("disjoint ratio = %g, want 0", rec.FlexibilityRatio())
+	}
+	rec.Submitted = core.MustPreference(16, 19, 2) // half the window
+	if rec.FlexibilityRatio() != 0.5 {
+		t.Errorf("half ratio = %g, want 0.5", rec.FlexibilityRatio())
+	}
+}
+
+func TestArtificialAgentSchedule(t *testing.T) {
+	rng := dist.New(3)
+	defector := &Artificial{DefectsEarly: true, RNG: rng.Split()}
+	cooperator := &Artificial{DefectsEarly: false, RNG: rng.Split()}
+	truth := core.MustPreference(14, 20, 2)
+	for round := 1; round <= 16; round++ {
+		d := defector.Submit(round, truth, nil)
+		c := cooperator.Submit(round, truth, nil)
+		if c != truth {
+			t.Errorf("round %d: cooperator submitted %v, want truth", round, c)
+		}
+		if round <= 8 {
+			if d == truth {
+				t.Errorf("round %d: defector submitted the truth", round)
+			}
+		} else if d != truth {
+			t.Errorf("round %d: defector must cooperate after round 8, got %v", round, d)
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	rng := dist.New(1)
+	if _, err := RunSession(cfg, 1, nil, nil, rng); err == nil {
+		t.Error("session with no subjects should fail")
+	}
+	bad := cfg
+	bad.Rounds = 0
+	if _, err := RunSession(bad, 1, []Participant{&Rational{RNG: rng}}, nil, rng); err == nil {
+		t.Error("zero rounds should be rejected")
+	}
+	bad = cfg
+	bad.Pricer = nil
+	if _, err := RunSession(bad, 1, []Participant{&Rational{RNG: rng}}, nil, rng); err == nil {
+		t.Error("nil pricer should be rejected")
+	}
+}
+
+func TestDefectionIsPunished(t *testing.T) {
+	// The mechanism-side claim behind RQ1: within a session, defecting
+	// rounds score lower on average than compliant rounds for the
+	// population of subjects (defectors carry Ψ > compliants).
+	res := runDefaultStudy(t, 11)
+	var defSum, defN, okSum, okN float64
+	for _, s := range res.Subjects {
+		for _, r := range s.Result.Rounds {
+			if r.Defected {
+				defSum += r.Score
+				defN++
+			} else {
+				okSum += r.Score
+				okN++
+			}
+		}
+	}
+	if defN == 0 || okN == 0 {
+		t.Fatal("study produced no defections or no compliant rounds")
+	}
+	if defSum/defN >= okSum/okN {
+		t.Errorf("defecting rounds average score %g should be below compliant %g",
+			defSum/defN, okSum/okN)
+	}
+}
+
+func TestSubmittedWindowsAlwaysValid(t *testing.T) {
+	// Property: every model's submission is a valid preference with the
+	// truth's duration, across many random truths.
+	rng := dist.New(99)
+	models := []Participant{
+		&Learner{RNG: rng.Split()},
+		&Intermediate{RNG: rng.Split()},
+		&Rational{RNG: rng.Split()},
+		&Confused{RNG: rng.Split()},
+		&Artificial{DefectsEarly: true, RNG: rng.Split()},
+	}
+	truthRNG := rng.Split()
+	for trial := 0; trial < 2000; trial++ {
+		dur := truthRNG.IntRange(1, 4)
+		begin := truthRNG.Intn(core.HoursPerDay - dur - 2)
+		end := truthRNG.IntRange(begin+dur+2, core.HoursPerDay)
+		truth := core.MustPreference(begin, end, dur)
+		round := truthRNG.IntRange(1, 16)
+		for _, m := range models {
+			sub := m.Submit(round, truth, nil)
+			if err := sub.Validate(); err != nil {
+				t.Fatalf("%s submitted invalid %v for truth %v: %v", m.Model(), sub, truth, err)
+			}
+			if sub.Duration != truth.Duration {
+				t.Fatalf("%s changed duration: %v for truth %v", m.Model(), sub, truth)
+			}
+		}
+	}
+}

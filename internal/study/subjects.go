@@ -1,0 +1,152 @@
+package study
+
+import (
+	"enki/internal/core"
+	"enki/internal/dist"
+)
+
+// The behavioral subject models. Each is a stylized policy calibrated
+// to the questionnaire clusters the paper reports: subjects who
+// understood the game well (explore early, then lock onto the truth),
+// subjects with intermediate understanding (flexibility grows with
+// experience), mostly-rational subjects, and the four subjects who
+// reported not understanding the game at all (random play).
+
+// Learner models a subject who understands the game well (the paper's
+// P7/P8 pattern): it experiments with misreports in the early rounds,
+// compares the scores of truthful and untruthful rounds, and commits to
+// its exact true interval once the evidence (or the Cooperate stage)
+// arrives.
+type Learner struct {
+	// RNG drives exploration.
+	RNG *dist.RNG
+	// ExploreRounds is how many opening rounds are exploratory
+	// (default 6 when zero).
+	ExploreRounds int
+}
+
+var _ Participant = (*Learner)(nil)
+
+// Model implements Participant.
+func (*Learner) Model() string { return "learner" }
+
+// Submit implements Participant.
+func (l *Learner) Submit(round int, truth core.Preference, history []RoundRecord) core.Preference {
+	explore := l.ExploreRounds
+	if explore == 0 {
+		explore = 6
+	}
+	if round > explore {
+		return truth // committed: exact true interval (Cooperate behavior)
+	}
+	// During exploration, compare evidence so far; a learner that has
+	// already seen defection hurt stops early.
+	if truthAvg, defectAvg, ok := scoreSplit(history); ok && defectAvg < truthAvg {
+		return truth
+	}
+	if l.RNG.Bool(0.8) {
+		delta := 2 + l.RNG.Intn(3)
+		if l.RNG.Bool(0.5) {
+			delta = -delta
+		}
+		return pinned(truth, delta, l.RNG)
+	}
+	return truth
+}
+
+// scoreSplit averages past scores for truthful-compliant rounds vs
+// defecting rounds. ok is false until both kinds have been observed.
+func scoreSplit(history []RoundRecord) (truthAvg, defectAvg float64, ok bool) {
+	var ts, tn, ds, dn float64
+	for _, r := range history {
+		if r.Defected {
+			ds += r.Score
+			dn++
+		} else {
+			ts += r.Score
+			tn++
+		}
+	}
+	if tn == 0 || dn == 0 {
+		return 0, 0, false
+	}
+	return ts / tn, ds / dn, true
+}
+
+// Intermediate models a subject with partial understanding: it starts
+// by submitting a narrow slice of its true window (hedging) and widens
+// its submission as rounds pass — the rising flexibility-ratio pattern
+// of Figure 9's "average of four subjects". Early on it occasionally
+// defects outright.
+type Intermediate struct {
+	// RNG drives the hedging noise.
+	RNG *dist.RNG
+}
+
+var _ Participant = (*Intermediate)(nil)
+
+// Model implements Participant.
+func (*Intermediate) Model() string { return "intermediate" }
+
+// Submit implements Participant.
+func (m *Intermediate) Submit(round int, truth core.Preference, _ []RoundRecord) core.Preference {
+	defectP := 0.5 - 0.045*float64(round)
+	if defectP > 0 && m.RNG.Bool(defectP) {
+		delta := 2 + m.RNG.Intn(3)
+		if m.RNG.Bool(0.5) {
+			delta = -delta
+		}
+		return pinned(truth, delta, m.RNG)
+	}
+	frac := 0.38 + 0.036*float64(round) + m.RNG.FloatRange(-0.05, 0.05)
+	if frac > 1 {
+		frac = 1
+	}
+	return narrowed(truth, frac, m.RNG)
+}
+
+// Rational models a subject who trusts the mechanism from the start:
+// nearly always truthful, with rare narrow hedges early on.
+type Rational struct {
+	// RNG drives the rare hedges.
+	RNG *dist.RNG
+}
+
+var _ Participant = (*Rational)(nil)
+
+// Model implements Participant.
+func (*Rational) Model() string { return "rational" }
+
+// Submit implements Participant.
+func (r *Rational) Submit(round int, truth core.Preference, _ []RoundRecord) core.Preference {
+	hedgeP := 0.1
+	if round > 8 {
+		hedgeP = 0.03
+	}
+	if r.RNG.Bool(hedgeP) {
+		if r.RNG.Bool(0.5) {
+			return narrowed(truth, 0.6, r.RNG)
+		}
+		return pinned(truth, 1, r.RNG)
+	}
+	return truth
+}
+
+// Confused models the four subjects who reported not understanding the
+// game: a uniformly random submission around the truth every round.
+type Confused struct {
+	// RNG drives the random submissions.
+	RNG *dist.RNG
+}
+
+var _ Participant = (*Confused)(nil)
+
+// Model implements Participant.
+func (*Confused) Model() string { return "confused" }
+
+// Submit implements Participant.
+func (c *Confused) Submit(_ int, truth core.Preference, _ []RoundRecord) core.Preference {
+	begin := truth.Window.Begin + c.RNG.IntRange(-4, 4)
+	width := truth.Duration + c.RNG.Intn(5)
+	return clampWindow(begin, begin+width, truth.Duration)
+}

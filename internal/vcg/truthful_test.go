@@ -1,0 +1,61 @@
+package vcg
+
+import (
+	"testing"
+
+	"enki/internal/core"
+)
+
+// TestVCGTruthfulness: the defining property of VCG — for a fixed set
+// of other reports, no misreport earns a household more utility than
+// the truth. Valuation follows Eq. 3 against the true preference;
+// allocations always satisfy the *reported* window.
+func TestVCGTruthfulness(t *testing.T) {
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	others := []core.Report{
+		{ID: 1, Pref: core.MustPreference(18, 22, 2)},
+		{ID: 2, Pref: core.MustPreference(17, 21, 2)},
+		{ID: 3, Pref: core.MustPreference(19, 23, 2)},
+	}
+	truth := core.Type{True: core.MustPreference(18, 21, 2), ValuationFactor: 5}
+
+	utility := func(report core.Preference) float64 {
+		reports := append([]core.Report{{ID: 0, Pref: report}}, others...)
+		out, err := m.Run(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valuation := core.ValuationOf(out.Assignments[0].Interval, truth)
+		return valuation - out.Payments[0]
+	}
+
+	truthful := utility(truth.True)
+	misreports := []core.Preference{
+		core.MustPreference(18, 20, 2), // narrowed
+		core.MustPreference(19, 21, 2), // narrowed right
+		core.MustPreference(14, 18, 2), // shifted off the truth
+		core.MustPreference(16, 24, 2), // widened beyond the truth
+		core.MustPreference(10, 14, 2), // fully disjoint
+	}
+	for _, mis := range misreports {
+		if u := utility(mis); u > truthful+1e-9 {
+			t.Errorf("misreport %v earns %g, truth earns %g — VCG truthfulness violated",
+				mis, u, truthful)
+		}
+	}
+}
+
+// TestVCGMoreSolvesThanEnki quantifies the tractability contrast the
+// paper draws: VCG performs n+1 optimal solves where Enki performs one
+// greedy pass.
+func TestVCGMoreSolvesThanEnki(t *testing.T) {
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	reports := randomReports(t, 3, 6)
+	out, err := m.Run(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Solves != len(reports)+1 {
+		t.Errorf("VCG ran %d solves, want n+1 = %d", out.Solves, len(reports)+1)
+	}
+}

@@ -1,0 +1,127 @@
+// Package vcg implements a Clarke-pivot VCG mechanism over the same
+// day-ahead allocation problem, in the style of Samadi et al.'s DSM
+// mechanism that Section II contrasts Enki against.
+//
+// VCG charges each household the externality it imposes: the optimal
+// neighborhood cost with the household present minus the optimal cost
+// with it absent. Computing payments therefore requires n+1 optimal
+// allocations — the intractability the paper cites as VCG's first
+// failure. Its second failure is the lack of exact budget balance: with
+// a convex (supermodular) congestion cost the pivot payments
+// over-collect, so households in aggregate overpay κ(ω) by an amount
+// the mechanism cannot rebate without breaking truthfulness, whereas
+// Enki's Eq. 7 collects exactly ξ·κ(ω). This package exists for the
+// comparison benches and property tests of exactly those two claims.
+package vcg
+
+import (
+	"fmt"
+
+	"enki/internal/core"
+	"enki/internal/pricing"
+	"enki/internal/solver"
+)
+
+// Mechanism is a VCG (Clarke pivot) mechanism for the Eq. 2 problem.
+type Mechanism struct {
+	// Pricer prices hourly load. It must be non-nil.
+	Pricer pricing.Pricer
+	// Rating is the per-household power rating r in kW.
+	Rating float64
+	// Options bounds each of the n+1 optimal solves.
+	Options solver.Options
+}
+
+// Outcome is the result of running the mechanism for one day.
+type Outcome struct {
+	Assignments []core.Assignment // welfare-maximizing allocation
+	Payments    []float64         // Clarke pivot payments, one per household
+	Cost        float64           // κ of the chosen allocation
+	Solves      int               // optimal allocations computed (n+1)
+	Proven      bool              // whether every solve was proven optimal
+}
+
+// Revenue is the mechanism's total income Σ p_i.
+func (o Outcome) Revenue() float64 {
+	var sum float64
+	for _, p := range o.Payments {
+		sum += p
+	}
+	return sum
+}
+
+// Imbalance is Σ p_i − κ(ω): how far VCG strays from exact budget
+// balance. With supermodular congestion costs it is nonnegative
+// (over-collection); either sign breaks the exact balance Enki's Eq. 7
+// provides.
+func (o Outcome) Imbalance() float64 { return o.Revenue() - o.Cost }
+
+// Run computes the VCG allocation and payments for the reports.
+func (m *Mechanism) Run(reports []core.Report) (Outcome, error) {
+	if err := core.ValidateReports(reports); err != nil {
+		return Outcome{}, err
+	}
+	if len(reports) == 0 {
+		return Outcome{}, fmt.Errorf("vcg: no reports")
+	}
+
+	items := make([]solver.Item, len(reports))
+	for i, r := range reports {
+		items[i] = solver.ItemFromPreference(r.Pref, m.Rating)
+	}
+	full, err := solver.BranchAndBound(m.Pricer, items, m.Options)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("vcg: full solve: %w", err)
+	}
+
+	intervals := full.Intervals(items)
+	assignments := make([]core.Assignment, len(reports))
+	for i, r := range reports {
+		assignments[i] = core.Assignment{ID: r.ID, Interval: intervals[i]}
+	}
+
+	out := Outcome{
+		Assignments: assignments,
+		Payments:    make([]float64, len(reports)),
+		Cost:        full.Cost,
+		Solves:      1,
+		Proven:      full.Optimal,
+	}
+
+	// Clarke pivot. Every allocation fully satisfies each reported
+	// window, so valuation terms cancel and the payment reduces to the
+	// marginal-cost externality:
+	//
+	//	p_i = κ(s*) − κ*(−i)
+	//
+	// where κ*(−i) is the optimal neighborhood cost with i absent.
+	for i := range reports {
+		if len(reports) == 1 {
+			// A lone household imposes no externality.
+			out.Payments[i] = 0
+			out.Solves++
+			continue
+		}
+		rest := make([]solver.Item, 0, len(items)-1)
+		for j, it := range items {
+			if j != i {
+				rest = append(rest, it)
+			}
+		}
+		without, err := solver.BranchAndBound(m.Pricer, rest, m.Options)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("vcg: solve without %d: %w", i, err)
+		}
+		out.Solves++
+		out.Proven = out.Proven && without.Optimal
+
+		p := full.Cost - without.Cost
+		// Adding a household cannot lower the optimal cost; clamp
+		// numerical noise.
+		if p < 0 {
+			p = 0
+		}
+		out.Payments[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package vcg
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+)
+
+var quad = pricing.Quadratic{Sigma: pricing.DefaultSigma}
+
+func randomReports(t *testing.T, seed uint64, n int) []core.Report {
+	t.Helper()
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profile.WideReports(gen.DrawN(n))
+}
+
+func TestRunValidation(t *testing.T) {
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	if _, err := m.Run(nil); err == nil {
+		t.Error("empty reports should be rejected")
+	}
+}
+
+func TestSingleHouseholdPaysNothing(t *testing.T) {
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	out, err := m.Run([]core.Report{{ID: 0, Pref: core.MustPreference(18, 22, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Payments[0] != 0 {
+		t.Errorf("lone household pays %g, want 0 (no externality)", out.Payments[0])
+	}
+}
+
+func TestPaymentsNonnegative(t *testing.T) {
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	for seed := uint64(1); seed <= 6; seed++ {
+		out, err := m.Run(randomReports(t, seed, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range out.Payments {
+			if p < 0 {
+				t.Errorf("seed %d: payment %d = %g is negative", seed, i, p)
+			}
+		}
+		if out.Solves != 9 {
+			t.Errorf("seed %d: solves = %d, want n+1 = 9", seed, out.Solves)
+		}
+		if !out.Proven {
+			t.Errorf("seed %d: small instance should be proven optimal", seed)
+		}
+	}
+}
+
+func TestVCGBreaksExactBudgetBalance(t *testing.T) {
+	// The Section I critique: VCG does not balance the budget. With a
+	// supermodular congestion cost the pivot payments over-collect
+	// (Imbalance > 0) on contested instances — households in aggregate
+	// overpay κ(ω), money the mechanism cannot rebate without breaking
+	// truthfulness. Enki instead collects exactly ξ·κ(ω).
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	var imbalanced int
+	const trials = 6
+	for seed := uint64(10); seed < 10+trials; seed++ {
+		out, err := m.Run(randomReports(t, seed, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Imbalance() < -1e-9 {
+			t.Errorf("seed %d: supermodular pivot payments under-collected by %g", seed, -out.Imbalance())
+		}
+		if out.Imbalance() > 1e-9 {
+			imbalanced++
+		}
+	}
+	if imbalanced == 0 {
+		t.Error("expected over-collection on at least one contested instance")
+	}
+}
+
+func TestExternalityOrdering(t *testing.T) {
+	// A household camping on the contested peak owes a larger
+	// externality than one alone in the morning.
+	reports := []core.Report{
+		{ID: 0, Pref: core.MustPreference(18, 20, 2)}, // rigid, on peak
+		{ID: 1, Pref: core.MustPreference(18, 20, 2)}, // rigid, on peak
+		{ID: 2, Pref: core.MustPreference(8, 12, 2)},  // off peak
+	}
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	out, err := m.Run(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Payments[2] >= out.Payments[0] || out.Payments[2] >= out.Payments[1] {
+		t.Errorf("off-peak household must pay less: payments %v", out.Payments)
+	}
+	if out.Payments[0] <= 0 {
+		t.Errorf("peak household owes a positive externality, got %g", out.Payments[0])
+	}
+}
+
+func TestAllocationsAdmitted(t *testing.T) {
+	m := &Mechanism{Pricer: quad, Rating: 2}
+	reports := randomReports(t, 42, 10)
+	out, err := m.Run(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range out.Assignments {
+		if !reports[i].Pref.Admits(a.Interval) {
+			t.Errorf("assignment %v violates report %v", a.Interval, reports[i].Pref)
+		}
+	}
+	// Cost must match the allocation's load.
+	var load core.Load
+	for _, a := range out.Assignments {
+		load.AddInterval(a.Interval, 2)
+	}
+	if got := pricing.Cost(quad, load); math.Abs(got-out.Cost) > 1e-6 {
+		t.Errorf("outcome cost %g != recomputed %g", out.Cost, got)
+	}
+}

@@ -1,0 +1,177 @@
+package enki
+
+import (
+	"fmt"
+
+	"enki/internal/core"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+	"enki/internal/sched"
+)
+
+// Neighborhood is the high-level entry point: a center with a pricer,
+// a scheduler, and the Enki payment mechanism, able to run complete
+// days for a set of households. Construct with NewNeighborhood.
+type Neighborhood struct {
+	pricer    Pricer
+	rating    float64
+	scheduler Scheduler
+	config    MechanismConfig
+}
+
+// Option customizes a Neighborhood.
+type Option func(*Neighborhood)
+
+// WithPricer replaces the default σ = 0.3 quadratic pricer.
+func WithPricer(p Pricer) Option {
+	return func(n *Neighborhood) { n.pricer = p }
+}
+
+// WithRating sets the power rating r in kW (default 2).
+func WithRating(r float64) Option {
+	return func(n *Neighborhood) { n.rating = r }
+}
+
+// WithScheduler replaces the default greedy scheduler (e.g. with an
+// OptimalScheduler or a baseline).
+func WithScheduler(s Scheduler) Option {
+	return func(n *Neighborhood) { n.scheduler = s }
+}
+
+// WithMechanism sets the payment scaling factors (default k=1, ξ=1.2).
+func WithMechanism(cfg MechanismConfig) Option {
+	return func(n *Neighborhood) { n.config = cfg }
+}
+
+// WithTieBreakRNG makes the default greedy scheduler break flexibility
+// ties randomly, as the paper prescribes. Without it ties break
+// deterministically by report order.
+func WithTieBreakRNG(rng *RNG) Option {
+	return func(n *Neighborhood) {
+		if g, ok := n.scheduler.(*sched.Greedy); ok {
+			g.RNG = rng
+		}
+	}
+}
+
+// NewNeighborhood builds a neighborhood with the paper's defaults:
+// quadratic pricing (σ = 0.3), rating 2 kW, greedy scheduling, k = 1,
+// ξ = 1.2.
+func NewNeighborhood(opts ...Option) (*Neighborhood, error) {
+	pricer := Quadratic{Sigma: DefaultSigma}
+	n := &Neighborhood{
+		pricer: pricer,
+		rating: DefaultRating,
+		config: DefaultMechanismConfig(),
+	}
+	n.scheduler = &sched.Greedy{Pricer: pricer, Rating: DefaultRating}
+	for _, opt := range opts {
+		opt(n)
+	}
+	if n.pricer == nil {
+		return nil, fmt.Errorf("enki: nil pricer")
+	}
+	if n.rating <= 0 {
+		return nil, fmt.Errorf("enki: rating %g must be positive", n.rating)
+	}
+	if n.scheduler == nil {
+		return nil, fmt.Errorf("enki: nil scheduler")
+	}
+	if err := n.config.Validate(); err != nil {
+		return nil, err
+	}
+	// Keep the default greedy scheduler consistent with overrides.
+	if g, ok := n.scheduler.(*sched.Greedy); ok {
+		g.Pricer = n.pricer
+		g.Rating = n.rating
+	}
+	return n, nil
+}
+
+// Rating returns the neighborhood's power rating in kW.
+func (n *Neighborhood) Rating() float64 { return n.rating }
+
+// Allocate runs only the scheduling step: reports in, assignments out.
+func (n *Neighborhood) Allocate(reports []Report) ([]Assignment, error) {
+	return n.scheduler.Allocate(reports)
+}
+
+// ConsumeFunc decides a household's realized consumption given its
+// suggested allocation. Returning the allocation means full compliance.
+type ConsumeFunc func(h Household, allocation Interval) Interval
+
+// Comply is the ConsumeFunc of a fully cooperative neighborhood.
+func Comply(_ Household, allocation Interval) Interval { return allocation }
+
+// ConsumeTruthfully follows the allocation when it satisfies the
+// household's true preference and otherwise defects to the closest
+// placement inside the true window — rational behavior for a household
+// that may have misreported.
+func ConsumeTruthfully(h Household, allocation Interval) Interval {
+	return core.ClosestConsumption(h.Type.True, allocation)
+}
+
+// DayOutcome is the result of Neighborhood.RunDay.
+type DayOutcome struct {
+	// Assignments are the center's suggestions, aligned with the
+	// households passed to RunDay.
+	Assignments []Assignment
+	// Consumptions are the realized intervals.
+	Consumptions []Interval
+	// Settlement carries κ(ω), scores, payments, and utilities.
+	Settlement Settlement
+	// Load is the realized hourly load.
+	Load Load
+}
+
+// PAR returns the day's peak-to-average ratio.
+func (o *DayOutcome) PAR() float64 { return o.Load.PAR() }
+
+// RunDay executes one complete day: allocate from the households'
+// reports, realize consumption via consume (Comply when nil), and
+// settle payments and utilities.
+func (n *Neighborhood) RunDay(households []Household, consume ConsumeFunc) (*DayOutcome, error) {
+	if len(households) == 0 {
+		return nil, fmt.Errorf("enki: no households")
+	}
+	if consume == nil {
+		consume = Comply
+	}
+	reports := make([]Report, len(households))
+	for i, h := range households {
+		reports[i] = Report{ID: h.ID, Pref: h.Reported}
+	}
+	assignments, err := n.scheduler.Allocate(reports)
+	if err != nil {
+		return nil, err
+	}
+
+	consumptions := make([]Interval, len(households))
+	for i, h := range households {
+		consumptions[i] = consume(h, assignments[i].Interval)
+	}
+
+	day := mechanism.Day{
+		Households:   households,
+		Assignments:  make([]Interval, len(households)),
+		Consumptions: consumptions,
+		Rating:       n.rating,
+	}
+	for i, a := range assignments {
+		day.Assignments[i] = a.Interval
+	}
+	settlement, err := mechanism.Settle(n.pricer, n.config, day)
+	if err != nil {
+		return nil, err
+	}
+
+	return &DayOutcome{
+		Assignments:  assignments,
+		Consumptions: consumptions,
+		Settlement:   settlement,
+		Load:         core.LoadOf(consumptions, n.rating),
+	}, nil
+}
+
+// Cost prices an hourly load with the neighborhood's pricer (Eq. 1).
+func (n *Neighborhood) Cost(l Load) float64 { return pricing.Cost(n.pricer, l) }
