@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment engine fans jobs out over goroutines; the race build
+# exercises every parallel path (worker pool, sweep, ablations, study).
+race:
+	$(GO) test -race ./...
+
+# Compare BenchmarkSweepSerial vs BenchmarkSweepParallel for the
+# engine's speedup on this machine.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .

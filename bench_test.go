@@ -88,6 +88,31 @@ func BenchmarkFigure4PAR(b *testing.B) {
 	}
 }
 
+// benchSweep is the parallel-engine workload: a full sweep with enough
+// rounds per population that the worker pool has real work to spread.
+func benchSweep(b *testing.B, workers int) {
+	cfg := experiment.DefaultConfig()
+	cfg.Populations = []int{10, 20, 30}
+	cfg.Rounds = 4
+	cfg.Workers = workers
+	cfg.OptimalOptions = solver.Options{TimeLimit: 50 * time.Millisecond, RelGap: 1e-4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the Workers:1 reference path.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same sweep on the default pool
+// (GOMAXPROCS workers); compare against BenchmarkSweepSerial for the
+// engine's speedup.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // BenchmarkFigure5Cost measures the neighborhood-cost computation for a
 // settled 50-household day (the Figure 5 metric).
 func BenchmarkFigure5Cost(b *testing.B) {

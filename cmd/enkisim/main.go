@@ -7,6 +7,7 @@
 //	enkisim -fig all -seed 1 -rounds 10 -populations 10,20,30,40,50
 //	enkisim -fig 6 -opt-limit 2s
 //	enkisim -fig 4 -csv            # machine-readable output
+//	enkisim -fig all -workers 8    # same output, parallel engine
 package main
 
 import (
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		households  = fs.Int("households", 50, "neighborhood size for Figure 7")
 		csv         = fs.Bool("csv", false, "emit CSV instead of rendered tables")
 		ablations   = fs.Bool("ablations", false, "also run the design-choice ablations")
+		workers     = fs.Int("workers", 0, "worker goroutines for the experiment engine (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +49,7 @@ func run(args []string, out io.Writer) error {
 
 	cfg := experiment.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.Rounds = *rounds
 	cfg.OptimalOptions.TimeLimit = *optLimit
 	pops, err := parseInts(*populations)

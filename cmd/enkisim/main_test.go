@@ -51,6 +51,36 @@ func TestRunTinyFig7(t *testing.T) {
 	}
 }
 
+// TestRunWorkersIdenticalOutput drives the CLI end to end at -workers 1
+// and -workers 4 and requires byte-identical output. Figure 4 renders
+// PAR only (no wall-clock columns), and -opt-limit 0 removes the
+// solver's time budget, so the output is fully deterministic.
+func TestRunWorkersIdenticalOutput(t *testing.T) {
+	render := func(workers string) string {
+		var out strings.Builder
+		err := run([]string{
+			"-fig", "4",
+			"-populations", "6,9",
+			"-rounds", "3",
+			"-opt-limit", "0",
+			"-seed", "5",
+			"-workers", workers,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render("1")
+	pooled := render("4")
+	if serial != pooled {
+		t.Errorf("-workers 4 output differs from -workers 1:\nserial:\n%s\npooled:\n%s", serial, pooled)
+	}
+	if !strings.Contains(serial, "Figure 4") {
+		t.Errorf("missing Figure 4 header:\n%s", serial)
+	}
+}
+
 func TestRunCSV(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{

@@ -28,12 +28,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("enkistudy", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "worker goroutines for the session engine (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := experiment.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	res, err := experiment.RunUserStudy(cfg, study.DefaultStudyConfig())
 	if err != nil {
 		return err

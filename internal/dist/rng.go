@@ -29,8 +29,40 @@ func (r *RNG) Uint64() uint64 {
 // Split returns a new generator whose stream is statistically
 // independent of r's. Use it to give each simulated household or round
 // its own stream so adding draws in one place does not perturb others.
-func (r *RNG) Split() *RNG {
-	return &RNG{state: r.Uint64()}
+//
+// Without labels, Split consumes one draw from r: the child's stream
+// depends on how many draws and splits preceded it, which is fine for
+// serial code but useless for parallel fan-out.
+//
+// With labels, Split is a pure function of r's current state and the
+// label sequence — it does not advance r. Two labeled splits with the
+// same labels from the same state name the same stream no matter how
+// many other streams were derived in between or on which goroutine,
+// which is what lets the experiment engine give each (population,
+// round) job a reproducible stream regardless of worker count:
+//
+//	root := dist.New(cfg.Seed)
+//	rng := root.Split(labelSweep, uint64(population), uint64(round))
+//
+// Distinct label sequences yield decorrelated SplitMix64 streams (each
+// label is folded through the SplitMix64 finalizer).
+func (r *RNG) Split(labels ...uint64) *RNG {
+	if len(labels) == 0 {
+		return &RNG{state: r.Uint64()}
+	}
+	s := r.state
+	for _, l := range labels {
+		s = mix64(s ^ mix64(l+0x9e3779b97f4a7c15))
+	}
+	return &RNG{state: s}
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix used to
+// fold labels into a derived stream's seed.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -43,6 +43,13 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
+// schedulerFactory builds a fresh scheduler for one simulated day.
+// Rounds run concurrently under the experiment engine, and several
+// schedulers carry per-allocation RNG state, so every round constructs
+// its own instances from its own deterministic stream instead of
+// sharing one scheduler across rounds.
+type schedulerFactory func(rng *dist.RNG) sched.Scheduler
+
 // RunOrderingAblation isolates the contribution of Enki's
 // increasing-flexibility processing order: the same greedy placement
 // rule under the Enki order, report order, a random order, the reversed
@@ -53,53 +60,90 @@ func RunOrderingAblation(cfg Config, households, rounds int) (*AblationResult, e
 		return nil, err
 	}
 	pricer := cfg.Pricer()
-	rng := dist.New(cfg.Seed)
-	variants := []sched.Scheduler{
-		&sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()},
-		&sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderReport},
-		&sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderShuffled, RNG: rng.Split()},
-		&sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderWidestFirst},
-		&sched.LocalSearch{Base: sched.Earliest{}, Pricer: pricer, Rating: cfg.Rating},
-		sched.Earliest{},
-		&sched.Random{RNG: rng.Split()},
+	variants := []schedulerFactory{
+		func(rng *dist.RNG) sched.Scheduler {
+			return &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng}
+		},
+		func(*dist.RNG) sched.Scheduler {
+			return &sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderReport}
+		},
+		func(rng *dist.RNG) sched.Scheduler {
+			return &sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderShuffled, RNG: rng}
+		},
+		func(*dist.RNG) sched.Scheduler {
+			return &sched.GreedyOrdered{Pricer: pricer, Rating: cfg.Rating, Order: sched.OrderWidestFirst}
+		},
+		func(*dist.RNG) sched.Scheduler {
+			return &sched.LocalSearch{Base: sched.Earliest{}, Pricer: pricer, Rating: cfg.Rating}
+		},
+		func(*dist.RNG) sched.Scheduler { return sched.Earliest{} },
+		func(rng *dist.RNG) sched.Scheduler { return &sched.Random{RNG: rng} },
 	}
 	return runVariants(cfg, "Ablation: greedy processing order (n="+fmt.Sprint(households)+")",
-		variants, households, rounds, rng)
+		variants, households, rounds)
 }
 
-// runVariants measures each scheduler on the same sequence of days.
-func runVariants(cfg Config, title string, variants []sched.Scheduler, households, rounds int, rng *dist.RNG) (*AblationResult, error) {
+// runVariants measures each scheduler variant on the same sequence of
+// days. Each round is an independent job: it regenerates the day from
+// the (cfg.Seed, round) stream, instantiates every variant from
+// round-local streams, and writes its measurements into the round's
+// pre-sized slot.
+func runVariants(cfg Config, title string, variants []schedulerFactory, households, rounds int) (*AblationResult, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("experiment: rounds %d must be positive", rounds)
+	}
 	pricer := cfg.Pricer()
-	costs := make([][]float64, len(variants))
-	pars := make([][]float64, len(variants))
-	times := make([][]float64, len(variants))
+	names := make([]string, len(variants))
+	for vi, v := range variants {
+		names[vi] = v(dist.New(0)).Name()
+	}
 
-	for round := 0; round < rounds; round++ {
+	type cell struct{ cost, par, ms float64 }
+	cells := make([][]cell, rounds) // [round][variant]
+	err := cfg.engine().ForEach(rounds, func(round int) error {
+		rng := cfg.jobRNG(labelOrdering, uint64(round))
 		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reports := profile.WideReports(gen.DrawN(households))
+		row := make([]cell, len(variants))
 		for vi, v := range variants {
+			s := v(rng.Split())
 			start := time.Now()
-			assignments, err := v.Allocate(reports)
+			assignments, err := s.Allocate(reports)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", v.Name(), err)
+				return fmt.Errorf("%s: %w", s.Name(), err)
 			}
-			times[vi] = append(times[vi], float64(time.Since(start).Microseconds())/1000)
 			load := sched.LoadOfAssignments(assignments, cfg.Rating)
-			costs[vi] = append(costs[vi], pricing.Cost(pricer, load))
-			pars[vi] = append(pars[vi], load.PAR())
+			row[vi] = cell{
+				cost: pricing.Cost(pricer, load),
+				par:  load.PAR(),
+				ms:   float64(time.Since(start).Microseconds()) / 1000,
+			}
 		}
+		cells[round] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &AblationResult{Title: title}
-	for vi, v := range variants {
+	for vi := range variants {
+		costs := make([]float64, rounds)
+		pars := make([]float64, rounds)
+		times := make([]float64, rounds)
+		for round := 0; round < rounds; round++ {
+			costs[round] = cells[round][vi].cost
+			pars[round] = cells[round][vi].par
+			times[round] = cells[round][vi].ms
+		}
 		res.Rows = append(res.Rows, AblationRow{
-			Name:   v.Name(),
-			Cost:   stats.CI95(costs[vi]),
-			PAR:    stats.CI95(pars[vi]),
-			TimeMS: stats.CI95(times[vi]),
+			Name:   names[vi],
+			Cost:   stats.CI95(costs),
+			PAR:    stats.CI95(pars),
+			TimeMS: stats.CI95(times),
 		})
 	}
 	return res, nil
@@ -166,47 +210,67 @@ func RunPricingAblation(cfg Config, households, rounds int) (*PricingAblationRes
 		{"merit-order", "hydro/coal/peaker stack", meritOrder},
 	}
 
-	rng := dist.New(cfg.Seed)
-	res := &PricingAblationResult{}
-	pars := make([][]float64, len(tariffs))
-	savings := make([][]float64, len(tariffs))
-	times := make([][]float64, len(tariffs))
-
-	for round := 0; round < rounds; round++ {
+	type cell struct {
+		par, saving, ms float64
+		savingOK        bool
+	}
+	cells := make([][]cell, rounds) // [round][tariff]
+	err = cfg.engine().ForEach(rounds, func(round int) error {
+		rng := cfg.jobRNG(labelPricing, uint64(round))
 		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reports := profile.WideReports(gen.DrawN(households))
 		base, err := sched.Earliest{}.Allocate(reports)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		baseLoad := sched.LoadOfAssignments(base, cfg.Rating)
 
+		row := make([]cell, len(tariffs))
 		for ti, tariff := range tariffs {
 			g := &sched.Greedy{Pricer: tariff.p, Rating: cfg.Rating}
 			start := time.Now()
 			assignments, err := g.Allocate(reports)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			times[ti] = append(times[ti], float64(time.Since(start).Microseconds())/1000)
 			load := sched.LoadOfAssignments(assignments, cfg.Rating)
-			pars[ti] = append(pars[ti], load.PAR())
+			row[ti] = cell{
+				par: load.PAR(),
+				ms:  float64(time.Since(start).Microseconds()) / 1000,
+			}
 			gCost := pricing.Cost(tariff.p, load)
 			eCost := pricing.Cost(tariff.p, baseLoad)
 			if eCost > 0 {
-				savings[ti] = append(savings[ti], 1-gCost/eCost)
+				row[ti].saving = 1 - gCost/eCost
+				row[ti].savingOK = true
 			}
 		}
+		cells[round] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	res := &PricingAblationResult{}
 	for ti, tariff := range tariffs {
+		var pars, savings, times []float64
+		for round := 0; round < rounds; round++ {
+			c := cells[round][ti]
+			pars = append(pars, c.par)
+			times = append(times, c.ms)
+			if c.savingOK {
+				savings = append(savings, c.saving)
+			}
+		}
 		res.Rows = append(res.Rows, PricingAblationRow{
 			Name:      tariff.name,
-			PAR:       stats.CI95(pars[ti]),
-			Saving:    stats.CI95(savings[ti]),
-			TimeMS:    stats.CI95(times[ti]),
+			PAR:       stats.CI95(pars),
+			Saving:    stats.CI95(savings),
+			TimeMS:    stats.CI95(times),
 			Composite: tariff.desc,
 		})
 	}
@@ -245,13 +309,17 @@ func RunCoalitionAblation(cfg Config, households, rounds int, misreportFraction 
 		return nil, fmt.Errorf("experiment: misreport fraction %g outside [0, 1]", misreportFraction)
 	}
 	pricer := cfg.Pricer()
-	rng := dist.New(cfg.Seed)
 
-	var rescued, defectors, solo, delta []float64
-	for round := 0; round < rounds; round++ {
+	type cell struct {
+		rescued, defectors, solo, delta float64
+		deltaOK                         bool
+	}
+	cells := make([]cell, rounds)
+	err := cfg.engine().ForEach(rounds, func(round int) error {
+		rng := cfg.jobRNG(labelCoalition, uint64(round))
 		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		profiles := gen.DrawN(households)
 		hhs := make([]core.Household, households)
@@ -282,7 +350,7 @@ func RunCoalitionAblation(cfg Config, households, rounds int, misreportFraction 
 		greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()}
 		as, err := greedy.Allocate(reports)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		assignments := make([]core.Interval, households)
 		for i, a := range as {
@@ -291,15 +359,15 @@ func RunCoalitionAblation(cfg Config, households, rounds int, misreportFraction 
 
 		coalitions, err := coalition.Form(hhs, coalition.DefaultMaxSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cCons, err := coalition.PlanConsumptions(hhs, coalitions, assignments)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		withC, err := coalition.Settle(pricer, cfg.Mechanism, hhs, coalitions, assignments, cCons, cfg.Rating)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		singletons := make([]coalition.Coalition, households)
@@ -308,16 +376,18 @@ func RunCoalitionAblation(cfg Config, households, rounds int, misreportFraction 
 		}
 		sCons, err := coalition.PlanConsumptions(hhs, singletons, assignments)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		withoutC, err := coalition.Settle(pricer, cfg.Mechanism, hhs, singletons, assignments, sCons, cfg.Rating)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		rescued = append(rescued, float64(withC.Rescued))
-		defectors = append(defectors, float64(withC.Defectors))
-		solo = append(solo, float64(withoutC.Defectors))
+		c := cell{
+			rescued:   float64(withC.Rescued),
+			defectors: float64(withC.Defectors),
+			solo:      float64(withoutC.Defectors),
+		}
 		var d float64
 		var nMis int
 		for i := range hhs {
@@ -327,7 +397,23 @@ func RunCoalitionAblation(cfg Config, households, rounds int, misreportFraction 
 			}
 		}
 		if nMis > 0 {
-			delta = append(delta, d/float64(nMis))
+			c.delta = d / float64(nMis)
+			c.deltaOK = true
+		}
+		cells[round] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rescued, defectors, solo, delta []float64
+	for _, c := range cells {
+		rescued = append(rescued, c.rescued)
+		defectors = append(defectors, c.defectors)
+		solo = append(solo, c.solo)
+		if c.deltaOK {
+			delta = append(delta, c.delta)
 		}
 	}
 
@@ -371,13 +457,17 @@ func RunDiscountAblation(cfg Config, households, rounds int) (*DiscountAblationR
 		return nil, err
 	}
 	pricer := cfg.Pricer()
-	rng := dist.New(cfg.Seed)
 
-	var with, without []float64
-	for round := 0; round < rounds; round++ {
+	type cell struct {
+		with, without float64
+		ok            bool
+	}
+	cells := make([]cell, rounds)
+	err := cfg.engine().ForEach(rounds, func(round int) error {
+		rng := cfg.jobRNG(labelDiscount, uint64(round))
 		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		profiles := gen.DrawN(households)
 		hhs := make([]core.Household, households)
@@ -389,7 +479,7 @@ func RunDiscountAblation(cfg Config, households, rounds int) (*DiscountAblationR
 		greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()}
 		as, err := greedy.Allocate(reports)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		day := mechanism.Day{Households: hhs, Rating: cfg.Rating}
 		for _, a := range as {
@@ -411,7 +501,7 @@ func RunDiscountAblation(cfg Config, households, rounds int) (*DiscountAblationR
 			}
 		}
 		if defector < 0 || full < 0 {
-			continue // degenerate day
+			return nil // degenerate day
 		}
 		shifted := day.Assignments[defector].Shift(1)
 		if shifted.End > core.HoursPerDay {
@@ -446,12 +536,11 @@ func RunDiscountAblation(cfg Config, households, rounds int) (*DiscountAblationR
 
 		s, err := mechanism.Settle(pricer, cfg.Mechanism, day)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if s.Defection[defector] == 0 || s.Defection[full] == 0 {
-			continue // a harmless defection leaves nothing to compare
+			return nil // a harmless defection leaves nothing to compare
 		}
-		with = append(with, s.Payments[defector])
 
 		// Without the discount: scale δ back by e^{o} and recompute
 		// Eq. 6/7 by hand.
@@ -460,13 +549,25 @@ func RunDiscountAblation(cfg Config, households, rounds int) (*DiscountAblationR
 		defect[defector] *= math.Exp(o)
 		psi, err := mechanism.SocialCostScores(s.Flexibility, defect, cfg.Mechanism.K)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		payments, err := mechanism.Payments(psi, cfg.Mechanism.Xi, s.Cost)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		without = append(without, payments[defector])
+		cells[round] = cell{with: s.Payments[defector], without: payments[defector], ok: true}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var with, without []float64
+	for _, c := range cells {
+		if c.ok {
+			with = append(with, c.with)
+			without = append(without, c.without)
+		}
 	}
 	return &DiscountAblationResult{
 		WithDiscount:    stats.CI95(with),

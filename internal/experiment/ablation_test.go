@@ -50,7 +50,10 @@ func TestRunPricingAblation(t *testing.T) {
 		if row.PAR.Mean < 1 {
 			t.Errorf("%s: PAR %g below 1", row.Name, row.PAR.Mean)
 		}
-		if row.Saving.Mean < 0 {
+		// Tolerance: on a flat tariff region greedy can tie the
+		// uncoordinated cost exactly, differing only in float summation
+		// order.
+		if row.Saving.Mean < -1e-9 {
 			t.Errorf("%s: greedy should never cost more than uncoordinated, saving %g",
 				row.Name, row.Saving.Mean)
 		}

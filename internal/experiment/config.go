@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"enki/internal/core"
+	"enki/internal/dist"
 	"enki/internal/mechanism"
+	"enki/internal/parallel"
 	"enki/internal/pricing"
 	"enki/internal/solver"
 )
@@ -19,6 +21,13 @@ import (
 type Config struct {
 	// Seed makes every experiment reproducible.
 	Seed uint64
+	// Workers sets the experiment engine's pool size: simulated days are
+	// independent jobs fanned out over this many goroutines. Zero means
+	// runtime.GOMAXPROCS(0); 1 runs the serial reference path. Results
+	// are bit-for-bit identical for every worker count, because each
+	// job's randomness is derived from (Seed, job labels) rather than
+	// from execution order.
+	Workers int
 	// Sigma is the pricing scale σ (paper: 0.3).
 	Sigma float64
 	// Rating is the power rating r in kW (paper: 2).
@@ -55,6 +64,9 @@ func DefaultConfig() Config {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("experiment: workers %d must be non-negative", c.Workers)
+	}
 	if c.Sigma <= 0 {
 		return fmt.Errorf("experiment: sigma %g must be positive", c.Sigma)
 	}
@@ -77,3 +89,31 @@ func (c Config) Validate() error {
 
 // Pricer returns the Eq. 1 pricer for the configured σ.
 func (c Config) Pricer() pricing.Quadratic { return pricing.Quadratic{Sigma: c.Sigma} }
+
+// engine returns the worker pool every experiment fans its jobs out on.
+func (c Config) engine() parallel.Engine { return parallel.Engine{Workers: c.Workers} }
+
+// Experiment labels namespace the per-job RNG streams: every experiment
+// derives each job's generator as
+//
+//	dist.New(cfg.Seed).Split(label, jobLabels...)
+//
+// which is a pure function of (Seed, label, jobLabels), so results do
+// not depend on how jobs interleave across workers. Values are part of
+// the reproducibility contract — appending is fine, reordering is not.
+const (
+	labelSweep uint64 = iota + 1
+	labelOrdering
+	labelPricing
+	labelCoalition
+	labelDiscount
+	labelFig7
+	labelFig7Others
+	labelLearning
+	labelUtility
+)
+
+// jobRNG opens the deterministic stream for one experiment job.
+func (c Config) jobRNG(labels ...uint64) *dist.RNG {
+	return dist.New(c.Seed).Split(labels...)
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"enki/internal/solver"
+	"enki/internal/stats"
+	"enki/internal/study"
+)
+
+// detConfig is the determinism-test configuration: populations small
+// enough that the Optimal solver proves the optimum with an unlimited
+// budget (solver.Options{} has no time limit), so no result field
+// depends on wall-clock time except the timing columns themselves.
+func detConfig(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.Workers = workers
+	cfg.Populations = []int{6, 9}
+	cfg.Rounds = 3
+	cfg.OptimalOptions = solver.Options{}
+	return cfg
+}
+
+// stripSweepTiming zeroes the wall-clock columns, which are the only
+// fields the determinism contract does not cover.
+func stripSweepTiming(r *SweepResult) SweepResult {
+	c := *r
+	c.EnkiTimeMS = nil
+	c.OptimalTime = nil
+	return c
+}
+
+func stripAblationTiming(r *AblationResult) AblationResult {
+	c := AblationResult{Title: r.Title, Rows: append([]AblationRow(nil), r.Rows...)}
+	for i := range c.Rows {
+		c.Rows[i].TimeMS = stats.Interval{}
+	}
+	return c
+}
+
+func stripPricingTiming(r *PricingAblationResult) PricingAblationResult {
+	c := PricingAblationResult{Rows: append([]PricingAblationRow(nil), r.Rows...)}
+	for i := range c.Rows {
+		c.Rows[i].TimeMS = stats.Interval{}
+	}
+	return c
+}
+
+// TestSweepWorkersDeterministic is the engine's core guarantee: the
+// sweep is bit-for-bit identical whether it runs serially or on a
+// pool, because every job's randomness derives from (Seed, population,
+// round), never from scheduling order.
+func TestSweepWorkersDeterministic(t *testing.T) {
+	serial, err := RunSweep(detConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunSweep(detConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripSweepTiming(serial), stripSweepTiming(pooled)) {
+		t.Errorf("Workers:8 sweep differs from Workers:1:\nserial: %+v\npooled: %+v",
+			stripSweepTiming(serial), stripSweepTiming(pooled))
+	}
+
+	again, err := RunSweep(detConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripSweepTiming(pooled), stripSweepTiming(again)) {
+		t.Error("same seed, same workers: sweep not reproducible")
+	}
+
+	other := detConfig(8)
+	other.Seed = 12
+	diverged, err := RunSweep(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(stripSweepTiming(pooled), stripSweepTiming(diverged)) {
+		t.Error("different seeds produced identical sweeps")
+	}
+}
+
+func TestAblationsWorkersDeterministic(t *testing.T) {
+	type outputs struct {
+		ordering  AblationResult
+		pricing   PricingAblationResult
+		coalition CoalitionAblationResult
+		discount  DiscountAblationResult
+	}
+	collect := func(workers int) outputs {
+		cfg := detConfig(workers)
+		ordering, err := RunOrderingAblation(cfg, 12, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pricing, err := RunPricingAblation(cfg, 12, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coalition, err := RunCoalitionAblation(cfg, 12, 4, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		discount, err := RunDiscountAblation(cfg, 12, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outputs{
+			ordering:  stripAblationTiming(ordering),
+			pricing:   stripPricingTiming(pricing),
+			coalition: *coalition,
+			discount:  *discount,
+		}
+	}
+	serial := collect(1)
+	pooled := collect(8)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("Workers:8 ablations differ from Workers:1:\nserial: %+v\npooled: %+v", serial, pooled)
+	}
+}
+
+func TestFigure7WorkersDeterministic(t *testing.T) {
+	fcfg := DefaultFig7Config()
+	fcfg.Households = 8
+	fcfg.Repeats = 2
+	serial, err := RunFigure7(detConfig(1), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunFigure7(detConfig(8), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("Workers:8 figure 7 differs from Workers:1:\nserial: %+v\npooled: %+v", serial, pooled)
+	}
+}
+
+func TestLearningCurveWorkersDeterministic(t *testing.T) {
+	serial, err := RunLearningCurve(detConfig(1), 6, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunLearningCurve(detConfig(8), 6, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("Workers:8 learning curve differs from Workers:1:\nserial: %+v\npooled: %+v", serial, pooled)
+	}
+}
+
+func TestUtilityComparisonWorkersDeterministic(t *testing.T) {
+	serial, err := RunUtilityComparison(detConfig(1), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunUtilityComparison(detConfig(8), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("Workers:8 utility comparison differs from Workers:1:\nserial: %+v\npooled: %+v", serial, pooled)
+	}
+}
+
+func TestUserStudyWorkersDeterministic(t *testing.T) {
+	collect := func(workers int) *UserStudyResult {
+		cfg := detConfig(workers)
+		cfg.Seed = 42
+		res, err := RunUserStudy(cfg, study.DefaultStudyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !reflect.DeepEqual(collect(1), collect(8)) {
+		t.Error("Workers:8 user study differs from Workers:1")
+	}
+}

@@ -89,11 +89,10 @@ func RunFigure7(cfg Config, fcfg Fig7Config) (*Fig7Result, error) {
 		return nil, fmt.Errorf("experiment: fig7 repeats %d must be positive", fcfg.Repeats)
 	}
 	pricer := cfg.Pricer()
-	rng := dist.New(cfg.Seed)
 
 	// The other households' profiles are generated once and kept
 	// unchanged; their true preference is their narrow interval.
-	gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), cfg.jobRNG(labelFig7Others))
 	if err != nil {
 		return nil, err
 	}
@@ -106,21 +105,31 @@ func RunFigure7(cfg Config, fcfg Fig7Config) (*Fig7Result, error) {
 		}
 	}
 
-	result := &Fig7Result{Truth: fcfg.Truth}
-	for _, w := range candidates {
-		report := core.Preference{Window: w, Duration: fcfg.Truth.Duration}
+	// One job per candidate window; each repeat draws its greedy
+	// tie-breaking from the (Seed, candidate, repeat) stream so the
+	// surface is identical for every worker count.
+	utilities := make([]float64, len(candidates))
+	err = cfg.engine().ForEach(len(candidates), func(ci int) error {
+		report := core.Preference{Window: candidates[ci], Duration: fcfg.Truth.Duration}
 		var total float64
 		for rep := 0; rep < fcfg.Repeats; rep++ {
-			u, err := fig7Utility(cfg, fcfg, pricer, others, report, rng.Split())
+			rng := cfg.jobRNG(labelFig7, uint64(ci), uint64(rep))
+			u, err := fig7Utility(cfg, fcfg, pricer, others, report, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			total += u
 		}
-		result.Reports = append(result.Reports, ReportUtility{
-			Window:  w,
-			Utility: total / float64(fcfg.Repeats),
-		})
+		utilities[ci] = total / float64(fcfg.Repeats)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result := &Fig7Result{Truth: fcfg.Truth}
+	for ci, w := range candidates {
+		result.Reports = append(result.Reports, ReportUtility{Window: w, Utility: utilities[ci]})
 	}
 	sort.SliceStable(result.Reports, func(i, j int) bool {
 		return result.Reports[i].Utility > result.Reports[j].Utility

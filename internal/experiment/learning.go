@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"enki/internal/core"
-	"enki/internal/dist"
 	"enki/internal/ecc"
 	"enki/internal/mechanism"
 	"enki/internal/netproto"
@@ -108,20 +107,25 @@ func RunLearningCurve(cfg Config, households, days, seeds int) (*LearningCurveRe
 		return nil, fmt.Errorf("experiment: learning curve needs positive sizes")
 	}
 	pricer := cfg.Pricer()
-
-	perDay := make([][]float64, days)
-	var firstWeek, lastWeek []float64
 	week := min(7, days)
 
-	for seed := 0; seed < seeds; seed++ {
-		rng := dist.New(cfg.Seed + uint64(seed)*7919)
+	// Each seeded population is an independent job: its policies,
+	// scheduler, and simulated days all draw from the (cfg.Seed, seed)
+	// stream, and its per-day defection counts land in its own row.
+	type runCell struct {
+		perDay              []float64
+		firstWeek, lastWeek float64
+	}
+	cells := make([]runCell, seeds)
+	err := cfg.engine().ForEach(seeds, func(seed int) error {
+		rng := cfg.jobRNG(labelLearning, uint64(seed))
 		policies := make([]netproto.Policy, households)
 		for i := range policies {
 			mu := 14 + rng.Float64()*7 // evening-leaning routines
 			dur := 1 + rng.Intn(3)
 			p, err := newLearningHousehold(mu, dur, 0.3)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			policies[i] = p
 		}
@@ -132,29 +136,42 @@ func RunLearningCurve(cfg Config, households, days, seeds int) (*LearningCurveRe
 			Rating:    cfg.Rating,
 		}, policies, days)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var fw, lw float64
+		c := runCell{perDay: make([]float64, days)}
 		for d, metrics := range res.Days {
-			perDay[d] = append(perDay[d], float64(metrics.Defections))
+			c.perDay[d] = float64(metrics.Defections)
 			if d < week {
-				fw += float64(metrics.Defections)
+				c.firstWeek += float64(metrics.Defections)
 			}
 			if d >= days-week {
-				lw += float64(metrics.Defections)
+				c.lastWeek += float64(metrics.Defections)
 			}
 		}
-		firstWeek = append(firstWeek, fw)
-		lastWeek = append(lastWeek, lw)
+		cells[seed] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	firstWeek := make([]float64, seeds)
+	lastWeek := make([]float64, seeds)
+	for seed, c := range cells {
+		firstWeek[seed] = c.firstWeek
+		lastWeek[seed] = c.lastWeek
+	}
 	out := &LearningCurveResult{
 		Days:       days,
 		Households: households,
 		FirstWeek:  stats.CI95(firstWeek),
 		LastWeek:   stats.CI95(lastWeek),
 	}
-	for _, day := range perDay {
+	for d := 0; d < days; d++ {
+		day := make([]float64, seeds)
+		for seed, c := range cells {
+			day[seed] = c.perDay[d]
+		}
 		out.DefectionsPerDay = append(out.DefectionsPerDay, stats.CI95(day))
 	}
 	return out, nil

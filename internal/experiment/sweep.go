@@ -5,7 +5,6 @@ import (
 	"strings"
 	"time"
 
-	"enki/internal/dist"
 	"enki/internal/profile"
 	"enki/internal/sched"
 	"enki/internal/stats"
@@ -31,58 +30,97 @@ type SweepResult struct {
 	OptimalGapMax []float64
 }
 
+// sweepCell is the outcome of one (population, round) job.
+type sweepCell struct {
+	enkiPAR, optPAR   float64
+	enkiCost, optCost float64
+	enkiMS, optMS     float64
+	gap               float64
+}
+
 // RunSweep simulates the Section VI-A social-welfare study: for each
 // population size, Rounds days are generated (every household
 // truthfully reports its wide interval, regenerated each day), and both
 // schedulers allocate the same day. Metrics assume compliant
 // consumption, as in the paper.
+//
+// Every (population, round) pair is an independent job fanned out over
+// cfg.Workers goroutines. Each job draws from a stream derived from
+// (cfg.Seed, population, round), and results land in pre-sized slices
+// indexed by job, so the aggregate is bit-for-bit identical for any
+// worker count (timing columns aside, which measure wall clock).
 func RunSweep(cfg Config) (*SweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	pricer := cfg.Pricer()
-	rootRNG := dist.New(cfg.Seed)
+
+	cells := make([]sweepCell, len(cfg.Populations)*cfg.Rounds)
+	err := cfg.engine().ForEach(len(cells), func(job int) error {
+		n := cfg.Populations[job/cfg.Rounds]
+		round := job % cfg.Rounds
+		rng := cfg.jobRNG(labelSweep, uint64(n), uint64(round))
+
+		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+		if err != nil {
+			return err
+		}
+		reports := profile.WideReports(gen.DrawN(n))
+
+		greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()}
+		start := time.Now()
+		ga, err := greedy.Allocate(reports)
+		if err != nil {
+			return fmt.Errorf("population %d round %d: greedy: %w", n, round, err)
+		}
+		enkiMS := float64(time.Since(start).Microseconds()) / 1000
+
+		optimal := &sched.Optimal{Pricer: pricer, Rating: cfg.Rating, Options: cfg.OptimalOptions}
+		start = time.Now()
+		oa, err := optimal.Allocate(reports)
+		if err != nil {
+			return fmt.Errorf("population %d round %d: optimal: %w", n, round, err)
+		}
+		optMS := float64(time.Since(start).Microseconds()) / 1000
+
+		gl := sched.LoadOfAssignments(ga, cfg.Rating)
+		ol := sched.LoadOfAssignments(oa, cfg.Rating)
+		cells[job] = sweepCell{
+			enkiPAR:  gl.PAR(),
+			optPAR:   ol.PAR(),
+			enkiCost: pricer.Sigma * gl.SumSquares(),
+			optCost:  pricer.Sigma * ol.SumSquares(),
+			enkiMS:   enkiMS,
+			optMS:    optMS,
+			gap:      optimal.LastResult.Gap(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &SweepResult{Populations: append([]int(nil), cfg.Populations...)}
-	for _, n := range cfg.Populations {
-		var enkiPAR, optPAR, enkiCost, optCost, enkiMS, optMS []float64
+	for pi := range cfg.Populations {
+		enkiPAR := make([]float64, cfg.Rounds)
+		optPAR := make([]float64, cfg.Rounds)
+		enkiCost := make([]float64, cfg.Rounds)
+		optCost := make([]float64, cfg.Rounds)
+		enkiMS := make([]float64, cfg.Rounds)
+		optMS := make([]float64, cfg.Rounds)
 		var gapMax float64
-
-		popRNG := rootRNG.Split()
 		for round := 0; round < cfg.Rounds; round++ {
-			gen, err := profile.NewGenerator(profile.DefaultConfig(), popRNG.Split())
-			if err != nil {
-				return nil, err
+			c := cells[pi*cfg.Rounds+round]
+			enkiPAR[round] = c.enkiPAR
+			optPAR[round] = c.optPAR
+			enkiCost[round] = c.enkiCost
+			optCost[round] = c.optCost
+			enkiMS[round] = c.enkiMS
+			optMS[round] = c.optMS
+			if c.gap > gapMax {
+				gapMax = c.gap
 			}
-			reports := profile.WideReports(gen.DrawN(n))
-
-			greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: popRNG.Split()}
-			start := time.Now()
-			ga, err := greedy.Allocate(reports)
-			if err != nil {
-				return nil, fmt.Errorf("population %d round %d: greedy: %w", n, round, err)
-			}
-			enkiMS = append(enkiMS, float64(time.Since(start).Microseconds())/1000)
-
-			optimal := &sched.Optimal{Pricer: pricer, Rating: cfg.Rating, Options: cfg.OptimalOptions}
-			start = time.Now()
-			oa, err := optimal.Allocate(reports)
-			if err != nil {
-				return nil, fmt.Errorf("population %d round %d: optimal: %w", n, round, err)
-			}
-			optMS = append(optMS, float64(time.Since(start).Microseconds())/1000)
-			if g := optimal.LastResult.Gap(); g > gapMax {
-				gapMax = g
-			}
-
-			gl := sched.LoadOfAssignments(ga, cfg.Rating)
-			ol := sched.LoadOfAssignments(oa, cfg.Rating)
-			enkiPAR = append(enkiPAR, gl.PAR())
-			optPAR = append(optPAR, ol.PAR())
-			enkiCost = append(enkiCost, pricer.Sigma*gl.SumSquares())
-			optCost = append(optCost, pricer.Sigma*ol.SumSquares())
 		}
-
 		res.EnkiPAR = append(res.EnkiPAR, stats.CI95(enkiPAR))
 		res.OptimalPAR = append(res.OptimalPAR, stats.CI95(optPAR))
 		res.EnkiCost = append(res.EnkiCost, stats.CI95(enkiCost))

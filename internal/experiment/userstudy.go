@@ -48,6 +48,9 @@ type Fig8Subject struct {
 // RunUserStudy executes the full study and computes every Section VII
 // metric.
 func RunUserStudy(cfg Config, scfg study.StudyConfig) (*UserStudyResult, error) {
+	if scfg.Workers == 0 {
+		scfg.Workers = cfg.Workers
+	}
 	res, err := study.RunStudy(scfg, dist.New(cfg.Seed))
 	if err != nil {
 		return nil, err

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"enki/internal/core"
-	"enki/internal/dist"
 	"enki/internal/mechanism"
 	"enki/internal/profile"
 	"enki/internal/sched"
@@ -58,18 +57,28 @@ func RunUtilityComparison(cfg Config, households, rounds int) (*UtilityCompariso
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("experiment: utility comparison rounds %d must be positive", rounds)
+	}
 	pricer := cfg.Pricer()
-	rng := dist.New(cfg.Seed)
 
 	profCfg := profile.DefaultConfig()
 	profCfg.MinDuration = 2
 	profCfg.MaxDuration = 2
 
-	var enkiAll, baseAll, enkiFlex, baseFlex []float64
-	for round := 0; round < rounds; round++ {
+	// One job per simulated day; each draws both worlds from the
+	// (Seed, round) stream and fills its own cell.
+	type utilityCell struct {
+		enki, base         float64
+		flexEnki, flexBase float64
+		flexOK             bool
+	}
+	cells := make([]utilityCell, rounds)
+	err := cfg.engine().ForEach(rounds, func(round int) error {
+		rng := cfg.jobRNG(labelUtility, uint64(round))
 		gen, err := profile.NewGenerator(profCfg, rng.Split())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		profiles := gen.DrawN(households)
 		hhs := make([]core.Household, households)
@@ -84,7 +93,7 @@ func RunUtilityComparison(cfg Config, households, rounds int) (*UtilityCompariso
 		greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()}
 		ga, err := greedy.Allocate(reports)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		enkiDay := mechanism.Day{Households: hhs, Rating: cfg.Rating}
 		for _, a := range ga {
@@ -93,7 +102,7 @@ func RunUtilityComparison(cfg Config, households, rounds int) (*UtilityCompariso
 		}
 		enki, err := mechanism.Settle(pricer, cfg.Mechanism, enkiDay)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		baseDay := mechanism.Day{Households: hhs, Rating: cfg.Rating}
@@ -104,7 +113,7 @@ func RunUtilityComparison(cfg Config, households, rounds int) (*UtilityCompariso
 		}
 		baseline, err := mechanism.SettleProportional(pricer, cfg.Mechanism.Xi, baseDay)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Top-quartile flexibility (predicted, Eq. 4).
@@ -122,11 +131,29 @@ func RunUtilityComparison(cfg Config, households, rounds int) (*UtilityCompariso
 				flexCount++
 			}
 		}
-		enkiAll = append(enkiAll, eSum/float64(households))
-		baseAll = append(baseAll, bSum/float64(households))
+		c := utilityCell{
+			enki: eSum / float64(households),
+			base: bSum / float64(households),
+		}
 		if flexCount > 0 {
-			enkiFlex = append(enkiFlex, eFlexSum/flexCount)
-			baseFlex = append(baseFlex, bFlexSum/flexCount)
+			c.flexEnki = eFlexSum / flexCount
+			c.flexBase = bFlexSum / flexCount
+			c.flexOK = true
+		}
+		cells[round] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var enkiAll, baseAll, enkiFlex, baseFlex []float64
+	for _, c := range cells {
+		enkiAll = append(enkiAll, c.enki)
+		baseAll = append(baseAll, c.base)
+		if c.flexOK {
+			enkiFlex = append(enkiFlex, c.flexEnki)
+			baseFlex = append(baseFlex, c.flexBase)
 		}
 	}
 

@@ -1,0 +1,159 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+)
+
+// propertyDays is the number of random valid Days each property is
+// checked against.
+const propertyDays = 1000
+
+// randomDay draws a valid Day: a generated population of truthful
+// households, a random admitted assignment for each, and compliant
+// consumption except for ~30% of households, which defect to a random
+// same-duration interval anywhere in the day.
+func randomDay(t *testing.T, rng *dist.RNG) Day {
+	t.Helper()
+	n := 2 + rng.Intn(19)
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := Day{Rating: core.DefaultPowerRating}
+	for i, p := range gen.DrawN(n) {
+		h := core.TruthfulHousehold(core.HouseholdID(i), p.TypeWide())
+		assigned := h.Reported.IntervalAt(rng.Intn(h.Reported.Slack() + 1))
+		consumed := assigned
+		if rng.Bool(0.3) {
+			begin := rng.Intn(core.HoursPerDay - h.Reported.Duration + 1)
+			consumed = core.Interval{Begin: begin, End: begin + h.Reported.Duration}
+		}
+		day.Households = append(day.Households, h)
+		day.Assignments = append(day.Assignments, assigned)
+		day.Consumptions = append(day.Consumptions, consumed)
+	}
+	if err := day.Validate(); err != nil {
+		t.Fatalf("randomDay built an invalid day: %v", err)
+	}
+	return day
+}
+
+// TestPropertyBudgetBalance checks Theorem 1 on random days: at ξ ≥ 1
+// the neighborhood collects at least the power company's bill, and at
+// ξ = 1 revenue equals cost exactly (within float tolerance).
+func TestPropertyBudgetBalance(t *testing.T) {
+	rng := dist.New(2024)
+	pricer := pricing.Quadratic{Sigma: pricing.DefaultSigma}
+	for i := 0; i < propertyDays; i++ {
+		day := randomDay(t, rng)
+
+		s, err := Settle(pricer, Config{K: DefaultK, Xi: DefaultXi}, day)
+		if err != nil {
+			t.Fatalf("day %d: %v", i, err)
+		}
+		tol := 1e-9 * math.Max(1, s.Cost)
+		if s.Revenue() < s.Cost-tol {
+			t.Fatalf("day %d: revenue %g below cost %g at xi=%g",
+				i, s.Revenue(), s.Cost, DefaultXi)
+		}
+		if s.CenterUtility() < -tol {
+			t.Fatalf("day %d: center utility %g negative", i, s.CenterUtility())
+		}
+
+		exact, err := Settle(pricer, Config{K: DefaultK, Xi: 1}, day)
+		if err != nil {
+			t.Fatalf("day %d: %v", i, err)
+		}
+		if diff := math.Abs(exact.Revenue() - exact.Cost); diff > tol {
+			t.Fatalf("day %d: xi=1 revenue %g != cost %g (diff %g)",
+				i, exact.Revenue(), exact.Cost, diff)
+		}
+	}
+}
+
+// TestPropertyScoresWellFormed checks the Eq. 6 scores on random days:
+// every Ψ_i is strictly positive (normalized shares live in
+// [1/2, 3/2], so Ψ_i ∈ [k/3, 3k]) and every payment is non-negative.
+func TestPropertyScoresWellFormed(t *testing.T) {
+	rng := dist.New(7)
+	pricer := pricing.Quadratic{Sigma: pricing.DefaultSigma}
+	cfg := Config{K: DefaultK, Xi: DefaultXi}
+	for i := 0; i < propertyDays; i++ {
+		day := randomDay(t, rng)
+		s, err := Settle(pricer, cfg, day)
+		if err != nil {
+			t.Fatalf("day %d: %v", i, err)
+		}
+		for j, psi := range s.SocialCost {
+			if psi <= 0 {
+				t.Fatalf("day %d household %d: social cost %g not positive", i, j, psi)
+			}
+			if psi < cfg.K/3-1e-12 || psi > 3*cfg.K+1e-12 {
+				t.Fatalf("day %d household %d: social cost %g outside [k/3, 3k]", i, j, psi)
+			}
+			if s.Payments[j] < 0 {
+				t.Fatalf("day %d household %d: negative payment %g", i, j, s.Payments[j])
+			}
+		}
+	}
+}
+
+// TestPropertyFlexibilityMonotone checks the Eq. 4 shape on random
+// populations: f_i = (β−α)/v · 1/N_i.
+//
+// Stretching the reported duration v (window fixed) never increases
+// flexibility — the household occupies more of the same window, so it
+// is strictly less flexible. This is the monotonicity the greedy order
+// relies on. Note the window direction is NOT monotone in general:
+// widening β−α also changes N_i, and growing the window into a
+// congested hour can lower the score — so the window half of the
+// property is asserted only in isolation, where N_i ≡ 1 and f = w/v is
+// strictly increasing in the width.
+func TestPropertyFlexibilityMonotone(t *testing.T) {
+	rng := dist.New(99)
+	for i := 0; i < propertyDays; i++ {
+		n := 2 + rng.Intn(19)
+		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefs := make([]core.Preference, n)
+		for j, p := range gen.DrawN(n) {
+			prefs[j] = p.Wide
+		}
+		scores := FlexibilityScores(prefs)
+
+		target := rng.Intn(n)
+		if prefs[target].Slack() == 0 {
+			continue // duration already fills the window
+		}
+		stretched := append([]core.Preference(nil), prefs...)
+		stretched[target].Duration++
+		if stretched[target].Validate() != nil {
+			t.Fatalf("day %d: stretched preference invalid", i)
+		}
+		after := FlexibilityScores(stretched)
+		if after[target] > scores[target]+1e-12 {
+			t.Fatalf("day %d: stretching duration of %v raised flexibility %g -> %g",
+				i, prefs[target], scores[target], after[target])
+		}
+	}
+
+	// Window monotonicity holds for an isolated household (N_i = 1).
+	for width := 2; width < core.HoursPerDay; width++ {
+		narrow := core.MustPreference(0, core.Hour(width), 1)
+		wide := core.MustPreference(0, core.Hour(width+1), 1)
+		fNarrow := FlexibilityScore(narrow, []core.Preference{narrow})
+		fWide := FlexibilityScore(wide, []core.Preference{wide})
+		if fWide <= fNarrow {
+			t.Fatalf("isolated: widening %v -> %v did not raise flexibility (%g -> %g)",
+				narrow, wide, fNarrow, fWide)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package parallel provides the worker-pool engine behind the
+// experiment harness. Experiments decompose into independent jobs (one
+// per simulated day); the engine fans them out over a configurable
+// number of goroutines while keeping results reproducible: every job is
+// identified by its index, draws randomness only from a stream derived
+// from that index (see dist.RNG.Split with labels), and writes its
+// result into a pre-sized slice slot, so the output is bit-for-bit
+// identical no matter how many workers run or how they interleave.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine fans independent jobs out over a pool of goroutines.
+//
+// The zero value is ready to use and runs with runtime.GOMAXPROCS(0)
+// workers. Workers = 1 degenerates to a plain serial loop in index
+// order — the reference execution every other worker count must
+// reproduce bit-for-bit.
+type Engine struct {
+	// Workers is the pool size. Zero (or negative) means
+	// runtime.GOMAXPROCS(0); one means serial execution.
+	Workers int
+}
+
+// WorkerCount resolves the configured pool size.
+func (e Engine) WorkerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs job(i) for every i in [0, n) across the pool and waits
+// for completion. Jobs must be independent: they may not communicate,
+// and any shared output must be written to distinct, pre-allocated
+// slots (job i writes results[i]).
+//
+// Error handling is deterministic: if any jobs fail, ForEach returns
+// the error of the lowest-indexed failing job. After the first observed
+// failure the engine stops dispatching new jobs (jobs already running
+// finish), so on the error path some jobs may never execute — callers
+// treat any error as fatal for the whole experiment.
+func (e Engine) ForEach(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if job == nil {
+		return fmt.Errorf("parallel: nil job")
+	}
+	workers := e.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n) // job i owns errs[i]; no lock needed
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		err := Engine{Workers: workers}.ForEach(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachIndexedWritesAreDisjoint(t *testing.T) {
+	const n = 1000
+	out := make([]int, n)
+	if err := (Engine{}).ForEach(n, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachSerialRunsInOrder(t *testing.T) {
+	var order []int
+	if err := (Engine{Workers: 1}).ForEach(10, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v not ascending", order)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	// Serial: job 7 fails first and dispatch stops, so job 42 never runs.
+	err := Engine{Workers: 1}.ForEach(100, func(i int) error {
+		if i == 7 || i == 42 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "job 7 failed" {
+		t.Errorf("serial: got error %v, want job 7's", err)
+	}
+	// Pooled: with a single failing job its error must surface
+	// regardless of interleaving.
+	err = Engine{Workers: 4}.ForEach(100, func(i int) error {
+		if i == 7 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "job 7 failed" {
+		t.Errorf("pooled: got error %v, want job 7's", err)
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	boom := errors.New("boom")
+	err := Engine{Workers: 1}.ForEach(10, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if ran != 4 {
+		t.Errorf("ran %d jobs after error at index 3, want 4", ran)
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := (Engine{}).ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0 should be a no-op, got %v", err)
+	}
+	if err := (Engine{}).ForEach(-3, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("negative n should be a no-op, got %v", err)
+	}
+	if err := (Engine{}).ForEach(1, nil); err == nil {
+		t.Error("nil job should be rejected")
+	}
+}
+
+func TestWorkerCountDefaults(t *testing.T) {
+	if got := (Engine{}).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Engine{Workers: -2}).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative workers = %d, want GOMAXPROCS", got)
+	}
+	if got := (Engine{Workers: 3}).WorkerCount(); got != 3 {
+		t.Errorf("explicit workers = %d, want 3", got)
+	}
+}

@@ -4,12 +4,18 @@ import (
 	"fmt"
 
 	"enki/internal/dist"
+	"enki/internal/parallel"
 )
 
 // StudyConfig parameterizes the full two-treatment study.
 type StudyConfig struct {
 	// Session is the per-session game configuration.
 	Session SessionConfig
+	// Workers fans the independent sessions out over this many
+	// goroutines (0 = runtime.GOMAXPROCS(0), 1 = serial). Each session
+	// draws from a stream derived purely from the study RNG and the
+	// session index, so results are identical for every worker count.
+	Workers int
 	// T1Sessions is the number of Treatment 1 sessions (paper: 4),
 	// each with T1SubjectsPerSession subjects and T1Agents artificial
 	// agents.
@@ -105,53 +111,78 @@ func rosterModel(number int, rng *dist.RNG) Participant {
 	}
 }
 
+// sessionSpec pins down everything one session needs before it runs,
+// so sessions can execute in any order on any worker.
+type sessionSpec struct {
+	treatment    int
+	subjectCount int
+	agentCount   int
+	firstNumber  int
+}
+
 // RunStudy executes the full two-treatment study. Subject numbers 1-16
 // fill the Treatment 1 sessions in order; numbers 17-20 are the
 // Treatment 2 subjects.
+//
+// Sessions are independent jobs fanned out over cfg.Workers goroutines.
+// Each session's randomness is a pure labeled split of rng by session
+// index (the caller's rng is never advanced), so the study is
+// bit-for-bit identical for every worker count.
 func RunStudy(cfg StudyConfig, rng *dist.RNG) (*StudyResult, error) {
 	if cfg.T1Sessions < 0 || cfg.T2Sessions < 0 {
 		return nil, fmt.Errorf("study: negative session counts")
 	}
-	res := &StudyResult{}
-	number := 1
-
-	runOne := func(treatment, subjectCount, agentCount int) error {
-		subjects := make([]Participant, subjectCount)
-		numbers := make([]int, subjectCount)
-		for i := range subjects {
-			subjects[i] = rosterModel(number, rng.Split())
-			numbers[i] = number
-			number++
-		}
-		agents := make([]Participant, agentCount)
-		for i := range agents {
-			// Half of the artificial agents defect in rounds 1-8.
-			agents[i] = &Artificial{DefectsEarly: i < agentCount/2, RNG: rng.Split()}
-		}
-		session, err := RunSession(cfg.Session, treatment, subjects, agents, rng.Split())
-		if err != nil {
-			return fmt.Errorf("treatment %d: %w", treatment, err)
-		}
-		res.Sessions = append(res.Sessions, *session)
-		for i, p := range session.Subjects() {
-			res.Subjects = append(res.Subjects, SubjectRecord{
-				Number:    numbers[i],
-				Treatment: treatment,
-				Result:    p,
-			})
-		}
-		return nil
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("study: workers %d must be non-negative", cfg.Workers)
 	}
 
+	specs := make([]sessionSpec, 0, cfg.T1Sessions+cfg.T2Sessions)
+	number := 1
 	for s := 0; s < cfg.T1Sessions; s++ {
-		if err := runOne(1, cfg.T1SubjectsPerSession, cfg.T1Agents); err != nil {
-			return nil, err
-		}
+		specs = append(specs, sessionSpec{1, cfg.T1SubjectsPerSession, cfg.T1Agents, number})
+		number += cfg.T1SubjectsPerSession
 	}
 	for s := 0; s < cfg.T2Sessions; s++ {
-		if err := runOne(2, 1, cfg.T2Agents); err != nil {
-			return nil, err
+		specs = append(specs, sessionSpec{2, 1, cfg.T2Agents, number})
+		number++
+	}
+
+	sessions := make([]SessionResult, len(specs))
+	records := make([][]SubjectRecord, len(specs))
+	engine := parallel.Engine{Workers: cfg.Workers}
+	err := engine.ForEach(len(specs), func(si int) error {
+		spec := specs[si]
+		srng := rng.Split(uint64(si))
+		subjects := make([]Participant, spec.subjectCount)
+		numbers := make([]int, spec.subjectCount)
+		for i := range subjects {
+			numbers[i] = spec.firstNumber + i
+			subjects[i] = rosterModel(numbers[i], srng.Split())
 		}
+		agents := make([]Participant, spec.agentCount)
+		for i := range agents {
+			// Half of the artificial agents defect in rounds 1-8.
+			agents[i] = &Artificial{DefectsEarly: i < spec.agentCount/2, RNG: srng.Split()}
+		}
+		session, err := RunSession(cfg.Session, spec.treatment, subjects, agents, srng.Split())
+		if err != nil {
+			return fmt.Errorf("treatment %d: %w", spec.treatment, err)
+		}
+		sessions[si] = *session
+		recs := make([]SubjectRecord, spec.subjectCount)
+		for i, p := range session.Subjects() {
+			recs[i] = SubjectRecord{Number: numbers[i], Treatment: spec.treatment, Result: p}
+		}
+		records[si] = recs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &StudyResult{Sessions: sessions}
+	for _, recs := range records {
+		res.Subjects = append(res.Subjects, recs...)
 	}
 	return res, nil
 }
