@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt
+.PHONY: all build test race bench bench-all metric-lint vet fmt
 
 all: build test
 
@@ -15,10 +15,28 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Compare BenchmarkSweepSerial vs BenchmarkSweepParallel for the
-# engine's speedup on this machine.
+# Scheduler and sweep benchmarks with a machine-readable report:
+# the raw log goes to BENCH_sched.txt, tools/benchjson converts it to
+# BENCH_sched.json (ns/op, B/op, allocs/op per benchmark).
 bench:
+	$(GO) test -run '^$$' -bench '^Benchmark(GreedyAllocate|OptimalAllocate|Sweep)' \
+		-benchmem . | tee BENCH_sched.txt
+	$(GO) run ./tools/benchjson -o BENCH_sched.json BENCH_sched.txt
+
+# Compare BenchmarkSweepSerial vs BenchmarkSweepParallel for the
+# engine's speedup on this machine, plus every other benchmark.
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Metric names must come from the constants in internal/obs/names.go;
+# a string-literal registration anywhere else bypasses the inventory
+# DESIGN.md documents, so CI rejects it.
+metric-lint:
+	@if grep -rn --include='*.go' --exclude-dir=obs -E '\.(Counter|Gauge|Histogram)\("' . ; then \
+		echo 'metric-lint: register metrics via the internal/obs name constants'; exit 1; \
+	else \
+		echo 'metric-lint: ok'; \
+	fi
 
 vet:
 	$(GO) vet ./...

@@ -22,11 +22,12 @@ import (
 
 	"enki/internal/core"
 	"enki/internal/netproto"
+	"enki/internal/obs"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "enkiagent:", err)
+		obs.Logger().Error("enkiagent failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -41,7 +42,12 @@ func run(args []string) error {
 		rho    = fs.Float64("rho", 5, "valuation factor ρ")
 		days   = fs.Duration("for", time.Hour, "how long to keep serving")
 	)
+	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logOpts.Apply(nil)
+	if err != nil {
 		return err
 	}
 
@@ -70,7 +76,7 @@ func run(args []string) error {
 		return err
 	}
 	defer agent.Close()
-	fmt.Printf("enkiagent: household %d connected to %s\n", *id, *addr)
+	logger.Info("connected", "household", *id, "addr", *addr)
 
 	deadline := time.NewTimer(*days)
 	defer deadline.Stop()

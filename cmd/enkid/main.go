@@ -6,6 +6,8 @@
 // Usage:
 //
 //	enkid -addr 127.0.0.1:7600 -agents 3 -days 2
+//	enkid -http 127.0.0.1:8080          # /metrics, /healthz, pprof
+//	enkid -trace-out day-spans.jsonl    # per-day span trace
 package main
 
 import (
@@ -16,13 +18,14 @@ import (
 
 	"enki/internal/mechanism"
 	"enki/internal/netproto"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 	"enki/internal/sched"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "enkid:", err)
+		obs.Logger().Error("enkid failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -30,16 +33,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("enkid", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:7600", "listen address")
-		agents  = fs.Int("agents", 2, "number of household agents to wait for")
-		days    = fs.Int("days", 1, "number of day cycles to run")
-		wait    = fs.Duration("wait", time.Minute, "how long to wait for agents")
-		sigma   = fs.Float64("sigma", pricing.DefaultSigma, "pricing scale σ")
-		rating  = fs.Float64("rating", 2, "power rating r (kW)")
-		xi      = fs.Float64("xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
-		journal = fs.String("journal", "", "append day settlements to this JSONL file")
+		addr     = fs.String("addr", "127.0.0.1:7600", "listen address")
+		agents   = fs.Int("agents", 2, "number of household agents to wait for")
+		days     = fs.Int("days", 1, "number of day cycles to run")
+		wait     = fs.Duration("wait", time.Minute, "how long to wait for agents")
+		sigma    = fs.Float64("sigma", pricing.DefaultSigma, "pricing scale σ")
+		rating   = fs.Float64("rating", 2, "power rating r (kW)")
+		xi       = fs.Float64("xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
+		journal  = fs.String("journal", "", "append day settlements to this JSONL file")
+		httpAddr = fs.String("http", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:8080; empty = off)")
+		traceOut = fs.String("trace-out", "", "write the day-cycle span trace to this JSONL file")
 	)
+	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logOpts.Apply(nil)
+	if err != nil {
 		return err
 	}
 
@@ -47,8 +57,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	scheduler := &sched.Greedy{Pricer: pricer, Rating: *rating}
 	center, err := netproto.NewCenter(*addr, netproto.CenterConfig{
-		Scheduler: &sched.Greedy{Pricer: pricer, Rating: *rating},
+		Scheduler: scheduler,
 		Pricer:    pricer,
 		Mechanism: mechanism.Config{K: mechanism.DefaultK, Xi: *xi},
 		Rating:    *rating,
@@ -58,20 +69,45 @@ func run(args []string) error {
 	}
 	defer center.Close()
 
-	fmt.Printf("enkid: listening on %s, waiting for %d agents\n", center.Addr(), *agents)
+	preregisterMetrics(scheduler.Name())
+	if *httpAddr != "" {
+		debug, err := obs.ServeDebug(*httpAddr, obs.Default())
+		if err != nil {
+			return err
+		}
+		defer debug.Close()
+		logger.Info("debug listener up", "addr", debug.Addr(),
+			"endpoints", "/metrics /healthz /debug/pprof/")
+	}
+	if *traceOut != "" {
+		obs.DefaultTracer().Enable()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				logger.Error("trace export failed", "err", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.DefaultTracer().WriteJSONL(f); err != nil {
+				logger.Error("trace export failed", "err", err)
+			}
+		}()
+	}
+
+	logger.Info("listening", "addr", center.Addr(), "agents_expected", *agents)
 	if err := center.WaitForAgents(*agents, *wait); err != nil {
 		return err
 	}
-	fmt.Printf("enkid: %d agents registered\n", center.AgentCount())
+	logger.Info("agents registered", "count", center.AgentCount())
 
-	var log *netproto.Journal
+	var journalLog *netproto.Journal
 	if *journal != "" {
 		f, err := os.OpenFile(*journal, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		log = netproto.NewJournal(f)
+		journalLog = netproto.NewJournal(f)
 	}
 
 	for day := 1; day <= *days; day++ {
@@ -79,8 +115,8 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("day %d: %w", day, err)
 		}
-		if log != nil {
-			if err := log.Append(record); err != nil {
+		if journalLog != nil {
+			if err := journalLog.Append(record); err != nil {
 				return err
 			}
 		}
@@ -92,4 +128,33 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// preregisterMetrics creates the daemon's core series up front so a
+// scrape of a freshly started center already shows the netproto,
+// scheduler, and mechanism series at zero instead of a page that
+// fills in only after the first day cycle.
+func preregisterMetrics(schedulerName string) {
+	reg := obs.Default()
+	reg.Counter(obs.MetricNetDaysTotal)
+	for _, dir := range []string{obs.DirectionSent, obs.DirectionReceived} {
+		reg.Counter(obs.MetricNetMessagesTotal, obs.LabelDirection, dir)
+		reg.Counter(obs.MetricNetBytesTotal, obs.LabelDirection, dir)
+	}
+	for _, phase := range []string{string(netproto.KindPreference), string(netproto.KindConsumption)} {
+		reg.Histogram(obs.MetricNetPhaseLatencyMS, obs.LatencyBucketsMS, obs.LabelPhase, phase)
+		reg.Counter(obs.MetricNetTimeoutsTotal, obs.LabelPhase, phase)
+	}
+	reg.Counter(obs.MetricSchedAllocateTotal, obs.LabelScheduler, schedulerName)
+	reg.Histogram(obs.MetricSchedAllocateLatencyMS, obs.LatencyBucketsMS, obs.LabelScheduler, schedulerName)
+	reg.Counter(obs.MetricSchedDefermentSlots, obs.LabelScheduler, schedulerName)
+	reg.Counter(obs.MetricSchedDeferredHouseholds, obs.LabelScheduler, schedulerName)
+	reg.Counter(obs.MetricMechSettlementsTotal)
+	reg.Histogram(obs.MetricMechFlexibilityScore, obs.ScoreBuckets)
+	reg.Histogram(obs.MetricMechDefectionScore, obs.ScoreBuckets)
+	reg.Histogram(obs.MetricMechSocialCostScore, obs.ScoreBuckets)
+	reg.Histogram(obs.MetricMechPaymentDollars, obs.DollarBuckets)
+	reg.Gauge(obs.MetricMechBudgetResidual)
+	reg.Gauge(obs.MetricMechPaymentSpread)
+	reg.Gauge(obs.MetricMechDayPAR)
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"enki/internal/obs"
+)
+
+// TestFreshDaemonMetricsPage checks the acceptance criterion for the
+// -http flag: a scrape of a freshly started daemon (ephemeral port,
+// no agents, no days run) already lists the netproto, scheduler, and
+// mechanism series, because preregisterMetrics creates them at zero.
+func TestFreshDaemonMetricsPage(t *testing.T) {
+	obs.Default().Reset()
+	preregisterMetrics("enki-greedy")
+
+	srv, err := obs.ServeDebug("127.0.0.1:0", obs.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, series := range []string{
+		obs.MetricNetDaysTotal,
+		obs.MetricNetMessagesTotal + `{direction="sent"}`,
+		obs.MetricNetTimeoutsTotal,
+		obs.MetricSchedAllocateTotal + `{scheduler="enki-greedy"}`,
+		obs.MetricSchedDefermentSlots,
+		obs.MetricMechSettlementsTotal,
+		obs.MetricMechDayPAR,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("fresh /metrics missing series %s", series)
+		}
+	}
+}

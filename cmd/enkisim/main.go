@@ -8,6 +8,7 @@
 //	enkisim -fig 6 -opt-limit 2s
 //	enkisim -fig 4 -csv            # machine-readable output
 //	enkisim -fig all -workers 8    # same output, parallel engine
+//	enkisim -fig all -metrics-out metrics.json -trace-out spans.jsonl
 package main
 
 import (
@@ -20,11 +21,12 @@ import (
 	"time"
 
 	"enki/internal/experiment"
+	"enki/internal/obs"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "enkisim:", err)
+		obs.Logger().Error("enkisim failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -42,9 +44,18 @@ func run(args []string, out io.Writer) error {
 		csv         = fs.Bool("csv", false, "emit CSV instead of rendered tables")
 		ablations   = fs.Bool("ablations", false, "also run the design-choice ablations")
 		workers     = fs.Int("workers", 0, "worker goroutines for the experiment engine (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+		metricsOut  = fs.String("metrics-out", "", "dump the metrics-registry snapshot to this JSON file next to the CSVs")
+		traceOut    = fs.String("trace-out", "", "write the per-day span trace to this JSONL file")
 	)
+	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if _, err := logOpts.Apply(nil); err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		obs.DefaultTracer().Enable()
 	}
 
 	cfg := experiment.DefaultConfig()
@@ -121,7 +132,33 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, discount.Render())
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.DefaultTracer().WriteJSONL(f); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeMetricsSnapshot dumps the default registry as JSON.
+func writeMetricsSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.Default().Snapshot().WriteJSON(f)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	enkistudy -seed 42
+//	enkistudy -seed 42 -metrics-out study-metrics.json
 package main
 
 import (
@@ -15,12 +16,13 @@ import (
 	"os"
 
 	"enki/internal/experiment"
+	"enki/internal/obs"
 	"enki/internal/study"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "enkistudy:", err)
+		obs.Logger().Error("enkistudy failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -29,7 +31,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("enkistudy", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines for the session engine (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+	metricsOut := fs.String("metrics-out", "", "dump the metrics-registry snapshot to this JSON file")
+	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logOpts.Apply(nil); err != nil {
 		return err
 	}
 
@@ -46,5 +53,16 @@ func run(args []string) error {
 	fmt.Println(res.RenderTableIV())
 	fmt.Println(res.RenderFigure8())
 	fmt.Println(res.RenderFigure9())
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.Default().Snapshot().WriteJSON(f); err != nil {
+			return err
+		}
+	}
 	return nil
 }

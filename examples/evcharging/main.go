@@ -16,9 +16,10 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"enki"
+	"enki/internal/obs"
 	"enki/internal/sched"
 )
 
@@ -26,7 +27,8 @@ const fleet = 24 // cars on the block
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.Logger().Error("evcharging example failed", "err", err)
+		os.Exit(1)
 	}
 }
 

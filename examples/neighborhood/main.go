@@ -13,18 +13,20 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"enki/internal/core"
 	"enki/internal/mechanism"
 	"enki/internal/netproto"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 	"enki/internal/sched"
 )
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.Logger().Error("neighborhood example failed", "err", err)
+		os.Exit(1)
 	}
 }
 

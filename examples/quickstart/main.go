@@ -12,14 +12,16 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"enki"
+	"enki/internal/obs"
 )
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.Logger().Error("quickstart example failed", "err", err)
+		os.Exit(1)
 	}
 }
 

@@ -15,13 +15,14 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math"
+	"os"
 
 	"enki/internal/core"
 	"enki/internal/ecc"
 	"enki/internal/mechanism"
 	"enki/internal/netproto"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 	"enki/internal/sched"
 )
@@ -81,7 +82,8 @@ func (p *learnedPolicy) Feedback(int, netproto.PaymentDetail) {}
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.Logger().Error("smartmeter example failed", "err", err)
+		os.Exit(1)
 	}
 }
 

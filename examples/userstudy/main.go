@@ -9,15 +9,17 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"enki/internal/experiment"
+	"enki/internal/obs"
 	"enki/internal/study"
 )
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.Logger().Error("userstudy example failed", "err", err)
+		os.Exit(1)
 	}
 }
 

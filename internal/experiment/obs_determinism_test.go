@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"enki/internal/obs"
+)
+
+// runSweepObserved resets the default registry and tracer, runs a
+// sweep at the given worker count, and returns what observability
+// recorded: the metric snapshot and the sorted span identities.
+func runSweepObserved(t *testing.T, workers int) (obs.Snapshot, []string) {
+	t.Helper()
+	obs.Default().Reset()
+	tracer := obs.DefaultTracer()
+	tracer.Drain()
+	tracer.Enable()
+	defer tracer.Disable()
+	if _, err := RunSweep(detConfig(workers)); err != nil {
+		t.Fatal(err)
+	}
+	return obs.Default().Snapshot(), tracer.Identities()
+}
+
+// TestObsSweepWorkersDeterministic is the observability half of the
+// engine's determinism guarantee: the metric snapshot — counters and
+// non-timing histograms — and the span-trace identities are identical
+// whether the sweep runs serially or on eight workers. Timing
+// histograms (the _ms series) and gauges are exempt by contract; the
+// detConfig solver options carry no time limit, so node and prune
+// counts are pure functions of the inputs.
+func TestObsSweepWorkersDeterministic(t *testing.T) {
+	serialSnap, serialSpans := runSweepObserved(t, 1)
+	pooledSnap, pooledSpans := runSweepObserved(t, 8)
+
+	if diffs := serialSnap.DiffDeterministic(pooledSnap); len(diffs) != 0 {
+		t.Errorf("Workers:8 metric snapshot differs from Workers:1:\n%v", diffs)
+	}
+	if !reflect.DeepEqual(serialSpans, pooledSpans) {
+		t.Errorf("Workers:8 span identities differ from Workers:1:\nserial: %v\npooled: %v",
+			serialSpans, pooledSpans)
+	}
+	if len(serialSpans) == 0 {
+		t.Error("sweep produced no day spans")
+	}
+
+	// The deterministic series must actually be populated — an empty
+	// snapshot would also pass the diff.
+	for _, name := range []string{
+		obs.MetricSolverSolvesTotal,
+		obs.MetricSolverNodesExpanded,
+	} {
+		if serialSnap.Counters[name] == 0 {
+			t.Errorf("counter %s not incremented by the sweep", name)
+		}
+	}
+	if serialSnap.Counters[`enki_sched_allocate_total{scheduler="enki-greedy"}`] == 0 {
+		t.Errorf("greedy allocation counter missing from snapshot: %v", serialSnap.Counters)
+	}
+}
+
+// TestObsMechanismWorkersDeterministic covers the mechanism series the
+// sweep never touches: RunUtilityComparison settles every simulated
+// day, so the settlement counter and the flexibility/defection/payment
+// histograms must also replay identically across worker counts.
+func TestObsMechanismWorkersDeterministic(t *testing.T) {
+	collect := func(workers int) obs.Snapshot {
+		obs.Default().Reset()
+		if _, err := RunUtilityComparison(detConfig(workers), 10, 4); err != nil {
+			t.Fatal(err)
+		}
+		return obs.Default().Snapshot()
+	}
+	serial := collect(1)
+	pooled := collect(8)
+	if diffs := serial.DiffDeterministic(pooled); len(diffs) != 0 {
+		t.Errorf("Workers:8 mechanism snapshot differs from Workers:1:\n%v", diffs)
+	}
+	if serial.Counters[obs.MetricMechSettlementsTotal] == 0 {
+		t.Errorf("settlement counter not incremented: %v", serial.Counters)
+	}
+	hist, ok := serial.Histograms[obs.MetricMechFlexibilityScore]
+	if !ok || hist.Count == 0 {
+		t.Errorf("flexibility histogram empty: %+v", serial.Histograms)
+	}
+}

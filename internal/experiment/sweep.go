@@ -2,9 +2,11 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
+	"enki/internal/obs"
 	"enki/internal/profile"
 	"enki/internal/sched"
 	"enki/internal/stats"
@@ -59,6 +61,11 @@ func RunSweep(cfg Config) (*SweepResult, error) {
 	err := cfg.engine().ForEach(len(cells), func(job int) error {
 		n := cfg.Populations[job/cfg.Rounds]
 		round := job % cfg.Rounds
+		// The day span's identity is (population, round) — a pure
+		// function of the job, so the exported trace replays exactly
+		// at any worker count.
+		span := obs.StartSpan("sweep.day", "pop", strconv.Itoa(n), "round", strconv.Itoa(round))
+		defer span.End()
 		rng := cfg.jobRNG(labelSweep, uint64(n), uint64(round))
 
 		gen, err := profile.NewGenerator(profile.DefaultConfig(), rng.Split())

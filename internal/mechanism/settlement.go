@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"enki/internal/core"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 )
 
@@ -94,6 +95,39 @@ func (s Settlement) Revenue() float64 {
 // (ξ − 1)·κ(ω) ≥ 0.
 func (s Settlement) CenterUtility() float64 { return s.Revenue() - s.Cost }
 
+// RecordSettlementMetrics publishes one settled day to the default
+// metrics registry: score and payment distributions (histograms, so
+// they merge deterministically across parallel days), the Theorem 1
+// budget residual Σp − κ(ω), the payment spread max p − min p, and
+// the day's PAR. The gauges hold the most recent day — meaningful for
+// the serial enkid daemon; in parallel experiment runs only the
+// histograms and the settlement counter are deterministic.
+func RecordSettlementMetrics(flex, defect, psi, payments []float64, cost, par float64) {
+	reg := obs.Default()
+	reg.Counter(obs.MetricMechSettlementsTotal).Inc()
+	flexH := reg.Histogram(obs.MetricMechFlexibilityScore, obs.ScoreBuckets)
+	defectH := reg.Histogram(obs.MetricMechDefectionScore, obs.ScoreBuckets)
+	psiH := reg.Histogram(obs.MetricMechSocialCostScore, obs.ScoreBuckets)
+	payH := reg.Histogram(obs.MetricMechPaymentDollars, obs.DollarBuckets)
+	var revenue, minP, maxP float64
+	for i := range payments {
+		flexH.Observe(flex[i])
+		defectH.Observe(defect[i])
+		psiH.Observe(psi[i])
+		payH.Observe(payments[i])
+		revenue += payments[i]
+		if i == 0 || payments[i] < minP {
+			minP = payments[i]
+		}
+		if i == 0 || payments[i] > maxP {
+			maxP = payments[i]
+		}
+	}
+	reg.Gauge(obs.MetricMechBudgetResidual).Set(revenue - cost)
+	reg.Gauge(obs.MetricMechPaymentSpread).Set(maxP - minP)
+	reg.Gauge(obs.MetricMechDayPAR).Set(par)
+}
+
 // Settle computes the full Enki settlement for a day: scores, payments,
 // and utilities.
 func Settle(p pricing.Pricer, cfg Config, day Day) (Settlement, error) {
@@ -131,6 +165,9 @@ func Settle(p pricing.Pricer, cfg Config, day Day) (Settlement, error) {
 		valuations[i] = core.ValuationOf(day.Assignments[i], h.Type)
 		utilities[i] = core.Utility(valuations[i], payments[i])
 	}
+
+	load := core.LoadOf(day.Consumptions, day.Rating)
+	RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
 
 	return Settlement{
 		Cost:        cost,

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"enki/internal/core"
 	"enki/internal/mechanism"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 	"enki/internal/sched"
 )
@@ -259,6 +261,9 @@ type DayRecord struct {
 // agents: request → preferences → allocation → consumptions → payments.
 // It is not safe for concurrent use with itself.
 func (c *Center) RunDay(day int) (*DayRecord, error) {
+	daySpan := obs.StartSpan("netproto.day", "day", strconv.Itoa(day))
+	defer daySpan.End()
+
 	members := c.snapshot()
 	if len(members) == 0 {
 		return nil, errors.New("netproto: no registered agents")
@@ -338,6 +343,7 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 			return nil, fmt.Errorf("netproto: payment to %d: %w", r.ID, err)
 		}
 	}
+	obs.Default().Counter(obs.MetricNetDaysTotal).Inc()
 	return record, nil
 }
 
@@ -364,6 +370,7 @@ func (c *Center) settle(day int, reports []core.Report, assignments []core.Assig
 	if err != nil {
 		return nil, fmt.Errorf("netproto: payments: %w", err)
 	}
+	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
 	return &DayRecord{
 		Day:          day,
 		Reports:      reports,
@@ -399,6 +406,14 @@ func (c *Center) lookup(id core.HouseholdID) *centerConn {
 // collect waits until every member has sent a message of the wanted
 // kind for the given day, or the phase times out.
 func (c *Center) collect(members []*centerConn, want Kind, day int) (map[core.HouseholdID]*Message, error) {
+	span := obs.StartSpan("netproto.phase", obs.LabelPhase, string(want), "day", strconv.Itoa(day))
+	defer span.End()
+	start := time.Now()
+	defer func() {
+		obs.Default().Histogram(obs.MetricNetPhaseLatencyMS, obs.LatencyBucketsMS, obs.LabelPhase, string(want)).
+			Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}()
+
 	pending := make(map[core.HouseholdID]bool, len(members))
 	for _, cc := range members {
 		pending[cc.id] = true
@@ -429,6 +444,7 @@ func (c *Center) collect(members []*centerConn, want Kind, day int) (map[core.Ho
 			delete(pending, in.id)
 			got[in.id] = in.msg
 		case <-timer.C:
+			obs.Default().Counter(obs.MetricNetTimeoutsTotal, obs.LabelPhase, string(want)).Inc()
 			missing := make([]core.HouseholdID, 0, len(pending))
 			for id := range pending {
 				missing = append(missing, id)

@@ -19,6 +19,7 @@ import (
 	"io"
 
 	"enki/internal/core"
+	"enki/internal/obs"
 )
 
 // MaxFrameSize bounds a single message frame; anything larger is a
@@ -86,7 +87,16 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("netproto: write payload: %w", err)
 	}
+	observeFrame(obs.DirectionSent, len(payload))
 	return nil
+}
+
+// observeFrame counts one framed message and its on-wire size (header
+// included) in the given direction, from this process's perspective.
+func observeFrame(direction string, payloadLen int) {
+	reg := obs.Default()
+	reg.Counter(obs.MetricNetMessagesTotal, obs.LabelDirection, direction).Inc()
+	reg.Counter(obs.MetricNetBytesTotal, obs.LabelDirection, direction).Add(uint64(payloadLen) + 4)
 }
 
 // ReadMessage reads one framed message.
@@ -107,5 +117,6 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if err := json.Unmarshal(payload, &m); err != nil {
 		return nil, fmt.Errorf("netproto: decode frame: %w", err)
 	}
+	observeFrame(obs.DirectionReceived, len(payload))
 	return &m, nil
 }

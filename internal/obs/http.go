@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler builds the daemon introspection mux: Prometheus-text
+// /metrics, a trivial /healthz, and the net/http/pprof profiling
+// endpoints under /debug/pprof/.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			Logger().Error("metrics write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug listener; Close shuts it down.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound address (useful with ":0" listeners).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// ServeDebug starts the debug handler on addr (e.g. "127.0.0.1:0")
+// in a background goroutine and returns the running server.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	srv := &http.Server{Handler: DebugHandler(reg)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Logger().Error("debug server failed", "err", err)
+		}
+	}()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// The process logger. Defaults to text on stderr at Info; the cmd/
+// binaries reconfigure it from -log-level/-log-format via LogFlags.
+var currentLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	currentLogger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// Logger returns the shared structured logger.
+func Logger() *slog.Logger { return currentLogger.Load() }
+
+// SetLogger replaces the shared logger (tests, custom sinks).
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		currentLogger.Store(l)
+	}
+}
+
+// LogOptions holds the values of the shared logging flags.
+type LogOptions struct {
+	Level  string // debug, info, warn, error
+	Format string // text, json
+}
+
+// LogFlags registers the shared -log-level and -log-format flags on fs
+// so every cmd/ binary exposes identical logging controls. Call Apply
+// after fs.Parse.
+func LogFlags(fs *flag.FlagSet) *LogOptions {
+	o := &LogOptions{}
+	fs.StringVar(&o.Level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&o.Format, "log-format", "text", "log format: text or json")
+	return o
+}
+
+// Apply builds a slog.Logger from the parsed flag values, installs it
+// as the shared logger, and returns it. w defaults to os.Stderr.
+func (o *LogOptions) Apply(w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	var level slog.Level
+	switch strings.ToLower(o.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown -log-level %q (want debug, info, warn, or error)", o.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch strings.ToLower(o.Format) {
+	case "text", "":
+		handler = slog.NewTextHandler(w, opts)
+	case "json":
+		handler = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown -log-format %q (want text or json)", o.Format)
+	}
+	l := slog.New(handler)
+	SetLogger(l)
+	return l, nil
+}

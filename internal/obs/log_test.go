@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestLogFlagsJSONFormat(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	opts := LogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	logger, err := opts.Apply(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("hello", "k", 1)
+	out := buf.String()
+	if !strings.Contains(out, `"msg":"hello"`) || !strings.Contains(out, `"level":"DEBUG"`) {
+		t.Errorf("json log output malformed: %q", out)
+	}
+	if Logger() != logger {
+		t.Error("Apply should install the shared logger")
+	}
+}
+
+func TestLogFlagsLevelFiltersText(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	opts := LogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "error"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	logger, err := opts.Apply(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("quiet")
+	logger.Error("loud")
+	out := buf.String()
+	if strings.Contains(out, "quiet") || !strings.Contains(out, "loud") {
+		t.Errorf("level filter failed: %q", out)
+	}
+}
+
+func TestLogFlagsRejectBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-log-level", "verbose"},
+		{"-log-format", "xml"},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		opts := LogFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opts.Apply(nil); err == nil {
+			t.Errorf("Apply(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "strings"
+
+// Metric names. Every series the repository registers is named here —
+// CI lint greps for registrations whose name is a string literal
+// outside this package. The "_ms" suffix marks wall-clock timing
+// series, which Snapshot.DiffDeterministic exempts from the
+// bit-identical Workers:1 vs Workers:N contract.
+//
+// DESIGN.md ("Observability") maps each metric to the equation or
+// paper section it validates.
+const (
+	// internal/sched — per-scheduler allocation behaviour (Section IV-C).
+	MetricSchedAllocateTotal      = "enki_sched_allocate_total"
+	MetricSchedAllocateLatencyMS  = "enki_sched_allocate_latency_ms"
+	MetricSchedDefermentSlots     = "enki_sched_deferment_slots_total"
+	MetricSchedDeferredHouseholds = "enki_sched_deferred_households_total"
+
+	// internal/solver — branch-and-bound search effort (Eq. 2).
+	MetricSolverSolvesTotal      = "enki_solver_solves_total"
+	MetricSolverNodesExpanded    = "enki_solver_nodes_expanded_total"
+	MetricSolverNodesPruned      = "enki_solver_nodes_pruned_total"
+	MetricSolverIncumbentUpdates = "enki_solver_incumbent_updates_total"
+	MetricSolverLimitedTotal     = "enki_solver_limited_total"
+
+	// internal/mechanism — per-day settlement quantities (Eqs. 4-8).
+	MetricMechSettlementsTotal = "enki_mechanism_settlements_total"
+	MetricMechFlexibilityScore = "enki_mechanism_flexibility_score"
+	MetricMechDefectionScore   = "enki_mechanism_defection_score"
+	MetricMechSocialCostScore  = "enki_mechanism_social_cost_score"
+	MetricMechPaymentDollars   = "enki_mechanism_payment_dollars"
+	MetricMechBudgetResidual   = "enki_mechanism_budget_residual_dollars"
+	MetricMechPaymentSpread    = "enki_mechanism_payment_spread_dollars"
+	MetricMechDayPAR           = "enki_mechanism_day_par"
+
+	// internal/parallel — experiment engine utilization.
+	MetricParallelJobsTotal   = "enki_parallel_jobs_total"
+	MetricParallelJobErrors   = "enki_parallel_job_errors_total"
+	MetricParallelWorkersBusy = "enki_parallel_workers_busy"
+	MetricParallelQueueDepth  = "enki_parallel_queue_depth"
+
+	// internal/netproto — Figure 1 protocol traffic and phases.
+	MetricNetMessagesTotal  = "enki_netproto_messages_total"
+	MetricNetBytesTotal     = "enki_netproto_bytes_total"
+	MetricNetPhaseLatencyMS = "enki_netproto_phase_latency_ms"
+	MetricNetTimeoutsTotal  = "enki_netproto_timeouts_total"
+	MetricNetDaysTotal      = "enki_netproto_days_total"
+)
+
+// Shared label keys.
+const (
+	LabelScheduler = "scheduler"
+	LabelDirection = "direction"
+	LabelPhase     = "phase"
+)
+
+// Direction label values for netproto traffic.
+const (
+	DirectionSent     = "sent"
+	DirectionReceived = "received"
+)
+
+// Bucket layouts. A metric name maps to exactly one layout.
+var (
+	// LatencyBucketsMS spans 10µs to 10s, roughly ×3 per step — wide
+	// enough for both greedy allocations (µs) and budgeted Optimal
+	// solves (seconds).
+	LatencyBucketsMS = []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000}
+
+	// ScoreBuckets covers the mechanism's normalized score band: Ψ_i
+	// lives in [k/3, 3k] for k = 1 (Eq. 6), flexibility and defection
+	// raw scores in [0, ~1.5).
+	ScoreBuckets = []float64{0.05, 0.1, 0.2, 0.333, 0.5, 0.667, 1, 1.5, 2, 3, 5}
+
+	// DollarBuckets covers per-household payments and per-day budget
+	// quantities for neighborhood sizes up to a few hundred.
+	DollarBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+)
+
+// IsTimingMetric reports whether the series key names a wall-clock
+// timing metric, which the determinism contract exempts.
+func IsTimingMetric(key string) bool {
+	return strings.HasSuffix(baseName(key), "_ms")
+}

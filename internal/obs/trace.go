@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one finished traced operation. Name and Labels identify what
+// ran (and are deterministic across worker counts); the timestamps
+// record when (and are not).
+type Span struct {
+	Name    string   `json:"name"`
+	Labels  []string `json:"labels,omitempty"` // alternating key/value pairs
+	StartNS int64    `json:"startNs"`
+	EndNS   int64    `json:"endNs"`
+}
+
+// Duration returns the span's wall-clock length.
+func (s Span) Duration() time.Duration { return time.Duration(s.EndNS - s.StartNS) }
+
+// Identity renders the timing-free identity of a span: its name plus
+// labels, in the same key-sorted form metric series use. Two runs of
+// the same seeded workload produce the same multiset of identities at
+// any worker count.
+func (s Span) Identity() string { return metricKey(s.Name, s.Labels) }
+
+// Tracer collects spans. The zero value is a disabled tracer whose
+// Start is a near-free atomic load; Enable turns collection on.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	spans   []Span
+}
+
+var defaultTracer Tracer
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer { return &defaultTracer }
+
+// Enable turns span collection on.
+func (t *Tracer) Enable() { t.enabled.Store(true) }
+
+// Disable turns span collection off (already-collected spans remain).
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether spans are being collected.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// ActiveSpan is an in-flight span; End finishes and records it. A nil
+// ActiveSpan (from a disabled tracer) is a no-op.
+type ActiveSpan struct {
+	tracer *Tracer
+	span   Span
+}
+
+// Start opens a span. Labels are alternating key/value pairs. Returns
+// nil when the tracer is disabled; End on nil is safe.
+func (t *Tracer) Start(name string, labels ...string) *ActiveSpan {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return &ActiveSpan{
+		tracer: t,
+		span:   Span{Name: name, Labels: labels, StartNS: time.Now().UnixNano()},
+	}
+}
+
+// End finishes the span and appends it to its tracer.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.EndNS = time.Now().UnixNano()
+	s.tracer.mu.Lock()
+	s.tracer.spans = append(s.tracer.spans, s.span)
+	s.tracer.mu.Unlock()
+}
+
+// StartSpan opens a span on the default tracer.
+func StartSpan(name string, labels ...string) *ActiveSpan {
+	return defaultTracer.Start(name, labels...)
+}
+
+// Drain removes and returns all collected spans, sorted by identity
+// (name + labels) and then start time, so the export is deterministic
+// regardless of how concurrent spans interleaved.
+func (t *Tracer) Drain() []Span {
+	t.mu.Lock()
+	spans := t.spans
+	t.spans = nil
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i].Identity(), spans[j].Identity()
+		if a != b {
+			return a < b
+		}
+		return spans[i].StartNS < spans[j].StartNS
+	})
+	return spans
+}
+
+// WriteJSONL drains the tracer and writes one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Drain() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Identities drains the tracer and returns the sorted timing-free span
+// identities — the replayable per-day trace the determinism tests
+// compare across worker counts.
+func (t *Tracer) Identities() []string {
+	spans := t.Drain()
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Identity()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerDisabledIsNoop(t *testing.T) {
+	var tr Tracer
+	span := tr.Start("x", "k", "v")
+	if span != nil {
+		t.Error("disabled tracer should return nil span")
+	}
+	span.End() // must not panic
+	if got := tr.Drain(); len(got) != 0 {
+		t.Errorf("disabled tracer collected %d spans", len(got))
+	}
+}
+
+func TestTracerCollectsAndSortsDeterministically(t *testing.T) {
+	var tr Tracer
+	tr.Enable()
+	// Finish spans out of identity order, concurrently.
+	var wg sync.WaitGroup
+	for _, day := range []string{"3", "1", "2"} {
+		wg.Add(1)
+		go func(day string) {
+			defer wg.Done()
+			s := tr.Start("netproto.day", "day", day)
+			s.End()
+		}(day)
+	}
+	wg.Wait()
+	ids := tr.Identities()
+	want := []string{
+		`netproto.day{day="1"}`,
+		`netproto.day{day="2"}`,
+		`netproto.day{day="3"}`,
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(ids), len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("identity[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	var tr Tracer
+	tr.Enable()
+	s := tr.Start("sweep.day", "pop", "10", "round", "0")
+	s.End()
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d JSONL lines, want 1", len(lines))
+	}
+	var span Span
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	if span.Name != "sweep.day" || span.EndNS < span.StartNS {
+		t.Errorf("decoded span %+v malformed", span)
+	}
+	if got := tr.Drain(); len(got) != 0 {
+		t.Errorf("WriteJSONL should drain, %d spans remain", len(got))
+	}
+}

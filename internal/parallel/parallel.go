@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"enki/internal/obs"
 )
 
 // Engine fans independent jobs out over a pool of goroutines.
@@ -56,9 +58,25 @@ func (e Engine) ForEach(n int, job func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+
+	// Engine metrics: the job and error counters are deterministic on
+	// the success path (exactly n jobs run); the busy/queue gauges are
+	// instantaneous utilization readings for a live scrape.
+	reg := obs.Default()
+	jobs := reg.Counter(obs.MetricParallelJobsTotal)
+	jobErrs := reg.Counter(obs.MetricParallelJobErrors)
+	busy := reg.Gauge(obs.MetricParallelWorkersBusy)
+	queue := reg.Gauge(obs.MetricParallelQueueDepth)
+
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			queue.Set(float64(n - i - 1))
+			busy.Add(1)
+			err := job(i)
+			busy.Add(-1)
+			jobs.Inc()
+			if err != nil {
+				jobErrs.Inc()
 				return err
 			}
 		}
@@ -78,8 +96,14 @@ func (e Engine) ForEach(n int, job func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := job(i); err != nil {
+				queue.Set(float64(n - i - 1))
+				busy.Add(1)
+				err := job(i)
+				busy.Add(-1)
+				jobs.Inc()
+				if err != nil {
 					errs[i] = err
+					jobErrs.Inc()
 					failed.Store(true)
 				}
 			}

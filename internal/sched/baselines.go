@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sort"
+	"time"
 
 	"enki/internal/core"
 	"enki/internal/dist"
@@ -24,11 +25,14 @@ func (Earliest) Allocate(reports []core.Report) ([]core.Assignment, error) {
 	if err := validateReports(reports); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	intervals := make([]core.Interval, len(reports))
 	for i, r := range reports {
 		intervals[i] = r.Pref.IntervalAt(0)
 	}
-	return assignmentsOf(reports, intervals), nil
+	assignments := assignmentsOf(reports, intervals)
+	observeAllocation(Earliest{}.Name(), reports, assignments, time.Since(start))
+	return assignments, nil
 }
 
 // Random places every household at a uniformly random feasible
@@ -48,11 +52,14 @@ func (s *Random) Allocate(reports []core.Report) ([]core.Assignment, error) {
 	if err := validateReports(reports); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	intervals := make([]core.Interval, len(reports))
 	for i, r := range reports {
 		intervals[i] = r.Pref.IntervalAt(s.RNG.Intn(r.Pref.StartChoices()))
 	}
-	return assignmentsOf(reports, intervals), nil
+	assignments := assignmentsOf(reports, intervals)
+	observeAllocation(s.Name(), reports, assignments, time.Since(start))
+	return assignments, nil
 }
 
 // GreedyOrdered is the ordering-ablation scheduler: identical greedy
@@ -103,6 +110,7 @@ func (s *GreedyOrdered) Allocate(reports []core.Report) ([]core.Assignment, erro
 	if err := validateReports(reports); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	order := make([]int, len(reports))
 	for i := range order {
 		order[i] = i
@@ -128,6 +136,7 @@ func (s *GreedyOrdered) Allocate(reports []core.Report) ([]core.Assignment, erro
 	if err := CheckAssignments(reports, assignments); err != nil {
 		return nil, err
 	}
+	observeAllocation(s.Name(), reports, assignments, time.Since(start))
 	return assignments, nil
 }
 
@@ -153,6 +162,7 @@ func (s *LocalSearch) Name() string { return "local-search(" + s.Base.Name() + "
 
 // Allocate implements Scheduler.
 func (s *LocalSearch) Allocate(reports []core.Report) ([]core.Assignment, error) {
+	start := time.Now()
 	assignments, err := s.Base.Allocate(reports)
 	if err != nil {
 		return nil, err
@@ -188,5 +198,6 @@ func (s *LocalSearch) Allocate(reports []core.Report) ([]core.Assignment, error)
 	if err := CheckAssignments(reports, assignments); err != nil {
 		return nil, err
 	}
+	observeAllocation(s.Name(), reports, assignments, time.Since(start))
 	return assignments, nil
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sort"
+	"time"
 
 	"enki/internal/core"
 	"enki/internal/dist"
@@ -37,6 +38,7 @@ func (g *Greedy) Allocate(reports []core.Report) ([]core.Assignment, error) {
 	if err := validateReports(reports); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 
 	prefs := make([]core.Preference, len(reports))
 	for i, r := range reports {
@@ -79,6 +81,7 @@ func (g *Greedy) Allocate(reports []core.Report) ([]core.Assignment, error) {
 	if err := CheckAssignments(reports, assignments); err != nil {
 		return nil, err
 	}
+	observeAllocation(g.Name(), reports, assignments, time.Since(start))
 	return assignments, nil
 }
 

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"time"
+
 	"enki/internal/core"
 	"enki/internal/pricing"
 	"enki/internal/solver"
@@ -33,6 +35,7 @@ func (o *Optimal) Allocate(reports []core.Report) ([]core.Assignment, error) {
 	if err := validateReports(reports); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	items := make([]solver.Item, len(reports))
 	for i, r := range reports {
 		items[i] = solver.ItemFromPreference(r.Pref, o.Rating)
@@ -47,5 +50,6 @@ func (o *Optimal) Allocate(reports []core.Report) ([]core.Assignment, error) {
 	if err := CheckAssignments(reports, assignments); err != nil {
 		return nil, err
 	}
+	observeAllocation(o.Name(), reports, assignments, time.Since(start))
 	return assignments, nil
 }

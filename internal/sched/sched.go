@@ -10,8 +10,10 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"enki/internal/core"
+	"enki/internal/obs"
 )
 
 // Scheduler allocates consumption intervals to reported preferences.
@@ -57,6 +59,29 @@ func CheckAssignments(reports []core.Report, assignments []core.Assignment) erro
 		}
 	}
 	return nil
+}
+
+// observeAllocation records one completed allocation in the default
+// metrics registry: a per-scheduler call counter, latency histogram,
+// and the deferment counters (slots deferred past each report's window
+// start, and how many households were deferred at all). The deferment
+// counters are pure functions of the allocation, so they obey the
+// engine's bit-identical-at-any-worker-count contract; only the
+// latency histogram is timing.
+func observeAllocation(scheduler string, reports []core.Report, assignments []core.Assignment, elapsed time.Duration) {
+	reg := obs.Default()
+	reg.Counter(obs.MetricSchedAllocateTotal, obs.LabelScheduler, scheduler).Inc()
+	reg.Histogram(obs.MetricSchedAllocateLatencyMS, obs.LatencyBucketsMS, obs.LabelScheduler, scheduler).
+		Observe(float64(elapsed.Nanoseconds()) / 1e6)
+	var slots, deferred uint64
+	for i, r := range reports {
+		if d := assignments[i].Interval.Begin - r.Pref.Window.Begin; d > 0 {
+			slots += uint64(d)
+			deferred++
+		}
+	}
+	reg.Counter(obs.MetricSchedDefermentSlots, obs.LabelScheduler, scheduler).Add(slots)
+	reg.Counter(obs.MetricSchedDeferredHouseholds, obs.LabelScheduler, scheduler).Add(deferred)
 }
 
 // LoadOfAssignments aggregates assignments into an hourly load profile.

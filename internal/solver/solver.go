@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"enki/internal/core"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 )
 
@@ -144,9 +145,14 @@ type bbState struct {
 	curCost   float64
 	incumbent float64
 	nodes     int64
-	limited   bool
-	opts      Options
-	deadline  time.Time
+	// pruned counts subtrees cut by a bound; incumbentUpdates counts
+	// leaf improvements. Both are deterministic search facts (absent
+	// node/time limits) exported to the obs registry after the solve.
+	pruned           uint64
+	incumbentUpdates uint64
+	limited          bool
+	opts             Options
+	deadline         time.Time
 	// energySuffix[i] is the total energy of items i..n-1.
 	energySuffix []float64
 	// slotUnion[i] marks the slots reachable by any of items i..n-1.
@@ -270,6 +276,15 @@ func BranchAndBound(p pricing.Pricer, items []Item, opts Options) (Result, error
 	for i, it := range ordered {
 		res.Choice[it.pos] = st.best[i]
 	}
+
+	reg := obs.Default()
+	reg.Counter(obs.MetricSolverSolvesTotal).Inc()
+	reg.Counter(obs.MetricSolverNodesExpanded).Add(uint64(st.nodes))
+	reg.Counter(obs.MetricSolverNodesPruned).Add(st.pruned)
+	reg.Counter(obs.MetricSolverIncumbentUpdates).Add(st.incumbentUpdates)
+	if st.limited {
+		reg.Counter(obs.MetricSolverLimitedTotal).Inc()
+	}
 	return res, nil
 }
 
@@ -298,6 +313,7 @@ func (st *bbState) dfs(i int) {
 		// curCost accumulates float drift over deep paths.
 		if cost := pricing.Cost(st.pricer, st.load); cost < st.incumbent {
 			st.incumbent = cost
+			st.incumbentUpdates++
 			copy(st.best, st.choice)
 		}
 		return
@@ -306,6 +322,7 @@ func (st *bbState) dfs(i int) {
 	// Cheapest bound first: union water-filling is strongest high in
 	// the tree, where many items remain.
 	if st.acceptable(st.waterfillBound(i)) {
+		st.pruned++
 		return
 	}
 
@@ -315,6 +332,7 @@ func (st *bbState) dfs(i int) {
 	for j := i; j < n; j++ {
 		bound += st.minMarginal(j)
 		if st.acceptable(bound) {
+			st.pruned++
 			return
 		}
 	}
@@ -340,6 +358,7 @@ func (st *bbState) dfs(i int) {
 	}
 	for _, c := range cands {
 		if st.acceptable(st.curCost + c.marginal) {
+			st.pruned++
 			break // children sorted: the rest are at least as bad
 		}
 		if c.idx < minIdx {

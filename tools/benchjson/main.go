@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report. It reads the benchmark log from stdin
+// (or a file argument) and writes one JSON document with the host
+// context lines (goos, goarch, pkg, cpu) and one entry per benchmark
+// result: iterations, ns/op, and — when -benchmem was set — B/op and
+// allocs/op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_sched.json
+//	benchjson bench.log
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (BenchmarkGreedyAllocate10-8 → GreedyAllocate10).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 if absent.
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported timing.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem; -1 if the
+	// log carried no memory columns.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkGreedyAllocate10-8   1234   9876 ns/op   120 B/op   7 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	report, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(report.Results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// Parse reads a `go test -bench` log and returns the structured
+// report, results sorted by name so reruns diff cleanly.
+func Parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			report.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{
+			Name:        strings.TrimPrefix(m[1], "Benchmark"),
+			Procs:       1,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		if m[2] != "" {
+			p, err := strconv.Atoi(m[2])
+			if err != nil {
+				return nil, fmt.Errorf("parse procs in %q: %w", line, err)
+			}
+			res.Procs = p
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse iterations in %q: %w", line, err)
+		}
+		res.Iterations = iters
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse ns/op in %q: %w", line, err)
+		}
+		res.NsPerOp = ns
+		if m[5] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		report.Results = append(report.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(report.Results, func(i, j int) bool {
+		return report.Results[i].Name < report.Results[j].Name
+	})
+	return report, nil
+}

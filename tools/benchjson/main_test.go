@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: enki
+cpu: AMD EPYC 7B13
+BenchmarkGreedyAllocate10-8         	  252152	      4735 ns/op	    3376 B/op	      35 allocs/op
+BenchmarkOptimalAllocate10-8        	     100	  11820345 ns/op	  983041 B/op	   12034 allocs/op
+BenchmarkSweepSerial                	       2	 600123456 ns/op
+PASS
+ok  	enki	12.345s
+`
+
+func TestParse(t *testing.T) {
+	report, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GoOS != "linux" || report.GoArch != "amd64" || report.Pkg != "enki" {
+		t.Errorf("context lines mis-parsed: %+v", report)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(report.Results), report.Results)
+	}
+	// Sorted by name.
+	if report.Results[0].Name != "GreedyAllocate10" ||
+		report.Results[1].Name != "OptimalAllocate10" ||
+		report.Results[2].Name != "SweepSerial" {
+		t.Errorf("results not sorted by name: %+v", report.Results)
+	}
+	g := report.Results[0]
+	if g.Procs != 8 || g.Iterations != 252152 || g.NsPerOp != 4735 ||
+		g.BytesPerOp != 3376 || g.AllocsPerOp != 35 {
+		t.Errorf("greedy line mis-parsed: %+v", g)
+	}
+	// No -benchmem columns → -1 sentinels, procs default 1.
+	s := report.Results[2]
+	if s.Procs != 1 || s.BytesPerOp != -1 || s.AllocsPerOp != -1 {
+		t.Errorf("sweep line mis-parsed: %+v", s)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	report, err := Parse(strings.NewReader("PASS\nok enki 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 0 {
+		t.Errorf("expected no results, got %+v", report.Results)
+	}
+}
