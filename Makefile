@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all metric-lint vet fmt
+.PHONY: all build test race bench bench-all bench-check metric-lint vet fmt
 
 all: build test
 
@@ -28,14 +28,33 @@ bench:
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Run the sched/sweep benchmarks fresh and compare against the
+# committed BENCH_sched.json baseline; tools/benchdiff fails on any
+# >25% ns/op regression. Shared CI machines are noisy, so the CI step
+# running this is advisory (continue-on-error), but a local run before
+# touching the greedy allocator or the engine is the cheap way to catch
+# a real slowdown.
+bench-check:
+	$(GO) test -run '^$$' -bench '^Benchmark(GreedyAllocate|OptimalAllocate|Sweep)' \
+		-benchmem . > /tmp/bench-check.txt
+	$(GO) run ./tools/benchjson -o /tmp/bench-check.json /tmp/bench-check.txt
+	$(GO) run ./tools/benchdiff -baseline BENCH_sched.json -current /tmp/bench-check.json
+
 # Metric names must come from the constants in internal/obs/names.go;
 # a string-literal registration anywhere else bypasses the inventory
-# DESIGN.md documents, so CI rejects it.
+# DESIGN.md documents, so CI rejects it. Span names follow the same
+# rule: Start/StartChild take the name first, StartTrace/StartRemote
+# take it after the trace context, so both literal shapes are matched.
 metric-lint:
 	@if grep -rn --include='*.go' --exclude-dir=obs -E '\.(Counter|Gauge|Histogram)\("' . ; then \
 		echo 'metric-lint: register metrics via the internal/obs name constants'; exit 1; \
 	else \
 		echo 'metric-lint: ok'; \
+	fi
+	@if grep -rn --include='*.go' --exclude-dir=obs -E '\.(Start|StartChild)\("|StartSpan\("|\.(StartTrace|StartRemote)\([^,)]*,[[:space:]]*"' . ; then \
+		echo 'metric-lint: name spans via the internal/obs Span* constants'; exit 1; \
+	else \
+		echo 'metric-lint: span names ok'; \
 	fi
 
 vet:

@@ -8,6 +8,7 @@
 //
 //	enkiagent -addr 127.0.0.1:7600 -id 1 -truth 18,22,2
 //	enkiagent -addr 127.0.0.1:7600 -id 2 -truth 18,20,2 -report 14,20,2
+//	enkiagent -addr 127.0.0.1:7600 -id 3 -trace-out agent-spans.jsonl
 package main
 
 import (
@@ -35,12 +36,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("enkiagent", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:7600", "center address")
-		id     = fs.Int("id", 0, "household id")
-		truth  = fs.String("truth", "18,22,2", "true preference begin,end,duration")
-		report = fs.String("report", "", "reported preference (defaults to the truth)")
-		rho    = fs.Float64("rho", 5, "valuation factor ρ")
-		days   = fs.Duration("for", time.Hour, "how long to keep serving")
+		addr     = fs.String("addr", "127.0.0.1:7600", "center address")
+		id       = fs.Int("id", 0, "household id")
+		truth    = fs.String("truth", "18,22,2", "true preference begin,end,duration")
+		report   = fs.String("report", "", "reported preference (defaults to the truth)")
+		rho      = fs.Float64("rho", 5, "valuation factor ρ")
+		days     = fs.Duration("for", time.Hour, "how long to keep serving")
+		traceOut = fs.String("trace-out", "", "write the agent-side span trace to this JSONL file")
 	)
 	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +51,21 @@ func run(args []string) error {
 	logger, err := logOpts.Apply(nil)
 	if err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		obs.DefaultTracer().Enable()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				logger.Error("trace export failed", "err", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.DefaultTracer().WriteJSONL(f); err != nil {
+				logger.Error("trace export failed", "err", err)
+			}
+		}()
 	}
 
 	truePref, err := parsePref(*truth)

@@ -8,6 +8,7 @@
 //	enkid -addr 127.0.0.1:7600 -agents 3 -days 2
 //	enkid -http 127.0.0.1:8080          # /metrics, /healthz, pprof
 //	enkid -trace-out day-spans.jsonl    # per-day span trace
+//	enkid -ledger audit.jsonl           # per-day mechanism audit ledger
 package main
 
 import (
@@ -33,16 +34,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("enkid", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7600", "listen address")
-		agents   = fs.Int("agents", 2, "number of household agents to wait for")
-		days     = fs.Int("days", 1, "number of day cycles to run")
-		wait     = fs.Duration("wait", time.Minute, "how long to wait for agents")
-		sigma    = fs.Float64("sigma", pricing.DefaultSigma, "pricing scale σ")
-		rating   = fs.Float64("rating", 2, "power rating r (kW)")
-		xi       = fs.Float64("xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
-		journal  = fs.String("journal", "", "append day settlements to this JSONL file")
-		httpAddr = fs.String("http", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:8080; empty = off)")
-		traceOut = fs.String("trace-out", "", "write the day-cycle span trace to this JSONL file")
+		addr       = fs.String("addr", "127.0.0.1:7600", "listen address")
+		agents     = fs.Int("agents", 2, "number of household agents to wait for")
+		days       = fs.Int("days", 1, "number of day cycles to run")
+		wait       = fs.Duration("wait", time.Minute, "how long to wait for agents")
+		sigma      = fs.Float64("sigma", pricing.DefaultSigma, "pricing scale σ")
+		rating     = fs.Float64("rating", 2, "power rating r (kW)")
+		xi         = fs.Float64("xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
+		journal    = fs.String("journal", "", "append day settlements to this JSONL file")
+		ledger     = fs.String("ledger", "", "append per-day mechanism audit-ledger entries to this JSONL file")
+		httpAddr   = fs.String("http", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:8080; empty = off)")
+		traceOut   = fs.String("trace-out", "", "write the day-cycle span trace to this JSONL file")
+		traceSeed  = fs.Uint64("trace-seed", 0, "seed for the deterministic per-day trace IDs")
+		traceLimit = fs.Int("trace-limit", 0, "max retained spans before the oldest are dropped (0 = default)")
 	)
 	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -57,12 +61,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var ledgerLog *netproto.Journal
+	if *ledger != "" {
+		f, err := os.OpenFile(*ledger, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ledgerLog = netproto.NewJournal(f)
+	}
+
 	scheduler := &sched.Greedy{Pricer: pricer, Rating: *rating}
 	center, err := netproto.NewCenter(*addr, netproto.CenterConfig{
 		Scheduler: scheduler,
 		Pricer:    pricer,
 		Mechanism: mechanism.Config{K: mechanism.DefaultK, Xi: *xi},
 		Rating:    *rating,
+		TraceSeed: *traceSeed,
+		Ledger:    ledgerLog,
 	})
 	if err != nil {
 		return err
@@ -78,6 +94,9 @@ func run(args []string) error {
 		defer debug.Close()
 		logger.Info("debug listener up", "addr", debug.Addr(),
 			"endpoints", "/metrics /healthz /debug/pprof/")
+	}
+	if *traceLimit > 0 {
+		obs.DefaultTracer().SetCapacity(*traceLimit)
 	}
 	if *traceOut != "" {
 		obs.DefaultTracer().Enable()
@@ -157,4 +176,5 @@ func preregisterMetrics(schedulerName string) {
 	reg.Gauge(obs.MetricMechBudgetResidual)
 	reg.Gauge(obs.MetricMechPaymentSpread)
 	reg.Gauge(obs.MetricMechDayPAR)
+	reg.Counter(obs.MetricObsTraceDropped)
 }

@@ -46,6 +46,7 @@ func run(args []string, out io.Writer) error {
 		workers     = fs.Int("workers", 0, "worker goroutines for the experiment engine (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 		metricsOut  = fs.String("metrics-out", "", "dump the metrics-registry snapshot to this JSON file next to the CSVs")
 		traceOut    = fs.String("trace-out", "", "write the per-day span trace to this JSONL file")
+		traceLimit  = fs.Int("trace-limit", 0, "max retained spans before the oldest are dropped (0 = default)")
 	)
 	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +54,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if _, err := logOpts.Apply(nil); err != nil {
 		return err
+	}
+	if *traceLimit > 0 {
+		obs.DefaultTracer().SetCapacity(*traceLimit)
 	}
 	if *traceOut != "" {
 		obs.DefaultTracer().Enable()

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"enki/internal/experiment"
@@ -21,13 +22,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		obs.Logger().Error("enkistudy failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("enkistudy", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines for the session engine (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
@@ -48,11 +49,11 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Println(res.RenderTableII())
-	fmt.Println(res.RenderTableIII())
-	fmt.Println(res.RenderTableIV())
-	fmt.Println(res.RenderFigure8())
-	fmt.Println(res.RenderFigure9())
+	fmt.Fprintln(out, res.RenderTableII())
+	fmt.Fprintln(out, res.RenderTableIII())
+	fmt.Fprintln(out, res.RenderTableIV())
+	fmt.Fprintln(out, res.RenderFigure8())
+	fmt.Fprintln(out, res.RenderFigure9())
 
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag should be rejected")
+	}
+	if err := run([]string{"-seed", "notanumber"}, &out); err == nil {
+		t.Error("non-numeric seed should be rejected")
+	}
+}
+
+// TestRunEndToEnd drives the CLI through a full simulated study and
+// checks that every table and figure of Section VII is rendered.
+func TestRunEndToEnd(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seed", "42"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Table II", "Table III", "Table IV", "Figure 8", "Figure 9",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunWorkersIdenticalOutput requires byte-identical study output at
+// -workers 1 and -workers 4, the engine's determinism contract.
+func TestRunWorkersIdenticalOutput(t *testing.T) {
+	render := func(workers string) string {
+		var out strings.Builder
+		if err := run([]string{"-seed", "7", "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render("1")
+	pooled := render("4")
+	if serial != pooled {
+		t.Errorf("-workers 4 output differs from -workers 1:\nserial:\n%s\npooled:\n%s", serial, pooled)
+	}
+}
+
+func TestRunMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "study-metrics.json")
+	var out strings.Builder
+	if err := run([]string{"-seed", "42", "-metrics-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "counters") {
+		t.Errorf("metrics snapshot missing counters section:\n%s", data)
+	}
+}

@@ -61,10 +61,12 @@ func RunSweep(cfg Config) (*SweepResult, error) {
 	err := cfg.engine().ForEach(len(cells), func(job int) error {
 		n := cfg.Populations[job/cfg.Rounds]
 		round := job % cfg.Rounds
-		// The day span's identity is (population, round) — a pure
-		// function of the job, so the exported trace replays exactly
-		// at any worker count.
-		span := obs.StartSpan("sweep.day", "pop", strconv.Itoa(n), "round", strconv.Itoa(round))
+		// The day's trace ID is derived from (seed, population, round)
+		// — a pure function of the job, so the exported trace tree
+		// replays exactly at any worker count.
+		tid := obs.DeriveTraceID(cfg.Seed, labelSweep, uint64(n), uint64(round))
+		span := obs.DefaultTracer().StartTrace(tid, obs.SpanSweepDay,
+			"pop", strconv.Itoa(n), "round", strconv.Itoa(round))
 		defer span.End()
 		rng := cfg.jobRNG(labelSweep, uint64(n), uint64(round))
 
@@ -75,16 +77,20 @@ func RunSweep(cfg Config) (*SweepResult, error) {
 		reports := profile.WideReports(gen.DrawN(n))
 
 		greedy := &sched.Greedy{Pricer: pricer, Rating: cfg.Rating, RNG: rng.Split()}
+		allocSpan := span.StartChild(obs.SpanSweepAllocate, obs.LabelScheduler, greedy.Name())
 		start := time.Now()
 		ga, err := greedy.Allocate(reports)
+		allocSpan.End()
 		if err != nil {
 			return fmt.Errorf("population %d round %d: greedy: %w", n, round, err)
 		}
 		enkiMS := float64(time.Since(start).Microseconds()) / 1000
 
 		optimal := &sched.Optimal{Pricer: pricer, Rating: cfg.Rating, Options: cfg.OptimalOptions}
+		allocSpan = span.StartChild(obs.SpanSweepAllocate, obs.LabelScheduler, optimal.Name())
 		start = time.Now()
 		oa, err := optimal.Allocate(reports)
+		allocSpan.End()
 		if err != nil {
 			return fmt.Errorf("population %d round %d: optimal: %w", n, round, err)
 		}

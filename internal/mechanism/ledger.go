@@ -1,0 +1,244 @@
+package mechanism
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"enki/internal/core"
+)
+
+// LedgerSchemaVersion identifies the audit-ledger record layout.
+const LedgerSchemaVersion = 1
+
+// LedgerHousehold is one household's row in a day's audit ledger: the
+// raw inputs (report, allocation, consumption) alongside every Eq. 4–7
+// intermediate computed from them, so an auditor can recompute the
+// whole score/payment chain without the center's process state.
+type LedgerHousehold struct {
+	ID       core.HouseholdID `json:"id"`
+	Reported core.Preference  `json:"reported"`
+	Assigned core.Interval    `json:"assigned"`
+	Consumed core.Interval    `json:"consumed"`
+
+	// DefermentSlots is the greedy scheduler's decision for this
+	// household: how many hours past the reported window begin the
+	// allocation deferred it (0 = scheduled at the earliest wish).
+	DefermentSlots int `json:"defermentSlots"`
+
+	Defected             bool    `json:"defected"`
+	PredictedFlexibility float64 `json:"predictedFlexibility"` // Eq. 4, assuming compliance
+	Flexibility          float64 `json:"flexibility"`          // Eq. 4, zeroed on defection
+	Defection            float64 `json:"defection"`            // Eq. 5
+	SocialCost           float64 `json:"socialCost"`           // Eq. 6
+	Payment              float64 `json:"payment"`              // Eq. 7
+}
+
+// LedgerEntry is the deterministic per-day audit record the settlement
+// path emits: one JSONL line per day, linked to the day's trace ID, and
+// byte-identical for identical day inputs (no clocks, no randomness).
+type LedgerEntry struct {
+	Schema  int    `json:"schema"`
+	TraceID string `json:"traceId"`
+	Day     int    `json:"day"`
+
+	// Mechanism parameters the recorded chain was computed under.
+	K      float64 `json:"k"`
+	Xi     float64 `json:"xi"`
+	Rating float64 `json:"rating"`
+
+	Cost           float64 `json:"cost"`           // κ(ω)
+	Revenue        float64 `json:"revenue"`        // Σ p_i
+	BudgetResidual float64 `json:"budgetResidual"` // Σ p_i − κ(ω) = (ξ−1)·κ(ω)
+	Peak           float64 `json:"peak"`
+
+	Households []LedgerHousehold `json:"households"`
+}
+
+// BuildLedgerEntry assembles the audit record for one settled day from
+// the settlement chain's inputs and intermediates. Slices are parallel
+// with reports; the entry is a pure function of its arguments.
+func BuildLedgerEntry(traceID string, day int, cfg Config, rating float64,
+	reports []core.Report, assigned, consumed []core.Interval,
+	predicted, flex, defect, psi, payments []float64, cost, peak float64) LedgerEntry {
+	entry := LedgerEntry{
+		Schema:     LedgerSchemaVersion,
+		TraceID:    traceID,
+		Day:        day,
+		K:          cfg.K,
+		Xi:         cfg.Xi,
+		Rating:     rating,
+		Cost:       cost,
+		Peak:       peak,
+		Households: make([]LedgerHousehold, len(reports)),
+	}
+	for i, r := range reports {
+		slots := int(assigned[i].Begin - r.Pref.Window.Begin)
+		if slots < 0 {
+			slots = 0
+		}
+		entry.Households[i] = LedgerHousehold{
+			ID:                   r.ID,
+			Reported:             r.Pref,
+			Assigned:             assigned[i],
+			Consumed:             consumed[i],
+			DefermentSlots:       slots,
+			Defected:             core.Defected(assigned[i], consumed[i]),
+			PredictedFlexibility: predicted[i],
+			Flexibility:          flex[i],
+			Defection:            defect[i],
+			SocialCost:           psi[i],
+			Payment:              payments[i],
+		}
+		entry.Revenue += payments[i]
+	}
+	entry.BudgetResidual = entry.Revenue - cost
+	return entry
+}
+
+// ReadLedger loads an audit ledger from a JSONL stream, in order. Like
+// the settlement journal, a corrupt or truncated final line (crash
+// during append) is skipped; corruption followed by further valid
+// entries is an error.
+func ReadLedger(r io.Reader) ([]LedgerEntry, error) {
+	var out []LedgerEntry
+	var pending error
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for scanner.Scan() {
+		line++
+		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		var e LedgerEntry
+		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
+			if pending != nil {
+				return nil, pending
+			}
+			pending = fmt.Errorf("mechanism: ledger line %d: %w", line, err)
+			continue
+		}
+		if pending != nil {
+			return nil, pending
+		}
+		out = append(out, e)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("mechanism: read ledger: %w", err)
+	}
+	return out, nil
+}
+
+// auditTolerance absorbs float round-trip noise (JSON encode/decode and
+// summation order) when recomputing the chain; any real inconsistency
+// is orders of magnitude larger.
+const auditTolerance = 1e-9
+
+func auditClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= auditTolerance*math.Max(scale, 1)
+}
+
+// Audit recomputes the recorded equation chain from the entry's own
+// inputs and returns every mismatch found (empty = the entry is
+// internally consistent):
+//
+//   - Eq. 4: predicted flexibility from the reported preferences, and
+//     its zeroing for households whose consumption defected;
+//   - defection flags from assigned vs consumed intervals;
+//   - Eq. 6: social-cost scores from the recorded flexibility and
+//     defection scores under the entry's k;
+//   - Eq. 7: payments from the recomputed scores under the entry's ξ
+//     and recorded cost;
+//   - the Theorem 1 budget identity Σp − κ(ω) = (ξ−1)·κ(ω).
+//
+// The Eq. 5 defection magnitudes depend on the pricing function, which
+// the ledger does not embed; they are audited as recorded inputs.
+func (e LedgerEntry) Audit() []string {
+	var bad []string
+	n := len(e.Households)
+	if n == 0 {
+		return []string{"entry has no households"}
+	}
+	if e.Schema != LedgerSchemaVersion {
+		bad = append(bad, fmt.Sprintf("schema %d, auditor understands %d", e.Schema, LedgerSchemaVersion))
+	}
+
+	prefs := make([]core.Preference, n)
+	flex := make([]float64, n)
+	defect := make([]float64, n)
+	for i, h := range e.Households {
+		prefs[i] = h.Reported
+		flex[i] = h.Flexibility
+		defect[i] = h.Defection
+	}
+
+	predicted := FlexibilityScores(prefs)
+	for i, h := range e.Households {
+		if !auditClose(predicted[i], h.PredictedFlexibility) {
+			bad = append(bad, fmt.Sprintf("household %d: Eq. 4 predicted flexibility %g, recorded %g",
+				h.ID, predicted[i], h.PredictedFlexibility))
+		}
+		defected := core.Defected(h.Assigned, h.Consumed)
+		if defected != h.Defected {
+			bad = append(bad, fmt.Sprintf("household %d: defected flag %v, intervals say %v",
+				h.ID, h.Defected, defected))
+		}
+		wantFlex := h.PredictedFlexibility
+		if defected {
+			wantFlex = 0
+		}
+		if !auditClose(wantFlex, h.Flexibility) {
+			bad = append(bad, fmt.Sprintf("household %d: actual flexibility %g, recorded %g",
+				h.ID, wantFlex, h.Flexibility))
+		}
+		slots := int(h.Assigned.Begin - h.Reported.Window.Begin)
+		if slots < 0 {
+			slots = 0
+		}
+		if slots != h.DefermentSlots {
+			bad = append(bad, fmt.Sprintf("household %d: deferment %d slots, recorded %d",
+				h.ID, slots, h.DefermentSlots))
+		}
+	}
+
+	psi, err := SocialCostScores(flex, defect, e.K)
+	if err != nil {
+		return append(bad, fmt.Sprintf("Eq. 6 recompute failed: %v", err))
+	}
+	for i, h := range e.Households {
+		if !auditClose(psi[i], h.SocialCost) {
+			bad = append(bad, fmt.Sprintf("household %d: Eq. 6 social cost %g, recorded %g",
+				h.ID, psi[i], h.SocialCost))
+		}
+	}
+
+	payments, err := Payments(psi, e.Xi, e.Cost)
+	if err != nil {
+		return append(bad, fmt.Sprintf("Eq. 7 recompute failed: %v", err))
+	}
+	var revenue float64
+	for i, h := range e.Households {
+		if !auditClose(payments[i], h.Payment) {
+			bad = append(bad, fmt.Sprintf("household %d: Eq. 7 payment %g, recorded %g",
+				h.ID, payments[i], h.Payment))
+		}
+		revenue += h.Payment
+	}
+	if !auditClose(revenue, e.Revenue) {
+		bad = append(bad, fmt.Sprintf("revenue Σp = %g, recorded %g", revenue, e.Revenue))
+	}
+	if !auditClose(e.Revenue-e.Cost, e.BudgetResidual) {
+		bad = append(bad, fmt.Sprintf("budget residual %g, recorded %g", e.Revenue-e.Cost, e.BudgetResidual))
+	}
+	if !auditClose(e.BudgetResidual, (e.Xi-1)*e.Cost) {
+		bad = append(bad, fmt.Sprintf("Theorem 1: residual %g, (ξ−1)·κ = %g", e.BudgetResidual, (e.Xi-1)*e.Cost))
+	}
+	return bad
+}

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 
 	"enki/internal/core"
+	"enki/internal/obs"
 )
 
 // Policy is a household agent's decision logic — the ECC unit of the
@@ -154,6 +156,41 @@ func (a *Agent) History() []PaymentDetail {
 	return out
 }
 
+// phaseSpan opens the agent-side span for handling one center message:
+// a remote child of the center's phase span (via the message's trace
+// context), so both sides of a settlement day share one trace.
+func (a *Agent) phaseSpan(m *Message, phase Kind) *ActiveAgentSpan {
+	var tc obs.TraceContext
+	if m.Trace != nil {
+		tc = *m.Trace
+	}
+	span := obs.DefaultTracer().StartRemote(tc, obs.SpanNetAgentPhase,
+		obs.LabelPhase, string(phase),
+		"day", strconv.Itoa(m.Day),
+		"household", strconv.Itoa(int(a.id)))
+	return &ActiveAgentSpan{span: span, traceID: tc.TraceID}
+}
+
+// ActiveAgentSpan pairs an in-flight agent span with its trace ID so
+// replies can carry the agent's own context back to the center.
+type ActiveAgentSpan struct {
+	span    *obs.ActiveSpan
+	traceID string
+}
+
+// reply returns the trace context an agent reply should carry: the
+// shared trace ID with the agent span as the sender position. Nil when
+// the inbound message carried no trace.
+func (s *ActiveAgentSpan) reply() *obs.TraceContext {
+	if s.traceID == "" {
+		return nil
+	}
+	return &obs.TraceContext{TraceID: s.traceID, SpanID: s.span.ID()}
+}
+
+// End finishes the underlying span (nil-safe).
+func (s *ActiveAgentSpan) End() { s.span.End() }
+
 func (a *Agent) loop() {
 	defer close(a.done)
 	for {
@@ -164,9 +201,12 @@ func (a *Agent) loop() {
 		}
 		switch m.Kind {
 		case KindRequest:
+			span := a.phaseSpan(m, KindPreference)
 			pref := a.policy.Report(m.Day)
-			reply := &Message{Kind: KindPreference, ID: a.id, Day: m.Day, Pref: &pref}
-			if err := WriteMessage(a.conn, reply); err != nil {
+			reply := &Message{Kind: KindPreference, ID: a.id, Day: m.Day, Pref: &pref, Trace: span.reply()}
+			err := WriteMessage(a.conn, reply)
+			span.End()
+			if err != nil {
 				a.setErr(err)
 				return
 			}
@@ -175,18 +215,23 @@ func (a *Agent) loop() {
 				a.setErr(errors.New("netproto: allocation frame without interval"))
 				return
 			}
+			span := a.phaseSpan(m, KindConsumption)
 			cons := a.policy.Consume(m.Day, *m.Interval)
-			reply := &Message{Kind: KindConsumption, ID: a.id, Day: m.Day, Interval: &cons}
-			if err := WriteMessage(a.conn, reply); err != nil {
+			reply := &Message{Kind: KindConsumption, ID: a.id, Day: m.Day, Interval: &cons, Trace: span.reply()}
+			err := WriteMessage(a.conn, reply)
+			span.End()
+			if err != nil {
 				a.setErr(err)
 				return
 			}
 		case KindPayment:
 			if m.Payment != nil {
+				span := a.phaseSpan(m, KindPayment)
 				a.mu.Lock()
 				a.history = append(a.history, *m.Payment)
 				a.mu.Unlock()
 				a.policy.Feedback(m.Day, *m.Payment)
+				span.End()
 			}
 		case KindError:
 			a.setErr(fmt.Errorf("netproto: center error: %s", m.Err))

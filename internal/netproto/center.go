@@ -29,6 +29,16 @@ type CenterConfig struct {
 	// ReplyTimeout bounds each protocol phase (preference collection,
 	// consumption collection). Zero means DefaultReplyTimeout.
 	ReplyTimeout time.Duration
+	// TraceSeed parameterizes the deterministic per-day trace IDs:
+	// day d's trace is obs.DeriveTraceID(TraceSeed, d), so two centers
+	// replaying the same days under the same seed name the same traces.
+	// Zero is a valid seed.
+	TraceSeed uint64
+	// Ledger, when non-nil, receives one mechanism.LedgerEntry per
+	// settled day — the per-day audit record of every Eq. 4–7
+	// intermediate, linked to the day's trace ID. It typically shares
+	// a Journal-backed file with nothing else (one JSONL line per day).
+	Ledger *Journal
 }
 
 // DefaultReplyTimeout is the per-phase wait applied when
@@ -245,7 +255,9 @@ func (c *Center) dropConn(cc *centerConn) {
 // DayRecord is the full outcome of one protocol day. It is the unit of
 // persistence (see Journal), hence the JSON tags.
 type DayRecord struct {
-	Day          int                `json:"day"`
+	Day     int    `json:"day"`
+	TraceID string `json:"traceId,omitempty"` // joins the record to its trace and ledger entry
+
 	Reports      []core.Report      `json:"reports"`
 	Assignments  []core.Assignment  `json:"assignments"`
 	Consumptions []core.Consumption `json:"consumptions"`
@@ -260,8 +272,14 @@ type DayRecord struct {
 // RunDay orchestrates one full day cycle over the currently registered
 // agents: request → preferences → allocation → consumptions → payments.
 // It is not safe for concurrent use with itself.
+//
+// The whole day is one trace: a root day span (trace ID derived from
+// TraceSeed and the day number) with one child span per protocol phase,
+// and the phase span's context rides on every outgoing message so the
+// agents' spans join the same trace across the process boundary.
 func (c *Center) RunDay(day int) (*DayRecord, error) {
-	daySpan := obs.StartSpan("netproto.day", "day", strconv.Itoa(day))
+	tid := obs.DeriveTraceID(c.cfg.TraceSeed, uint64(day))
+	daySpan := obs.DefaultTracer().StartTrace(tid, obs.SpanNetDay, "day", strconv.Itoa(day))
 	defer daySpan.End()
 
 	members := c.snapshot()
@@ -269,13 +287,10 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 		return nil, errors.New("netproto: no registered agents")
 	}
 
-	for _, cc := range members {
-		if err := cc.send(&Message{Kind: KindRequest, ID: cc.id, Day: day}); err != nil {
-			return nil, fmt.Errorf("netproto: request to %d: %w", cc.id, err)
-		}
-	}
-
-	prefMsgs, err := c.collect(members, KindPreference, day)
+	prefMsgs, err := c.phase(daySpan, tid, members, KindPreference, day,
+		func(cc *centerConn, tc *obs.TraceContext) error {
+			return cc.send(&Message{Kind: KindRequest, ID: cc.id, Day: day, Trace: tc})
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -297,14 +312,11 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 	for _, a := range assignments {
 		byID[a.ID] = a.Interval
 	}
-	for _, cc := range members {
-		iv := byID[cc.id]
-		if err := cc.send(&Message{Kind: KindAllocation, ID: cc.id, Day: day, Interval: &iv}); err != nil {
-			return nil, fmt.Errorf("netproto: allocation to %d: %w", cc.id, err)
-		}
-	}
-
-	consMsgs, err := c.collect(members, KindConsumption, day)
+	consMsgs, err := c.phase(daySpan, tid, members, KindConsumption, day,
+		func(cc *centerConn, tc *obs.TraceContext) error {
+			iv := byID[cc.id]
+			return cc.send(&Message{Kind: KindAllocation, ID: cc.id, Day: day, Interval: &iv, Trace: tc})
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -321,11 +333,15 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 		consumptions[i] = core.Consumption{ID: r.ID, Interval: *m.Interval}
 	}
 
-	record, err := c.settle(day, reports, assignments, consumptions)
+	settleSpan := daySpan.StartChild(obs.SpanNetSettle, "day", strconv.Itoa(day))
+	record, err := c.settle(tid, day, reports, assignments, consumptions)
+	settleSpan.End()
 	if err != nil {
 		return nil, err
 	}
 
+	paySpan := daySpan.StartChild(obs.SpanNetPhase, obs.LabelPhase, string(KindPayment), "day", strconv.Itoa(day))
+	payCtx := wireTrace(tid, paySpan)
 	for i, r := range reports {
 		detail := &PaymentDetail{
 			Amount:      record.Payments[i],
@@ -337,18 +353,30 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 		}
 		cc := c.lookup(r.ID)
 		if cc == nil {
+			paySpan.End()
 			return nil, fmt.Errorf("netproto: household %d disconnected before payment", r.ID)
 		}
-		if err := cc.send(&Message{Kind: KindPayment, ID: r.ID, Day: day, Payment: detail}); err != nil {
+		if err := cc.send(&Message{Kind: KindPayment, ID: r.ID, Day: day, Payment: detail, Trace: payCtx}); err != nil {
+			paySpan.End()
 			return nil, fmt.Errorf("netproto: payment to %d: %w", r.ID, err)
 		}
 	}
+	paySpan.End()
 	obs.Default().Counter(obs.MetricNetDaysTotal).Inc()
 	return record, nil
 }
 
-// settle computes scores, payments, and aggregates for a completed day.
-func (c *Center) settle(day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption) (*DayRecord, error) {
+// wireTrace builds the trace context stamped on outgoing messages: the
+// day's deterministic trace ID always travels (the ledger links through
+// it even with tracing off), the parent span ID only when a span is
+// being recorded.
+func wireTrace(tid string, span *obs.ActiveSpan) *obs.TraceContext {
+	return &obs.TraceContext{TraceID: tid, SpanID: span.ID()}
+}
+
+// settle computes scores, payments, and aggregates for a completed day,
+// and appends the day's audit-ledger entry when a ledger is configured.
+func (c *Center) settle(tid string, day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption) (*DayRecord, error) {
 	prefs := make([]core.Preference, len(reports))
 	assigned := make([]core.Interval, len(reports))
 	consumed := make([]core.Interval, len(reports))
@@ -371,8 +399,16 @@ func (c *Center) settle(day int, reports []core.Report, assignments []core.Assig
 		return nil, fmt.Errorf("netproto: payments: %w", err)
 	}
 	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
+	if c.cfg.Ledger != nil {
+		entry := mechanism.BuildLedgerEntry(tid, day, c.cfg.Mechanism, c.cfg.Rating,
+			reports, assigned, consumed, predicted, flex, defect, psi, payments, cost, load.Peak())
+		if err := c.cfg.Ledger.AppendValue(entry); err != nil {
+			return nil, fmt.Errorf("netproto: audit ledger: %w", err)
+		}
+	}
 	return &DayRecord{
 		Day:          day,
+		TraceID:      tid,
 		Reports:      reports,
 		Assignments:  assignments,
 		Consumptions: consumptions,
@@ -403,11 +439,27 @@ func (c *Center) lookup(id core.HouseholdID) *centerConn {
 	return c.conns[id]
 }
 
+// phase runs one request/response round of the day cycle under its own
+// child span: it sends one message per member — stamped with the phase
+// span's trace context so agent-side spans parent under it — then
+// collects every member's reply of the wanted kind. The span covers the
+// full round trip.
+func (c *Center) phase(daySpan *obs.ActiveSpan, tid string, members []*centerConn, want Kind, day int,
+	send func(cc *centerConn, tc *obs.TraceContext) error) (map[core.HouseholdID]*Message, error) {
+	span := daySpan.StartChild(obs.SpanNetPhase, obs.LabelPhase, string(want), "day", strconv.Itoa(day))
+	defer span.End()
+	tc := wireTrace(tid, span)
+	for _, cc := range members {
+		if err := send(cc, tc); err != nil {
+			return nil, fmt.Errorf("netproto: %s round to %d: %w", want, cc.id, err)
+		}
+	}
+	return c.collect(members, want, day)
+}
+
 // collect waits until every member has sent a message of the wanted
 // kind for the given day, or the phase times out.
 func (c *Center) collect(members []*centerConn, want Kind, day int) (map[core.HouseholdID]*Message, error) {
-	span := obs.StartSpan("netproto.phase", obs.LabelPhase, string(want), "day", strconv.Itoa(day))
-	defer span.End()
 	start := time.Now()
 	defer func() {
 		obs.Default().Histogram(obs.MetricNetPhaseLatencyMS, obs.LatencyBucketsMS, obs.LabelPhase, string(want)).

@@ -20,26 +20,38 @@ type Journal struct {
 // NewJournal wraps a writer (typically an os.File opened with append).
 func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 
+// AppendValue writes any JSON-marshalable record as one line. Day
+// settlements (Append) and the mechanism audit ledger share this path,
+// so both histories get the same serialization, locking, and
+// crash-recovery semantics.
+func (j *Journal) AppendValue(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("netproto: encode journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("netproto: append journal record: %w", err)
+	}
+	return nil
+}
+
 // Append writes one day record as a JSON line.
 func (j *Journal) Append(record *DayRecord) error {
 	if record == nil {
 		return fmt.Errorf("netproto: nil day record")
 	}
-	data, err := json.Marshal(record)
-	if err != nil {
-		return fmt.Errorf("netproto: encode day record: %w", err)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.w.Write(append(data, '\n')); err != nil {
-		return fmt.Errorf("netproto: append day record: %w", err)
-	}
-	return nil
+	return j.AppendValue(record)
 }
 
-// ReadJournal loads every day record from a JSONL stream, in order.
+// ReadJournal loads every day record from a JSONL stream, in order. A
+// corrupt or truncated final line — the signature of a crash during
+// append — is skipped so the intact history stays replayable;
+// corruption followed by further valid records is still an error.
 func ReadJournal(r io.Reader) ([]DayRecord, error) {
 	var out []DayRecord
+	var pending error
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), MaxFrameSize)
 	line := 0
@@ -50,7 +62,14 @@ func ReadJournal(r io.Reader) ([]DayRecord, error) {
 		}
 		var rec DayRecord
 		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("netproto: journal line %d: %w", line, err)
+			if pending != nil {
+				return nil, pending
+			}
+			pending = fmt.Errorf("netproto: journal line %d: %w", line, err)
+			continue
+		}
+		if pending != nil {
+			return nil, pending
 		}
 		out = append(out, rec)
 	}

@@ -89,14 +89,79 @@ func TestJournalAppendNil(t *testing.T) {
 }
 
 func TestReadJournalGarbage(t *testing.T) {
-	if _, err := ReadJournal(strings.NewReader("{bad json}\n")); err == nil {
-		t.Error("corrupt journal line should be rejected")
+	// A lone corrupt line is a trailing partial record: skipped, and an
+	// empty (but replayable) history remains.
+	records, err := ReadJournal(strings.NewReader("{bad json}\n"))
+	if err != nil {
+		t.Errorf("lone corrupt trailing line should be skipped, got %v", err)
 	}
-	records, err := ReadJournal(strings.NewReader("\n\n"))
+	if len(records) != 0 {
+		t.Errorf("corrupt-only journal yielded %d records", len(records))
+	}
+	// Corruption followed by a valid record is real damage, not a
+	// crash-truncated tail: the whole read fails.
+	valid := `{"day":1,"reports":[],"assignments":[],"consumptions":[],"payments":[],"flexibility":[],"defection":[],"socialCost":[],"cost":0,"peak":0}`
+	if _, err := ReadJournal(strings.NewReader("{bad json}\n" + valid + "\n")); err == nil {
+		t.Error("mid-journal corruption should be rejected")
+	}
+	records, err = ReadJournal(strings.NewReader("\n\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(records) != 0 {
 		t.Errorf("blank journal yielded %d records", len(records))
+	}
+}
+
+// TestReadJournalTruncatedTail simulates a crash during append: a valid
+// history followed by a half-written final line. The replay must return
+// the intact records and skip the partial one.
+func TestReadJournalTruncatedTail(t *testing.T) {
+	c := newTestCenter(t)
+	for i, typ := range []core.Type{
+		{True: core.MustPreference(18, 22, 2), ValuationFactor: 5},
+		{True: core.MustPreference(17, 23, 2), ValuationFactor: 4},
+	} {
+		a, err := Dial(c.Addr(), core.HouseholdID(i), &Truthful{Type: typ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+	}
+	if err := c.WaitForAgents(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	journal := NewJournal(&buf)
+	for day := 1; day <= 2; day++ {
+		record, err := c.RunDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := journal.Append(record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intact := buf.String()
+
+	for _, tail := range []string{
+		`{"day":3,"repor`,      // cut mid-key, no newline
+		`{"day":3,"reports":[`, // cut mid-array with newline
+		"\n" + `{"day"`,        // blank line then a stub
+	} {
+		records, err := ReadJournal(strings.NewReader(intact + tail))
+		if err != nil {
+			t.Errorf("tail %q: replay failed: %v", tail, err)
+			continue
+		}
+		if len(records) != 2 {
+			t.Errorf("tail %q: replayed %d records, want 2", tail, len(records))
+			continue
+		}
+		rep := ReplayJournal(records)
+		if rep.Days != 2 || len(rep.ByID) != 2 {
+			t.Errorf("tail %q: replay summary %+v malformed", tail, rep)
+		}
 	}
 }

@@ -48,6 +48,12 @@ type Message struct {
 	ID   core.HouseholdID `json:"id"`
 	Day  int              `json:"day"`
 
+	// Trace carries the sender's span context so the receiver's spans
+	// join the same settlement-day trace (deterministic trace IDs are
+	// derived from the center's trace seed and the day number, never
+	// from randomness). Nil outside a day cycle (hello/welcome).
+	Trace *obs.TraceContext `json:"trace,omitempty"`
+
 	Pref     *core.Preference `json:"pref,omitempty"`     // preference
 	Interval *core.Interval   `json:"interval,omitempty"` // allocation, consumption
 

@@ -46,6 +46,29 @@ const (
 	MetricNetPhaseLatencyMS = "enki_netproto_phase_latency_ms"
 	MetricNetTimeoutsTotal  = "enki_netproto_timeouts_total"
 	MetricNetDaysTotal      = "enki_netproto_days_total"
+
+	// internal/obs — the tracer's own health: spans evicted from the
+	// bounded ring (a long -trace-out run outgrowing its retention).
+	MetricObsTraceDropped = "enki_obs_trace_dropped_total"
+)
+
+// Span names. Every span the repository starts is named here — the
+// metric-lint CI step greps for Start{Span,Trace,Child,Remote} calls
+// whose name is a string literal outside this package, exactly as it
+// does for metric registrations.
+const (
+	// internal/netproto — one settlement day is one trace: a root day
+	// span with per-phase children on the center, and remote children
+	// on each agent sharing the day's trace ID via the wire context.
+	SpanNetDay        = "netproto.day"
+	SpanNetPhase      = "netproto.phase"
+	SpanNetSettle     = "netproto.settle"
+	SpanNetAgentPhase = "netproto.agent.phase"
+
+	// internal/experiment — one simulated sweep day is one trace with
+	// per-scheduler allocation children.
+	SpanSweepDay      = "sweep.day"
+	SpanSweepAllocate = "sweep.allocate"
 )
 
 // Shared label keys.

@@ -49,6 +49,161 @@ func TestTracerCollectsAndSortsDeterministically(t *testing.T) {
 	}
 }
 
+// buildDayTrace simulates one settlement day's span tree: a root day
+// span, two phase children, and a remote agent child hanging off the
+// first phase via the wire context.
+func buildDayTrace(tr *Tracer, traceID string) {
+	root := tr.StartTrace(traceID, "netproto.day", "day", "1")
+	pref := root.StartChild("netproto.phase", "phase", "preference")
+	remote := tr.StartRemote(pref.Context(), "netproto.agent.phase", "phase", "preference")
+	remote.End()
+	pref.End()
+	cons := root.StartChild("netproto.phase", "phase", "consumption")
+	cons.End()
+	root.End()
+}
+
+func TestHierarchicalSpansDeterministicIDs(t *testing.T) {
+	tid := DeriveTraceID(7, 1)
+	if tid != DeriveTraceID(7, 1) {
+		t.Fatal("DeriveTraceID not deterministic")
+	}
+	if tid == DeriveTraceID(7, 2) {
+		t.Error("distinct parts should yield distinct trace IDs")
+	}
+
+	collect := func() []Span {
+		var tr Tracer
+		tr.Enable()
+		buildDayTrace(&tr, tid)
+		return tr.Drain()
+	}
+	first, second := collect(), collect()
+	if len(first) != 4 {
+		t.Fatalf("got %d spans, want 4", len(first))
+	}
+	for i := range first {
+		if first[i].Identity() != second[i].Identity() {
+			t.Errorf("span %d identity not reproducible: %q vs %q",
+				i, first[i].Identity(), second[i].Identity())
+		}
+	}
+
+	byName := make(map[string]Span)
+	for _, s := range first {
+		byName[s.Name+"/"+s.Labels[1]] = s
+		if s.TraceID != tid {
+			t.Errorf("span %s has trace %s, want %s", s.Name, s.TraceID, tid)
+		}
+		if s.SpanID == "" {
+			t.Errorf("span %s missing span ID", s.Name)
+		}
+	}
+	root := byName["netproto.day/1"]
+	if root.ParentID != "" {
+		t.Errorf("root span has parent %q", root.ParentID)
+	}
+	pref := byName["netproto.phase/preference"]
+	if pref.ParentID != root.SpanID {
+		t.Errorf("phase parent %s, want root %s", pref.ParentID, root.SpanID)
+	}
+	agent := byName["netproto.agent.phase/preference"]
+	if agent.ParentID != pref.SpanID {
+		t.Errorf("remote child parent %s, want phase %s", agent.ParentID, pref.SpanID)
+	}
+	cons := byName["netproto.phase/consumption"]
+	if cons.SpanID == pref.SpanID {
+		t.Error("sibling spans share an ID")
+	}
+}
+
+func TestSameNamedSiblingsDistinctIDs(t *testing.T) {
+	var tr Tracer
+	tr.Enable()
+	root := tr.StartTrace(DeriveTraceID(1), "netproto.day", "day", "1")
+	a := root.StartChild("netproto.phase", "phase", "preference")
+	a.End()
+	b := root.StartChild("netproto.phase", "phase", "preference")
+	b.End()
+	root.End()
+	if a.ID() == b.ID() {
+		t.Error("same-named siblings must get distinct IDs via the sequence number")
+	}
+}
+
+func TestNilActiveSpanSafe(t *testing.T) {
+	var tr Tracer // disabled
+	root := tr.StartTrace(DeriveTraceID(1), "netproto.day")
+	if root != nil {
+		t.Fatal("disabled tracer should return nil root")
+	}
+	child := root.StartChild("netproto.phase")
+	if child != nil {
+		t.Fatal("child of nil should be nil")
+	}
+	child.End()
+	if got := root.Context(); got != (TraceContext{}) {
+		t.Errorf("nil Context() = %+v", got)
+	}
+	if root.ID() != "" {
+		t.Error("nil ID() should be empty")
+	}
+	if tr.StartRemote(TraceContext{TraceID: "x"}, "netproto.phase") != nil {
+		t.Error("disabled StartRemote should be nil")
+	}
+}
+
+func TestTracerRingCapAndDropCounter(t *testing.T) {
+	Default().Reset()
+	var tr Tracer
+	tr.Enable()
+	tr.SetCapacity(3)
+	for day := 1; day <= 5; day++ {
+		s := tr.Start("netproto.day", "day", string(rune('0'+day)))
+		s.End()
+	}
+	spans := tr.Drain()
+	if len(spans) != 3 {
+		t.Fatalf("ring retained %d spans, want 3", len(spans))
+	}
+	// Oldest two (days 1, 2) were evicted; the newest three remain.
+	for _, s := range spans {
+		if day := s.Labels[1]; day == "1" || day == "2" {
+			t.Errorf("evicted span day=%s still retained", day)
+		}
+	}
+	if got := Default().Snapshot().Counters[MetricObsTraceDropped]; got != 2 {
+		t.Errorf("dropped counter = %d, want 2", got)
+	}
+}
+
+func TestReadSpansRoundTripAndTruncation(t *testing.T) {
+	var tr Tracer
+	tr.Enable()
+	buildDayTrace(&tr, DeriveTraceID(3, 9))
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("read %d spans, want 4", len(spans))
+	}
+
+	// A truncated final line (crash during export) is skipped...
+	spans, err = ReadSpans(strings.NewReader(buf.String() + `{"name":"cut`))
+	if err != nil || len(spans) != 4 {
+		t.Errorf("truncated tail: got %d spans, err %v; want 4, nil", len(spans), err)
+	}
+	// ...but corruption in the middle is a real error.
+	if _, err := ReadSpans(strings.NewReader(`{"name":"cut` + "\n" + buf.String())); err == nil {
+		t.Error("mid-stream corruption should be rejected")
+	}
+}
+
 func TestTracerWriteJSONL(t *testing.T) {
 	var tr Tracer
 	tr.Enable()

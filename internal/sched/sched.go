@@ -61,6 +61,32 @@ func CheckAssignments(reports []core.Report, assignments []core.Assignment) erro
 	return nil
 }
 
+// Deferment is one household's scheduling decision: how many hours past
+// its reported window begin the allocator pushed its start (0 when the
+// household got its earliest wish). The mechanism audit ledger records
+// one per household so a settlement day's allocation can be audited
+// alongside its Eq. 4–7 chain.
+type Deferment struct {
+	ID    core.HouseholdID `json:"id"`
+	Slots int              `json:"slots"`
+}
+
+// DefermentsOf derives each household's deferment decision from a
+// completed allocation, in report order. It is a pure function of
+// (reports, assignments), so it replays identically at any worker
+// count.
+func DefermentsOf(reports []core.Report, assignments []core.Assignment) []Deferment {
+	out := make([]Deferment, len(reports))
+	for i, r := range reports {
+		slots := int(assignments[i].Interval.Begin - r.Pref.Window.Begin)
+		if slots < 0 {
+			slots = 0
+		}
+		out[i] = Deferment{ID: r.ID, Slots: slots}
+	}
+	return out
+}
+
 // observeAllocation records one completed allocation in the default
 // metrics registry: a per-scheduler call counter, latency histogram,
 // and the deferment counters (slots deferred past each report's window
@@ -74,9 +100,9 @@ func observeAllocation(scheduler string, reports []core.Report, assignments []co
 	reg.Histogram(obs.MetricSchedAllocateLatencyMS, obs.LatencyBucketsMS, obs.LabelScheduler, scheduler).
 		Observe(float64(elapsed.Nanoseconds()) / 1e6)
 	var slots, deferred uint64
-	for i, r := range reports {
-		if d := assignments[i].Interval.Begin - r.Pref.Window.Begin; d > 0 {
-			slots += uint64(d)
+	for _, d := range DefermentsOf(reports, assignments) {
+		if d.Slots > 0 {
+			slots += uint64(d.Slots)
 			deferred++
 		}
 	}

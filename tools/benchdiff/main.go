@@ -1,0 +1,148 @@
+// Command benchdiff compares two benchjson reports (tools/benchjson)
+// and fails when any benchmark present in both regressed by more than
+// the threshold in ns/op. It backs `make bench-check`: a fresh `make
+// bench` run diffed against the committed BENCH_sched.json baseline.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_sched.json -current fresh.json
+//	benchdiff -baseline BENCH_sched.json -current fresh.json -threshold 10
+//
+// Benchmarks that appear in only one report are listed but never fail
+// the check; timing noise guidance: the default 25% threshold is meant
+// to catch real regressions on shared CI machines, not jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Result mirrors tools/benchjson's per-benchmark entry (benchjson is a
+// main package, so the struct is duplicated rather than imported).
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report mirrors tools/benchjson's JSON document.
+type Report struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		basePath  = fs.String("baseline", "", "baseline benchjson report (e.g. the committed BENCH_sched.json)")
+		currPath  = fs.String("current", "", "fresh benchjson report to compare")
+		threshold = fs.Float64("threshold", 25, "max allowed ns/op regression in percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *currPath == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold %g must be positive", *threshold)
+	}
+
+	base, err := readReport(*basePath)
+	if err != nil {
+		return err
+	}
+	curr, err := readReport(*currPath)
+	if err != nil {
+		return err
+	}
+
+	regressions, err := diff(out, base, curr, *threshold)
+	if err != nil {
+		return err
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmarks regressed more than %g%% in ns/op", regressions, *threshold)
+	}
+	return nil
+}
+
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s carries no benchmark results", path)
+	}
+	return &r, nil
+}
+
+// diff prints the comparison table and returns how many shared
+// benchmarks regressed past the threshold.
+func diff(out io.Writer, base, curr *Report, threshold float64) (int, error) {
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	current := make(map[string]Result, len(curr.Results))
+	for _, r := range curr.Results {
+		current[r.Name] = r
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(out, "%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "curr ns/op", "delta")
+	regressions := 0
+	for _, name := range names {
+		b := baseline[name]
+		c, ok := current[name]
+		if !ok {
+			fmt.Fprintf(out, "%-28s %14.0f %14s %9s\n", name, b.NsPerOp, "-", "gone")
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			return 0, fmt.Errorf("baseline %s has non-positive ns/op %g", name, b.NsPerOp)
+		}
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := ""
+		if delta > threshold {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+8.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta, verdict)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Fprintf(out, "%-28s %14s %14.0f %9s\n", name, "-", current[name].NsPerOp, "new")
+		}
+	}
+	return regressions, nil
+}

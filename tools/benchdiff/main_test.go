@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name string, results []Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(Report{Pkg: "enki", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNoRegressionPasses(t *testing.T) {
+	base := writeReport(t, "base.json", []Result{
+		{Name: "GreedyAllocate10", NsPerOp: 5000},
+		{Name: "GreedyAllocate50", NsPerOp: 16000},
+	})
+	curr := writeReport(t, "curr.json", []Result{
+		{Name: "GreedyAllocate10", NsPerOp: 6000},  // +20%, inside 25%
+		{Name: "GreedyAllocate50", NsPerOp: 15000}, // improvement
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", curr}, &out); err != nil {
+		t.Fatalf("within-threshold diff failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "GreedyAllocate10") {
+		t.Errorf("table missing benchmark row:\n%s", out.String())
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	base := writeReport(t, "base.json", []Result{{Name: "Sweep", NsPerOp: 1000}})
+	curr := writeReport(t, "curr.json", []Result{{Name: "Sweep", NsPerOp: 1300}})
+	var out strings.Builder
+	err := run([]string{"-baseline", base, "-current", curr}, &out)
+	if err == nil {
+		t.Fatalf("+30%% should fail the default 25%% threshold:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("table does not flag the regression:\n%s", out.String())
+	}
+	// A looser threshold lets the same pair pass.
+	if err := run([]string{"-baseline", base, "-current", curr, "-threshold", "50"}, &out); err != nil {
+		t.Errorf("+30%% should pass a 50%% threshold: %v", err)
+	}
+}
+
+func TestAddedAndRemovedBenchmarksDoNotFail(t *testing.T) {
+	base := writeReport(t, "base.json", []Result{
+		{Name: "Old", NsPerOp: 100},
+		{Name: "Shared", NsPerOp: 100},
+	})
+	curr := writeReport(t, "curr.json", []Result{
+		{Name: "Shared", NsPerOp: 100},
+		{Name: "New", NsPerOp: 100},
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", curr}, &out); err != nil {
+		t.Fatalf("renamed benchmarks should not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "gone") || !strings.Contains(out.String(), "new") {
+		t.Errorf("table missing gone/new markers:\n%s", out.String())
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags should be rejected")
+	}
+	good := writeReport(t, "good.json", []Result{{Name: "X", NsPerOp: 1}})
+	if err := run([]string{"-baseline", good, "-current", "/no/such/file.json"}, &out); err == nil {
+		t.Error("missing current report should be rejected")
+	}
+	if err := run([]string{"-baseline", good, "-current", good, "-threshold", "0"}, &out); err == nil {
+		t.Error("zero threshold should be rejected")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", empty, "-current", good}, &out); err == nil {
+		t.Error("empty baseline should be rejected")
+	}
+}
+
+// TestAgainstCommittedBaseline parses the repository's checked-in
+// baseline to guard the schema coupling between benchjson and benchdiff.
+func TestAgainstCommittedBaseline(t *testing.T) {
+	base := filepath.Join("..", "..", "BENCH_sched.json")
+	if _, err := os.Stat(base); err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", base}, &out); err != nil {
+		t.Fatalf("baseline vs itself must pass: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("self-diff flagged a regression:\n%s", out.String())
+	}
+}
