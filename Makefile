@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all bench-check metric-lint vet fmt
+.PHONY: all build test race bench bench-all bench-check chaos metric-lint vet fmt
 
 all: build test
 
@@ -40,6 +40,17 @@ bench-check:
 	$(GO) run ./tools/benchjson -o /tmp/bench-check.json /tmp/bench-check.txt
 	$(GO) run ./tools/benchdiff -baseline BENCH_sched.json -current /tmp/bench-check.json
 
+# The fault-tolerance acceptance suite: chaos tests (deterministic
+# fault injection, session resumption, degraded-day settlement, retry
+# jitter) plus a short fuzz pass over the wire codec, which is the
+# surface every injected fault ultimately exercises.
+chaos:
+	$(GO) test ./internal/netproto -count=1 \
+		-run 'Chaos|Fault|Retry|Backoff|Resume|SessionToken|ContextCancel'
+	$(GO) test ./cmd/enkitrace -count=1 -run Degraded
+	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s
+	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s
+
 # Metric names must come from the constants in internal/obs/names.go;
 # a string-literal registration anywhere else bypasses the inventory
 # DESIGN.md documents, so CI rejects it. Span names follow the same
@@ -56,6 +67,15 @@ metric-lint:
 	else \
 		echo 'metric-lint: span names ok'; \
 	fi
+	@missing=0; \
+	for name in $$(grep -oE '"enki_[a-z_]+"' internal/obs/names.go | tr -d '"'); do \
+		if ! grep -q "$$name" DESIGN.md; then \
+			echo "metric-lint: $$name is in internal/obs/names.go but undocumented in DESIGN.md"; \
+			missing=1; \
+		fi; \
+	done; \
+	if [ $$missing -ne 0 ]; then exit 1; fi; \
+	echo 'metric-lint: DESIGN.md inventory ok'
 
 vet:
 	$(GO) vet ./...

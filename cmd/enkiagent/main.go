@@ -9,9 +9,12 @@
 //	enkiagent -addr 127.0.0.1:7600 -id 1 -truth 18,22,2
 //	enkiagent -addr 127.0.0.1:7600 -id 2 -truth 18,20,2 -report 14,20,2
 //	enkiagent -addr 127.0.0.1:7600 -id 3 -trace-out agent-spans.jsonl
+//	enkiagent -addr 127.0.0.1:7600 -id 4 -retry attempts=5,base=50ms \
+//	          -fault-plan drop@2          # chaos: cut the link, resume
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,13 +39,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("enkiagent", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7600", "center address")
-		id       = fs.Int("id", 0, "household id")
-		truth    = fs.String("truth", "18,22,2", "true preference begin,end,duration")
-		report   = fs.String("report", "", "reported preference (defaults to the truth)")
-		rho      = fs.Float64("rho", 5, "valuation factor ρ")
-		days     = fs.Duration("for", time.Hour, "how long to keep serving")
-		traceOut = fs.String("trace-out", "", "write the agent-side span trace to this JSONL file")
+		addr      = fs.String("addr", "127.0.0.1:7600", "center address")
+		id        = fs.Int("id", 0, "household id")
+		truth     = fs.String("truth", "18,22,2", "true preference begin,end,duration")
+		report    = fs.String("report", "", "reported preference (defaults to the truth)")
+		rho       = fs.Float64("rho", 5, "valuation factor ρ")
+		days      = fs.Duration("for", time.Hour, "how long to keep serving")
+		retrySpec = fs.String("retry", "", "reconnect policy, e.g. attempts=5,base=50ms,max=2s,mult=2,jitter=0.2,seed=1 (empty = no reconnection)")
+		faultSpec = fs.String("fault-plan", "", "deterministic outbound fault plan, e.g. drop@2 or seed=42,msgs=100,drop=0.05")
+		traceOut  = fs.String("trace-out", "", "write the agent-side span trace to this JSONL file")
 	)
 	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +93,19 @@ func run(args []string) error {
 		policy = &netproto.Misreporter{Type: typ, Reported: reported}
 	}
 
-	agent, err := netproto.Dial(*addr, core.HouseholdID(*id), policy)
+	retry, err := netproto.ParseRetryPolicy(*retrySpec)
+	if err != nil {
+		return fmt.Errorf("parse -retry: %w", err)
+	}
+	plan, err := netproto.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		return fmt.Errorf("parse -fault-plan: %w", err)
+	}
+
+	agent, err := netproto.Connect(context.Background(), *addr, core.HouseholdID(*id), policy,
+		netproto.WithRetryPolicy(retry),
+		netproto.WithFaultPlan(plan),
+	)
 	if err != nil {
 		return err
 	}

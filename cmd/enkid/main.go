@@ -9,12 +9,17 @@
 //	enkid -http 127.0.0.1:8080          # /metrics, /healthz, pprof
 //	enkid -trace-out day-spans.jsonl    # per-day span trace
 //	enkid -ledger audit.jsonl           # per-day mechanism audit ledger
+//	enkid -phase-deadline 5s            # settle dark households instead of hanging
+//	enkid -fault-plan seed=42,msgs=100,drop=0.05   # chaos-test outbound delivery
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"enki/internal/mechanism"
@@ -38,6 +43,8 @@ func run(args []string) error {
 		agents     = fs.Int("agents", 2, "number of household agents to wait for")
 		days       = fs.Int("days", 1, "number of day cycles to run")
 		wait       = fs.Duration("wait", time.Minute, "how long to wait for agents")
+		deadline   = fs.Duration("phase-deadline", netproto.DefaultPhaseDeadline, "per-phase reply deadline; households dark past it are settled degraded")
+		faultSpec  = fs.String("fault-plan", "", "deterministic outbound fault plan, e.g. drop@3,dup@7 or seed=42,msgs=100,drop=0.05")
 		sigma      = fs.Float64("sigma", pricing.DefaultSigma, "pricing scale σ")
 		rating     = fs.Float64("rating", 2, "power rating r (kW)")
 		xi         = fs.Float64("xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
@@ -45,7 +52,7 @@ func run(args []string) error {
 		ledger     = fs.String("ledger", "", "append per-day mechanism audit-ledger entries to this JSONL file")
 		httpAddr   = fs.String("http", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:8080; empty = off)")
 		traceOut   = fs.String("trace-out", "", "write the day-cycle span trace to this JSONL file")
-		traceSeed  = fs.Uint64("trace-seed", 0, "seed for the deterministic per-day trace IDs")
+		traceSeed  = fs.Uint64("trace-seed", 0, "seed for the deterministic per-day trace IDs and session tokens")
 		traceLimit = fs.Int("trace-limit", 0, "max retained spans before the oldest are dropped (0 = default)")
 	)
 	logOpts := obs.LogFlags(fs)
@@ -57,9 +64,16 @@ func run(args []string) error {
 		return err
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	pricer, err := pricing.NewQuadratic(*sigma)
 	if err != nil {
 		return err
+	}
+	plan, err := netproto.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		return fmt.Errorf("parse -fault-plan: %w", err)
 	}
 	var ledgerLog *netproto.Journal
 	if *ledger != "" {
@@ -72,14 +86,16 @@ func run(args []string) error {
 	}
 
 	scheduler := &sched.Greedy{Pricer: pricer, Rating: *rating}
-	center, err := netproto.NewCenter(*addr, netproto.CenterConfig{
-		Scheduler: scheduler,
-		Pricer:    pricer,
-		Mechanism: mechanism.Config{K: mechanism.DefaultK, Xi: *xi},
-		Rating:    *rating,
-		TraceSeed: *traceSeed,
-		Ledger:    ledgerLog,
-	})
+	center, err := netproto.StartCenter(*addr,
+		netproto.WithScheduler(scheduler),
+		netproto.WithPricer(pricer),
+		netproto.WithMechanism(mechanism.Config{K: mechanism.DefaultK, Xi: *xi}),
+		netproto.WithRating(*rating),
+		netproto.WithPhaseDeadline(*deadline),
+		netproto.WithTraceSeed(*traceSeed),
+		netproto.WithLedger(ledgerLog),
+		netproto.WithFaultPlan(plan),
+	)
 	if err != nil {
 		return err
 	}
@@ -114,8 +130,11 @@ func run(args []string) error {
 	}
 
 	logger.Info("listening", "addr", center.Addr(), "agents_expected", *agents)
-	if err := center.WaitForAgents(*agents, *wait); err != nil {
-		return err
+	waitCtx, cancel := context.WithTimeout(ctx, *wait)
+	err = center.WaitForAgentsContext(waitCtx, *agents)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("waiting for %d agents: %w", *agents, err)
 	}
 	logger.Info("agents registered", "count", center.AgentCount())
 
@@ -130,7 +149,7 @@ func run(args []string) error {
 	}
 
 	for day := 1; day <= *days; day++ {
-		record, err := center.RunDay(day)
+		record, err := center.RunDayContext(ctx, day)
 		if err != nil {
 			return fmt.Errorf("day %d: %w", day, err)
 		}
@@ -141,9 +160,16 @@ func run(args []string) error {
 		}
 		fmt.Printf("day %d: cost $%.2f, peak %.1f kWh\n", day, record.Cost, record.Peak)
 		for i, r := range record.Reports {
-			fmt.Printf("  household %d: reported %v, allocated %v, consumed %v, pays $%.2f (f=%.2f δ=%.2f)\n",
+			degraded := ""
+			if record.Substituted != nil && record.Substituted[i] {
+				degraded = " [dark: consumption imputed, settled as defector]"
+			}
+			fmt.Printf("  household %d: reported %v, allocated %v, consumed %v, pays $%.2f (f=%.2f δ=%.2f)%s\n",
 				r.ID, r.Pref, record.Assignments[i].Interval, record.Consumptions[i].Interval,
-				record.Payments[i], record.Flexibility[i], record.Defection[i])
+				record.Payments[i], record.Flexibility[i], record.Defection[i], degraded)
+		}
+		for _, id := range record.Absent {
+			fmt.Printf("  household %d: absent (no preference before the deadline), excluded from the day\n", id)
 		}
 	}
 	return nil
@@ -163,6 +189,17 @@ func preregisterMetrics(schedulerName string) {
 	for _, phase := range []string{string(netproto.KindPreference), string(netproto.KindConsumption)} {
 		reg.Histogram(obs.MetricNetPhaseLatencyMS, obs.LatencyBucketsMS, obs.LabelPhase, phase)
 		reg.Counter(obs.MetricNetTimeoutsTotal, obs.LabelPhase, phase)
+		reg.Histogram(obs.MetricNetPhaseDeadlineRemainingMS, obs.LatencyBucketsMS, obs.LabelPhase, phase)
+	}
+	reg.Counter(obs.MetricNetDegradedDaysTotal)
+	reg.Counter(obs.MetricNetSubstitutionsTotal)
+	reg.Counter(obs.MetricNetReplaysTotal)
+	for _, side := range []string{obs.SideCenter, obs.SideAgent} {
+		reg.Counter(obs.MetricNetResumesTotal, obs.LabelSide, side)
+	}
+	reg.Counter(obs.MetricNetRetriesTotal)
+	for _, action := range []netproto.FaultAction{netproto.FaultDrop, netproto.FaultDelay, netproto.FaultDup, netproto.FaultGarble} {
+		reg.Counter(obs.MetricNetFaultsTotal, obs.LabelAction, action.String())
 	}
 	reg.Counter(obs.MetricSchedAllocateTotal, obs.LabelScheduler, schedulerName)
 	reg.Histogram(obs.MetricSchedAllocateLatencyMS, obs.LatencyBucketsMS, obs.LabelScheduler, schedulerName)

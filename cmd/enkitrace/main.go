@@ -228,7 +228,7 @@ func describe(s obs.Span) string {
 // one line per day plus any mismatches; it returns the mismatch count.
 func printAudit(out io.Writer, entries []mechanism.LedgerEntry) int {
 	fmt.Fprintf(out, "Ledger audit (%d entries)\n", len(entries))
-	mismatches := 0
+	mismatches, degradedDays := 0, 0
 	for _, e := range entries {
 		bad := e.Audit()
 		status := "OK"
@@ -236,11 +236,25 @@ func printAudit(out io.Writer, entries []mechanism.LedgerEntry) int {
 			status = fmt.Sprintf("%d MISMATCHES", len(bad))
 			mismatches += len(bad)
 		}
-		fmt.Fprintf(out, "day %d trace %s: %s (%d households, cost $%.2f, revenue $%.2f, residual $%.2f)\n",
-			e.Day, e.TraceID, status, len(e.Households), e.Cost, e.Revenue, e.BudgetResidual)
+		substituted := 0
+		for _, h := range e.Households {
+			if h.Substituted {
+				substituted++
+			}
+		}
+		degraded := ""
+		if substituted > 0 {
+			degradedDays++
+			degraded = fmt.Sprintf(", %d dark household(s) settled as defectors from journaled reports", substituted)
+		}
+		fmt.Fprintf(out, "day %d trace %s: %s (%d households, cost $%.2f, revenue $%.2f, residual $%.2f%s)\n",
+			e.Day, e.TraceID, status, len(e.Households), e.Cost, e.Revenue, e.BudgetResidual, degraded)
 		for _, msg := range bad {
 			fmt.Fprintf(out, "  ! %s\n", msg)
 		}
+	}
+	if degradedDays > 0 {
+		fmt.Fprintf(out, "degraded: %d of %d days settled with substituted households\n", degradedDays, len(entries))
 	}
 	fmt.Fprintf(out, "audit: %d mismatches in %d entries\n", mismatches, len(entries))
 	return mismatches

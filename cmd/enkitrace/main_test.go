@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -190,6 +191,87 @@ func TestAuditFlagsTamperedLedger(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "MISMATCH") {
 		t.Errorf("audit output does not flag the mismatch:\n%s", out.String())
+	}
+}
+
+// TestAuditAcceptsDegradedDayLedger is the degraded-settlement
+// acceptance test: a day in which one household reports a preference
+// and then goes permanently dark still yields a ledger that enkitrace
+// audits cleanly (exit 0), with the substitution reported.
+func TestAuditAcceptsDegradedDayLedger(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "degraded.jsonl")
+	ledgerFile, err := os.Create(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ledgerFile.Close()
+
+	center, err := netproto.StartCenter("127.0.0.1:0",
+		netproto.WithPhaseDeadline(300*time.Millisecond),
+		netproto.WithTraceSeed(21),
+		netproto.WithLedger(netproto.NewJournal(ledgerFile)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer center.Close()
+
+	types := []core.Type{
+		{True: core.MustPreference(18, 22, 2), ValuationFactor: 5},
+		{True: core.MustPreference(17, 23, 2), ValuationFactor: 4},
+	}
+	for i, typ := range types {
+		a, err := netproto.Dial(center.Addr(), core.HouseholdID(i), &netproto.Truthful{Type: typ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+	}
+	// Household 2 reports a preference and then never answers again.
+	conn, err := net.Dial("tcp", center.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	darkPref := core.MustPreference(19, 24, 3)
+	if err := netproto.WriteMessage(conn, &netproto.Message{Kind: netproto.KindHello, ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if w, err := netproto.ReadMessage(conn); err != nil || w.Kind != netproto.KindWelcome {
+		t.Fatalf("registration failed: %v %v", w, err)
+	}
+	go func() {
+		for {
+			m, err := netproto.ReadMessage(conn)
+			if err != nil {
+				return
+			}
+			if m.Kind == netproto.KindRequest {
+				_ = netproto.WriteMessage(conn, &netproto.Message{Kind: netproto.KindPreference, ID: 2, Day: m.Day, Pref: &darkPref})
+			}
+		}
+	}()
+	if err := center.WaitForAgents(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := center.RunDay(1); err != nil {
+		t.Fatalf("degraded day should complete: %v", err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-ledger", ledgerPath}, &out); err != nil {
+		t.Fatalf("degraded ledger should audit cleanly, got %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"1 dark household(s) settled as defectors from journaled reports",
+		"degraded: 1 of 1 days settled with substituted households",
+		"audit: 0 mismatches in 1 entries",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
 	}
 }
 

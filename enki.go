@@ -15,7 +15,9 @@
 // and the mechanism; the heavier substrates keep their own facades:
 //
 //   - Neighborhood (here) — one-call day simulation for library users
-//   - internal/netproto — TCP center/agent protocol (cmd/enkid, cmd/enkiagent)
+//   - enki/net — the TCP center/agent protocol with fault tolerance
+//     (phase deadlines, retry, session resumption, fault injection);
+//     the facade over internal/netproto (cmd/enkid, cmd/enkiagent)
 //   - internal/experiment — regenerates every paper table and figure
 //   - internal/study — the Section VII user-study game
 //

@@ -1,0 +1,21 @@
+package mechanism
+
+import "enki/internal/core"
+
+// DarkConsumption imputes the consumption of a household that reported
+// a preference and then went dark before confirming: the earliest
+// feasible placement inside its reported window. The imputation is a
+// pure function of the journaled report, so a center replaying the day
+// from its journal reconstructs the identical settlement, and an
+// auditor can verify the substituted interval from the ledger row
+// alone.
+//
+// The substituted household is settled on the Eq. 5 defector path — it
+// never confirmed compliance, so its flexibility reward is forfeited
+// (f_i = 0) and its defection score is computed from the imputed
+// interval exactly as if it had consumed there. Payments still scale to
+// ξ·κ(ω) over the imputed load (Eq. 7), so the Theorem 1 budget
+// identity Σp − κ(ω) = (ξ−1)·κ(ω) holds exactly on degraded days.
+func DarkConsumption(pref core.Preference) core.Interval {
+	return pref.IntervalAt(0)
+}

@@ -28,6 +28,15 @@ type LedgerHousehold struct {
 	// allocation deferred it (0 = scheduled at the earliest wish).
 	DefermentSlots int `json:"defermentSlots"`
 
+	// Substituted marks a degraded-day settlement: the household went
+	// dark before confirming consumption, so Consumed is the center's
+	// imputation (DarkConsumption of the journaled report) rather than
+	// a reported interval, and the household is settled as a defector
+	// (Defected true, flexibility forfeited) regardless of whether the
+	// imputed interval happens to match the assignment. Omitted on
+	// fault-free days so their ledger bytes are unchanged.
+	Substituted bool `json:"substituted,omitempty"`
+
 	Defected             bool    `json:"defected"`
 	PredictedFlexibility float64 `json:"predictedFlexibility"` // Eq. 4, assuming compliance
 	Flexibility          float64 `json:"flexibility"`          // Eq. 4, zeroed on defection
@@ -59,9 +68,10 @@ type LedgerEntry struct {
 
 // BuildLedgerEntry assembles the audit record for one settled day from
 // the settlement chain's inputs and intermediates. Slices are parallel
-// with reports; the entry is a pure function of its arguments.
+// with reports; substituted marks degraded-day imputations (nil means
+// none). The entry is a pure function of its arguments.
 func BuildLedgerEntry(traceID string, day int, cfg Config, rating float64,
-	reports []core.Report, assigned, consumed []core.Interval,
+	reports []core.Report, assigned, consumed []core.Interval, substituted []bool,
 	predicted, flex, defect, psi, payments []float64, cost, peak float64) LedgerEntry {
 	entry := LedgerEntry{
 		Schema:     LedgerSchemaVersion,
@@ -79,13 +89,15 @@ func BuildLedgerEntry(traceID string, day int, cfg Config, rating float64,
 		if slots < 0 {
 			slots = 0
 		}
+		sub := substituted != nil && substituted[i]
 		entry.Households[i] = LedgerHousehold{
 			ID:                   r.ID,
 			Reported:             r.Pref,
 			Assigned:             assigned[i],
 			Consumed:             consumed[i],
 			DefermentSlots:       slots,
-			Defected:             core.Defected(assigned[i], consumed[i]),
+			Substituted:          sub,
+			Defected:             core.Defected(assigned[i], consumed[i]) || sub,
 			PredictedFlexibility: predicted[i],
 			Flexibility:          flex[i],
 			Defection:            defect[i],
@@ -151,7 +163,10 @@ func auditClose(a, b float64) bool {
 //
 //   - Eq. 4: predicted flexibility from the reported preferences, and
 //     its zeroing for households whose consumption defected;
-//   - defection flags from assigned vs consumed intervals;
+//   - defection flags from assigned vs consumed intervals, with
+//     substituted (degraded-day) households forced onto the defector
+//     path and their imputed interval checked against DarkConsumption
+//     of the journaled report;
 //   - Eq. 6: social-cost scores from the recorded flexibility and
 //     defection scores under the entry's k;
 //   - Eq. 7: payments from the recomputed scores under the entry's ξ
@@ -185,10 +200,16 @@ func (e LedgerEntry) Audit() []string {
 			bad = append(bad, fmt.Sprintf("household %d: Eq. 4 predicted flexibility %g, recorded %g",
 				h.ID, predicted[i], h.PredictedFlexibility))
 		}
-		defected := core.Defected(h.Assigned, h.Consumed)
+		defected := core.Defected(h.Assigned, h.Consumed) || h.Substituted
 		if defected != h.Defected {
 			bad = append(bad, fmt.Sprintf("household %d: defected flag %v, intervals say %v",
 				h.ID, h.Defected, defected))
+		}
+		if h.Substituted {
+			if want := DarkConsumption(h.Reported); h.Consumed != want {
+				bad = append(bad, fmt.Sprintf("household %d: substituted consumption %v, imputation says %v",
+					h.ID, h.Consumed, want))
+			}
 		}
 		wantFlex := h.PredictedFlexibility
 		if defected {

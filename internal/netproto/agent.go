@@ -1,13 +1,16 @@
 package netproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"enki/internal/core"
+	"enki/internal/dist"
 	"enki/internal/obs"
 )
 
@@ -69,31 +72,56 @@ func (p *Misreporter) Feedback(int, PaymentDetail) {}
 
 // Agent is a household ECC client connected to a neighborhood center.
 // It answers the center's protocol messages using its Policy. Create
-// with Dial; stop with Close, which closes the connection and waits for
-// the message loop to exit.
+// with Connect; stop with Close, which closes the connection and waits
+// for the message loop to exit.
+//
+// With a retry policy (WithRetryPolicy), a link failure triggers
+// bounded redials with exponential backoff and deterministic seeded
+// jitter; each successful redial resumes the prior session by token,
+// and the center replays whatever phase messages were missed. Without
+// one, the first failure is terminal (the historical behaviour).
 type Agent struct {
 	id     core.HouseholdID
-	conn   net.Conn
 	policy Policy
+	cfg    agentConfig
+	inj    *faultInjector // indices persist across reconnects
+	jitter *dist.RNG      // retry jitter stream, split per household
 
 	mu      sync.Mutex
+	conn    net.Conn
+	token   string // session-resumption credential from the welcome
 	history []PaymentDetail
+	paid    map[int]bool // days already settled; dedupes replayed payments
 	err     error
 	closed  bool // Close was called; suppress the resulting read error
 
-	done chan struct{}
-	once sync.Once
+	closing chan struct{}
+	done    chan struct{}
+	once    sync.Once
 }
 
-// Dial connects to a center over plain TCP, registers the household,
-// and starts the agent's message loop. For TLS or other transports,
-// establish the connection yourself and use NewAgent.
-func Dial(addr string, id core.HouseholdID, policy Policy) (*Agent, error) {
-	conn, err := net.Dial("tcp", addr)
+// Connect dials a center, registers the household, and starts the
+// agent's message loop. The context governs the initial dial and
+// handshake only; use Close to stop the agent. Options configure the
+// transport (WithDialer), reconnection (WithRetryPolicy), and fault
+// injection (WithFaultPlan).
+func Connect(ctx context.Context, addr string, id core.HouseholdID, policy Policy, opts ...Option) (*Agent, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
+	}
+	cfg := o.agent
+	if cfg.dial == nil {
+		var d net.Dialer
+		cfg.dial = func(ctx context.Context) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := cfg.dial(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: dial center: %w", err)
 	}
-	a, err := NewAgent(conn, id, policy)
+	a, err := newAgent(conn, id, policy, cfg)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -101,27 +129,67 @@ func Dial(addr string, id core.HouseholdID, policy Policy) (*Agent, error) {
 	return a, nil
 }
 
+// Dial connects to a center over plain TCP without reconnection.
+//
+// Deprecated: use Connect, which takes a context and options.
+func Dial(addr string, id core.HouseholdID, policy Policy) (*Agent, error) {
+	return Connect(context.Background(), addr, id, policy)
+}
+
 // NewAgent registers the household over a caller-provided connection —
 // typically a tls.Conn — and starts the agent's message loop. The agent
-// takes ownership of the connection and closes it on Close.
-func NewAgent(conn net.Conn, id core.HouseholdID, policy Policy) (*Agent, error) {
+// takes ownership of the connection and closes it on Close. Without a
+// WithDialer option the agent cannot reconnect, since it has no way to
+// re-establish the transport.
+func NewAgent(conn net.Conn, id core.HouseholdID, policy Policy, opts ...Option) (*Agent, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
+	}
+	return newAgent(conn, id, policy, o.agent)
+}
+
+func newAgent(conn net.Conn, id core.HouseholdID, policy Policy, cfg agentConfig) (*Agent, error) {
 	if policy == nil {
 		return nil, errors.New("netproto: nil policy")
 	}
-	if err := WriteMessage(conn, &Message{Kind: KindHello, ID: id}); err != nil {
+	a := &Agent{
+		id:      id,
+		policy:  policy,
+		cfg:     cfg,
+		inj:     newFaultInjector(cfg.plan),
+		conn:    conn,
+		paid:    make(map[int]bool),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if cfg.retry.Enabled() {
+		a.jitter = cfg.retry.jitterRNG(uint64(id))
+	}
+	token, err := a.handshake(conn, "")
+	if err != nil {
 		return nil, err
+	}
+	a.token = token
+	go a.loop()
+	return a, nil
+}
+
+// handshake registers or resumes over conn: hello (bearing the resume
+// token, if any) out, welcome back. It returns the session token the
+// center issued.
+func (a *Agent) handshake(conn net.Conn, token string) (string, error) {
+	if err := a.inj.send(conn, &Message{Kind: KindHello, ID: a.id, Token: token}); err != nil {
+		return "", err
 	}
 	welcome, err := ReadMessage(conn)
 	if err != nil {
-		return nil, fmt.Errorf("netproto: read welcome: %w", err)
+		return "", fmt.Errorf("netproto: read welcome: %w", err)
 	}
 	if welcome.Kind != KindWelcome {
-		return nil, fmt.Errorf("netproto: registration rejected: %s %s", welcome.Kind, welcome.Err)
+		return "", fmt.Errorf("netproto: registration rejected: %s %s", welcome.Kind, welcome.Err)
 	}
-
-	a := &Agent{id: id, conn: conn, policy: policy, done: make(chan struct{})}
-	go a.loop()
-	return a, nil
+	return welcome.Token, nil
 }
 
 // ID returns the agent's household ID.
@@ -132,8 +200,10 @@ func (a *Agent) Close() error {
 	a.once.Do(func() {
 		a.mu.Lock()
 		a.closed = true
+		conn := a.conn
 		a.mu.Unlock()
-		a.conn.Close()
+		close(a.closing)
+		conn.Close()
 	})
 	<-a.done
 	return nil
@@ -194,53 +264,152 @@ func (s *ActiveAgentSpan) End() { s.span.End() }
 func (a *Agent) loop() {
 	defer close(a.done)
 	for {
-		m, err := ReadMessage(a.conn)
+		a.mu.Lock()
+		conn := a.conn
+		a.mu.Unlock()
+		m, err := ReadMessage(conn)
 		if err != nil {
+			if a.isClosed() {
+				return
+			}
+			if a.reconnect() {
+				continue
+			}
 			a.setErr(err)
 			return
 		}
-		switch m.Kind {
-		case KindRequest:
-			span := a.phaseSpan(m, KindPreference)
-			pref := a.policy.Report(m.Day)
-			reply := &Message{Kind: KindPreference, ID: a.id, Day: m.Day, Pref: &pref, Trace: span.reply()}
-			err := WriteMessage(a.conn, reply)
-			span.End()
-			if err != nil {
-				a.setErr(err)
-				return
-			}
-		case KindAllocation:
-			if m.Interval == nil {
-				a.setErr(errors.New("netproto: allocation frame without interval"))
-				return
-			}
-			span := a.phaseSpan(m, KindConsumption)
-			cons := a.policy.Consume(m.Day, *m.Interval)
-			reply := &Message{Kind: KindConsumption, ID: a.id, Day: m.Day, Interval: &cons, Trace: span.reply()}
-			err := WriteMessage(a.conn, reply)
-			span.End()
-			if err != nil {
-				a.setErr(err)
-				return
-			}
-		case KindPayment:
-			if m.Payment != nil {
-				span := a.phaseSpan(m, KindPayment)
-				a.mu.Lock()
-				a.history = append(a.history, *m.Payment)
-				a.mu.Unlock()
-				a.policy.Feedback(m.Day, *m.Payment)
-				span.End()
-			}
-		case KindError:
-			a.setErr(fmt.Errorf("netproto: center error: %s", m.Err))
-			return
-		default:
-			a.setErr(fmt.Errorf("netproto: unexpected %s from center", m.Kind))
+		fatal, err := a.handle(m)
+		if err == nil {
+			continue
+		}
+		if fatal {
+			a.setErr(err)
 			return
 		}
+		// A send failed: the link is down, not the protocol. Try to
+		// resume; the center will replay the message we failed to
+		// answer.
+		if a.isClosed() {
+			return
+		}
+		if a.reconnect() {
+			continue
+		}
+		a.setErr(err)
+		return
 	}
+}
+
+// handle processes one center message. A returned error with fatal true
+// is a protocol failure that terminates the agent; with fatal false it
+// is a transport failure the reconnect path may recover from. Payments
+// are deduplicated by day, since session resumption can replay one the
+// agent already observed.
+func (a *Agent) handle(m *Message) (fatal bool, err error) {
+	switch m.Kind {
+	case KindRequest:
+		span := a.phaseSpan(m, KindPreference)
+		pref := a.policy.Report(m.Day)
+		err := a.send(&Message{Kind: KindPreference, ID: a.id, Day: m.Day, Pref: &pref, Trace: span.reply()})
+		span.End()
+		return false, err
+	case KindAllocation:
+		if m.Interval == nil {
+			return true, errors.New("netproto: allocation frame without interval")
+		}
+		span := a.phaseSpan(m, KindConsumption)
+		cons := a.policy.Consume(m.Day, *m.Interval)
+		err := a.send(&Message{Kind: KindConsumption, ID: a.id, Day: m.Day, Interval: &cons, Trace: span.reply()})
+		span.End()
+		return false, err
+	case KindPayment:
+		if m.Payment == nil {
+			return false, nil
+		}
+		a.mu.Lock()
+		dup := a.paid[m.Day]
+		if !dup {
+			a.paid[m.Day] = true
+			a.history = append(a.history, *m.Payment)
+		}
+		a.mu.Unlock()
+		if !dup {
+			span := a.phaseSpan(m, KindPayment)
+			a.policy.Feedback(m.Day, *m.Payment)
+			span.End()
+		}
+		return false, nil
+	case KindError:
+		return true, fmt.Errorf("netproto: center error: %s", m.Err)
+	default:
+		return true, fmt.Errorf("netproto: unexpected %s from center", m.Kind)
+	}
+}
+
+// send writes one message on the current connection through the fault
+// injector.
+func (a *Agent) send(m *Message) error {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	return a.inj.send(conn, m)
+}
+
+// reconnect runs the retry policy after a link failure: bounded
+// redials spaced by exponential backoff with the agent's deterministic
+// jitter stream, each presenting the session token so the center
+// resumes the session and replays missed messages. It reports whether
+// a connection was re-established.
+func (a *Agent) reconnect() bool {
+	a.mu.Lock()
+	token := a.token
+	closed := a.closed
+	a.mu.Unlock()
+	if closed || a.cfg.dial == nil || !a.cfg.retry.Enabled() || token == "" {
+		return false
+	}
+	for attempt := 1; attempt <= a.cfg.retry.MaxAttempts; attempt++ {
+		obs.Default().Counter(obs.MetricNetRetriesTotal).Inc()
+		wait := time.NewTimer(a.cfg.retry.Backoff(attempt, a.jitter))
+		select {
+		case <-wait.C:
+		case <-a.closing:
+			wait.Stop()
+			return false
+		}
+		conn, err := a.cfg.dial(context.Background())
+		if err != nil {
+			continue
+		}
+		// Any handshake failure is retryable: the center may still be
+		// tearing down the dead connection (a transient "duplicate
+		// household id") or restarting.
+		newToken, err := a.handshake(conn, token)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			return false
+		}
+		a.conn = conn
+		if newToken != "" {
+			a.token = newToken
+		}
+		a.mu.Unlock()
+		obs.Default().Counter(obs.MetricNetResumesTotal, obs.LabelSide, obs.SideAgent).Inc()
+		return true
+	}
+	return false
+}
+
+func (a *Agent) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
 }
 
 func (a *Agent) setErr(err error) {

@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -16,7 +17,9 @@ import (
 	"enki/internal/sched"
 )
 
-// CenterConfig configures a neighborhood center.
+// CenterConfig configures a neighborhood center. Prefer the functional
+// options of StartCenter; the struct remains public for the deprecated
+// NewCenter constructors.
 type CenterConfig struct {
 	// Scheduler produces allocations from reports; it must be non-nil.
 	Scheduler sched.Scheduler
@@ -26,24 +29,42 @@ type CenterConfig struct {
 	Mechanism mechanism.Config
 	// Rating is the per-household power rating r in kW.
 	Rating float64
-	// ReplyTimeout bounds each protocol phase (preference collection,
-	// consumption collection). Zero means DefaultReplyTimeout.
+	// PhaseDeadline bounds each protocol phase (preference collection,
+	// consumption collection). A household that has not answered when
+	// the deadline expires is settled dark for the day: excluded if it
+	// never reported, imputed via the Eq. 5 defector path if it
+	// reported and then vanished. Zero means ReplyTimeout, then
+	// DefaultPhaseDeadline.
+	PhaseDeadline time.Duration
+	// ReplyTimeout is honored when PhaseDeadline is zero.
+	//
+	// Deprecated: set PhaseDeadline (or use WithPhaseDeadline).
 	ReplyTimeout time.Duration
 	// TraceSeed parameterizes the deterministic per-day trace IDs:
 	// day d's trace is obs.DeriveTraceID(TraceSeed, d), so two centers
 	// replaying the same days under the same seed name the same traces.
-	// Zero is a valid seed.
+	// Session-resumption tokens derive from the same seed. Zero is a
+	// valid seed.
 	TraceSeed uint64
 	// Ledger, when non-nil, receives one mechanism.LedgerEntry per
 	// settled day — the per-day audit record of every Eq. 4–7
 	// intermediate, linked to the day's trace ID. It typically shares
 	// a Journal-backed file with nothing else (one JSONL line per day).
 	Ledger *Journal
+	// FaultPlan, when non-nil, injects deterministic faults into the
+	// center's outbound messages, independently per accepted
+	// connection. Test/soak tooling only.
+	FaultPlan *FaultPlan
 }
 
-// DefaultReplyTimeout is the per-phase wait applied when
-// CenterConfig.ReplyTimeout is zero.
-const DefaultReplyTimeout = 10 * time.Second
+// DefaultPhaseDeadline is the per-phase wait applied when neither
+// PhaseDeadline nor ReplyTimeout is set.
+const DefaultPhaseDeadline = 10 * time.Second
+
+// DefaultReplyTimeout is the historical name of the per-phase wait.
+//
+// Deprecated: use DefaultPhaseDeadline.
+const DefaultReplyTimeout = DefaultPhaseDeadline
 
 func (c CenterConfig) validate() error {
 	if c.Scheduler == nil {
@@ -72,26 +93,50 @@ type inbound struct {
 type centerConn struct {
 	id   core.HouseholdID
 	conn net.Conn
+	inj  *faultInjector
 	mu   sync.Mutex // serializes writes
 }
 
 func (c *centerConn) send(m *Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return WriteMessage(c.conn, m)
+	return c.inj.send(c.conn, m)
+}
+
+// session is the center's durable state for one household, surviving
+// the connections that come and go beneath it. A session with a nil
+// conn is dark: its household is still a neighborhood member, but the
+// link is down. The center keeps the last unanswered phase message and
+// any undelivered payments so a resuming agent (same ID, same token)
+// can be replayed into the point of the day it dropped out of.
+type session struct {
+	id        core.HouseholdID
+	token     string
+	conn      *centerConn // nil while dark
+	lastOut   *Message    // unanswered phase message, replayed on resume
+	missedPay []*Message  // payments issued while dark
+}
+
+// tokenSalt namespaces session tokens within the obs.DeriveTraceID
+// stream so a token never collides with a day's trace ID.
+const tokenSalt = 0x746f6b656e // "token"
+
+func sessionToken(seed uint64, id core.HouseholdID, epoch uint64) string {
+	return obs.DeriveTraceID(tokenSalt, seed, uint64(id), epoch)
 }
 
 // Center is the neighborhood controller: it accepts household agent
 // connections and orchestrates the Figure 1 day cycle. Create with
-// NewCenter; stop with Close, which shuts the listener, drops every
+// StartCenter; stop with Close, which shuts the listener, drops every
 // connection, and waits for all goroutines to exit.
 type Center struct {
 	cfg CenterConfig
 	ln  net.Listener
 
-	mu     sync.Mutex
-	conns  map[core.HouseholdID]*centerConn
-	joined chan struct{} // signaled (best effort) on each registration
+	mu       sync.Mutex
+	sessions map[core.HouseholdID]*session
+	epoch    uint64        // bumped per fresh registration; invalidates old tokens
+	joined   chan struct{} // signaled (best effort) on each registration
 
 	inbox chan inbound
 
@@ -100,15 +145,17 @@ type Center struct {
 	once    sync.Once
 }
 
-// NewCenter starts a center listening on a plain TCP addr (e.g.
-// "127.0.0.1:0"). For TLS or other transports, bring your own listener
-// via NewCenterWithListener.
-func NewCenter(addr string, cfg CenterConfig) (*Center, error) {
+// StartCenter starts a center listening on a plain TCP addr (e.g.
+// "127.0.0.1:0"), configured by functional options; unset options take
+// the paper's defaults (quadratic pricer, greedy scheduler, default
+// mechanism parameters). For TLS or other transports, bring your own
+// listener via StartCenterListener.
+func StartCenter(addr string, opts ...Option) (*Center, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: listen: %w", err)
 	}
-	c, err := NewCenterWithListener(ln, cfg)
+	c, err := StartCenterListener(ln, opts...)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -116,23 +163,59 @@ func NewCenter(addr string, cfg CenterConfig) (*Center, error) {
 	return c, nil
 }
 
-// NewCenterWithListener starts a center on a caller-provided listener —
+// StartCenterListener starts a center on a caller-provided listener —
 // typically a tls.Listener for encrypted smart-meter links. The center
 // takes ownership of the listener and closes it on Close.
+func StartCenterListener(ln net.Listener, opts ...Option) (*Center, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
+	}
+	return newCenter(ln, o.resolveCenter())
+}
+
+// NewCenter starts a center listening on a plain TCP addr from an
+// explicit config struct.
+//
+// Deprecated: use StartCenter with functional options.
+func NewCenter(addr string, cfg CenterConfig) (*Center, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: listen: %w", err)
+	}
+	c, err := newCenter(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewCenterWithListener starts a center on a caller-provided listener
+// from an explicit config struct.
+//
+// Deprecated: use StartCenterListener with functional options.
 func NewCenterWithListener(ln net.Listener, cfg CenterConfig) (*Center, error) {
+	return newCenter(ln, cfg)
+}
+
+func newCenter(ln net.Listener, cfg CenterConfig) (*Center, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if cfg.ReplyTimeout == 0 {
-		cfg.ReplyTimeout = DefaultReplyTimeout
+	if cfg.PhaseDeadline == 0 {
+		cfg.PhaseDeadline = cfg.ReplyTimeout
+	}
+	if cfg.PhaseDeadline == 0 {
+		cfg.PhaseDeadline = DefaultPhaseDeadline
 	}
 	c := &Center{
-		cfg:     cfg,
-		ln:      ln,
-		conns:   make(map[core.HouseholdID]*centerConn),
-		joined:  make(chan struct{}, 1),
-		inbox:   make(chan inbound),
-		closing: make(chan struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		sessions: make(map[core.HouseholdID]*session),
+		joined:   make(chan struct{}, 1),
+		inbox:    make(chan inbound),
+		closing:  make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -148,8 +231,10 @@ func (c *Center) Close() error {
 		close(c.closing)
 		c.ln.Close()
 		c.mu.Lock()
-		for _, cc := range c.conns {
-			cc.conn.Close()
+		for _, s := range c.sessions {
+			if s.conn != nil {
+				s.conn.conn.Close()
+			}
 		}
 		c.mu.Unlock()
 	})
@@ -157,30 +242,51 @@ func (c *Center) Close() error {
 	return nil
 }
 
-// AgentCount returns the number of registered agents.
+// AgentCount returns the number of households with a live connection
+// (dark sessions awaiting resume are not counted).
 func (c *Center) AgentCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.conns)
+	n := 0
+	for _, s := range c.sessions {
+		if s.conn != nil {
+			n++
+		}
+	}
+	return n
 }
 
-// WaitForAgents blocks until n agents have registered or the timeout
-// elapses.
-func (c *Center) WaitForAgents(n int, timeout time.Duration) error {
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
+// WaitForAgentsContext blocks until n agents are connected or the
+// context is done.
+func (c *Center) WaitForAgentsContext(ctx context.Context, n int) error {
 	for {
 		if c.AgentCount() >= n {
 			return nil
 		}
 		select {
 		case <-c.joined:
-		case <-deadline.C:
-			return fmt.Errorf("netproto: %d of %d agents after %v", c.AgentCount(), n, timeout)
+		case <-ctx.Done():
+			return fmt.Errorf("netproto: %d of %d agents: %w", c.AgentCount(), n, ctx.Err())
 		case <-c.closing:
 			return errors.New("netproto: center closed")
 		}
 	}
+}
+
+// WaitForAgents blocks until n agents have registered or the timeout
+// elapses.
+//
+// Deprecated: use WaitForAgentsContext.
+func (c *Center) WaitForAgents(n int, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := c.WaitForAgentsContext(ctx, n); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("netproto: %d of %d agents after %v", c.AgentCount(), n, timeout)
+		}
+		return err
+	}
+	return nil
 }
 
 func (c *Center) acceptLoop() {
@@ -195,7 +301,12 @@ func (c *Center) acceptLoop() {
 	}
 }
 
-// handleConn performs registration then pumps messages into the inbox.
+// handleConn performs registration or session resumption, then pumps
+// messages into the inbox. A tokenless hello is a fresh agent: it may
+// claim a dark session's ID (replacing that session outright) but never
+// a live one. A hello bearing the session's token resumes it — the
+// center reattaches the connection and replays the phase messages the
+// agent missed while dark.
 func (c *Center) handleConn(conn net.Conn) {
 	defer c.wg.Done()
 
@@ -204,21 +315,55 @@ func (c *Center) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	cc := &centerConn{id: hello.ID, conn: conn}
+	cc := &centerConn{id: hello.ID, conn: conn, inj: newFaultInjector(c.cfg.FaultPlan)}
 
 	c.mu.Lock()
-	if _, dup := c.conns[hello.ID]; dup {
+	s := c.sessions[hello.ID]
+	resume := false
+	switch {
+	case s != nil && s.conn != nil:
 		c.mu.Unlock()
 		_ = WriteMessage(conn, &Message{Kind: KindError, ID: hello.ID, Err: "duplicate household id"})
 		conn.Close()
 		return
+	case s != nil && hello.Token != "":
+		if hello.Token != s.token {
+			c.mu.Unlock()
+			_ = WriteMessage(conn, &Message{Kind: KindError, ID: hello.ID, Err: "bad session token"})
+			conn.Close()
+			return
+		}
+		resume = true
+	default:
+		c.epoch++
+		s = &session{id: hello.ID, token: sessionToken(c.cfg.TraceSeed, hello.ID, c.epoch)}
+		c.sessions[hello.ID] = s
 	}
-	c.conns[hello.ID] = cc
+	s.conn = cc
+	var replay []*Message
+	if resume {
+		if s.lastOut != nil {
+			replay = append(replay, s.lastOut)
+		}
+		replay = append(replay, s.missedPay...)
+		s.missedPay = nil
+	}
+	token := s.token
 	c.mu.Unlock()
 
-	if err := cc.send(&Message{Kind: KindWelcome, ID: hello.ID}); err != nil {
-		c.dropConn(cc)
+	if err := cc.send(&Message{Kind: KindWelcome, ID: hello.ID, Token: token}); err != nil {
+		c.markDark(cc)
 		return
+	}
+	if resume {
+		obs.Default().Counter(obs.MetricNetResumesTotal, obs.LabelSide, obs.SideCenter).Inc()
+		for _, m := range replay {
+			if err := cc.send(m); err != nil {
+				c.markDark(cc)
+				return
+			}
+			obs.Default().Counter(obs.MetricNetReplaysTotal).Inc()
+		}
 	}
 	select {
 	case c.joined <- struct{}{}:
@@ -228,7 +373,7 @@ func (c *Center) handleConn(conn net.Conn) {
 	for {
 		m, err := ReadMessage(conn)
 		if err != nil {
-			c.dropConn(cc)
+			c.markDark(cc)
 			select {
 			case c.inbox <- inbound{id: cc.id, conn: cc, err: err}:
 			case <-c.closing:
@@ -243,11 +388,34 @@ func (c *Center) handleConn(conn net.Conn) {
 	}
 }
 
-func (c *Center) dropConn(cc *centerConn) {
+// markDark closes cc and detaches it from its session (if cc is still
+// the session's current connection). The session itself survives so the
+// agent can resume and the day can settle degraded.
+func (c *Center) markDark(cc *centerConn) {
 	cc.conn.Close()
 	c.mu.Lock()
-	if c.conns[cc.id] == cc {
-		delete(c.conns, cc.id)
+	if s := c.sessions[cc.id]; s != nil && s.conn == cc {
+		s.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// currentConn returns the live connection registered for id, or nil.
+func (c *Center) currentConn(id core.HouseholdID) *centerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sessions[id]; s != nil {
+		return s.conn
+	}
+	return nil
+}
+
+// clearLastOut discards the pending replay message once the household
+// has answered it.
+func (c *Center) clearLastOut(id core.HouseholdID) {
+	c.mu.Lock()
+	if s := c.sessions[id]; s != nil {
+		s.lastOut = nil
 	}
 	c.mu.Unlock()
 }
@@ -267,42 +435,67 @@ type DayRecord struct {
 	SocialCost   []float64          `json:"socialCost"`
 	Cost         float64            `json:"cost"` // κ(ω)
 	Peak         float64            `json:"peak"` // peak hourly load
+
+	// Substituted marks the reports whose consumption the center
+	// imputed (household dark past the consumption deadline); nil on
+	// fault-free days so their journal bytes are unchanged.
+	Substituted []bool `json:"substituted,omitempty"`
+	// Absent lists households that were members at dawn but never
+	// reported a preference: they sat the day out entirely (no
+	// allocation, no bill). Nil on fault-free days.
+	Absent []core.HouseholdID `json:"absent,omitempty"`
 }
 
-// RunDay orchestrates one full day cycle over the currently registered
-// agents: request → preferences → allocation → consumptions → payments.
-// It is not safe for concurrent use with itself.
+// RunDayContext orchestrates one full day cycle over the current
+// neighborhood members: request → preferences → allocation →
+// consumptions → payments. It is not safe for concurrent use with
+// itself.
+//
+// The day degrades rather than fails when households go dark: a member
+// that never reports is recorded Absent and excluded; one that reports
+// and then vanishes past the consumption deadline is settled as a
+// defector from its journaled report (consumption imputed by
+// mechanism.DarkConsumption, flexibility forfeited), keeping the
+// Theorem 1 budget identity exact. Protocol violations from live
+// agents (malformed frames, out-of-phase messages, wrong-duration
+// consumptions) still fail the day — degradation is for darkness, not
+// for misbehaviour.
 //
 // The whole day is one trace: a root day span (trace ID derived from
 // TraceSeed and the day number) with one child span per protocol phase,
 // and the phase span's context rides on every outgoing message so the
 // agents' spans join the same trace across the process boundary.
-func (c *Center) RunDay(day int) (*DayRecord, error) {
+func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error) {
 	tid := obs.DeriveTraceID(c.cfg.TraceSeed, uint64(day))
 	daySpan := obs.DefaultTracer().StartTrace(tid, obs.SpanNetDay, "day", strconv.Itoa(day))
 	defer daySpan.End()
 
-	members := c.snapshot()
+	members := c.memberIDs()
 	if len(members) == 0 {
 		return nil, errors.New("netproto: no registered agents")
 	}
 
-	prefMsgs, err := c.phase(daySpan, tid, members, KindPreference, day,
-		func(cc *centerConn, tc *obs.TraceContext) error {
-			return cc.send(&Message{Kind: KindRequest, ID: cc.id, Day: day, Trace: tc})
+	prefMsgs, absent, err := c.phase(ctx, daySpan, tid, members, KindPreference, day,
+		func(id core.HouseholdID, tc *obs.TraceContext) *Message {
+			return &Message{Kind: KindRequest, ID: id, Day: day, Trace: tc}
 		})
 	if err != nil {
 		return nil, err
 	}
-	reports := make([]core.Report, 0, len(members))
-	for _, cc := range members {
-		m := prefMsgs[cc.id]
-		if m.Pref == nil {
-			return nil, fmt.Errorf("netproto: household %d sent preference frame without pref", cc.id)
+	reports := make([]core.Report, 0, len(prefMsgs))
+	for _, id := range members {
+		m, ok := prefMsgs[id]
+		if !ok {
+			continue // dark past the deadline: absent for the day
 		}
-		reports = append(reports, core.Report{ID: cc.id, Pref: *m.Pref})
+		if m.Pref == nil {
+			return nil, fmt.Errorf("netproto: household %d sent preference frame without pref", id)
+		}
+		reports = append(reports, core.Report{ID: id, Pref: *m.Pref})
 	}
-	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("netproto: day %d: no household reported a preference (all %d dark)", day, len(members))
+	}
 
 	assignments, err := c.cfg.Scheduler.Allocate(reports)
 	if err != nil {
@@ -312,16 +505,33 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 	for _, a := range assignments {
 		byID[a.ID] = a.Interval
 	}
-	consMsgs, err := c.phase(daySpan, tid, members, KindConsumption, day,
-		func(cc *centerConn, tc *obs.TraceContext) error {
-			iv := byID[cc.id]
-			return cc.send(&Message{Kind: KindAllocation, ID: cc.id, Day: day, Interval: &iv, Trace: tc})
+	active := make([]core.HouseholdID, len(reports))
+	for i, r := range reports {
+		active[i] = r.ID
+	}
+	consMsgs, consDark, err := c.phase(ctx, daySpan, tid, active, KindConsumption, day,
+		func(id core.HouseholdID, tc *obs.TraceContext) *Message {
+			iv := byID[id]
+			return &Message{Kind: KindAllocation, ID: id, Day: day, Interval: &iv, Trace: tc}
 		})
 	if err != nil {
 		return nil, err
 	}
+	darkSet := make(map[core.HouseholdID]bool, len(consDark))
+	for _, id := range consDark {
+		darkSet[id] = true
+	}
 	consumptions := make([]core.Consumption, len(reports))
+	var substituted []bool
 	for i, r := range reports {
+		if darkSet[r.ID] {
+			if substituted == nil {
+				substituted = make([]bool, len(reports))
+			}
+			substituted[i] = true
+			consumptions[i] = core.Consumption{ID: r.ID, Interval: mechanism.DarkConsumption(r.Pref)}
+			continue
+		}
 		m := consMsgs[r.ID]
 		if m.Interval == nil {
 			return nil, fmt.Errorf("netproto: household %d sent consumption frame without interval", r.ID)
@@ -334,10 +544,13 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 	}
 
 	settleSpan := daySpan.StartChild(obs.SpanNetSettle, "day", strconv.Itoa(day))
-	record, err := c.settle(tid, day, reports, assignments, consumptions)
+	record, err := c.settle(tid, day, reports, assignments, consumptions, substituted)
 	settleSpan.End()
 	if err != nil {
 		return nil, err
+	}
+	if len(absent) > 0 {
+		record.Absent = absent
 	}
 
 	paySpan := daySpan.StartChild(obs.SpanNetPhase, obs.LabelPhase, string(KindPayment), "day", strconv.Itoa(day))
@@ -351,19 +564,53 @@ func (c *Center) RunDay(day int) (*DayRecord, error) {
 			TotalCost:   record.Cost,
 			PeakLoad:    record.Peak,
 		}
-		cc := c.lookup(r.ID)
-		if cc == nil {
-			paySpan.End()
-			return nil, fmt.Errorf("netproto: household %d disconnected before payment", r.ID)
-		}
-		if err := cc.send(&Message{Kind: KindPayment, ID: r.ID, Day: day, Payment: detail, Trace: payCtx}); err != nil {
-			paySpan.End()
-			return nil, fmt.Errorf("netproto: payment to %d: %w", r.ID, err)
-		}
+		c.deliverPayment(&Message{Kind: KindPayment, ID: r.ID, Day: day, Payment: detail, Trace: payCtx})
 	}
 	paySpan.End()
+
 	obs.Default().Counter(obs.MetricNetDaysTotal).Inc()
+	if nSub := len(consDark); nSub > 0 || len(absent) > 0 {
+		obs.Default().Counter(obs.MetricNetDegradedDaysTotal).Inc()
+		if nSub > 0 {
+			obs.Default().Counter(obs.MetricNetSubstitutionsTotal).Add(uint64(nSub))
+		}
+	}
 	return record, nil
+}
+
+// RunDay runs one day cycle without cancellation.
+//
+// Deprecated: use RunDayContext.
+func (c *Center) RunDay(day int) (*DayRecord, error) {
+	return c.RunDayContext(context.Background(), day)
+}
+
+// deliverPayment sends a settlement best-effort: a dark household's
+// payment is queued on its session and replayed when it resumes. A
+// payment can never fail the day — the ledger already holds the
+// authoritative record.
+func (c *Center) deliverPayment(m *Message) {
+	c.mu.Lock()
+	s := c.sessions[m.ID]
+	if s == nil {
+		c.mu.Unlock()
+		return
+	}
+	cc := s.conn
+	if cc == nil {
+		s.missedPay = append(s.missedPay, m)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	if err := cc.send(m); err != nil {
+		c.markDark(cc)
+		c.mu.Lock()
+		if c.sessions[m.ID] == s {
+			s.missedPay = append(s.missedPay, m)
+		}
+		c.mu.Unlock()
+	}
 }
 
 // wireTrace builds the trace context stamped on outgoing messages: the
@@ -376,7 +623,10 @@ func wireTrace(tid string, span *obs.ActiveSpan) *obs.TraceContext {
 
 // settle computes scores, payments, and aggregates for a completed day,
 // and appends the day's audit-ledger entry when a ledger is configured.
-func (c *Center) settle(tid string, day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption) (*DayRecord, error) {
+// Substituted households forfeit their flexibility reward regardless of
+// where their imputed consumption landed (they never confirmed
+// compliance), putting them on the Eq. 5 defector path.
+func (c *Center) settle(tid string, day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption, substituted []bool) (*DayRecord, error) {
 	prefs := make([]core.Preference, len(reports))
 	assigned := make([]core.Interval, len(reports))
 	consumed := make([]core.Interval, len(reports))
@@ -387,6 +637,11 @@ func (c *Center) settle(tid string, day int, reports []core.Report, assignments 
 	}
 	predicted := mechanism.FlexibilityScores(prefs)
 	flex := mechanism.ActualFlexibilities(predicted, assigned, consumed)
+	for i := range substituted {
+		if substituted[i] {
+			flex[i] = 0
+		}
+	}
 	defect := mechanism.DefectionScores(c.cfg.Pricer, c.cfg.Rating, assigned, consumed)
 	psi, err := mechanism.SocialCostScores(flex, defect, c.cfg.Mechanism.K)
 	if err != nil {
@@ -401,7 +656,7 @@ func (c *Center) settle(tid string, day int, reports []core.Report, assignments 
 	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
 	if c.cfg.Ledger != nil {
 		entry := mechanism.BuildLedgerEntry(tid, day, c.cfg.Mechanism, c.cfg.Rating,
-			reports, assigned, consumed, predicted, flex, defect, psi, payments, cost, load.Peak())
+			reports, assigned, consumed, substituted, predicted, flex, defect, psi, payments, cost, load.Peak())
 		if err := c.cfg.Ledger.AppendValue(entry); err != nil {
 			return nil, fmt.Errorf("netproto: audit ledger: %w", err)
 		}
@@ -418,94 +673,138 @@ func (c *Center) settle(tid string, day int, reports []core.Report, assignments 
 		SocialCost:   psi,
 		Cost:         cost,
 		Peak:         load.Peak(),
+		Substituted:  substituted,
 	}, nil
 }
 
-// snapshot returns the registered connections sorted by household ID.
-func (c *Center) snapshot() []*centerConn {
+// memberIDs returns every neighborhood member — live or dark — sorted
+// by household ID. Dark members stay members: they may resume mid-day,
+// and until then each day settles around them.
+func (c *Center) memberIDs() []core.HouseholdID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*centerConn, 0, len(c.conns))
-	for _, cc := range c.conns {
-		out = append(out, cc)
+	out := make([]core.HouseholdID, 0, len(c.sessions))
+	for id := range c.sessions {
+		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-func (c *Center) lookup(id core.HouseholdID) *centerConn {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conns[id]
 }
 
 // phase runs one request/response round of the day cycle under its own
 // child span: it sends one message per member — stamped with the phase
 // span's trace context so agent-side spans parent under it — then
-// collects every member's reply of the wanted kind. The span covers the
-// full round trip.
-func (c *Center) phase(daySpan *obs.ActiveSpan, tid string, members []*centerConn, want Kind, day int,
-	send func(cc *centerConn, tc *obs.TraceContext) error) (map[core.HouseholdID]*Message, error) {
+// collects replies of the wanted kind until every member has answered
+// or the phase deadline expires. It returns the replies plus the sorted
+// IDs of members that stayed dark; only protocol violations (not
+// darkness) produce an error.
+func (c *Center) phase(ctx context.Context, daySpan *obs.ActiveSpan, tid string, members []core.HouseholdID, want Kind, day int,
+	build func(id core.HouseholdID, tc *obs.TraceContext) *Message) (map[core.HouseholdID]*Message, []core.HouseholdID, error) {
 	span := daySpan.StartChild(obs.SpanNetPhase, obs.LabelPhase, string(want), "day", strconv.Itoa(day))
 	defer span.End()
 	tc := wireTrace(tid, span)
-	for _, cc := range members {
-		if err := send(cc, tc); err != nil {
-			return nil, fmt.Errorf("netproto: %s round to %d: %w", want, cc.id, err)
+	for _, id := range members {
+		m := build(id, tc)
+		c.mu.Lock()
+		s := c.sessions[id]
+		var cc *centerConn
+		if s != nil {
+			s.lastOut = m // replayed if the household resumes mid-phase
+			cc = s.conn
+		}
+		c.mu.Unlock()
+		if cc == nil {
+			continue // dark; the message waits on the session for a resume
+		}
+		if err := cc.send(m); err != nil {
+			c.markDark(cc)
 		}
 	}
-	return c.collect(members, want, day)
+	return c.collect(ctx, members, want, day)
+}
+
+// earlierReply reports whether kind is the reply of a phase that
+// precedes the want phase within the same day — a late or duplicated
+// answer to a round the center has already closed, which resume replays
+// and FaultDup can legitimately produce and the collector must ignore.
+func earlierReply(kind, want Kind) bool {
+	return want == KindConsumption && kind == KindPreference
 }
 
 // collect waits until every member has sent a message of the wanted
-// kind for the given day, or the phase times out.
-func (c *Center) collect(members []*centerConn, want Kind, day int) (map[core.HouseholdID]*Message, error) {
+// kind for the given day, or the phase deadline expires — whichever
+// comes first. Members dark at the deadline are returned in the dark
+// list rather than failing the day; a disconnect mid-phase keeps the
+// member pending until the deadline so a resuming agent can still
+// answer. Wrong-kind or future-day messages from live agents are
+// protocol violations and error the day.
+func (c *Center) collect(ctx context.Context, members []core.HouseholdID, want Kind, day int) (map[core.HouseholdID]*Message, []core.HouseholdID, error) {
 	start := time.Now()
 	defer func() {
 		obs.Default().Histogram(obs.MetricNetPhaseLatencyMS, obs.LatencyBucketsMS, obs.LabelPhase, string(want)).
 			Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	}()
+	deadlineHist := obs.Default().Histogram(obs.MetricNetPhaseDeadlineRemainingMS, obs.LatencyBucketsMS, obs.LabelPhase, string(want))
 
 	pending := make(map[core.HouseholdID]bool, len(members))
-	for _, cc := range members {
-		pending[cc.id] = true
+	for _, id := range members {
+		pending[id] = true
 	}
 	got := make(map[core.HouseholdID]*Message, len(members))
-	timer := time.NewTimer(c.cfg.ReplyTimeout)
+	timer := time.NewTimer(c.cfg.PhaseDeadline)
 	defer timer.Stop()
 
 	for len(pending) > 0 {
 		select {
 		case in := <-c.inbox:
-			if c.lookup(in.id) != in.conn {
+			if c.currentConn(in.id) != in.conn {
 				// Stale event from a connection that has been replaced
-				// (reconnect) or already dropped: ignore it.
+				// (reconnect) or already marked dark: ignore it.
 				continue
 			}
 			if in.err != nil {
-				if pending[in.id] {
-					return nil, fmt.Errorf("netproto: household %d disconnected during %s phase: %w",
-						in.id, want, in.err)
-				}
+				// The connection died; handleConn already marked the
+				// session dark. Keep the member pending — it may resume
+				// and answer before the deadline.
 				continue
 			}
-			if in.msg.Kind != want || in.msg.Day != day || !pending[in.id] {
-				return nil, fmt.Errorf("netproto: unexpected %s(day %d) from %d during %s phase",
-					in.msg.Kind, in.msg.Day, in.id, want)
+			m := in.msg
+			switch {
+			case m.Day < day:
+				continue // stale reply from a previous day's replay
+			case m.Day > day:
+				return nil, nil, fmt.Errorf("netproto: unexpected %s(day %d) from %d during %s phase",
+					m.Kind, m.Day, in.id, want)
+			case m.Kind == want:
+				if !pending[in.id] {
+					continue // duplicate delivery (FaultDup or replay overlap)
+				}
+				delete(pending, in.id)
+				got[in.id] = m
+				c.clearLastOut(in.id)
+			case earlierReply(m.Kind, want):
+				continue // late answer to an already-closed round
+			default:
+				return nil, nil, fmt.Errorf("netproto: unexpected %s(day %d) from %d during %s phase",
+					m.Kind, m.Day, in.id, want)
 			}
-			delete(pending, in.id)
-			got[in.id] = in.msg
 		case <-timer.C:
 			obs.Default().Counter(obs.MetricNetTimeoutsTotal, obs.LabelPhase, string(want)).Inc()
-			missing := make([]core.HouseholdID, 0, len(pending))
+			deadlineHist.Observe(0)
+			dark := make([]core.HouseholdID, 0, len(pending))
 			for id := range pending {
-				missing = append(missing, id)
+				dark = append(dark, id)
 			}
-			sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
-			return nil, fmt.Errorf("netproto: timeout waiting for %s from %v", want, missing)
+			sort.Slice(dark, func(i, j int) bool { return dark[i] < dark[j] })
+			return got, dark, nil
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("netproto: %s phase: %w", want, ctx.Err())
 		case <-c.closing:
-			return nil, errors.New("netproto: center closed")
+			return nil, nil, errors.New("netproto: center closed")
 		}
 	}
-	return got, nil
+	if remaining := c.cfg.PhaseDeadline - time.Since(start); remaining > 0 {
+		deadlineHist.Observe(float64(remaining.Nanoseconds()) / 1e6)
+	}
+	return got, nil, nil
 }

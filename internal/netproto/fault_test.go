@@ -1,0 +1,172 @@
+package netproto
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFaultPlanExplicit(t *testing.T) {
+	plan, err := ParseFaultPlan("drop@3,dup@7,garble@12,hold=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.ActionAt(3); got != FaultDrop {
+		t.Errorf("ActionAt(3) = %s, want drop", got)
+	}
+	if got := plan.ActionAt(7); got != FaultDup {
+		t.Errorf("ActionAt(7) = %s, want dup", got)
+	}
+	if got := plan.ActionAt(12); got != FaultGarble {
+		t.Errorf("ActionAt(12) = %s, want garble", got)
+	}
+	if got := plan.ActionAt(0); got != FaultNone {
+		t.Errorf("ActionAt(0) = %s, want none", got)
+	}
+	if plan.Hold != 50*time.Millisecond {
+		t.Errorf("hold = %v, want 50ms", plan.Hold)
+	}
+	if got := plan.String(); got != "drop@3,dup@7,garble@12" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseFaultPlanEmptyAndErrors(t *testing.T) {
+	plan, err := ParseFaultPlan("")
+	if err != nil || plan != nil {
+		t.Errorf("empty spec: plan %v err %v, want nil nil", plan, err)
+	}
+	for _, bad := range []string{
+		"explode@3", "drop@x", "drop@-1", "bogus", "wat=1",
+		"drop=1.5", "msgs=0", "seed=abc", "hold=fast",
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q should be rejected", bad)
+		}
+	}
+}
+
+func TestGenerateFaultPlanDeterministicAndOverridable(t *testing.T) {
+	a := GenerateFaultPlan(42, 200, 0.1, 0.1, 0.1, 0.1)
+	b := GenerateFaultPlan(42, 200, 0.1, 0.1, 0.1, 0.1)
+	if len(a.Actions) == 0 {
+		t.Fatal("40% combined fault rate over 200 messages generated nothing")
+	}
+	for i, act := range a.Actions {
+		if b.Actions[i] != act {
+			t.Fatalf("index %d: %s vs %s from the same seed", i, act, b.Actions[i])
+		}
+	}
+	if len(a.Actions) != len(b.Actions) {
+		t.Fatalf("plan sizes differ: %d vs %d", len(a.Actions), len(b.Actions))
+	}
+	// A different seed names a different schedule.
+	c := GenerateFaultPlan(43, 200, 0.1, 0.1, 0.1, 0.1)
+	same := len(c.Actions) == len(a.Actions)
+	if same {
+		for i, act := range a.Actions {
+			if c.Actions[i] != act {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 generated identical plans")
+	}
+	// An explicit index token overrides the generated action.
+	mixed, err := ParseFaultPlan("seed=42,msgs=50,drop=0.9,dup@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mixed.ActionAt(0); got != FaultDup {
+		t.Errorf("explicit dup@0 = %s, want dup to override the generated action", got)
+	}
+}
+
+func TestParseRetryPolicy(t *testing.T) {
+	p, err := ParseRetryPolicy("attempts=3,base=10ms,max=1s,mult=3,jitter=0.5,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Multiplier: 3, Jitter: 0.5, Seed: 9}
+	if p != want {
+		t.Errorf("parsed %+v, want %+v", p, want)
+	}
+	if p, err := ParseRetryPolicy(""); err != nil || p.Enabled() {
+		t.Errorf("empty spec: %+v %v, want disabled policy", p, err)
+	}
+	if p, err := ParseRetryPolicy("attempts=2"); err != nil || p.BaseDelay != DefaultRetryBase {
+		t.Errorf("omitted keys should take defaults: %+v %v", p, err)
+	}
+	for _, bad := range []string{"attempts=x", "base=10", "wat=1", "attempts", "attempts=-1"} {
+		if _, err := ParseRetryPolicy(bad); err == nil {
+			t.Errorf("spec %q should be rejected", bad)
+		}
+	}
+}
+
+// TestRetryBackoffDeterministicJitter is the retry-jitter extension of
+// the determinism contract: the backoff sequence is a pure function of
+// (policy seed, household ID, attempt), so replaying a fault scenario
+// replays the same delays, while distinct households draw decorrelated
+// sequences from one shared policy.
+func TestRetryBackoffDeterministicJitter(t *testing.T) {
+	p := DefaultRetryPolicy()
+	seq := func(id uint64) []time.Duration {
+		rng := p.jitterRNG(id)
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = p.Backoff(i+1, rng)
+		}
+		return out
+	}
+	first, second := seq(3), seq(3)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("attempt %d: %v vs %v from the same household stream", i+1, first[i], second[i])
+		}
+	}
+	other := seq(4)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("households 3 and 4 drew identical jitter sequences")
+	}
+	// Exponential envelope: each delay stays within jitter bounds of
+	// base·mult^(attempt−1), capped at MaxDelay.
+	for i, d := range first {
+		ideal := float64(p.BaseDelay) * pow(p.Multiplier, i)
+		if ideal > float64(p.MaxDelay) {
+			ideal = float64(p.MaxDelay)
+		}
+		lo, hi := time.Duration(ideal*(1-p.Jitter)), time.Duration(ideal*(1+p.Jitter))
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+}
+
+func pow(b float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= b
+	}
+	return out
+}
+
+func TestBackoffZeroPolicyDefaults(t *testing.T) {
+	var p RetryPolicy // zero: disabled, but Backoff must still be sane
+	if p.Enabled() {
+		t.Fatal("zero policy should be disabled")
+	}
+	if d := p.Backoff(1, nil); d != DefaultRetryBase {
+		t.Errorf("Backoff(1) = %v, want default base %v", d, DefaultRetryBase)
+	}
+	if d := p.Backoff(100, nil); d != DefaultRetryMax {
+		t.Errorf("Backoff(100) = %v, want capped at %v", d, DefaultRetryMax)
+	}
+}

@@ -3,6 +3,7 @@ package netproto
 import (
 	"bytes"
 	"testing"
+	"unicode/utf8"
 
 	"enki/internal/core"
 )
@@ -32,6 +33,9 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add("hello", int64(3), 7, "some error")
 	f.Add("payment", int64(0), 0, "")
 	f.Fuzz(func(t *testing.T, kind string, id int64, day int, errStr string) {
+		if !utf8.ValidString(kind) || !utf8.ValidString(errStr) {
+			t.Skip() // JSON normalizes invalid UTF-8 to U+FFFD, so it cannot round-trip
+		}
 		in := &Message{Kind: Kind(kind), ID: core.HouseholdID(id), Day: day, Err: errStr}
 		var buf bytes.Buffer
 		if err := WriteMessage(&buf, in); err != nil {

@@ -1,0 +1,134 @@
+package netproto
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+	"enki/internal/sched"
+)
+
+// DialFunc establishes one transport connection to the center. The
+// default dials plain TCP; supply your own (via WithDialer) for TLS or
+// test transports. Agents call it again on every reconnect attempt.
+type DialFunc func(ctx context.Context) (net.Conn, error)
+
+// agentConfig is the agent side of the option set.
+type agentConfig struct {
+	retry RetryPolicy
+	plan  *FaultPlan
+	dial  DialFunc
+}
+
+// options is the combined center/agent option state. One Option type
+// serves both constructors — an option that only concerns the other
+// side is simply inert, so a test can build one shared option list
+// (say, a fault plan plus a phase deadline) and hand it to both ends.
+type options struct {
+	center CenterConfig
+	agent  agentConfig
+}
+
+// Option configures StartCenter, StartCenterListener, Connect, and
+// NewAgent. Options meaningful to only one side are no-ops on the
+// other.
+type Option func(*options)
+
+// defaultOptions is the options-based constructors' starting point: the
+// quadratic pricer from the paper's evaluation, the default mechanism
+// parameters, and a 2 kW appliance rating. The scheduler defaults to
+// Greedy over the final pricer and rating, resolved after every option
+// has applied (see resolveCenter).
+func defaultOptions() *options {
+	return &options{
+		center: CenterConfig{
+			Pricer:    pricing.Quadratic{Sigma: pricing.DefaultSigma},
+			Mechanism: mechanism.DefaultConfig(),
+			Rating:    2,
+		},
+	}
+}
+
+// resolveCenter finalizes the center config once all options have
+// applied: a nil scheduler becomes Greedy over the configured pricer
+// and rating, so WithPricer/WithRating compose with the default
+// scheduler instead of being ignored by a prematurely built one.
+func (o *options) resolveCenter() CenterConfig {
+	cfg := o.center
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = &sched.Greedy{Pricer: cfg.Pricer, Rating: cfg.Rating}
+	}
+	return cfg
+}
+
+// WithScheduler sets the center's allocation scheduler (default:
+// sched.Greedy over the configured pricer and rating).
+func WithScheduler(s sched.Scheduler) Option {
+	return func(o *options) { o.center.Scheduler = s }
+}
+
+// WithPricer sets the hourly pricing function on the center (default:
+// the paper's quadratic pricer).
+func WithPricer(p pricing.Pricer) Option {
+	return func(o *options) { o.center.Pricer = p }
+}
+
+// WithMechanism sets the mechanism's payment-scaling parameters
+// (default: mechanism.DefaultConfig).
+func WithMechanism(m mechanism.Config) Option {
+	return func(o *options) { o.center.Mechanism = m }
+}
+
+// WithRating sets the per-household appliance power rating in kW
+// (default: 2).
+func WithRating(r float64) Option {
+	return func(o *options) { o.center.Rating = r }
+}
+
+// WithPhaseDeadline bounds each protocol phase on the center: a
+// household that has not answered when the deadline expires is settled
+// dark — excluded from the day if it never reported, imputed via the
+// Eq. 5 defector path if it reported and then vanished. Default:
+// DefaultPhaseDeadline.
+func WithPhaseDeadline(d time.Duration) Option {
+	return func(o *options) { o.center.PhaseDeadline = d }
+}
+
+// WithTraceSeed sets the seed for the center's deterministic per-day
+// trace IDs and session tokens.
+func WithTraceSeed(seed uint64) Option {
+	return func(o *options) { o.center.TraceSeed = seed }
+}
+
+// WithLedger directs the center's per-day audit-ledger entries to j.
+func WithLedger(j *Journal) Option {
+	return func(o *options) { o.center.Ledger = j }
+}
+
+// WithFaultPlan installs a deterministic fault-injection schedule on
+// outbound messages — per accepted connection on a center, across the
+// whole message stream (reconnects included) on an agent. Nil restores
+// fault-free delivery.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(o *options) {
+		o.center.FaultPlan = p
+		o.agent.plan = p
+	}
+}
+
+// WithRetryPolicy enables agent-side reconnection with the given
+// bounded-backoff policy. Agents without a policy (the default) treat
+// the first link failure as terminal, matching the pre-fault-tolerance
+// behaviour.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(o *options) { o.agent.retry = p }
+}
+
+// WithDialer replaces the agent's transport dialer (default: plain TCP
+// to the Connect address). Reconnect attempts reuse it, so a TLS agent
+// keeps TLS across resumes.
+func WithDialer(d DialFunc) Option {
+	return func(o *options) { o.agent.dial = d }
+}

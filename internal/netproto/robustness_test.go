@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 
 	"enki/internal/core"
 	"enki/internal/mechanism"
+	"enki/internal/obs"
 	"enki/internal/sched"
 )
 
@@ -352,5 +354,38 @@ func TestAgentReconnectAfterDrop(t *testing.T) {
 	}
 	if len(record.Reports) != 2 {
 		t.Fatalf("day 2 has %d reports, want 2", len(record.Reports))
+	}
+}
+
+// TestAgentRetryExhaustionIsTerminal pins the "bounded" half of bounded
+// retry: when the center is gone for good, a retrying agent makes
+// exactly MaxAttempts reconnect attempts — each drawn from its seeded
+// jitter stream — and then reports a terminal error instead of
+// spinning forever.
+func TestAgentRetryExhaustionIsTerminal(t *testing.T) {
+	c := newTestCenter(t)
+	typ := core.Type{True: core.MustPreference(18, 22, 2), ValuationFactor: 5}
+	retry := RetryPolicy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.2, Seed: 1}
+	a, err := Connect(context.Background(), c.Addr(), 0, &Truthful{Type: typ}, WithRetryPolicy(retry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := c.WaitForAgents(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Default().Counter(obs.MetricNetRetriesTotal).Value()
+	c.Close() // the center is gone for good: every reconnect must fail
+
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.Err() == nil {
+		t.Fatal("agent never reported a terminal error after retry exhaustion")
+	}
+	if got := obs.Default().Counter(obs.MetricNetRetriesTotal).Value() - before; got != uint64(retry.MaxAttempts) {
+		t.Errorf("retry counter advanced by %d, want exactly MaxAttempts=%d", got, retry.MaxAttempts)
 	}
 }

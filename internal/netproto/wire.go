@@ -54,6 +54,12 @@ type Message struct {
 	// from randomness). Nil outside a day cycle (hello/welcome).
 	Trace *obs.TraceContext `json:"trace,omitempty"`
 
+	// Token is the session-resumption credential. The center issues it
+	// on the welcome; a reconnecting agent presents it on its hello to
+	// resume the interrupted session (the center replays the phase
+	// messages the agent missed) instead of registering fresh.
+	Token string `json:"token,omitempty"`
+
 	Pref     *core.Preference `json:"pref,omitempty"`     // preference
 	Interval *core.Interval   `json:"interval,omitempty"` // allocation, consumption
 

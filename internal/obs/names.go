@@ -47,6 +47,20 @@ const (
 	MetricNetTimeoutsTotal  = "enki_netproto_timeouts_total"
 	MetricNetDaysTotal      = "enki_netproto_days_total"
 
+	// internal/netproto — fault-tolerance layer: reconnect attempts and
+	// session resumes (labeled by side), degraded-day settlement volume
+	// (households billed from journaled reports via the Eq. 5 defector
+	// path), injected chaos faults (labeled by action), and phase-message
+	// replays served to resuming agents. The deadline-remaining series is
+	// wall-clock ("_ms") and thus exempt from the determinism contract.
+	MetricNetRetriesTotal             = "enki_netproto_retries_total"
+	MetricNetResumesTotal             = "enki_netproto_resumes_total"
+	MetricNetDegradedDaysTotal        = "enki_netproto_degraded_days_total"
+	MetricNetSubstitutionsTotal       = "enki_netproto_substituted_households_total"
+	MetricNetFaultsTotal              = "enki_netproto_faults_injected_total"
+	MetricNetReplaysTotal             = "enki_netproto_replayed_messages_total"
+	MetricNetPhaseDeadlineRemainingMS = "enki_netproto_phase_deadline_remaining_ms"
+
 	// internal/obs — the tracer's own health: spans evicted from the
 	// bounded ring (a long -trace-out run outgrowing its retention).
 	MetricObsTraceDropped = "enki_obs_trace_dropped_total"
@@ -76,6 +90,15 @@ const (
 	LabelScheduler = "scheduler"
 	LabelDirection = "direction"
 	LabelPhase     = "phase"
+	LabelSide      = "side"
+	LabelAction    = "action"
+)
+
+// Side label values for netproto retry/resume series: which end of the
+// link observed the event.
+const (
+	SideCenter = "center"
+	SideAgent  = "agent"
 )
 
 // Direction label values for netproto traffic.

@@ -1,0 +1,138 @@
+package net_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"enki"
+	enkinet "enki/net"
+)
+
+// exampleTypes is a small fixed neighborhood: three households with
+// overlapping evening windows.
+var exampleTypes = []enki.Type{
+	{True: enki.MustPreference(18, 22, 2), ValuationFactor: 5},
+	{True: enki.MustPreference(17, 23, 2), ValuationFactor: 4},
+	{True: enki.MustPreference(19, 24, 3), ValuationFactor: 6},
+}
+
+// Example runs one fault-free settlement day over TCP using the
+// options-based constructors, then checks the Theorem 1 budget
+// identity on the resulting record.
+func Example() {
+	ctx := context.Background()
+	var ledger bytes.Buffer
+	center, err := enkinet.StartCenter("127.0.0.1:0",
+		enkinet.WithPhaseDeadline(5*time.Second),
+		enkinet.WithTraceSeed(7),
+		enkinet.WithLedger(enkinet.NewJournal(&ledger)),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer center.Close()
+
+	for i, typ := range exampleTypes {
+		agent, err := enkinet.Connect(ctx, center.Addr(), enki.HouseholdID(i), &enkinet.Truthful{Type: typ})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		defer agent.Close()
+	}
+	if err := center.WaitForAgentsContext(ctx, len(exampleTypes)); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	record, err := center.RunDayContext(ctx, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var revenue float64
+	for _, p := range record.Payments {
+		revenue += p
+	}
+	residual := revenue - enki.DefaultXi*record.Cost
+	fmt.Printf("households settled: %d\n", len(record.Payments))
+	fmt.Printf("budget balanced: %v\n", math.Abs(residual) < 1e-9)
+	fmt.Printf("degraded: %v\n", record.Substituted != nil || record.Absent != nil)
+	// Output:
+	// households settled: 3
+	// budget balanced: true
+	// degraded: false
+}
+
+// ExampleWithFaultPlan injects a deterministic link cut into one
+// agent's message stream. The agent's retry policy reconnects it, the
+// center replays the message it missed, and the day settles exactly as
+// a fault-free day would.
+func ExampleWithFaultPlan() {
+	ctx := context.Background()
+	var ledger bytes.Buffer
+	center, err := enkinet.StartCenter("127.0.0.1:0",
+		enkinet.WithPhaseDeadline(5*time.Second),
+		enkinet.WithTraceSeed(7),
+		enkinet.WithLedger(enkinet.NewJournal(&ledger)),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer center.Close()
+
+	// Message index 2 is this agent's consumption reply: the fault
+	// injector cuts the link instead of sending it.
+	plan, err := enkinet.ParseFaultPlan("drop@2")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	retry := enkinet.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Seed:        1,
+	}
+	for i, typ := range exampleTypes {
+		var opts []enkinet.Option
+		if i == 0 {
+			opts = []enkinet.Option{enkinet.WithFaultPlan(plan), enkinet.WithRetryPolicy(retry)}
+		}
+		agent, err := enkinet.Connect(ctx, center.Addr(), enki.HouseholdID(i), &enkinet.Truthful{Type: typ}, opts...)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		defer agent.Close()
+	}
+	if err := center.WaitForAgentsContext(ctx, len(exampleTypes)); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	record, err := center.RunDayContext(ctx, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	records, err := enkinet.ReadJournal(bytes.NewReader(ledger.Bytes()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("day completed despite fault: %v\n", len(records) == 1)
+	fmt.Printf("households settled: %d\n", len(record.Payments))
+	fmt.Printf("degraded: %v\n", record.Substituted != nil || record.Absent != nil)
+	// Output:
+	// day completed despite fault: true
+	// households settled: 3
+	// degraded: false
+}

@@ -1,0 +1,157 @@
+// Package net is the public facade over Enki's TCP settlement
+// protocol. It re-exports the center, the agent, and the
+// fault-tolerance surface of internal/netproto so that library users
+// can run a networked neighborhood — including fault-injected and
+// degraded days — without reaching into internal packages.
+//
+// A minimal session:
+//
+//	center, _ := net.StartCenter("127.0.0.1:0", net.WithPhaseDeadline(5*time.Second))
+//	agent, _ := net.Connect(ctx, center.Addr(), 0, &net.Truthful{Type: typ})
+//	center.WaitForAgentsContext(ctx, 1)
+//	record, _ := center.RunDayContext(ctx, 1)
+//
+// For fault-tolerant agents add net.WithRetryPolicy; for deterministic
+// chaos testing add net.WithFaultPlan. See example_test.go for complete
+// runnable sessions.
+package net
+
+import (
+	"context"
+	"io"
+	stdnet "net"
+
+	"enki/internal/core"
+	"enki/internal/netproto"
+)
+
+// Protocol endpoints and behaviours (see internal/netproto).
+type (
+	// Center is the neighborhood center: it registers agents and runs
+	// the daily request/preference/allocation/consumption/payment cycle.
+	Center = netproto.Center
+	// CenterConfig is the center's explicit configuration struct;
+	// options-based construction via StartCenter is preferred.
+	CenterConfig = netproto.CenterConfig
+	// Agent is a household endpoint driven by a Policy.
+	Agent = netproto.Agent
+	// Policy decides how a household reports and consumes.
+	Policy = netproto.Policy
+	// Truthful reports its true preference and consumes as assigned.
+	Truthful = netproto.Truthful
+	// Misreporter widens its reported window to appear flexible.
+	Misreporter = netproto.Misreporter
+	// Option configures StartCenter, StartCenterListener, Connect, and
+	// NewAgent.
+	Option = netproto.Option
+	// DialFunc establishes one transport connection to the center.
+	DialFunc = netproto.DialFunc
+	// RetryPolicy bounds agent reconnection: attempts, exponential
+	// backoff, and seeded jitter.
+	RetryPolicy = netproto.RetryPolicy
+	// FaultPlan schedules deterministic faults on outbound messages.
+	FaultPlan = netproto.FaultPlan
+	// FaultAction is one scheduled fault: drop, delay, dup, or garble.
+	FaultAction = netproto.FaultAction
+	// Journal persists per-day DayRecords as JSONL.
+	Journal = netproto.Journal
+	// DayRecord is a completed settlement day, including any degraded
+	// households (Substituted, Absent).
+	DayRecord = netproto.DayRecord
+	// Replay summarizes a journal for crash recovery.
+	Replay = netproto.Replay
+	// PaymentDetail is the per-household payment message body.
+	PaymentDetail = netproto.PaymentDetail
+)
+
+// Fault actions a FaultPlan can schedule.
+const (
+	FaultNone   = netproto.FaultNone
+	FaultDrop   = netproto.FaultDrop
+	FaultDelay  = netproto.FaultDelay
+	FaultDup    = netproto.FaultDup
+	FaultGarble = netproto.FaultGarble
+)
+
+// Protocol defaults.
+const (
+	// DefaultPhaseDeadline bounds each protocol phase on the center.
+	DefaultPhaseDeadline = netproto.DefaultPhaseDeadline
+	// DefaultFaultHold is the delay a FaultDelay injects when the plan
+	// sets no Hold.
+	DefaultFaultHold = netproto.DefaultFaultHold
+)
+
+// StartCenter listens on addr and serves the settlement protocol,
+// configured by options (default: quadratic pricing, greedy scheduling,
+// paper mechanism parameters).
+func StartCenter(addr string, opts ...Option) (*Center, error) {
+	return netproto.StartCenter(addr, opts...)
+}
+
+// StartCenterListener is StartCenter over a caller-supplied listener
+// (for TLS or test transports).
+func StartCenterListener(ln stdnet.Listener, opts ...Option) (*Center, error) {
+	return netproto.StartCenterListener(ln, opts...)
+}
+
+// Connect dials the center, registers household id, and returns a
+// running agent. The context governs the initial dial and handshake;
+// later reconnects are governed by the retry policy.
+func Connect(ctx context.Context, addr string, id core.HouseholdID, policy Policy, opts ...Option) (*Agent, error) {
+	return netproto.Connect(ctx, addr, id, policy, opts...)
+}
+
+// NewAgent runs an agent over a caller-supplied connection. Without
+// WithDialer such an agent cannot reconnect after a link failure.
+func NewAgent(conn stdnet.Conn, id core.HouseholdID, policy Policy, opts ...Option) (*Agent, error) {
+	return netproto.NewAgent(conn, id, policy, opts...)
+}
+
+// Configuration options, re-exported from internal/netproto.
+var (
+	WithScheduler     = netproto.WithScheduler
+	WithPricer        = netproto.WithPricer
+	WithMechanism     = netproto.WithMechanism
+	WithRating        = netproto.WithRating
+	WithPhaseDeadline = netproto.WithPhaseDeadline
+	WithTraceSeed     = netproto.WithTraceSeed
+	WithLedger        = netproto.WithLedger
+	WithFaultPlan     = netproto.WithFaultPlan
+	WithRetryPolicy   = netproto.WithRetryPolicy
+	WithDialer        = netproto.WithDialer
+)
+
+// DefaultRetryPolicy returns the stock reconnect policy: 5 attempts,
+// 50ms base delay doubling to a 2s cap, ±20% seeded jitter.
+func DefaultRetryPolicy() RetryPolicy { return netproto.DefaultRetryPolicy() }
+
+// ParseRetryPolicy parses a policy spec such as
+// "attempts=5,base=50ms,max=2s,mult=2,jitter=0.2,seed=1" (the
+// enkiagent -retry flag format). An empty spec disables reconnection.
+func ParseRetryPolicy(spec string) (RetryPolicy, error) {
+	return netproto.ParseRetryPolicy(spec)
+}
+
+// ParseFaultPlan parses a fault-plan spec such as "drop@3,dup@7" or
+// "seed=42,msgs=100,drop=0.05" (the -fault-plan flag format). An empty
+// spec returns a nil, fault-free plan.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	return netproto.ParseFaultPlan(spec)
+}
+
+// GenerateFaultPlan draws a deterministic fault schedule over msgs
+// message indices with the given per-action probabilities.
+func GenerateFaultPlan(seed uint64, msgs int, drop, delay, dup, garble float64) *FaultPlan {
+	return netproto.GenerateFaultPlan(seed, msgs, drop, delay, dup, garble)
+}
+
+// NewJournal returns a journal writing day records to w.
+func NewJournal(w io.Writer) *Journal { return netproto.NewJournal(w) }
+
+// ReadJournal decodes the day records persisted by a Journal,
+// tolerating a truncated trailing line from a crash.
+func ReadJournal(r io.Reader) ([]DayRecord, error) { return netproto.ReadJournal(r) }
+
+// ReplayJournal summarizes persisted records for crash recovery.
+func ReplayJournal(records []DayRecord) Replay { return netproto.ReplayJournal(records) }
