@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all bench-check chaos metric-lint vet fmt
+.PHONY: all build test race bench bench-all bench-check chaos differential metric-lint vet fmt
 
 all: build test
 
@@ -34,11 +34,16 @@ bench-all:
 # running this is advisory (continue-on-error), but a local run before
 # touching the greedy allocator or the engine is the cheap way to catch
 # a real slowdown.
+# The alloc gate allows a few allocations of slack: the solver and
+# sweep benchmarks allocate data-dependently (map growth, pool
+# warm-up), drifting by single digits run to run, while the greedy
+# steady-state contract (1 alloc/op, down from 43) still has no room
+# to regress meaningfully.
 bench-check:
 	$(GO) test -run '^$$' -bench '^Benchmark(GreedyAllocate|OptimalAllocate|Sweep)' \
 		-benchmem . > /tmp/bench-check.txt
 	$(GO) run ./tools/benchjson -o /tmp/bench-check.json /tmp/bench-check.txt
-	$(GO) run ./tools/benchdiff -baseline BENCH_sched.json -current /tmp/bench-check.json
+	$(GO) run ./tools/benchdiff -baseline BENCH_sched.json -current /tmp/bench-check.json -alloc-slack 8
 
 # The fault-tolerance acceptance suite: chaos tests (deterministic
 # fault injection, session resumption, degraded-day settlement, retry
@@ -50,6 +55,18 @@ chaos:
 	$(GO) test ./cmd/enkitrace -count=1 -run Degraded
 	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s
 	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s
+
+# The allocation-engine acceptance suite: the rewritten greedy and
+# branch-and-bound engines against the retained seed implementations
+# over the seeded instance corpus, the solver property tests (bound
+# validity, incumbent monotonicity, worker bit-identity) under the race
+# detector, and short fuzz passes over the fuzz-derived greedy corpus.
+differential:
+	$(GO) test ./internal/sched -count=1 -run 'Differential'
+	$(GO) test ./internal/solver -count=1 -race \
+		-run 'Differential|WorkersBitIdentical|NeverWorseThanIncumbent|LowerBoundBelowOptimum|SymCorrect'
+	$(GO) test ./internal/sched -run '^$$' -fuzz 'FuzzGreedyAllocate$$' -fuzztime 10s
+	$(GO) test ./internal/sched -run '^$$' -fuzz FuzzGreedyAllocateRNG -fuzztime 10s
 
 # Metric names must come from the constants in internal/obs/names.go;
 # a string-literal registration anywhere else bypasses the inventory

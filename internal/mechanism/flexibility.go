@@ -26,12 +26,19 @@ const DefaultXi = 1.2
 // households report truthfully; the greedy scheduler orders by them and
 // the payment rule uses them for non-defecting households.
 func FlexibilityScores(prefs []core.Preference) []float64 {
+	return FlexibilityScoresInto(make([]float64, len(prefs)), prefs)
+}
+
+// FlexibilityScoresInto computes Eq. 4 into dst, which must have
+// len(prefs) entries, and returns it. It performs no allocations: the
+// greedy scheduler's zero-alloc hot path calls it with a scratch
+// buffer. The arithmetic is identical to FlexibilityScores.
+func FlexibilityScoresInto(dst []float64, prefs []core.Preference) []float64 {
 	n := core.Occupancy(prefs)
-	out := make([]float64, len(prefs))
 	for i, p := range prefs {
-		out[i] = flexibilityOf(p, n)
+		dst[i] = flexibilityOf(p, n)
 	}
-	return out
+	return dst
 }
 
 // FlexibilityScore computes Eq. 4 for one preference against a

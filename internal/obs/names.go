@@ -17,12 +17,22 @@ const (
 	MetricSchedDefermentSlots     = "enki_sched_deferment_slots_total"
 	MetricSchedDeferredHouseholds = "enki_sched_deferred_households_total"
 
-	// internal/solver — branch-and-bound search effort (Eq. 2).
+	// internal/solver — branch-and-bound search effort (Eq. 2). The
+	// pruned counter is labeled by bound (LabelBound) so the cascade's
+	// per-bound hit rates are visible; frontier tasks counts the
+	// deterministic root-decomposition subtrees handed to the worker
+	// pool, and candidates fixed counts root reduced-cost candidate
+	// eliminations. The node-rate gauge is an instantaneous wall-clock
+	// reading (nodes/s of the last solve) and, like every gauge, exempt
+	// from the determinism contract.
 	MetricSolverSolvesTotal      = "enki_solver_solves_total"
 	MetricSolverNodesExpanded    = "enki_solver_nodes_expanded_total"
 	MetricSolverNodesPruned      = "enki_solver_nodes_pruned_total"
 	MetricSolverIncumbentUpdates = "enki_solver_incumbent_updates_total"
 	MetricSolverLimitedTotal     = "enki_solver_limited_total"
+	MetricSolverFrontierTasks    = "enki_solver_frontier_tasks_total"
+	MetricSolverCandidatesFixed  = "enki_solver_candidates_fixed_total"
+	MetricSolverNodeRate         = "enki_solver_node_rate"
 
 	// internal/mechanism — per-day settlement quantities (Eqs. 4-8).
 	MetricMechSettlementsTotal = "enki_mechanism_settlements_total"
@@ -92,6 +102,17 @@ const (
 	LabelPhase     = "phase"
 	LabelSide      = "side"
 	LabelAction    = "action"
+	LabelBound     = "bound"
+)
+
+// Bound label values for the solver's pruned-nodes series: which bound
+// of the cascade cut the subtree.
+const (
+	BoundSuperadditive = "superadditive"
+	BoundWaterfill     = "waterfill"
+	BoundRelaxation    = "relaxation"
+	BoundChild         = "child"
+	BoundMemo          = "memo"
 )
 
 // Side label values for netproto retry/resume series: which end of the

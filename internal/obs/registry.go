@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is a concurrent-safe collection of named metrics. Metrics
@@ -19,6 +20,7 @@ import (
 // string-literal registrations outside internal/obs.
 type Registry struct {
 	mu         sync.RWMutex
+	gen        atomic.Uint64
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -127,16 +129,26 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 	return h
 }
 
-// Reset drops every registered metric. Handles obtained before Reset
-// keep working but are detached from the registry; instrumented code
-// re-looks metrics up per operation, so tests can Reset between runs.
+// Reset drops every registered metric and advances the registry
+// generation. Handles obtained before Reset keep working but are
+// detached from the registry; instrumented code either re-looks metrics
+// up per operation or caches handles keyed by Generation (the hot-path
+// pattern internal/sched uses), so tests can Reset between runs.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.gen.Add(1)
 	r.counters = make(map[string]*Counter)
 	r.gauges = make(map[string]*Gauge)
 	r.histograms = make(map[string]*Histogram)
 }
+
+// Generation returns a counter that advances on every Reset. Hot paths
+// that cache metric handles compare the generation they cached under
+// against the current one and re-register when it moved, keeping cached
+// handles coherent with test-time Resets without a per-operation map
+// lookup (and its key-building allocations).
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
 // HistogramSnapshot is the exported state of one histogram series.
 type HistogramSnapshot struct {

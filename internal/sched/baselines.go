@@ -125,10 +125,12 @@ func (s *GreedyOrdered) Allocate(reports []core.Report) ([]core.Assignment, erro
 	}
 
 	inner := Greedy{Pricer: s.Pricer, Rating: s.Rating}
+	quad, isQuad := s.Pricer.(pricing.Quadratic)
+	var deque [core.HoursPerDay]int
 	intervals := make([]core.Interval, len(reports))
 	var load core.Load
 	for _, pos := range order {
-		iv := inner.bestPlacement(reports[pos].Pref, &load)
+		iv := inner.bestPlacement(reports[pos].Pref, &load, quad, isQuad, &deque)
 		intervals[pos] = iv
 		load.AddInterval(iv, s.Rating)
 	}

@@ -1,0 +1,102 @@
+package sched
+
+// This file preserves the SEED implementation of Greedy.Allocate as the
+// differential-test oracle. It is a verbatim copy (modulo renames) of
+// the allocator as it stood before the zero-allocation rewrite; the
+// differential suite replays both implementations over a seeded corpus
+// and requires bit-identical schedules. Do not "optimize" this file —
+// its whole value is that it cannot drift along with the fast path.
+
+import (
+	"sort"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+)
+
+// refGreedy is the seed Greedy allocator: flexibility-ordered, ties
+// broken by RNG jitter, each household placed at the deferment that
+// minimizes (resulting peak, marginal cost, start hour).
+type refGreedy struct {
+	Pricer pricing.Pricer
+	Rating float64
+	RNG    *dist.RNG
+}
+
+// Allocate is the seed implementation of Greedy.Allocate, byte-for-byte
+// in its arithmetic: per-slot peak rescans and interface-dispatched
+// marginal costs.
+func (g *refGreedy) Allocate(reports []core.Report) ([]core.Assignment, error) {
+	if err := validateReports(reports); err != nil {
+		return nil, err
+	}
+
+	prefs := make([]core.Preference, len(reports))
+	for i, r := range reports {
+		prefs[i] = r.Pref
+	}
+	flex := mechanism.FlexibilityScores(prefs)
+
+	type ranked struct {
+		pos    int
+		flex   float64
+		jitter float64
+	}
+	order := make([]ranked, len(reports))
+	for i := range reports {
+		j := float64(i) // deterministic fallback: report order
+		if g.RNG != nil {
+			j = g.RNG.Float64()
+		}
+		order[i] = ranked{pos: i, flex: flex[i], jitter: j}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].flex != order[b].flex {
+			return order[a].flex < order[b].flex
+		}
+		return order[a].jitter < order[b].jitter
+	})
+
+	intervals := make([]core.Interval, len(reports))
+	var load core.Load
+	for _, o := range order {
+		pref := prefs[o.pos]
+		best := g.bestPlacement(pref, &load)
+		intervals[o.pos] = best
+		load.AddInterval(best, g.Rating)
+	}
+
+	assignments := assignmentsOf(reports, intervals)
+	if err := CheckAssignments(reports, assignments); err != nil {
+		return nil, err
+	}
+	return assignments, nil
+}
+
+// bestPlacement is the seed placement rule: full per-slot rescan of the
+// peak for every candidate deferment.
+func (g *refGreedy) bestPlacement(pref core.Preference, load *core.Load) core.Interval {
+	best := pref.IntervalAt(0)
+	bestPeak, bestCost := g.placementKey(best, load)
+	for d := 1; d <= pref.Slack(); d++ {
+		iv := pref.IntervalAt(d)
+		peak, cost := g.placementKey(iv, load)
+		if peak < bestPeak || (peak == bestPeak && cost < bestCost-1e-12) {
+			best, bestPeak, bestCost = iv, peak, cost
+		}
+	}
+	return best
+}
+
+// placementKey is the seed scoring: peak over iv's slots after
+// placement, and the marginal cost of the placement.
+func (g *refGreedy) placementKey(iv core.Interval, load *core.Load) (peak, cost float64) {
+	for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+		if lv := load[h] + g.Rating; lv > peak {
+			peak = lv
+		}
+	}
+	return peak, pricing.MarginalCost(g.Pricer, load, iv, g.Rating)
+}

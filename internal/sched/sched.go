@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"enki/internal/core"
-	"enki/internal/obs"
 )
 
 // Scheduler allocates consumption intervals to reported preferences.
@@ -93,21 +92,22 @@ func DefermentsOf(reports []core.Report, assignments []core.Assignment) []Deferm
 // start, and how many households were deferred at all). The deferment
 // counters are pure functions of the allocation, so they obey the
 // engine's bit-identical-at-any-worker-count contract; only the
-// latency histogram is timing.
+// latency histogram is timing. The handles come from the generation-
+// keyed cache and the deferments are folded inline (not materialized
+// via DefermentsOf), so the call is allocation-free on the hot path.
 func observeAllocation(scheduler string, reports []core.Report, assignments []core.Assignment, elapsed time.Duration) {
-	reg := obs.Default()
-	reg.Counter(obs.MetricSchedAllocateTotal, obs.LabelScheduler, scheduler).Inc()
-	reg.Histogram(obs.MetricSchedAllocateLatencyMS, obs.LatencyBucketsMS, obs.LabelScheduler, scheduler).
-		Observe(float64(elapsed.Nanoseconds()) / 1e6)
+	m := metricsFor(scheduler)
+	m.total.Inc()
+	m.latency.Observe(float64(elapsed.Nanoseconds()) / 1e6)
 	var slots, deferred uint64
-	for _, d := range DefermentsOf(reports, assignments) {
-		if d.Slots > 0 {
-			slots += uint64(d.Slots)
+	for i, r := range reports {
+		if d := int(assignments[i].Interval.Begin - r.Pref.Window.Begin); d > 0 {
+			slots += uint64(d)
 			deferred++
 		}
 	}
-	reg.Counter(obs.MetricSchedDefermentSlots, obs.LabelScheduler, scheduler).Add(slots)
-	reg.Counter(obs.MetricSchedDeferredHouseholds, obs.LabelScheduler, scheduler).Add(deferred)
+	m.slots.Add(slots)
+	m.deferred.Add(deferred)
 }
 
 // LoadOfAssignments aggregates assignments into an hourly load profile.

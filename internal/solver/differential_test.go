@@ -1,0 +1,204 @@
+package solver
+
+// The solver half of ISSUE 6's differential harness: the rewritten
+// branch-and-bound (bound cascade, candidate fixing, dive + frontier
+// parallelism) is replayed against the retained seed solver
+// (reference_test.go) over a seeded corpus, and its parallel search is
+// required to be bit-identical at every worker count.
+
+import (
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/pricing"
+)
+
+// corpusItems draws one random solver instance: n households with
+// random windows, durations, and ratings, spanning rigid to fully
+// flexible preferences. Duplicated items (every fourth instance)
+// exercise the symmetry-breaking path.
+func corpusItems(rng *dist.RNG, n int) []Item {
+	items := make([]Item, 0, n+2)
+	for i := 0; i < n; i++ {
+		begin := rng.Intn(core.HoursPerDay)
+		width := 1 + rng.Intn(core.HoursPerDay-begin)
+		dur := 1 + rng.Intn(width)
+		pref := core.Preference{Window: core.Interval{Begin: begin, End: begin + width}, Duration: dur}
+		rating := 1 + float64(rng.Intn(3))
+		items = append(items, ItemFromPreference(pref, rating))
+	}
+	return items
+}
+
+// TestDifferentialSolver replays the fast solver and the seed solver
+// over ~1k seeded random instances with RelGap 0 and requires matching
+// objective values (within float tolerance), proven optimality, and a
+// feasible, correctly costed choice vector — under both quadratic and
+// piecewise pricing.
+func TestDifferentialSolver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow; skipped in -short mode")
+	}
+	piecewise, err := pricing.NewPiecewise([]pricing.Step{{Threshold: 0, Rate: 0.5}, {Threshold: 8, Rate: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricers := []struct {
+		name string
+		p    pricing.Pricer
+	}{
+		{"quadratic", sigma},
+		{"piecewise", piecewise},
+	}
+	const instances = 500 // ×2 pricers = 1k differential replays
+	for _, pr := range pricers {
+		t.Run(pr.name, func(t *testing.T) {
+			for k := 0; k < instances; k++ {
+				seed := uint64(k + 1)
+				rng := dist.New(seed)
+				n := 1 + rng.Intn(9)
+				items := corpusItems(rng, n)
+				if k%4 == 3 { // duplicate an item: symmetry path
+					items = append(items, items[0])
+				}
+
+				got, err := BranchAndBound(pr.p, items, Options{})
+				if err != nil {
+					t.Fatalf("instance %d: fast: %v", k, err)
+				}
+				want, err := refBranchAndBound(pr.p, items, Options{})
+				if err != nil {
+					t.Fatalf("instance %d: seed: %v", k, err)
+				}
+				if math.Abs(got.Cost-want.Cost) > 1e-9 {
+					t.Fatalf("instance %d (n=%d): fast optimum %.12g != seed optimum %.12g",
+						k, len(items), got.Cost, want.Cost)
+				}
+				if !got.Optimal || !want.Optimal {
+					t.Fatalf("instance %d: unlimited solves must prove optimality (fast=%v seed=%v)",
+						k, got.Optimal, want.Optimal)
+				}
+				if len(got.Choice) != len(items) {
+					t.Fatalf("instance %d: choice has %d entries, want %d", k, len(got.Choice), len(items))
+				}
+				for i, c := range got.Choice {
+					if c < 0 || c >= len(items[i].Candidates) {
+						t.Fatalf("instance %d: item %d choice %d out of range [0,%d)",
+							k, i, c, len(items[i].Candidates))
+					}
+				}
+				if recomputed := costOf(pr.p, items, got.Choice); math.Abs(recomputed-got.Cost) > 1e-9 {
+					t.Fatalf("instance %d: reported cost %g != recomputed %g", k, got.Cost, recomputed)
+				}
+				if got.LowerBound > got.Cost+1e-9 {
+					t.Fatalf("instance %d: lower bound %g exceeds cost %g", k, got.LowerBound, got.Cost)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSolverRejectsSameInputs checks the two solvers agree
+// on invalid instances.
+func TestDifferentialSolverRejectsSameInputs(t *testing.T) {
+	cases := map[string][]Item{
+		"empty":               nil,
+		"no candidates":       {{Rating: 2}},
+		"non-positive rating": {{Candidates: []core.Interval{{Begin: 1, End: 3}}, Rating: 0}},
+	}
+	for name, items := range cases {
+		if _, err := BranchAndBound(sigma, items, Options{}); err == nil {
+			t.Errorf("%s: fast solver accepted invalid input", name)
+		}
+		if _, err := refBranchAndBound(sigma, items, Options{}); err == nil {
+			t.Errorf("%s: seed solver accepted invalid input", name)
+		}
+	}
+}
+
+// TestSolverWorkersBitIdentical is the determinism contract of
+// Options.Workers: the full Result — choice vector, cost bits, node
+// count, optimality, lower bound — must be identical at every worker
+// count, because subtrees never share incumbents and each subtree
+// search is a pure function of the instance.
+func TestSolverWorkersBitIdentical(t *testing.T) {
+	for _, n := range []int{12, 18, 24} {
+		items := randomItems(t, uint64(n), n)
+		base, err := BranchAndBound(sigma, items, Options{RelGap: 1e-4, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := BranchAndBound(sigma, items, Options{RelGap: 1e-4, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cost != base.Cost { // bit identity, not tolerance
+				t.Errorf("n=%d workers=%d: cost %.17g != serial %.17g", n, workers, got.Cost, base.Cost)
+			}
+			if got.LowerBound != base.LowerBound {
+				t.Errorf("n=%d workers=%d: lower bound %.17g != serial %.17g", n, workers, got.LowerBound, base.LowerBound)
+			}
+			if got.Nodes != base.Nodes {
+				t.Errorf("n=%d workers=%d: nodes %d != serial %d", n, workers, got.Nodes, base.Nodes)
+			}
+			if got.Optimal != base.Optimal {
+				t.Errorf("n=%d workers=%d: optimal %v != serial %v", n, workers, got.Optimal, base.Optimal)
+			}
+			for i := range base.Choice {
+				if got.Choice[i] != base.Choice[i] {
+					t.Errorf("n=%d workers=%d: choice[%d] = %d != serial %d", n, workers, i, got.Choice[i], base.Choice[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSolverNeverWorseThanIncumbent: the branch-and-bound warm-starts
+// from a greedy-plus-local-search incumbent, so its result can never
+// cost more — even under a node budget that stops the search at once.
+func TestSolverNeverWorseThanIncumbent(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		items := randomItems(t, seed, 15)
+		ordered := make([]bbItem, len(items))
+		for i, it := range items {
+			ordered[i] = bbItem{Item: it, pos: i, energy: float64(it.Candidates[0].Len()) * it.Rating}
+		}
+		orderItems(ordered)
+		warm := seedIncumbent(sigma, ordered, make([]int, len(ordered)))
+
+		for _, opts := range []Options{{}, {NodeLimit: 1}, {NodeLimit: 100}} {
+			res, err := BranchAndBound(sigma, items, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost > warm+1e-9 {
+				t.Errorf("seed %d opts %+v: solver cost %g worse than incumbent %g", seed, opts, res.Cost, warm)
+			}
+		}
+	}
+}
+
+// TestSolverLowerBoundBelowOptimum: on instances small enough to
+// enumerate, the starved search's root lower bound must never exceed
+// the true optimum (the bound-cascade validity property).
+func TestSolverLowerBoundBelowOptimum(t *testing.T) {
+	for k := 0; k < 50; k++ {
+		rng := dist.New(uint64(k + 1000))
+		items := corpusItems(rng, 1+rng.Intn(6))
+		ex, err := Exhaustive(sigma, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starved, err := BranchAndBound(sigma, items, Options{NodeLimit: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if starved.LowerBound > ex.Cost+1e-9 {
+			t.Errorf("instance %d: root bound %g exceeds optimum %g", k, starved.LowerBound, ex.Cost)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package solver
+
+// This file preserves the SEED branch-and-bound as the differential-
+// test oracle: a verbatim copy (modulo renames and stripped obs
+// instrumentation) of BranchAndBound as it stood before the pruned
+// parallel rewrite. The differential suite requires the fast solver to
+// reproduce this oracle's objective values exactly. Do not "optimize"
+// this file — its whole value is that it cannot drift along with the
+// fast path.
+
+import (
+	"sort"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/pricing"
+)
+
+// refState carries the search state of one refBranchAndBound run.
+type refState struct {
+	pricer           pricing.Pricer
+	items            []bbItem
+	choice           []int
+	best             []int
+	load             core.Load
+	curCost          float64
+	incumbent        float64
+	nodes            int64
+	pruned           uint64
+	incumbentUpdates uint64
+	limited          bool
+	opts             Options
+	deadline         time.Time
+	energySuffix     []float64
+	slotUnion        [][core.HoursPerDay]bool
+	slots            [][]int
+	sameAsPrev       []bool
+	fracX            [][]float64
+	levelScratch     []float64
+}
+
+// refBranchAndBound is the seed solver: depth-first branch-and-bound
+// with the superadditivity and union water-filling bounds, symmetry
+// breaking over adjacent identical items, and a greedy-plus-local-search
+// incumbent.
+func refBranchAndBound(p pricing.Pricer, items []Item, opts Options) (Result, error) {
+	if err := validate(items); err != nil {
+		return Result{}, err
+	}
+
+	ordered := make([]bbItem, len(items))
+	for i, it := range items {
+		ordered[i] = bbItem{Item: it, pos: i, energy: float64(it.Candidates[0].Len()) * it.Rating}
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := &ordered[i], &ordered[j]
+		if len(a.Candidates) != len(b.Candidates) {
+			return len(a.Candidates) < len(b.Candidates)
+		}
+		if a.energy != b.energy {
+			return a.energy > b.energy
+		}
+		if a.Candidates[0].Begin != b.Candidates[0].Begin {
+			return a.Candidates[0].Begin < b.Candidates[0].Begin
+		}
+		return a.Rating < b.Rating
+	})
+
+	n := len(ordered)
+	st := &refState{
+		pricer:       p,
+		items:        ordered,
+		choice:       make([]int, n),
+		best:         make([]int, n),
+		opts:         opts,
+		energySuffix: make([]float64, n+1),
+		slotUnion:    make([][core.HoursPerDay]bool, n+1),
+	}
+	st.slots = make([][]int, n)
+	st.fracX = make([][]float64, n)
+	st.sameAsPrev = make([]bool, n)
+	for i := 1; i < n; i++ {
+		a, b := &ordered[i-1], &ordered[i]
+		st.sameAsPrev[i] = a.Rating == b.Rating &&
+			len(a.Candidates) == len(b.Candidates) &&
+			a.Candidates[0] == b.Candidates[0]
+	}
+	for i := n - 1; i >= 0; i-- {
+		st.energySuffix[i] = st.energySuffix[i+1] + ordered[i].energy
+		st.slotUnion[i] = st.slotUnion[i+1]
+		var seen [core.HoursPerDay]bool
+		for _, iv := range ordered[i].Candidates {
+			for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+				st.slotUnion[i][h] = true
+				seen[h] = true
+			}
+		}
+		for h := 0; h < core.HoursPerDay; h++ {
+			if seen[h] {
+				st.slots[i] = append(st.slots[i], h)
+			}
+		}
+		st.fracX[i] = make([]float64, len(st.slots[i]))
+	}
+	st.incumbent = refSeedIncumbent(p, ordered, st.best)
+	if opts.TimeLimit > 0 {
+		st.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	rootLB := st.relaxBound(0, 50)
+
+	st.dfs(0)
+
+	res := Result{
+		Choice:     make([]int, n),
+		Cost:       st.incumbent,
+		Optimal:    !st.limited,
+		Nodes:      st.nodes,
+		LowerBound: rootLB,
+	}
+	if res.Optimal {
+		res.LowerBound = res.Cost
+	}
+	for i, it := range ordered {
+		res.Choice[it.pos] = st.best[i]
+	}
+	return res, nil
+}
+
+func (st *refState) acceptable(lb float64) bool {
+	return lb >= st.incumbent*(1-st.opts.RelGap)
+}
+
+func (st *refState) dfs(i int) {
+	if st.limited {
+		return
+	}
+	st.nodes++
+	if st.opts.NodeLimit > 0 && st.nodes > st.opts.NodeLimit {
+		st.limited = true
+		return
+	}
+	if !st.deadline.IsZero() && st.nodes%256 == 0 && time.Now().After(st.deadline) {
+		st.limited = true
+		return
+	}
+	n := len(st.items)
+	if i == n {
+		if cost := pricing.Cost(st.pricer, st.load); cost < st.incumbent {
+			st.incumbent = cost
+			st.incumbentUpdates++
+			copy(st.best, st.choice)
+		}
+		return
+	}
+
+	if st.acceptable(st.waterfillBound(i)) {
+		st.pruned++
+		return
+	}
+
+	bound := st.curCost
+	for j := i; j < n; j++ {
+		bound += st.minMarginal(j)
+		if st.acceptable(bound) {
+			st.pruned++
+			return
+		}
+	}
+
+	it := &st.items[i]
+	type cand struct {
+		idx      int
+		marginal float64
+	}
+	cands := make([]cand, len(it.Candidates))
+	for c, iv := range it.Candidates {
+		cands[c] = cand{idx: c, marginal: pricing.MarginalCost(st.pricer, &st.load, iv, it.Rating)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].marginal < cands[b].marginal })
+
+	minIdx := 0
+	if st.sameAsPrev[i] {
+		minIdx = st.choice[i-1]
+	}
+	for _, c := range cands {
+		if st.acceptable(st.curCost + c.marginal) {
+			st.pruned++
+			break
+		}
+		if c.idx < minIdx {
+			continue
+		}
+		iv := it.Candidates[c.idx]
+		st.load.AddInterval(iv, it.Rating)
+		st.curCost += c.marginal
+		st.choice[i] = c.idx
+		st.dfs(i + 1)
+		st.curCost -= c.marginal
+		st.load.RemoveInterval(iv, it.Rating)
+		if st.limited {
+			return
+		}
+	}
+}
+
+func (st *refState) minMarginal(i int) float64 {
+	it := &st.items[i]
+	best := pricing.MarginalCost(st.pricer, &st.load, it.Candidates[0], it.Rating)
+	for _, iv := range it.Candidates[1:] {
+		if m := pricing.MarginalCost(st.pricer, &st.load, iv, it.Rating); m < best {
+			best = m
+		}
+	}
+	return best
+}
+
+func (st *refState) waterfillBound(i int) float64 {
+	union := &st.slotUnion[i]
+	energy := st.energySuffix[i]
+
+	var fixed float64
+	levels := make([]float64, 0, core.HoursPerDay)
+	for h := 0; h < core.HoursPerDay; h++ {
+		if union[h] {
+			levels = append(levels, st.load[h])
+		} else {
+			fixed += st.pricer.HourCost(st.load[h])
+		}
+	}
+	if len(levels) == 0 {
+		return st.curCost
+	}
+	sort.Float64s(levels)
+
+	remaining := energy
+	lambda := levels[0]
+	for k := 0; k < len(levels); k++ {
+		width := float64(k + 1)
+		var gap float64
+		if k+1 < len(levels) {
+			gap = levels[k+1] - lambda
+		} else {
+			gap = remaining/width + 1
+		}
+		if remaining <= gap*width {
+			lambda += remaining / width
+			remaining = 0
+			break
+		}
+		remaining -= gap * width
+		lambda = levels[k+1]
+	}
+
+	var cost float64
+	for _, lv := range levels {
+		if lv < lambda {
+			lv = lambda
+		}
+		cost += st.pricer.HourCost(lv)
+	}
+	return fixed + cost
+}
+
+func (st *refState) relaxBound(i int, sweeps int) float64 {
+	n := len(st.items)
+	if i >= n {
+		return st.curCost
+	}
+	load := st.load
+	for j := i; j < n; j++ {
+		ss := st.slots[j]
+		per := st.items[j].energy / float64(len(ss))
+		for k, h := range ss {
+			st.fracX[j][k] = per
+			load[h] += per
+		}
+	}
+	for s := 0; s < sweeps; s++ {
+		for j := i; j < n; j++ {
+			ss := st.slots[j]
+			x := st.fracX[j]
+			for k, h := range ss {
+				load[h] -= x[k]
+			}
+			st.levelScratch = st.levelScratch[:0]
+			for _, h := range ss {
+				st.levelScratch = append(st.levelScratch, load[h])
+			}
+			sort.Float64s(st.levelScratch)
+			lambda := waterLevel(st.levelScratch, st.items[j].energy)
+			for k, h := range ss {
+				add := lambda - load[h]
+				if add < 0 {
+					add = 0
+				}
+				x[k] = add
+				load[h] += add
+			}
+		}
+	}
+
+	var f float64
+	var g [core.HoursPerDay]float64
+	for h := 0; h < core.HoursPerDay; h++ {
+		f += st.pricer.HourCost(load[h])
+		g[h] = st.pricer.MarginalRate(load[h])
+	}
+	bound := f
+	for j := i; j < n; j++ {
+		ss := st.slots[j]
+		minG := g[ss[0]]
+		var dot float64
+		for k, h := range ss {
+			if g[h] < minG {
+				minG = g[h]
+			}
+			dot += g[h] * st.fracX[j][k]
+		}
+		bound += st.items[j].energy*minG - dot
+	}
+	return bound
+}
+
+// refSeedIncumbent is the seed incumbent heuristic: marginal-cost
+// greedy improved to a single-move local optimum.
+func refSeedIncumbent(p pricing.Pricer, ordered []bbItem, best []int) float64 {
+	var load core.Load
+	for i := range ordered {
+		it := &ordered[i]
+		bestC, bestM := 0, pricing.MarginalCost(p, &load, it.Candidates[0], it.Rating)
+		for c := 1; c < len(it.Candidates); c++ {
+			if m := pricing.MarginalCost(p, &load, it.Candidates[c], it.Rating); m < bestM {
+				bestC, bestM = c, m
+			}
+		}
+		load.AddInterval(it.Candidates[bestC], it.Rating)
+		best[i] = bestC
+	}
+
+	improved := true
+	for improved {
+		improved = false
+		for i := range ordered {
+			it := &ordered[i]
+			cur := best[i]
+			load.RemoveInterval(it.Candidates[cur], it.Rating)
+			bestC, bestM := cur, pricing.MarginalCost(p, &load, it.Candidates[cur], it.Rating)
+			for c := range it.Candidates {
+				if c == cur {
+					continue
+				}
+				if m := pricing.MarginalCost(p, &load, it.Candidates[c], it.Rating); m < bestM-1e-12 {
+					bestC, bestM = c, m
+				}
+			}
+			load.AddInterval(it.Candidates[bestC], it.Rating)
+			if bestC != cur {
+				best[i] = bestC
+				improved = true
+			}
+		}
+	}
+	return pricing.Cost(p, load)
+}

@@ -1,0 +1,1230 @@
+package solver
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/obs"
+	"enki/internal/parallel"
+	"enki/internal/pricing"
+)
+
+// Search tuning. The frontier size is a function of the instance only —
+// never of Options.Workers — so the subtree decomposition, and with it
+// every node count and prune decision, is identical at every worker
+// count.
+const (
+	// frontierTarget is the number of root subtrees the serial expansion
+	// aims for before handing them to the pool: enough to keep any sane
+	// worker count busy, few enough that the expansion itself is cheap.
+	frontierTarget = 96
+	// relaxSweepsRoot/relaxSweepsNode are the block-coordinate-descent
+	// sweep counts for the convex relaxation at the root (where the
+	// bound's quality sets up reduced-cost fixing) and at interior nodes
+	// (where the iterate is warm-started from the parent's, so a single
+	// sweep recovers most of the bound at a fraction of the cost).
+	relaxSweepsRoot = 50
+	relaxSweepsNode = 1
+	// relaxMinRemaining gates the interior relaxation bound: with fewer
+	// unplaced items the cheap bounds already prune well and the
+	// relaxation's setup cost outweighs its extra strength.
+	relaxMinRemaining = 2
+	// limitCheckStride is how many nodes a worker explores between
+	// wall-clock deadline checks, mirroring the seed's nodes%256 cadence.
+	limitCheckStride = 256
+	// diveBudget is the node allowance of the serial dive phase that
+	// tightens the shared incumbent before the frontier fans out. Every
+	// subtree prunes against the dive's best, so a near-optimal warm
+	// start here shrinks the whole parallel search; the dive is serial
+	// and budgeted by its own node count, so it is deterministic and its
+	// result independent of Options.Workers.
+	diveBudget = 20000
+	// memoCap bounds one searcher's transposition table. Past the cap
+	// lookups continue but inserts stop: revisited states re-explore,
+	// which costs time but never correctness, so memory stays bounded on
+	// adversarial instances.
+	memoCap = 1 << 21
+)
+
+// cappedWaterLevel returns the level λ such that raising every entry of
+// levels (ascending) below λ toward λ — but by at most cap each —
+// absorbs exactly energy. It is the water level of the rating-capped
+// relaxation: a household can put at most its rating into one hour.
+// F(λ) = Σ_h min(max(λ−l_h,0), limit) is piecewise linear with slope
+// breakpoints at each l_h (+1) and l_h+limit (−1); both sequences are
+// already sorted, so one merge sweep finds the segment containing
+// energy.
+func cappedWaterLevel(levels []float64, limit, energy float64) float64 {
+	m := len(levels)
+	lambda := levels[0]
+	filled := 0.0
+	slope := 0.0
+	i, j := 0, 0
+	for i < m || j < m {
+		var ev float64
+		up := j >= m || (i < m && levels[i] <= levels[j]+limit)
+		if up {
+			ev = levels[i]
+		} else {
+			ev = levels[j] + limit
+		}
+		if slope > 0 {
+			if next := filled + slope*(ev-lambda); next >= energy {
+				return lambda + (energy-filled)/slope
+			} else {
+				filled = next
+			}
+		}
+		lambda = ev
+		if up {
+			slope++
+			i++
+		} else {
+			slope--
+			j++
+		}
+	}
+	// energy ≥ total capacity m·limit (equality up to rounding): every
+	// slot saturates.
+	return lambda
+}
+
+// costModel devirtualizes the pricer on the search hot path: the
+// paper's Quadratic pricer (Eq. 1) — the common case — runs inline
+// per-slot arithmetic identical to what the pricing helpers compute
+// (same expressions in the same order, so the floats match bit for
+// bit); any other Pricer falls back to interface dispatch.
+type costModel struct {
+	p     pricing.Pricer
+	sigma float64
+	quad  bool
+}
+
+func newCostModel(p pricing.Pricer) costModel {
+	if q, ok := p.(pricing.Quadratic); ok {
+		return costModel{p: p, sigma: q.Sigma, quad: true}
+	}
+	return costModel{p: p}
+}
+
+func (m *costModel) hourCost(l float64) float64 {
+	if m.quad {
+		return m.sigma * l * l
+	}
+	return m.p.HourCost(l)
+}
+
+func (m *costModel) marginalRate(l float64) float64 {
+	if m.quad {
+		return 2 * m.sigma * l
+	}
+	return m.p.MarginalRate(l)
+}
+
+// cost is pricing.Cost without the dispatch: Σ_h P_h(l_h), summed in
+// hour order.
+func (m *costModel) cost(load *core.Load) float64 {
+	if m.quad {
+		var sum float64
+		for _, v := range load {
+			sum += m.sigma * v * v
+		}
+		return sum
+	}
+	return pricing.Cost(m.p, *load)
+}
+
+// marginal is pricing.MarginalCost without the dispatch: the cost of
+// adding iv at the given rating on top of load, accumulated slot by
+// slot in slot order.
+func (m *costModel) marginal(load *core.Load, iv core.Interval, rating float64) float64 {
+	if m.quad {
+		var delta float64
+		for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+			l := load[h]
+			lr := l + rating
+			delta += m.sigma*lr*lr - m.sigma*l*l
+		}
+		return delta
+	}
+	return pricing.MarginalCost(m.p, load, iv, rating)
+}
+
+// searchStats are one searcher's deterministic effort counters. Every
+// subtree accumulates its own and the driver sums them in frontier
+// order, so the totals are identical at every worker count.
+type searchStats struct {
+	nodes            int64
+	prunedSuper      uint64
+	prunedWater      uint64
+	prunedRelax      uint64
+	prunedChild      uint64
+	prunedMemo       uint64
+	incumbentUpdates uint64
+}
+
+func (s *searchStats) add(o *searchStats) {
+	s.nodes += o.nodes
+	s.prunedSuper += o.prunedSuper
+	s.prunedWater += o.prunedWater
+	s.prunedRelax += o.prunedRelax
+	s.prunedChild += o.prunedChild
+	s.prunedMemo += o.prunedMemo
+	s.incumbentUpdates += o.incumbentUpdates
+}
+
+func (s *searchStats) pruned() uint64 {
+	return s.prunedSuper + s.prunedWater + s.prunedRelax + s.prunedChild + s.prunedMemo
+}
+
+// searchCtx is the read-only shared state of one BranchAndBound run.
+// After prepare() nothing in it mutates except the two atomics, so
+// workers share it freely.
+type searchCtx struct {
+	model     costModel
+	items     []bbItem
+	n         int
+	opts      Options
+	incumbent float64 // warm-start cost every subtree prunes against
+	gapMul    float64 // 1 − RelGap
+	deadline  time.Time
+	maxCands  int
+	// latticeStep is the cost lattice of feasible schedules: with the
+	// quadratic pricer and integral ratings sharing gcd g, every hourly
+	// load is a multiple of g, so every feasible cost σ·Σl² is a multiple
+	// of σ·g². Any lower bound may then be rounded up to the next lattice
+	// point — a free tightening of up to σg² at every prune test,
+	// decisive deep in the tree where bounds sit a fraction of a step
+	// below the incumbent. 0 disables rounding.
+	latticeStep float64
+	// gridUnit is g itself (0 when the lattice is disabled): loads live
+	// on g·ℤ, which upgrades the union water-filling bound from a
+	// continuous pour to an exact discrete one.
+	gridUnit float64
+	// memoOK enables the per-subtree transposition table: it requires
+	// the lattice (integral ratings make loads exact, so the packed key
+	// is collision-free) and per-slot loads that fit a byte.
+	memoOK bool
+
+	sameAsPrev   []bool
+	energySuffix []float64
+	slotUnion    []uint32 // bitmask of hours items i.. may occupy
+	slots        [][]int  // sorted occupiable hours per item
+
+	nodeCount atomic.Int64 // NodeLimit enforcement only; totals come from stats
+	limited   atomic.Bool
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// roundBound rounds a valid lower bound up to the feasible-cost
+// lattice. The epsilon guard absorbs float drift in the bound so a
+// value representing a lattice point never rounds past it.
+func (sc *searchCtx) roundBound(b float64) float64 {
+	if sc.latticeStep == 0 {
+		return b
+	}
+	return sc.latticeStep * math.Ceil(b/sc.latticeStep-1e-6)
+}
+
+// prepare derives the per-level search tables from the (possibly
+// candidate-filtered) item list.
+func (sc *searchCtx) prepare() {
+	n := sc.n
+	sc.sameAsPrev = make([]bool, n)
+	for i := 1; i < n; i++ {
+		a, b := &sc.items[i-1], &sc.items[i]
+		// Full-list equality (not just length and first candidate): after
+		// reduced-cost fixing the lists are no longer contiguous deferment
+		// runs, so only identical lists license the symmetry cut.
+		sc.sameAsPrev[i] = a.Rating == b.Rating && slices.Equal(a.Candidates, b.Candidates)
+	}
+	sc.energySuffix = make([]float64, n+1)
+	sc.slotUnion = make([]uint32, n+1)
+	sc.slots = make([][]int, n)
+	sc.maxCands = 0
+	for i := n - 1; i >= 0; i-- {
+		it := &sc.items[i]
+		if len(it.Candidates) > sc.maxCands {
+			sc.maxCands = len(it.Candidates)
+		}
+		sc.energySuffix[i] = sc.energySuffix[i+1] + it.energy
+		var mask uint32
+		for _, iv := range it.Candidates {
+			for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+				mask |= 1 << uint(h)
+			}
+		}
+		for h := 0; h < core.HoursPerDay; h++ {
+			if mask&(1<<uint(h)) != 0 {
+				sc.slots[i] = append(sc.slots[i], h)
+			}
+		}
+		sc.slotUnion[i] = sc.slotUnion[i+1] | mask
+	}
+}
+
+// searcher is the per-subtree search state: a DFS stack plus reusable
+// scratch for the bound computations. Searchers never communicate; each
+// subtree's outcome depends only on the instance and the shared warm
+// start.
+type searcher struct {
+	sc         *searchCtx
+	load       core.Load
+	curCost    float64
+	choice     []int
+	best       []int
+	bestCost   float64
+	found      bool
+	st         searchStats
+	sinceCheck int
+	nodeBudget int64 // dive phase only: local node allowance, 0 = none
+	exhausted  bool  // dive ran out of budget before finishing
+
+	cands        []candEntry // n slabs of maxCands entries
+	levels       []float64
+	fracX        [][]float64
+	levelScratch []float64
+	candG        []float64 // n slabs: per-candidate gradient mass by level
+	minC         []float64 // per level: min over that level's candG slab
+	units        []int     // discrete water-filling scratch (lattice mode)
+	memo         map[memoKey]struct{}
+}
+
+// memoKey is the exact state identity of a search node: the 24-hour
+// load profile in grid units (three words of packed bytes) plus the
+// depth. Two nodes with equal keys fix the same item set to loads that
+// are bit-identical (integral ratings sum exactly), so their completion
+// subtrees are interchangeable.
+type memoKey [4]uint64
+
+// loadKey packs the current load and depth. No hashing — distinct
+// states never collide, so a memo hit is a proof, not a heuristic.
+func (w *searcher) loadKey(depth int) (k memoKey) {
+	inv := 1 / w.sc.gridUnit
+	for h := 0; h < core.HoursPerDay; h++ {
+		u := uint64(w.load[h]*inv + 0.5)
+		k[h>>3] |= u << uint((h&7)*8)
+	}
+	k[3] = uint64(depth)
+	return
+}
+
+type candEntry struct {
+	idx  int32
+	marg float64
+}
+
+func newSearcher(sc *searchCtx) *searcher {
+	w := &searcher{sc: sc}
+	n := sc.n
+	w.choice = make([]int, n)
+	w.best = make([]int, n)
+	w.cands = make([]candEntry, n*sc.maxCands)
+	w.levels = make([]float64, 0, core.HoursPerDay)
+	w.levelScratch = make([]float64, 0, core.HoursPerDay)
+	w.units = make([]int, 0, core.HoursPerDay)
+	w.candG = make([]float64, n*sc.maxCands)
+	w.minC = make([]float64, n)
+	w.fracX = make([][]float64, n)
+	for j := range sc.slots {
+		w.fracX[j] = make([]float64, len(sc.slots[j]))
+	}
+	if sc.memoOK {
+		w.memo = make(map[memoKey]struct{}, 1<<12)
+	}
+	return w
+}
+
+// initFrac resets the fractional relaxation iterate to the uniform
+// spread for every item from level i on. reset calls it so a pooled
+// searcher's starting iterate never depends on which subtrees it ran
+// before — the property that keeps bound values, and therefore node
+// counts, identical at every worker count.
+func (w *searcher) initFrac(i int) {
+	sc := w.sc
+	for j := i; j < sc.n; j++ {
+		ss := sc.slots[j]
+		per := sc.items[j].energy / float64(len(ss))
+		x := w.fracX[j]
+		for k := range ss {
+			x[k] = per
+		}
+	}
+}
+
+// reset prepares the searcher for one subtree rooted at nd.
+func (w *searcher) reset(nd *frontierNode) {
+	w.load = nd.load
+	w.curCost = nd.curCost
+	copy(w.choice, nd.choice)
+	w.bestCost = w.sc.incumbent
+	w.found = false
+	w.st = searchStats{}
+	w.sinceCheck = 0
+	w.nodeBudget = 0
+	w.exhausted = false
+	w.initFrac(nd.depth)
+	// The memo is valid only within one subtree: across subtrees the
+	// acceptance threshold resets to the shared warm start, so an entry
+	// explored under a tighter incumbent would wrongly prune a looser
+	// revisit — and a stale table would also break the Workers:1≡N
+	// bit-identity, since pooled searchers see different task histories.
+	if w.memo != nil {
+		clear(w.memo)
+	}
+}
+
+// checkLimits counts one node against the limits and reports whether
+// the search must stop. NodeLimit is enforced exactly (one atomic per
+// node — precision over speed when the caller asked for a cap); the
+// wall-clock deadline is polled every limitCheckStride nodes.
+func (w *searcher) checkLimits() bool {
+	sc := w.sc
+	if sc.opts.NodeLimit > 0 && sc.nodeCount.Add(1) > sc.opts.NodeLimit {
+		sc.limited.Store(true)
+		return true
+	}
+	if sc.limited.Load() {
+		return true
+	}
+	w.sinceCheck++
+	if w.sinceCheck >= limitCheckStride {
+		w.sinceCheck = 0
+		if !sc.deadline.IsZero() && time.Now().After(sc.deadline) {
+			sc.limited.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// record registers a completed assignment against the subtree-local
+// incumbent.
+func (w *searcher) record(choice []int, cost float64) {
+	if cost < w.bestCost {
+		w.bestCost = cost
+		w.found = true
+		w.st.incumbentUpdates++
+		copy(w.best, choice)
+	}
+}
+
+// dfs explores the subtree below the current partial assignment of
+// items [0, i).
+func (w *searcher) dfs(i int) {
+	sc := w.sc
+	w.st.nodes++
+	if w.nodeBudget > 0 && w.st.nodes > w.nodeBudget {
+		w.exhausted = true
+		return
+	}
+	if w.checkLimits() {
+		return
+	}
+	if i == sc.n {
+		w.record(w.choice, sc.model.cost(&w.load))
+		return
+	}
+	// Transposition: a state (depth, load) already explored in this
+	// subtree had the same completion set under a threshold at least as
+	// loose as the current one (the subtree incumbent only tightens), and
+	// leaf costs are exact functions of the load alone — so a revisit can
+	// contribute nothing and the whole subtree is cut. Entries are marked
+	// on entry; that stays sound because a bound-pruned first visit
+	// proved no improving completion, and a budget- or limit-truncated
+	// one unwinds the searcher immediately, so no later lookup trusts it.
+	if sc.memoOK {
+		mk := w.loadKey(i)
+		if _, seen := w.memo[mk]; seen {
+			w.st.prunedMemo++
+			return
+		}
+		if len(w.memo) < memoCap {
+			w.memo[mk] = struct{}{}
+		}
+	}
+
+	acc := w.bestCost * sc.gapMul
+
+	// Bound cascade, cheapest first. Superadditivity: completing the
+	// schedule costs at least each remaining item's best-case marginal
+	// on the current load (convexity makes marginals superadditive).
+	bound := w.curCost
+	for j := i; j < sc.n; j++ {
+		bound += w.minMarginal(j)
+		if sc.roundBound(bound) >= acc {
+			w.st.prunedSuper++
+			return
+		}
+	}
+	// Union water-filling: spread the remaining energy optimally over
+	// the remaining items' joint feasible hours, ignoring windows.
+	if sc.roundBound(w.waterfillBound(i)) >= acc {
+		w.st.prunedWater++
+		return
+	}
+	// Window-respecting convex relaxation, linearized into a certified
+	// bound — strongest and priciest. Its gradient doubles as a
+	// per-child reduced-cost test below.
+	haveFW := sc.n-i >= relaxMinRemaining
+	var fw float64
+	if haveFW {
+		if fw = w.relaxBound(i, relaxSweepsNode, nil); sc.roundBound(fw) >= acc {
+			w.st.prunedRelax++
+			return
+		}
+	}
+	cg := w.candG[i*sc.maxCands:]
+	fwBase := fw - w.minC[i]
+
+	it := &sc.items[i]
+	cands := w.cands[i*sc.maxCands : i*sc.maxCands+len(it.Candidates)]
+	for c, iv := range it.Candidates {
+		cands[c] = candEntry{idx: int32(c), marg: sc.model.marginal(&w.load, iv, it.Rating)}
+	}
+	// Insertion sort: candidate lists are at most 24 long and often
+	// nearly sorted; no allocation, deterministic order.
+	for a := 1; a < len(cands); a++ {
+		e := cands[a]
+		b := a - 1
+		for b >= 0 && cands[b].marg > e.marg {
+			cands[b+1] = cands[b]
+			b--
+		}
+		cands[b+1] = e
+	}
+
+	minIdx := 0
+	if sc.sameAsPrev[i] {
+		minIdx = w.choice[i-1]
+	}
+	for _, c := range cands {
+		if sc.roundBound(w.curCost+c.marg) >= acc {
+			// Candidates are sorted by marginal: every later child is at
+			// least as expensive, so the whole remainder is cut (rounding
+			// is monotone, so the sorted break stays valid).
+			w.st.prunedChild++
+			break
+		}
+		if int(c.idx) < minIdx {
+			continue
+		}
+		// Reduced cost: forcing this candidate tightens the node's
+		// Frank–Wolfe bound from minC to its own gradient mass.
+		if haveFW && sc.roundBound(fwBase+cg[c.idx]) >= acc {
+			w.st.prunedChild++
+			continue
+		}
+		iv := it.Candidates[c.idx]
+		w.load.AddInterval(iv, it.Rating)
+		w.curCost += c.marg
+		w.choice[i] = int(c.idx)
+		w.dfs(i + 1)
+		w.curCost -= c.marg
+		w.load.RemoveInterval(iv, it.Rating)
+		if w.exhausted || sc.limited.Load() {
+			return
+		}
+		// The recursion may have improved the subtree incumbent.
+		acc = w.bestCost * sc.gapMul
+	}
+}
+
+// minMarginal is the cheapest placement of item j on the current load.
+func (w *searcher) minMarginal(j int) float64 {
+	it := &w.sc.items[j]
+	m := &w.sc.model
+	best := m.marginal(&w.load, it.Candidates[0], it.Rating)
+	for _, iv := range it.Candidates[1:] {
+		if v := m.marginal(&w.load, iv, it.Rating); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// waterfillBound lower-bounds any completion from level i: the
+// remaining energy is spread over the remaining items' joint feasible
+// hours as if windows did not bind — the convex-cost-minimal
+// water-filling profile — and hours outside the union pay their
+// already-fixed cost.
+func (w *searcher) waterfillBound(i int) float64 {
+	sc := w.sc
+	union := sc.slotUnion[i]
+	if union == 0 {
+		return w.curCost
+	}
+	m := &sc.model
+	var fixed float64
+	levels := w.levels[:0]
+	for h := 0; h < core.HoursPerDay; h++ {
+		if union&(1<<uint(h)) != 0 {
+			levels = append(levels, w.load[h])
+		} else {
+			fixed += m.hourCost(w.load[h])
+		}
+	}
+	slices.Sort(levels)
+	if sc.gridUnit > 0 {
+		// Loads live on g·ℤ, so the exact discrete pour is both valid
+		// and strictly tighter than the continuous one plus rounding.
+		return fixed + w.discreteFill(levels, sc.gridUnit, sc.energySuffix[i])
+	}
+	lambda := waterLevel(levels, sc.energySuffix[i])
+	var cost float64
+	for _, lv := range levels {
+		if lv < lambda {
+			lv = lambda
+		}
+		cost += m.hourCost(lv)
+	}
+	return fixed + cost
+}
+
+// discreteFill pours energy (a multiple of g) onto the ascending levels
+// (all multiples of g) in units of g, lowest level first — the exact
+// minimum of the separable discrete convex cost, computed by leveling
+// bands between breakpoints instead of unit-by-unit. It lower-bounds
+// any integral completion because every placement raises whole slots by
+// whole ratings, all multiples of g.
+func (w *searcher) discreteFill(levels []float64, g, energy float64) float64 {
+	m := &w.sc.model
+	q := int(math.Round(energy / g))
+	H := len(levels)
+	us := w.units[:0]
+	for _, lv := range levels {
+		us = append(us, int(math.Round(lv/g)))
+	}
+	w.units = us
+
+	T := us[0] // common level of the bottom band
+	k := 0     // slots [0..k] are in the band
+	need := 0  // units consumed so far
+	for {
+		for k+1 < H && us[k+1] <= T {
+			k++
+		}
+		width := k + 1
+		gapTo := q - need + 1 // sentinel: no breakpoint left
+		if k+1 < H {
+			gapTo = (us[k+1] - T) * width
+		}
+		if need+gapTo > q {
+			rem := q - need
+			lift := rem / width
+			r := rem - lift*width
+			T += lift
+			// width−r slots settle at T, r slots take one extra unit;
+			// slots above the band keep their level.
+			cost := float64(width-r)*m.hourCost(float64(T)*g) + float64(r)*m.hourCost(float64(T+1)*g)
+			for j := k + 1; j < H; j++ {
+				cost += m.hourCost(float64(us[j]) * g)
+			}
+			return cost
+		}
+		need += gapTo
+		T = us[k+1]
+	}
+}
+
+// relaxBound lower-bounds any completion from level i via the
+// window-respecting convex relaxation: each remaining item's energy may
+// spread fractionally over its own feasible hours. Block-coordinate
+// descent (water-filling one item at a time) approaches the relaxed
+// optimum from above, so the iterate itself is not a bound; the
+// Frank–Wolfe linearization f(x) + min_y ⟨∇f(x), y−x⟩ is valid at any
+// iterate when y ranges over a set containing every integral schedule,
+// and the inner minimum splits per item into its cheapest-gradient
+// CANDIDATE (tighter than the cheapest single hour, since an integral
+// item must cover a whole candidate interval). The iterate warm-starts
+// from w.fracX — maintained across the subtree's DFS, reset per subtree
+// by initFrac — so one sweep recovers most of the bound.
+//
+// Side outputs: level i's candG slab holds the gradient mass
+// r_i·Σ_{h∈c} grad_h per candidate c and minC[i] its minimum (dfs
+// prunes children with them: forcing candidate c tightens the bound by
+// candG[c]−minC[i]); when g is non-nil the load gradient is stored
+// there (the root uses it for reduced-cost candidate fixing).
+func (w *searcher) relaxBound(i, sweeps int, g *[core.HoursPerDay]float64) float64 {
+	sc := w.sc
+	n := sc.n
+	if i >= n {
+		return w.curCost
+	}
+	m := &sc.model
+	load := w.load
+	for j := i; j < n; j++ {
+		ss := sc.slots[j]
+		x := w.fracX[j]
+		for k, h := range ss {
+			load[h] += x[k]
+		}
+	}
+	for s := 0; s < sweeps; s++ {
+		for j := i; j < n; j++ {
+			ss := sc.slots[j]
+			x := w.fracX[j]
+			for k, h := range ss {
+				load[h] -= x[k]
+			}
+			scratch := w.levelScratch[:0]
+			for _, h := range ss {
+				scratch = append(scratch, load[h])
+			}
+			// Insertion sort: ≤24 entries, nearly sorted on later sweeps.
+			for a := 1; a < len(scratch); a++ {
+				e := scratch[a]
+				b := a - 1
+				for b >= 0 && scratch[b] > e {
+					scratch[b+1] = scratch[b]
+					b--
+				}
+				scratch[b+1] = e
+			}
+			w.levelScratch = scratch
+			// Rating-capped fill: an integral item puts at most its
+			// rating into one hour, and capping the fractional iterate
+			// the same way keeps it near the integral geometry, which
+			// sharpens both f(x) and the gradient the bound uses.
+			it := &sc.items[j]
+			lambda := cappedWaterLevel(scratch, it.Rating, it.energy)
+			for k, h := range ss {
+				add := lambda - load[h]
+				if add < 0 {
+					add = 0
+				} else if add > it.Rating {
+					add = it.Rating
+				}
+				x[k] = add
+				load[h] += add
+			}
+		}
+	}
+
+	var f float64
+	var grad [core.HoursPerDay]float64
+	for h := 0; h < core.HoursPerDay; h++ {
+		f += m.hourCost(load[h])
+		grad[h] = m.marginalRate(load[h])
+	}
+	bound := f
+	for j := i; j < n; j++ {
+		it := &sc.items[j]
+		var minC float64
+		if j == i {
+			// Export the branching level's per-candidate masses.
+			cg := w.candG[i*sc.maxCands:]
+			for c, iv := range it.Candidates {
+				var sum float64
+				for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+					sum += grad[h]
+				}
+				sum *= it.Rating
+				cg[c] = sum
+				if c == 0 || sum < minC {
+					minC = sum
+				}
+			}
+			w.minC[i] = minC
+		} else {
+			for c, iv := range it.Candidates {
+				var sum float64
+				for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+					sum += grad[h]
+				}
+				if sum*it.Rating < minC || c == 0 {
+					minC = sum * it.Rating
+				}
+			}
+		}
+		ss := sc.slots[j]
+		var dot float64
+		for k, h := range ss {
+			dot += grad[h] * w.fracX[j][k]
+		}
+		bound += minC - dot
+	}
+	if g != nil {
+		*g = grad
+	}
+	return bound
+}
+
+// frontierNode is one subtree root produced by the serial frontier
+// expansion: items [0, depth) are fixed to choice, yielding load and
+// incremental cost curCost.
+type frontierNode struct {
+	depth   int
+	curCost float64
+	load    core.Load
+	choice  []int
+}
+
+// expand pops the node and pushes its surviving children, mirroring one
+// dfs level: same bound cascade, same candidate order, same symmetry
+// cut, same prune accounting — so the frontier is exactly the set of
+// subtrees a serial search would have entered.
+func (w *searcher) expand(nd *frontierNode, queue *[]frontierNode) {
+	sc := w.sc
+	w.load = nd.load
+	w.curCost = nd.curCost
+	i := nd.depth
+
+	w.st.nodes++
+	if w.checkLimits() {
+		return
+	}
+	acc := w.bestCost * sc.gapMul
+	bound := w.curCost
+	for j := i; j < sc.n; j++ {
+		bound += w.minMarginal(j)
+		if sc.roundBound(bound) >= acc {
+			w.st.prunedSuper++
+			return
+		}
+	}
+	if sc.roundBound(w.waterfillBound(i)) >= acc {
+		w.st.prunedWater++
+		return
+	}
+	haveFW := sc.n-i >= relaxMinRemaining
+	var fw float64
+	if haveFW {
+		if fw = w.relaxBound(i, relaxSweepsNode, nil); sc.roundBound(fw) >= acc {
+			w.st.prunedRelax++
+			return
+		}
+	}
+	cg := w.candG[i*sc.maxCands:]
+	fwBase := fw - w.minC[i]
+
+	it := &sc.items[i]
+	cands := w.cands[:len(it.Candidates)]
+	for c, iv := range it.Candidates {
+		cands[c] = candEntry{idx: int32(c), marg: sc.model.marginal(&w.load, iv, it.Rating)}
+	}
+	for a := 1; a < len(cands); a++ {
+		e := cands[a]
+		b := a - 1
+		for b >= 0 && cands[b].marg > e.marg {
+			cands[b+1] = cands[b]
+			b--
+		}
+		cands[b+1] = e
+	}
+	minIdx := 0
+	if sc.sameAsPrev[i] && i > 0 {
+		minIdx = nd.choice[i-1]
+	}
+	for _, c := range cands {
+		if sc.roundBound(w.curCost+c.marg) >= acc {
+			w.st.prunedChild++
+			break
+		}
+		if int(c.idx) < minIdx {
+			continue
+		}
+		if haveFW && sc.roundBound(fwBase+cg[c.idx]) >= acc {
+			w.st.prunedChild++
+			continue
+		}
+		child := frontierNode{
+			depth:   i + 1,
+			curCost: w.curCost + c.marg,
+			load:    w.load,
+			choice:  make([]int, i+1, sc.n),
+		}
+		copy(child.choice, nd.choice)
+		child.choice[i] = int(c.idx)
+		child.load.AddInterval(it.Candidates[c.idx], it.Rating)
+		*queue = append(*queue, child)
+	}
+}
+
+// orderItems sorts the instance into search order: most constrained
+// (fewest candidates) first, then biggest energy, then earliest window,
+// then rating — the seed's ordering, which both concentrates branching
+// near the root and lands identical items adjacently for the symmetry
+// cut.
+func orderItems(ordered []bbItem) {
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := &ordered[i], &ordered[j]
+		if len(a.Candidates) != len(b.Candidates) {
+			return len(a.Candidates) < len(b.Candidates)
+		}
+		if a.energy != b.energy {
+			return a.energy > b.energy
+		}
+		if a.Candidates[0].Begin != b.Candidates[0].Begin {
+			return a.Candidates[0].Begin < b.Candidates[0].Begin
+		}
+		return a.Rating < b.Rating
+	})
+}
+
+// fixCandidates performs root reduced-cost fixing: with rootLB the
+// Frank–Wolfe bound at the root iterate and grad its load gradient,
+// forcing item j onto candidate c tightens the bound from j's
+// cheapest-candidate gradient mass to c's own —
+// rootLB − min_c' r_j·Σ_{h∈c'} grad_h + r_j·Σ_{h∈c} grad_h; candidates
+// whose tightened bound already reaches the acceptance threshold can
+// never appear in an improving solution and are dropped. Filtered lists
+// are fresh slices (caller-provided Candidates are never mutated), with
+// bbItem.orig mapping filtered indices back to the caller's. Identical
+// items lose identical candidates, so the symmetry cut survives fixing.
+// Returns the number of candidates dropped, and ok=false when some item
+// lost every candidate — proof that no solution beats the incumbent
+// within the gap, so the caller can return the incumbent as optimal.
+func fixCandidates(sc *searchCtx, rootLB float64, grad *[core.HoursPerDay]float64) (fixed int, ok bool) {
+	threshold := sc.incumbent * sc.gapMul
+	masses := make([]float64, 0, sc.maxCands)
+	for j := range sc.items {
+		it := &sc.items[j]
+		masses = masses[:0]
+		var minC float64
+		for c, iv := range it.Candidates {
+			var sum float64
+			for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+				sum += grad[h]
+			}
+			sum *= it.Rating
+			masses = append(masses, sum)
+			if c == 0 || sum < minC {
+				minC = sum
+			}
+		}
+		base := rootLB - minC
+		keep := make([]core.Interval, 0, len(it.Candidates))
+		orig := make([]int, 0, len(it.Candidates))
+		for c, iv := range it.Candidates {
+			if sc.roundBound(base+masses[c]) >= threshold {
+				fixed++
+				continue
+			}
+			keep = append(keep, iv)
+			// Compose with any earlier fixing pass so orig always maps
+			// back to the caller's candidate indices.
+			orig = append(orig, it.orig[c])
+		}
+		if len(keep) == 0 {
+			return fixed, false
+		}
+		it.Candidates = keep
+		it.orig = orig
+	}
+	return fixed, true
+}
+
+// BranchAndBound solves Eq. 2 exactly (within Options.RelGap) by
+// depth-first branch-and-bound warm-started from a greedy incumbent.
+// See the package comment for the bound cascade, reduced-cost fixing,
+// symmetry breaking, and the deterministic frontier parallelism; the
+// differential suite holds this solver to the retained seed
+// implementation's objectives over a seeded corpus.
+func BranchAndBound(p pricing.Pricer, items []Item, opts Options) (Result, error) {
+	if err := validate(items); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	ordered := make([]bbItem, len(items))
+	for i, it := range items {
+		ordered[i] = bbItem{Item: it, pos: i, energy: float64(it.Candidates[0].Len()) * it.Rating}
+	}
+	orderItems(ordered)
+	n := len(ordered)
+
+	// Warm start on the full candidate lists; incBest holds original
+	// candidate indices per ordered position.
+	incBest := make([]int, n)
+	incumbent := seedIncumbent(p, ordered, incBest)
+
+	sc := &searchCtx{
+		model:     newCostModel(p),
+		items:     ordered,
+		n:         n,
+		opts:      opts,
+		incumbent: incumbent,
+		gapMul:    1 - opts.RelGap,
+	}
+	if opts.TimeLimit > 0 {
+		sc.deadline = start.Add(opts.TimeLimit)
+	}
+	if sc.model.quad && sc.model.sigma > 0 {
+		// With integral ratings sharing gcd g, every hourly load is a
+		// multiple of g, so every feasible cost σ·Σl² is a multiple of
+		// σ·g² — the wider the gcd, the coarser (stronger) the lattice.
+		g := 0
+		for i := range ordered {
+			r := ordered[i].Rating
+			if r != math.Trunc(r) || r > 1<<20 {
+				g = 0
+				break
+			}
+			g = gcd(g, int(r))
+		}
+		if g > 0 {
+			sc.latticeStep = sc.model.sigma * float64(g) * float64(g)
+			sc.gridUnit = float64(g)
+			// A slot's load never exceeds the sum of ratings, so when that
+			// fits a byte of grid units the packed memo key is exact.
+			var totalRating float64
+			for i := range ordered {
+				totalRating += ordered[i].Rating
+			}
+			sc.memoOK = totalRating/sc.gridUnit <= 255
+		}
+	}
+	for i := range sc.items {
+		it := &sc.items[i]
+		it.orig = make([]int, len(it.Candidates))
+		for c := range it.orig {
+			it.orig[c] = c
+		}
+	}
+	sc.prepare()
+
+	res := Result{Choice: make([]int, n), Cost: incumbent, LowerBound: 0}
+	for i := range ordered {
+		res.Choice[ordered[i].pos] = incBest[i]
+	}
+
+	exp := newSearcher(sc)
+	exp.initFrac(0)
+	var rootGrad [core.HoursPerDay]float64
+	rootLB := exp.relaxBound(0, relaxSweepsRoot, &rootGrad)
+	// The optimum lives on the feasible-cost lattice, so the reported
+	// bound may be rounded up to it. (The raw rootLB stays the base of
+	// the reduced-cost fixing arithmetic, whose per-candidate bounds are
+	// rounded individually.)
+	res.LowerBound = sc.roundBound(rootLB)
+
+	finish := func(total searchStats, frontierTasks, fixed int, limited bool) Result {
+		res.Nodes = total.nodes
+		res.Optimal = !limited
+		if res.Optimal {
+			res.LowerBound = res.Cost
+		}
+		observeSolve(&total, frontierTasks, fixed, limited, time.Since(start))
+		return res
+	}
+
+	// Round the relaxation into an integral schedule; on near-integral
+	// relaxations this lands on (or beside) the optimum and tightens the
+	// incumbent before any node is explored.
+	roundBest := make([]int, n)
+	if rc := roundedIncumbent(&sc.model, ordered, &rootGrad, roundBest); rc < incumbent {
+		incumbent = rc
+		sc.incumbent = rc
+		res.Cost = rc
+		copy(incBest, roundBest)
+		for i := range ordered {
+			res.Choice[ordered[i].pos] = incBest[i]
+		}
+	}
+
+	// The root bound may already certify the warm start.
+	if sc.roundBound(rootLB) >= incumbent*sc.gapMul {
+		return finish(searchStats{}, 0, 0, false), nil
+	}
+
+	// Branch first on the items whose relaxation placement is farthest
+	// from any single candidate: each item's Frank–Wolfe slack
+	// min_c⟨g,c⟩ − ⟨g,x_j⟩ is its contribution to the integrality error,
+	// and fixing high-slack items integrally collapses that error fastest
+	// (the MIP rule of branching on fractional variables). Identical
+	// adjacent items share their group maximum so the symmetry cut keeps
+	// its adjacency.
+	slack := make([]float64, n)
+	for j := 0; j < n; j++ {
+		it := &ordered[j]
+		var minC float64
+		for c, iv := range it.Candidates {
+			var sum float64
+			for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+				sum += rootGrad[h]
+			}
+			sum *= it.Rating
+			if c == 0 || sum < minC {
+				minC = sum
+			}
+		}
+		var dot float64
+		for k, h := range sc.slots[j] {
+			dot += rootGrad[h] * exp.fracX[j][k]
+		}
+		slack[j] = minC - dot
+	}
+	for j := 1; j < n; j++ {
+		if sc.sameAsPrev[j] && slack[j-1] > slack[j] {
+			slack[j] = slack[j-1]
+		}
+	}
+	for j := n - 2; j >= 0; j-- {
+		if sc.sameAsPrev[j+1] && slack[j+1] > slack[j] {
+			slack[j] = slack[j+1]
+		}
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return slack[perm[a]] > slack[perm[b]] })
+	permItems := make([]bbItem, n)
+	permInc := make([]int, n)
+	for i, p := range perm {
+		permItems[i] = ordered[p]
+		permInc[i] = incBest[p]
+	}
+	copy(ordered, permItems) // in place: sc.items aliases ordered
+	copy(incBest, permInc)
+
+	fixed, feasible := fixCandidates(sc, rootLB, &rootGrad)
+	if !feasible {
+		// Every completion through some item is bounded out: the warm
+		// start is optimal within the gap.
+		return finish(searchStats{}, 0, fixed, false), nil
+	}
+	sc.prepare() // reordering and filtering changed every search table
+	exp = newSearcher(sc)
+
+	// Serial dive: a budgeted depth-first pass that usually reaches a
+	// (near-)optimal incumbent long before the budget runs out. Every
+	// later subtree prunes against its result. If the dive finishes
+	// inside the budget it has searched the whole tree and the frontier
+	// never runs.
+	root := frontierNode{choice: make([]int, 0, n)}
+	exp.reset(&root)
+	exp.nodeBudget = diveBudget
+	exp.dfs(0)
+	total := exp.st
+	diveDone := !exp.exhausted
+	if exp.found {
+		sc.incumbent = exp.bestCost
+		res.Cost = exp.bestCost
+		for i := range ordered {
+			res.Choice[ordered[i].pos] = ordered[i].orig[exp.best[i]]
+		}
+	}
+	if diveDone || sc.limited.Load() {
+		return finish(total, 0, fixed, sc.limited.Load()), nil
+	}
+	if exp.found {
+		// The tighter incumbent may bound out more candidates.
+		more, feasible := fixCandidates(sc, rootLB, &rootGrad)
+		fixed += more
+		if !feasible {
+			return finish(total, 0, fixed, false), nil
+		}
+		sc.prepare()
+	}
+
+	// Serial frontier expansion: identical for every Options.Workers.
+	queue := make([]frontierNode, 1, 4*frontierTarget)
+	queue[0] = frontierNode{choice: make([]int, 0, n)}
+	head := 0
+	exp.reset(&queue[0])
+	for head < len(queue) && len(queue)-head < frontierTarget && !sc.limited.Load() {
+		nd := queue[head]
+		head++
+		if nd.depth == n {
+			// The whole tree fit into the frontier budget.
+			exp.st.nodes++
+			if exp.checkLimits() {
+				break
+			}
+			exp.record(nd.choice, sc.model.cost(&nd.load))
+			continue
+		}
+		exp.expand(&nd, &queue)
+	}
+	total.add(&exp.st)
+
+	tasks := queue[head:]
+	type subtreeResult struct {
+		found  bool
+		cost   float64
+		choice []int
+		st     searchStats
+	}
+	results := make([]subtreeResult, len(tasks))
+	if len(tasks) > 0 && !sc.limited.Load() {
+		pool := sync.Pool{New: func() any { return newSearcher(sc) }}
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = 1
+		}
+		eng := parallel.Engine{Workers: workers}
+		_ = eng.ForEach(len(tasks), func(i int) error {
+			w := pool.Get().(*searcher)
+			defer pool.Put(w)
+			w.reset(&tasks[i])
+			w.dfs(tasks[i].depth)
+			r := &results[i]
+			r.st = w.st
+			if w.found {
+				r.found = true
+				r.cost = w.bestCost
+				r.choice = append([]int(nil), w.best...)
+			}
+			return nil
+		})
+	}
+
+	// Deterministic combination: the (dive-tightened) warm start, then
+	// the expansion's leaves, then each subtree in frontier order;
+	// strict improvement keeps the earliest winner on ties.
+	bestCost, bestChoice := sc.incumbent, []int(nil)
+	if exp.found {
+		bestCost, bestChoice = exp.bestCost, exp.best
+	}
+	for i := range results {
+		total.add(&results[i].st)
+		if results[i].found && results[i].cost < bestCost {
+			bestCost, bestChoice = results[i].cost, results[i].choice
+		}
+	}
+	if bestChoice != nil {
+		res.Cost = bestCost
+		for i := range ordered {
+			res.Choice[ordered[i].pos] = ordered[i].orig[bestChoice[i]]
+		}
+	}
+	return finish(total, len(tasks), fixed, sc.limited.Load()), nil
+}
+
+// observeSolve records one solve in the default registry: total and
+// per-bound pruned counters, deterministic effort counters, and the
+// wall-clock node-rate gauge (exempt from the determinism contract,
+// like every gauge).
+func observeSolve(total *searchStats, frontierTasks, fixed int, limited bool, elapsed time.Duration) {
+	reg := obs.Default()
+	reg.Counter(obs.MetricSolverSolvesTotal).Inc()
+	reg.Counter(obs.MetricSolverNodesExpanded).Add(uint64(total.nodes))
+	reg.Counter(obs.MetricSolverNodesPruned).Add(total.pruned())
+	reg.Counter(obs.MetricSolverNodesPruned, obs.LabelBound, obs.BoundSuperadditive).Add(total.prunedSuper)
+	reg.Counter(obs.MetricSolverNodesPruned, obs.LabelBound, obs.BoundWaterfill).Add(total.prunedWater)
+	reg.Counter(obs.MetricSolverNodesPruned, obs.LabelBound, obs.BoundRelaxation).Add(total.prunedRelax)
+	reg.Counter(obs.MetricSolverNodesPruned, obs.LabelBound, obs.BoundChild).Add(total.prunedChild)
+	reg.Counter(obs.MetricSolverNodesPruned, obs.LabelBound, obs.BoundMemo).Add(total.prunedMemo)
+	reg.Counter(obs.MetricSolverIncumbentUpdates).Add(total.incumbentUpdates)
+	reg.Counter(obs.MetricSolverFrontierTasks).Add(uint64(frontierTasks))
+	reg.Counter(obs.MetricSolverCandidatesFixed).Add(uint64(fixed))
+	if limited {
+		reg.Counter(obs.MetricSolverLimitedTotal).Inc()
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		reg.Gauge(obs.MetricSolverNodeRate).Set(float64(total.nodes) / s)
+	}
+}

@@ -3,22 +3,24 @@
 // that the neighborhood's convex cost Σ_h P_h(l_h) is minimized.
 //
 // The paper used the MIQP solver of IBM ILOG CPLEX V12.4. This package
-// is the from-scratch substitute: depth-first branch-and-bound over
-// deferments with two complementary lower bounds (a superadditivity
-// bound and a water-filling convex-relaxation bound), an incumbent
-// seeded by greedy placement plus single-move local search, and a
-// CPLEX-style relative optimality gap. An exhaustive enumerator is
+// is the from-scratch substitute: branch-and-bound over deferments with
+// a three-stage lower-bound cascade (superadditivity, union
+// water-filling, and a window-respecting convex relaxation), root
+// reduced-cost candidate fixing, symmetry breaking across identical
+// households, an incumbent warm-started by greedy placement plus
+// single-move local search, and a deterministic parallel subtree search
+// over internal/parallel: the root is decomposed into a fixed frontier
+// of subtrees whose independent searches combine into a result that is
+// bit-identical at any worker count. An exhaustive enumerator is
 // provided for tiny instances and as a test oracle.
 package solver
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"enki/internal/core"
-	"enki/internal/obs"
 	"enki/internal/pricing"
 )
 
@@ -49,6 +51,12 @@ type Options struct {
 	// proven lower bound, mirroring a MIP solver's optimality gap.
 	// 0 demands exactness. CPLEX's default is 1e-4.
 	RelGap float64
+	// Workers sets the parallel subtree search's pool size: 0 or 1 runs
+	// serially, N > 1 fans the root frontier out over N goroutines. The
+	// result (choice, cost, node and prune counts) is bit-identical at
+	// every worker count — subtrees never share incumbents, so each
+	// subtree's outcome is a pure function of the instance.
+	Workers int
 }
 
 // Result is the outcome of a solve.
@@ -135,314 +143,15 @@ func Exhaustive(p pricing.Pricer, items []Item) (Result, error) {
 	return Result{Choice: best, Cost: bestCost, Optimal: true, Nodes: nodes}, nil
 }
 
-// bbState carries the search state of one BranchAndBound invocation.
-type bbState struct {
-	pricer    pricing.Pricer
-	items     []bbItem
-	choice    []int // per ordered position
-	best      []int
-	load      core.Load
-	curCost   float64
-	incumbent float64
-	nodes     int64
-	// pruned counts subtrees cut by a bound; incumbentUpdates counts
-	// leaf improvements. Both are deterministic search facts (absent
-	// node/time limits) exported to the obs registry after the solve.
-	pruned           uint64
-	incumbentUpdates uint64
-	limited          bool
-	opts             Options
-	deadline         time.Time
-	// energySuffix[i] is the total energy of items i..n-1.
-	energySuffix []float64
-	// slotUnion[i] marks the slots reachable by any of items i..n-1.
-	slotUnion [][core.HoursPerDay]bool
-	// slots[j] lists the slots item j may load (union of candidates).
-	slots [][]int
-	// sameAsPrev[j] marks item j as identical to item j-1 in the
-	// ordered sequence; symmetry breaking then requires item j's chosen
-	// candidate index to be at least item j-1's.
-	sameAsPrev []bool
-	// fracX[j] is scratch: item j's fractional allocation per slot of
-	// slots[j], used by the relaxation bound.
-	fracX [][]float64
-	// levelScratch is reusable sort space for water-filling.
-	levelScratch []float64
-}
-
+// bbItem is one item in search order, carrying its original input
+// position, total energy, and — after reduced-cost fixing — the mapping
+// from its (possibly filtered) candidate list back to original
+// candidate indices.
 type bbItem struct {
 	Item
 	pos    int
 	energy float64 // duration × rating
-}
-
-// BranchAndBound solves the placement problem with depth-first
-// branch-and-bound. At each node it prunes with the maximum of two
-// lower bounds:
-//
-//  1. superadditivity: placed cost + Σ over unplaced items of the
-//     cheapest marginal cost of placing that item alone (valid because
-//     convex costs are superadditive in added load);
-//  2. water-filling: the exact optimum of the continuous relaxation in
-//     which the unplaced items' total energy may spread arbitrarily
-//     over the union of their feasible slots.
-//
-// The incumbent is seeded by marginal-cost greedy placement improved by
-// single-item local search, which is typically optimal or within a
-// fraction of a percent, so most of the search is spent proving the
-// bound. If a node/time limit interrupts the search the incumbent is
-// returned with Optimal = false.
-func BranchAndBound(p pricing.Pricer, items []Item, opts Options) (Result, error) {
-	if err := validate(items); err != nil {
-		return Result{}, err
-	}
-
-	ordered := make([]bbItem, len(items))
-	for i, it := range items {
-		ordered[i] = bbItem{Item: it, pos: i, energy: float64(it.Candidates[0].Len()) * it.Rating}
-	}
-	// Most-constrained first; among equals, biggest energy first so that
-	// high-impact placements happen near the root where bounds matter.
-	// The final keys group identical items (same candidate list and
-	// rating) adjacently for symmetry breaking.
-	sort.SliceStable(ordered, func(i, j int) bool {
-		a, b := &ordered[i], &ordered[j]
-		if len(a.Candidates) != len(b.Candidates) {
-			return len(a.Candidates) < len(b.Candidates)
-		}
-		if a.energy != b.energy {
-			return a.energy > b.energy
-		}
-		if a.Candidates[0].Begin != b.Candidates[0].Begin {
-			return a.Candidates[0].Begin < b.Candidates[0].Begin
-		}
-		return a.Rating < b.Rating
-	})
-
-	n := len(ordered)
-	st := &bbState{
-		pricer:       p,
-		items:        ordered,
-		choice:       make([]int, n),
-		best:         make([]int, n),
-		opts:         opts,
-		energySuffix: make([]float64, n+1),
-		slotUnion:    make([][core.HoursPerDay]bool, n+1),
-	}
-	st.slots = make([][]int, n)
-	st.fracX = make([][]float64, n)
-	st.sameAsPrev = make([]bool, n)
-	for i := 1; i < n; i++ {
-		a, b := &ordered[i-1], &ordered[i]
-		st.sameAsPrev[i] = a.Rating == b.Rating &&
-			len(a.Candidates) == len(b.Candidates) &&
-			a.Candidates[0] == b.Candidates[0]
-	}
-	for i := n - 1; i >= 0; i-- {
-		st.energySuffix[i] = st.energySuffix[i+1] + ordered[i].energy
-		st.slotUnion[i] = st.slotUnion[i+1]
-		var seen [core.HoursPerDay]bool
-		for _, iv := range ordered[i].Candidates {
-			for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
-				st.slotUnion[i][h] = true
-				seen[h] = true
-			}
-		}
-		for h := 0; h < core.HoursPerDay; h++ {
-			if seen[h] {
-				st.slots[i] = append(st.slots[i], h)
-			}
-		}
-		st.fracX[i] = make([]float64, len(st.slots[i]))
-	}
-	st.incumbent = seedIncumbent(p, ordered, st.best)
-	if opts.TimeLimit > 0 {
-		st.deadline = time.Now().Add(opts.TimeLimit)
-	}
-	rootLB := st.relaxBound(0, 50)
-
-	st.dfs(0)
-
-	res := Result{
-		Choice:     make([]int, n),
-		Cost:       st.incumbent,
-		Optimal:    !st.limited,
-		Nodes:      st.nodes,
-		LowerBound: rootLB,
-	}
-	if res.Optimal {
-		res.LowerBound = res.Cost
-	}
-	for i, it := range ordered {
-		res.Choice[it.pos] = st.best[i]
-	}
-
-	reg := obs.Default()
-	reg.Counter(obs.MetricSolverSolvesTotal).Inc()
-	reg.Counter(obs.MetricSolverNodesExpanded).Add(uint64(st.nodes))
-	reg.Counter(obs.MetricSolverNodesPruned).Add(st.pruned)
-	reg.Counter(obs.MetricSolverIncumbentUpdates).Add(st.incumbentUpdates)
-	if st.limited {
-		reg.Counter(obs.MetricSolverLimitedTotal).Inc()
-	}
-	return res, nil
-}
-
-// acceptable reports whether a node with lower bound lb can be pruned
-// against the incumbent under the configured relative gap.
-func (st *bbState) acceptable(lb float64) bool {
-	return lb >= st.incumbent*(1-st.opts.RelGap)
-}
-
-func (st *bbState) dfs(i int) {
-	if st.limited {
-		return
-	}
-	st.nodes++
-	if st.opts.NodeLimit > 0 && st.nodes > st.opts.NodeLimit {
-		st.limited = true
-		return
-	}
-	if !st.deadline.IsZero() && st.nodes%256 == 0 && time.Now().After(st.deadline) {
-		st.limited = true
-		return
-	}
-	n := len(st.items)
-	if i == n {
-		// Recompute exactly at leaves: the incrementally maintained
-		// curCost accumulates float drift over deep paths.
-		if cost := pricing.Cost(st.pricer, st.load); cost < st.incumbent {
-			st.incumbent = cost
-			st.incumbentUpdates++
-			copy(st.best, st.choice)
-		}
-		return
-	}
-
-	// Cheapest bound first: union water-filling is strongest high in
-	// the tree, where many items remain.
-	if st.acceptable(st.waterfillBound(i)) {
-		st.pruned++
-		return
-	}
-
-	// Superadditive solo-marginal completion: strongest deep in the
-	// tree, where few items remain.
-	bound := st.curCost
-	for j := i; j < n; j++ {
-		bound += st.minMarginal(j)
-		if st.acceptable(bound) {
-			st.pruned++
-			return
-		}
-	}
-
-	it := &st.items[i]
-	type cand struct {
-		idx      int
-		marginal float64
-	}
-	cands := make([]cand, len(it.Candidates))
-	for c, iv := range it.Candidates {
-		cands[c] = cand{idx: c, marginal: pricing.MarginalCost(st.pricer, &st.load, iv, it.Rating)}
-	}
-	// Cheapest-first child order finds strong incumbents early.
-	sort.Slice(cands, func(a, b int) bool { return cands[a].marginal < cands[b].marginal })
-
-	// Symmetry breaking: an item identical to its predecessor may not
-	// pick an earlier candidate — interchangeable items are explored in
-	// canonical (nondecreasing deferment) order only.
-	minIdx := 0
-	if st.sameAsPrev[i] {
-		minIdx = st.choice[i-1]
-	}
-	for _, c := range cands {
-		if st.acceptable(st.curCost + c.marginal) {
-			st.pruned++
-			break // children sorted: the rest are at least as bad
-		}
-		if c.idx < minIdx {
-			continue
-		}
-		iv := it.Candidates[c.idx]
-		st.load.AddInterval(iv, it.Rating)
-		st.curCost += c.marginal
-		st.choice[i] = c.idx
-		st.dfs(i + 1)
-		st.curCost -= c.marginal
-		st.load.RemoveInterval(iv, it.Rating)
-		if st.limited {
-			return
-		}
-	}
-}
-
-// minMarginal returns the cheapest solo marginal cost of item i on the
-// current partial load.
-func (st *bbState) minMarginal(i int) float64 {
-	it := &st.items[i]
-	best := pricing.MarginalCost(st.pricer, &st.load, it.Candidates[0], it.Rating)
-	for _, iv := range it.Candidates[1:] {
-		if m := pricing.MarginalCost(st.pricer, &st.load, iv, it.Rating); m < best {
-			best = m
-		}
-	}
-	return best
-}
-
-// waterfillBound computes the continuous-relaxation lower bound for a
-// node about to place item i: slots outside the remaining items' union
-// keep their current cost, and the remaining energy E is spread over
-// the union slots so as to minimize Σ P(l_h + x_h) — for a convex P the
-// optimum raises the lowest-loaded slots to a common water level.
-// Relaxing both integrality and the per-item window constraints only
-// enlarges the feasible set, so this never exceeds the true optimum.
-func (st *bbState) waterfillBound(i int) float64 {
-	union := &st.slotUnion[i]
-	energy := st.energySuffix[i]
-
-	var fixed float64
-	levels := make([]float64, 0, core.HoursPerDay)
-	for h := 0; h < core.HoursPerDay; h++ {
-		if union[h] {
-			levels = append(levels, st.load[h])
-		} else {
-			fixed += st.pricer.HourCost(st.load[h])
-		}
-	}
-	if len(levels) == 0 {
-		return st.curCost // no remaining energy can be placed anywhere
-	}
-	sort.Float64s(levels)
-
-	// Find the water level λ such that Σ max(0, λ − level) = energy.
-	remaining := energy
-	lambda := levels[0]
-	for k := 0; k < len(levels); k++ {
-		width := float64(k + 1)
-		var gap float64
-		if k+1 < len(levels) {
-			gap = levels[k+1] - lambda
-		} else {
-			gap = remaining/width + 1 // sentinel: final segment absorbs the rest
-		}
-		if remaining <= gap*width {
-			lambda += remaining / width
-			remaining = 0
-			break
-		}
-		remaining -= gap * width
-		lambda = levels[k+1]
-	}
-
-	var cost float64
-	for _, lv := range levels {
-		if lv < lambda {
-			lv = lambda
-		}
-		cost += st.pricer.HourCost(lv)
-	}
-	return fixed + cost
+	orig   []int   // original candidate index per filtered candidate
 }
 
 // waterLevel returns the level λ such that raising every entry of
@@ -467,96 +176,33 @@ func waterLevel(levels []float64, energy float64) float64 {
 	return lambda
 }
 
-// relaxBound lower-bounds the completion of a node about to place item
-// i via the continuous relaxation that keeps each remaining item's
-// energy inside its own window but drops integrality and
-// consecutiveness. It runs `sweeps` rounds of cyclic per-item
-// water-filling (block coordinate descent on the convex objective) and
-// converts the resulting fractional point x into a valid bound with the
-// Frank-Wolfe linearization
-//
-//	f(x*) ≥ f(x) + Σ_i e_i·min_{h∈W_i} g_h − Σ_ih g_h·x_ih
-//
-// where g is a subgradient of the cost at x. The bound is valid at any
-// x, converged or not.
-func (st *bbState) relaxBound(i int, sweeps int) float64 {
-	n := len(st.items)
-	if i >= n {
-		return st.curCost
-	}
-	load := st.load
-	for j := i; j < n; j++ {
-		ss := st.slots[j]
-		per := st.items[j].energy / float64(len(ss))
-		for k, h := range ss {
-			st.fracX[j][k] = per
-			load[h] += per
-		}
-	}
-	for s := 0; s < sweeps; s++ {
-		for j := i; j < n; j++ {
-			ss := st.slots[j]
-			x := st.fracX[j]
-			for k, h := range ss {
-				load[h] -= x[k]
-			}
-			st.levelScratch = st.levelScratch[:0]
-			for _, h := range ss {
-				st.levelScratch = append(st.levelScratch, load[h])
-			}
-			sort.Float64s(st.levelScratch)
-			lambda := waterLevel(st.levelScratch, st.items[j].energy)
-			for k, h := range ss {
-				add := lambda - load[h]
-				if add < 0 {
-					add = 0
-				}
-				x[k] = add
-				load[h] += add
-			}
-		}
-	}
-
-	var f float64
-	var g [core.HoursPerDay]float64
-	for h := 0; h < core.HoursPerDay; h++ {
-		f += st.pricer.HourCost(load[h])
-		g[h] = st.pricer.MarginalRate(load[h])
-	}
-	bound := f
-	for j := i; j < n; j++ {
-		ss := st.slots[j]
-		minG := g[ss[0]]
-		var dot float64
-		for k, h := range ss {
-			if g[h] < minG {
-				minG = g[h]
-			}
-			dot += g[h] * st.fracX[j][k]
-		}
-		bound += st.items[j].energy*minG - dot
-	}
-	return bound
-}
-
 // seedIncumbent fills best (per ordered position) with a marginal-cost
 // greedy placement improved to a single-move local optimum, and returns
-// its cost.
+// its cost. This is the warm start every subtree search measures its
+// findings against.
 func seedIncumbent(p pricing.Pricer, ordered []bbItem, best []int) float64 {
+	m := newCostModel(p)
 	var load core.Load
 	for i := range ordered {
 		it := &ordered[i]
-		bestC, bestM := 0, pricing.MarginalCost(p, &load, it.Candidates[0], it.Rating)
+		bestC, bestM := 0, m.marginal(&load, it.Candidates[0], it.Rating)
 		for c := 1; c < len(it.Candidates); c++ {
-			if m := pricing.MarginalCost(p, &load, it.Candidates[c], it.Rating); m < bestM {
-				bestC, bestM = c, m
+			if mc := m.marginal(&load, it.Candidates[c], it.Rating); mc < bestM {
+				bestC, bestM = c, mc
 			}
 		}
 		load.AddInterval(it.Candidates[bestC], it.Rating)
 		best[i] = bestC
 	}
 
-	// Single-item moves until no move improves the cost.
+	return improveMoves(&m, ordered, best, &load)
+}
+
+// improveMoves applies single-item moves to the placement in best
+// (whose occupancy is load) until no move improves the cost, and
+// returns the resulting objective. Both the greedy warm start and the
+// relaxation-rounded incumbent finish through it.
+func improveMoves(m *costModel, ordered []bbItem, best []int, load *core.Load) float64 {
 	improved := true
 	for improved {
 		improved = false
@@ -564,13 +210,13 @@ func seedIncumbent(p pricing.Pricer, ordered []bbItem, best []int) float64 {
 			it := &ordered[i]
 			cur := best[i]
 			load.RemoveInterval(it.Candidates[cur], it.Rating)
-			bestC, bestM := cur, pricing.MarginalCost(p, &load, it.Candidates[cur], it.Rating)
+			bestC, bestM := cur, m.marginal(load, it.Candidates[cur], it.Rating)
 			for c := range it.Candidates {
 				if c == cur {
 					continue
 				}
-				if m := pricing.MarginalCost(p, &load, it.Candidates[c], it.Rating); m < bestM-1e-12 {
-					bestC, bestM = c, m
+				if mc := m.marginal(load, it.Candidates[c], it.Rating); mc < bestM-1e-12 {
+					bestC, bestM = c, mc
 				}
 			}
 			load.AddInterval(it.Candidates[bestC], it.Rating)
@@ -580,5 +226,32 @@ func seedIncumbent(p pricing.Pricer, ordered []bbItem, best []int) float64 {
 			}
 		}
 	}
-	return pricing.Cost(p, load)
+	return m.cost(load)
+}
+
+// roundedIncumbent rounds the root relaxation to an integral schedule:
+// each item takes its cheapest candidate under the relaxation's load
+// gradient (the Frank–Wolfe vertex), then single-item moves polish the
+// result. On instances where the relaxation is nearly integral this
+// recovers the optimum directly, collapsing the search to a bound
+// certificate.
+func roundedIncumbent(m *costModel, ordered []bbItem, grad *[core.HoursPerDay]float64, best []int) float64 {
+	var load core.Load
+	for i := range ordered {
+		it := &ordered[i]
+		bestC := 0
+		var bestMass float64
+		for c, iv := range it.Candidates {
+			var sum float64
+			for h := max(iv.Begin, 0); h < min(iv.End, core.HoursPerDay); h++ {
+				sum += grad[h]
+			}
+			if c == 0 || sum < bestMass {
+				bestC, bestMass = c, sum
+			}
+		}
+		best[i] = bestC
+		load.AddInterval(it.Candidates[bestC], it.Rating)
+	}
+	return improveMoves(m, ordered, best, &load)
 }

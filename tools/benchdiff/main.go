@@ -1,16 +1,24 @@
 // Command benchdiff compares two benchjson reports (tools/benchjson)
 // and fails when any benchmark present in both regressed by more than
-// the threshold in ns/op. It backs `make bench-check`: a fresh `make
-// bench` run diffed against the committed BENCH_sched.json baseline.
+// the threshold in ns/op — or grew its allocs/op at all. It backs
+// `make bench-check`: a fresh `make bench` run diffed against the
+// committed BENCH_sched.json baseline.
 //
 // Usage:
 //
 //	benchdiff -baseline BENCH_sched.json -current fresh.json
 //	benchdiff -baseline BENCH_sched.json -current fresh.json -threshold 10
+//	benchdiff -baseline BENCH_sched.json -current fresh.json -alloc-slack 2
 //
 // Benchmarks that appear in only one report are listed but never fail
-// the check; timing noise guidance: the default 25% threshold is meant
-// to catch real regressions on shared CI machines, not jitter.
+// the check; timing noise guidance: the default 25% ns/op threshold is
+// meant to catch real regressions on shared CI machines, not jitter.
+// The allocation gate fails any benchmark whose allocs/op exceeds
+// baseline + alloc-slack (default 0) + 1% of baseline: steady-state
+// zero-alloc contracts are checked exactly at the default, while heavy
+// allocators (time-budgeted solves, pooled parallel searches) get
+// proportional headroom for data-dependent drift. This gate is the
+// backstop behind the zero-alloc contract of the sched hot path.
 package main
 
 import (
@@ -52,9 +60,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		basePath  = fs.String("baseline", "", "baseline benchjson report (e.g. the committed BENCH_sched.json)")
-		currPath  = fs.String("current", "", "fresh benchjson report to compare")
-		threshold = fs.Float64("threshold", 25, "max allowed ns/op regression in percent")
+		basePath   = fs.String("baseline", "", "baseline benchjson report (e.g. the committed BENCH_sched.json)")
+		currPath   = fs.String("current", "", "fresh benchjson report to compare")
+		threshold  = fs.Float64("threshold", 25, "max allowed ns/op regression in percent")
+		allocSlack = fs.Int64("alloc-slack", 0, "max allowed allocs/op growth in absolute allocations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +73,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *threshold <= 0 {
 		return fmt.Errorf("threshold %g must be positive", *threshold)
+	}
+	if *allocSlack < 0 {
+		return fmt.Errorf("alloc-slack %d must be non-negative", *allocSlack)
 	}
 
 	base, err := readReport(*basePath)
@@ -75,12 +87,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	regressions, err := diff(out, base, curr, *threshold)
+	regressions, allocRegressions, err := diff(out, base, curr, *threshold, *allocSlack)
 	if err != nil {
 		return err
 	}
-	if regressions > 0 {
+	switch {
+	case regressions > 0 && allocRegressions > 0:
+		return fmt.Errorf("%d benchmarks regressed more than %g%% in ns/op and %d grew allocs/op past slack %d",
+			regressions, *threshold, allocRegressions, *allocSlack)
+	case regressions > 0:
 		return fmt.Errorf("%d benchmarks regressed more than %g%% in ns/op", regressions, *threshold)
+	case allocRegressions > 0:
+		return fmt.Errorf("%d benchmarks grew allocs/op past slack %d", allocRegressions, *allocSlack)
 	}
 	return nil
 }
@@ -102,8 +120,9 @@ func readReport(path string) (*Report, error) {
 }
 
 // diff prints the comparison table and returns how many shared
-// benchmarks regressed past the threshold.
-func diff(out io.Writer, base, curr *Report, threshold float64) (int, error) {
+// benchmarks regressed past the ns/op threshold and how many grew
+// their allocs/op past the slack.
+func diff(out io.Writer, base, curr *Report, threshold float64, allocSlack int64) (int, int, error) {
 	baseline := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseline[r.Name] = r
@@ -119,8 +138,8 @@ func diff(out io.Writer, base, curr *Report, threshold float64) (int, error) {
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(out, "%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "curr ns/op", "delta")
-	regressions := 0
+	fmt.Fprintf(out, "%-28s %14s %14s %9s %12s\n", "benchmark", "base ns/op", "curr ns/op", "delta", "allocs")
+	regressions, allocRegressions := 0, 0
 	for _, name := range names {
 		b := baseline[name]
 		c, ok := current[name]
@@ -129,7 +148,7 @@ func diff(out io.Writer, base, curr *Report, threshold float64) (int, error) {
 			continue
 		}
 		if b.NsPerOp <= 0 {
-			return 0, fmt.Errorf("baseline %s has non-positive ns/op %g", name, b.NsPerOp)
+			return 0, 0, fmt.Errorf("baseline %s has non-positive ns/op %g", name, b.NsPerOp)
 		}
 		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		verdict := ""
@@ -137,12 +156,21 @@ func diff(out io.Writer, base, curr *Report, threshold float64) (int, error) {
 			verdict = "  REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+8.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta, verdict)
+		allocs := fmt.Sprintf("%d->%d", b.AllocsPerOp, c.AllocsPerOp)
+		// Slack plus 1% of baseline: zero-alloc contracts stay exact at
+		// the default slack, while heavy allocators (time-budgeted
+		// solves, pooled searches) get headroom proportional to their
+		// baseline rather than a flat number.
+		if c.AllocsPerOp > b.AllocsPerOp+allocSlack+b.AllocsPerOp/100 {
+			verdict += "  ALLOC-REGRESSION"
+			allocRegressions++
+		}
+		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+8.1f%% %12s%s\n", name, b.NsPerOp, c.NsPerOp, delta, allocs, verdict)
 	}
 	for name := range current {
 		if _, ok := baseline[name]; !ok {
 			fmt.Fprintf(out, "%-28s %14s %14.0f %9s\n", name, "-", current[name].NsPerOp, "new")
 		}
 	}
-	return regressions, nil
+	return regressions, allocRegressions, nil
 }

@@ -56,6 +56,51 @@ func TestRegressionFails(t *testing.T) {
 	}
 }
 
+func TestAllocRegressionFails(t *testing.T) {
+	base := writeReport(t, "base.json", []Result{{Name: "GreedyAllocate50", NsPerOp: 5000, AllocsPerOp: 1}})
+	curr := writeReport(t, "curr.json", []Result{{Name: "GreedyAllocate50", NsPerOp: 5000, AllocsPerOp: 43}})
+	var out strings.Builder
+	err := run([]string{"-baseline", base, "-current", curr}, &out)
+	if err == nil {
+		t.Fatalf("alloc growth 1 -> 43 should fail the default zero slack:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOC-REGRESSION") {
+		t.Errorf("table does not flag the alloc regression:\n%s", out.String())
+	}
+	// Enough slack lets the same pair pass.
+	if err := run([]string{"-baseline", base, "-current", curr, "-alloc-slack", "50"}, &out); err != nil {
+		t.Errorf("alloc growth within slack should pass: %v", err)
+	}
+	// Negative slack is rejected.
+	if err := run([]string{"-baseline", base, "-current", curr, "-alloc-slack", "-1"}, &out); err == nil {
+		t.Error("negative alloc-slack should be rejected")
+	}
+}
+
+func TestAllocProportionalHeadroom(t *testing.T) {
+	// Heavy allocators get 1% of baseline on top of the slack; drift
+	// inside it passes, drift beyond it still fails.
+	base := writeReport(t, "base.json", []Result{{Name: "OptimalAllocate50Budgeted", NsPerOp: 5000, AllocsPerOp: 1200}})
+	within := writeReport(t, "within.json", []Result{{Name: "OptimalAllocate50Budgeted", NsPerOp: 5000, AllocsPerOp: 1212}})
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", within, "-alloc-slack", "8"}, &out); err != nil {
+		t.Errorf("+12 allocs on a 1200-alloc baseline should sit inside slack 8 + 1%%: %v", err)
+	}
+	beyond := writeReport(t, "beyond.json", []Result{{Name: "OptimalAllocate50Budgeted", NsPerOp: 5000, AllocsPerOp: 1221}})
+	if err := run([]string{"-baseline", base, "-current", beyond, "-alloc-slack", "8"}, &out); err == nil {
+		t.Error("+21 allocs should exceed slack 8 + 1% of 1200")
+	}
+}
+
+func TestAllocImprovementPasses(t *testing.T) {
+	base := writeReport(t, "base.json", []Result{{Name: "GreedyAllocate50", NsPerOp: 5000, AllocsPerOp: 43}})
+	curr := writeReport(t, "curr.json", []Result{{Name: "GreedyAllocate50", NsPerOp: 4000, AllocsPerOp: 1}})
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", curr}, &out); err != nil {
+		t.Fatalf("alloc improvement should pass: %v\n%s", err, out.String())
+	}
+}
+
 func TestAddedAndRemovedBenchmarksDoNotFail(t *testing.T) {
 	base := writeReport(t, "base.json", []Result{
 		{Name: "Old", NsPerOp: 100},
