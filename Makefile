@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all bench-check chaos differential metric-lint vet fmt
+.PHONY: all build test race bench bench-all bench-check bench-net bench-net-check chaos differential metric-lint vet fmt
 
 all: build test
 
@@ -45,6 +45,30 @@ bench-check:
 	$(GO) run ./tools/benchjson -o /tmp/bench-check.json /tmp/bench-check.txt
 	$(GO) run ./tools/benchdiff -baseline BENCH_sched.json -current /tmp/bench-check.json -alloc-slack 8
 
+# Wire-path benchmarks: batch-frame encode/decode per codec plus full
+# sharded cluster days on the codec × batch-size axes. The raw log goes
+# to BENCH_net.txt and tools/benchjson converts it — including the
+# custom frames/op and wireB/op ReportMetric series — into the
+# committed BENCH_net.json baseline.
+bench-net:
+	$(GO) test ./internal/netproto -run '^$$' \
+		-bench '^Benchmark(BatchEncode|BatchDecode|ClusterDay)' \
+		-benchmem | tee BENCH_net.txt
+	$(GO) run ./tools/benchjson -o BENCH_net.json BENCH_net.txt
+
+# Diff fresh wire benchmarks against the committed BENCH_net.json.
+# Beyond the usual ns/op and allocs gates, the bytes gate catches codec
+# bloat (B/op) and the extra gate catches framing regressions: frames/op
+# is deterministic for a fixed population, so even the tight 5% bound
+# only trips when batching actually degrades.
+bench-net-check:
+	$(GO) test ./internal/netproto -run '^$$' \
+		-bench '^Benchmark(BatchEncode|BatchDecode|ClusterDay)' \
+		-benchmem > /tmp/bench-net.txt
+	$(GO) run ./tools/benchjson -o /tmp/bench-net.json /tmp/bench-net.txt
+	$(GO) run ./tools/benchdiff -baseline BENCH_net.json -current /tmp/bench-net.json \
+		-alloc-slack 8 -bytes-threshold 25 -extra-threshold 5
+
 # The fault-tolerance acceptance suite: chaos tests (deterministic
 # fault injection, session resumption, degraded-day settlement, retry
 # jitter) plus a short fuzz pass over the wire codec, which is the
@@ -55,6 +79,8 @@ chaos:
 	$(GO) test ./cmd/enkitrace -count=1 -run Degraded
 	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s
 	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s
+	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 10s
+	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzCodecDifferential -fuzztime 10s
 
 # The allocation-engine acceptance suite: the rewritten greedy and
 # branch-and-bound engines against the retained seed implementations

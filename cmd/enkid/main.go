@@ -1,16 +1,22 @@
 // Command enkid runs a neighborhood center daemon: it listens for
 // household ECC agents (cmd/enkiagent), waits until the expected
 // number have registered, then runs the Figure 1 day cycle the
-// requested number of times and prints each day's settlement.
+// requested number of times and prints each day's settlement. (For the
+// sharded in-process service settling many neighborhoods at once, see
+// net.StartCluster and cmd/enkiload.)
 //
-// Usage:
+// Flags are grouped into three namespaces — -shard.* for the
+// neighborhood being settled, -wire.* for the transport, -obs.* for
+// observability — with the historical flat names kept as aliases, so
+// existing deployments keep working:
 //
-//	enkid -addr 127.0.0.1:7600 -agents 3 -days 2
-//	enkid -http 127.0.0.1:8080          # /metrics, /healthz, pprof
-//	enkid -trace-out day-spans.jsonl    # per-day span trace
-//	enkid -ledger audit.jsonl           # per-day mechanism audit ledger
-//	enkid -phase-deadline 5s            # settle dark households instead of hanging
-//	enkid -fault-plan seed=42,msgs=100,drop=0.05   # chaos-test outbound delivery
+//	enkid -wire.addr 127.0.0.1:7600 -shard.agents 3 -shard.days 2
+//	enkid -wire.codec binary            # prefer the compact codec when agents offer it
+//	enkid -obs.http 127.0.0.1:8080      # /metrics, /healthz, pprof
+//	enkid -obs.trace-out day-spans.jsonl
+//	enkid -obs.ledger audit.jsonl       # per-day mechanism audit ledger
+//	enkid -wire.phase-deadline 5s       # settle dark households instead of hanging
+//	enkid -wire.fault-plan seed=42,msgs=100,drop=0.05
 package main
 
 import (
@@ -36,30 +42,98 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// daemonFlags is the parsed enkid flag surface. Canonical flags are
+// namespaced (-shard.*, -wire.*, -obs.*); every pre-namespace flat name
+// is registered as an alias sharing the canonical flag.Value, so either
+// spelling works and they can never disagree.
+type daemonFlags struct {
+	addr       string
+	codec      string
+	deadline   time.Duration
+	faultSpec  string
+	agents     int
+	days       int
+	wait       time.Duration
+	sigma      float64
+	rating     float64
+	xi         float64
+	journal    string
+	ledger     string
+	httpAddr   string
+	traceOut   string
+	traceSeed  uint64
+	traceLimit int
+	logOpts    *obs.LogOptions
+}
+
+// newFlagSet builds enkid's flag set. The -help output is deterministic:
+// the flag package prints flags in lexical order, which groups the
+// namespaces (obs.*, shard.*, wire.*) and lists the flat aliases
+// predictably — the docs test pins this.
+func newFlagSet() (*flag.FlagSet, *daemonFlags) {
 	fs := flag.NewFlagSet("enkid", flag.ContinueOnError)
-	var (
-		addr       = fs.String("addr", "127.0.0.1:7600", "listen address")
-		agents     = fs.Int("agents", 2, "number of household agents to wait for")
-		days       = fs.Int("days", 1, "number of day cycles to run")
-		wait       = fs.Duration("wait", time.Minute, "how long to wait for agents")
-		deadline   = fs.Duration("phase-deadline", netproto.DefaultPhaseDeadline, "per-phase reply deadline; households dark past it are settled degraded")
-		faultSpec  = fs.String("fault-plan", "", "deterministic outbound fault plan, e.g. drop@3,dup@7 or seed=42,msgs=100,drop=0.05")
-		sigma      = fs.Float64("sigma", pricing.DefaultSigma, "pricing scale σ")
-		rating     = fs.Float64("rating", 2, "power rating r (kW)")
-		xi         = fs.Float64("xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
-		journal    = fs.String("journal", "", "append day settlements to this JSONL file")
-		ledger     = fs.String("ledger", "", "append per-day mechanism audit-ledger entries to this JSONL file")
-		httpAddr   = fs.String("http", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:8080; empty = off)")
-		traceOut   = fs.String("trace-out", "", "write the day-cycle span trace to this JSONL file")
-		traceSeed  = fs.Uint64("trace-seed", 0, "seed for the deterministic per-day trace IDs and session tokens")
-		traceLimit = fs.Int("trace-limit", 0, "max retained spans before the oldest are dropped (0 = default)")
-	)
-	logOpts := obs.LogFlags(fs)
+	f := &daemonFlags{}
+
+	// -shard.*: the neighborhood being settled — who joins it and the
+	// mechanism parameters it settles under.
+	fs.IntVar(&f.agents, "shard.agents", 2, "number of household agents to wait for")
+	fs.IntVar(&f.days, "shard.days", 1, "number of day cycles to run")
+	fs.DurationVar(&f.wait, "shard.wait", time.Minute, "how long to wait for agents")
+	fs.Float64Var(&f.sigma, "shard.sigma", pricing.DefaultSigma, "pricing scale σ")
+	fs.Float64Var(&f.rating, "shard.rating", 2, "power rating r (kW)")
+	fs.Float64Var(&f.xi, "shard.xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
+
+	// -wire.*: the transport — where the center listens and how frames
+	// behave on the way out.
+	fs.StringVar(&f.addr, "wire.addr", "127.0.0.1:7600", "listen address")
+	fs.StringVar(&f.codec, "wire.codec", netproto.CodecJSON, "preferred batch-frame codec when an agent offers negotiation (json or binary)")
+	fs.DurationVar(&f.deadline, "wire.phase-deadline", netproto.DefaultPhaseDeadline, "per-phase reply deadline; households dark past it are settled degraded")
+	fs.StringVar(&f.faultSpec, "wire.fault-plan", "", "deterministic outbound fault plan, e.g. drop@3,dup@7 or seed=42,msgs=100,drop=0.05")
+
+	// -obs.*: observability — metrics endpoint, journals, traces.
+	fs.StringVar(&f.journal, "obs.journal", "", "append day settlements to this JSONL file")
+	fs.StringVar(&f.ledger, "obs.ledger", "", "append per-day mechanism audit-ledger entries to this JSONL file")
+	fs.StringVar(&f.httpAddr, "obs.http", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:8080; empty = off)")
+	fs.StringVar(&f.traceOut, "obs.trace-out", "", "write the day-cycle span trace to this JSONL file")
+	fs.Uint64Var(&f.traceSeed, "obs.trace-seed", 0, "seed for the deterministic per-day trace IDs and session tokens")
+	fs.IntVar(&f.traceLimit, "obs.trace-limit", 0, "max retained spans before the oldest are dropped (0 = default)")
+	f.logOpts = obs.LogFlags(fs)
+
+	// Flat aliases from before the namespacing; each shares its
+	// canonical flag's Value.
+	for alias, canonical := range map[string]string{
+		"agents":         "shard.agents",
+		"days":           "shard.days",
+		"wait":           "shard.wait",
+		"sigma":          "shard.sigma",
+		"rating":         "shard.rating",
+		"xi":             "shard.xi",
+		"addr":           "wire.addr",
+		"phase-deadline": "wire.phase-deadline",
+		"fault-plan":     "wire.fault-plan",
+		"journal":        "obs.journal",
+		"ledger":         "obs.ledger",
+		"http":           "obs.http",
+		"trace-out":      "obs.trace-out",
+		"trace-seed":     "obs.trace-seed",
+		"trace-limit":    "obs.trace-limit",
+	} {
+		fs.Var(fs.Lookup(canonical).Value, alias, "alias for -"+canonical)
+	}
+	return fs, f
+}
+
+func run(args []string) error {
+	fs, f := newFlagSet()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logger, err := logOpts.Apply(nil)
+	addr, agents, days, wait := &f.addr, &f.agents, &f.days, &f.wait
+	deadline, faultSpec := &f.deadline, &f.faultSpec
+	sigma, rating, xi := &f.sigma, &f.rating, &f.xi
+	journal, ledger, httpAddr := &f.journal, &f.ledger, &f.httpAddr
+	traceOut, traceSeed, traceLimit := &f.traceOut, &f.traceSeed, &f.traceLimit
+	logger, err := f.logOpts.Apply(nil)
 	if err != nil {
 		return err
 	}
@@ -73,7 +147,10 @@ func run(args []string) error {
 	}
 	plan, err := netproto.ParseFaultPlan(*faultSpec)
 	if err != nil {
-		return fmt.Errorf("parse -fault-plan: %w", err)
+		return fmt.Errorf("parse -wire.fault-plan: %w", err)
+	}
+	if _, ok := netproto.LookupCodec(f.codec); !ok {
+		return fmt.Errorf("unknown -wire.codec %q (have: %v)", f.codec, netproto.CodecNames())
 	}
 	var ledgerLog *netproto.Journal
 	if *ledger != "" {
@@ -95,6 +172,7 @@ func run(args []string) error {
 		netproto.WithTraceSeed(*traceSeed),
 		netproto.WithLedger(ledgerLog),
 		netproto.WithFaultPlan(plan),
+		netproto.WithCodec(f.codec),
 	)
 	if err != nil {
 		return err
@@ -185,7 +263,12 @@ func preregisterMetrics(schedulerName string) {
 	for _, dir := range []string{obs.DirectionSent, obs.DirectionReceived} {
 		reg.Counter(obs.MetricNetMessagesTotal, obs.LabelDirection, dir)
 		reg.Counter(obs.MetricNetBytesTotal, obs.LabelDirection, dir)
+		reg.Counter(obs.MetricNetFramesTotal, obs.LabelDirection, dir)
+		for _, codec := range netproto.CodecNames() {
+			reg.Counter(obs.MetricNetCodecBytesTotal, obs.LabelCodec, codec, obs.LabelDirection, dir)
+		}
 	}
+	reg.Histogram(obs.MetricNetFrameMessages, obs.BatchBuckets)
 	for _, phase := range []string{string(netproto.KindPreference), string(netproto.KindConsumption)} {
 		reg.Histogram(obs.MetricNetPhaseLatencyMS, obs.LatencyBucketsMS, obs.LabelPhase, phase)
 		reg.Counter(obs.MetricNetTimeoutsTotal, obs.LabelPhase, phase)

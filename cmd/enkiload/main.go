@@ -1,0 +1,212 @@
+// Command enkiload is the scale harness for the sharded settlement
+// service: it enrolls a large population of truthful households
+// (Section VI usage profiles), partitions them into neighborhoods with
+// net.StartCluster, and drives full preference→payment days through the
+// batched wire framing, reporting throughput, wire-level counters, and
+// the Theorem 1 budget identity for every day.
+//
+//	enkiload -households 1000000 -shards 1024 -codec binary
+//	enkiload -households 100000 -shards 128 -days 3 -check
+//
+// With -check the harness re-settles every day on a single worker and
+// fails unless the merged day report is byte-identical — the
+// Workers:1 ≡ Workers:N determinism contract at population scale.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/netproto"
+	"enki/internal/obs"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "enkiload:", err)
+		os.Exit(1)
+	}
+}
+
+type loadFlags struct {
+	households int
+	shards     int
+	workers    int
+	days       int
+	codec      string
+	batch      int
+	seed       uint64
+	sigma      float64
+	rating     float64
+	xi         float64
+	records    bool
+	check      bool
+	out        string
+}
+
+func newFlagSet() (*flag.FlagSet, *loadFlags) {
+	f := &loadFlags{}
+	fs := flag.NewFlagSet("enkiload", flag.ContinueOnError)
+	fs.IntVar(&f.households, "households", 1_000_000, "population size")
+	fs.IntVar(&f.shards, "shards", 1024, "neighborhood count")
+	fs.IntVar(&f.workers, "workers", 0, "settlement worker pool (0 = all CPUs)")
+	fs.IntVar(&f.days, "days", 1, "days to settle")
+	fs.StringVar(&f.codec, "codec", netproto.CodecBinary, "wire codec for shard links")
+	fs.IntVar(&f.batch, "batch", netproto.DefaultBatchSize, "messages per batch frame")
+	fs.Uint64Var(&f.seed, "seed", 1, "profile and trace seed")
+	fs.Float64Var(&f.sigma, "sigma", pricing.DefaultSigma, "quadratic tariff σ")
+	fs.Float64Var(&f.rating, "rating", core.DefaultPowerRating, "household power rating in kW")
+	fs.Float64Var(&f.xi, "xi", mechanism.DefaultXi, "payment scale ξ (≥ 1)")
+	fs.BoolVar(&f.records, "records", false, "keep full per-shard DayRecords (costs memory at scale)")
+	fs.BoolVar(&f.check, "check", false, "re-settle each day on one worker and require byte-identical output")
+	fs.StringVar(&f.out, "out", "", "write an obs metrics snapshot (JSON) on exit")
+	return fs, f
+}
+
+func run(argv []string, out io.Writer) error {
+	fs, f := newFlagSet()
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if f.households < 1 {
+		return fmt.Errorf("-households %d must be positive", f.households)
+	}
+	if f.shards < 1 || f.shards > f.households {
+		return fmt.Errorf("-shards %d must be in [1, households]", f.shards)
+	}
+	if f.days < 1 {
+		return fmt.Errorf("-days %d must be positive", f.days)
+	}
+	if _, ok := netproto.LookupCodec(f.codec); !ok {
+		return fmt.Errorf("unknown -codec %q (have: %v)", f.codec, netproto.CodecNames())
+	}
+	pricer, err := pricing.NewQuadratic(f.sigma)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	cluster, err := startCluster(ctx, f, pricer, f.workers)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Fprintf(out, "enrolled %d households in %d shards (codec=%s batch=%d) in %v\n",
+		cluster.Members(), cluster.Shards(), f.codec, f.batch, time.Since(start).Round(time.Millisecond))
+
+	var check *netproto.Cluster
+	if f.check {
+		if check, err = startCluster(ctx, f, pricer, 1); err != nil {
+			return err
+		}
+		defer check.Close()
+	}
+
+	for day := 1; day <= f.days; day++ {
+		dayStart := time.Now()
+		rec, err := cluster.ClusterDay(ctx, day)
+		if err != nil {
+			return fmt.Errorf("day %d: %w", day, err)
+		}
+		elapsed := time.Since(dayStart)
+		rate := float64(rec.Settled) / elapsed.Seconds()
+		residual := rec.Revenue - f.xi*rec.Cost
+		fmt.Fprintf(out, "day %d: settled %d/%d (failed shards %d) cost %.2f revenue %.2f residual %+.3g peak %.1f kW in %v (%.0f households/s)\n",
+			day, rec.Settled, rec.Households, rec.Failed, rec.Cost, rec.Revenue, residual,
+			rec.Peak, elapsed.Round(time.Millisecond), rate)
+		if math.Abs(residual) > 1e-6*math.Max(1, math.Abs(rec.Revenue)) {
+			return fmt.Errorf("day %d: budget identity violated: Σp = %.9f, ξ·κ = %.9f", day, rec.Revenue, f.xi*rec.Cost)
+		}
+		if check != nil {
+			ref, err := check.ClusterDay(ctx, day)
+			if err != nil {
+				return fmt.Errorf("day %d (workers=1): %w", day, err)
+			}
+			got, _ := json.Marshal(rec)
+			want, _ := json.Marshal(ref)
+			if string(got) != string(want) {
+				return fmt.Errorf("day %d: workers=%d output diverges from workers=1", day, f.workers)
+			}
+			fmt.Fprintf(out, "day %d: determinism check passed (%d bytes identical)\n", day, len(got))
+		}
+	}
+
+	snap := obs.Default().Snapshot()
+	frames := counterSum(snap, obs.MetricNetFramesTotal)
+	wire := counterSum(snap, obs.MetricNetCodecBytesTotal)
+	msgs := counterSum(snap, obs.MetricNetMessagesTotal)
+	fmt.Fprintf(out, "wire: %d messages in %d frames, %d codec bytes (%.1f msgs/frame, %.1f B/msg)\n",
+		msgs, frames, wire, ratio(msgs, frames), ratio(wire, msgs))
+
+	if f.out != "" {
+		w, err := os.Create(f.out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		return snap.WriteJSON(w)
+	}
+	return nil
+}
+
+// startCluster builds a cluster and enrolls the truthful population.
+// Profiles are drawn once per call from the same seed, so two clusters
+// built from identical flags hold identical member sets.
+func startCluster(ctx context.Context, f *loadFlags, pricer pricing.Pricer, workers int) (*netproto.Cluster, error) {
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(f.seed))
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := netproto.StartCluster(ctx,
+		netproto.WithPricer(pricer),
+		netproto.WithMechanism(mechanism.Config{K: mechanism.DefaultK, Xi: f.xi}),
+		netproto.WithRating(f.rating),
+		netproto.WithTraceSeed(f.seed),
+		netproto.WithShards(f.shards),
+		netproto.WithWorkers(workers),
+		netproto.WithCodec(f.codec),
+		netproto.WithBatchSize(f.batch),
+		netproto.WithShardRecords(f.records),
+	)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < f.households; i++ {
+		p := gen.Draw()
+		if err := cluster.Join(core.HouseholdID(i), &netproto.Truthful{Type: p.TypeWide()}); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+	}
+	return cluster, nil
+}
+
+// counterSum adds every label combination of one counter family.
+func counterSum(s obs.Snapshot, name string) uint64 {
+	var total uint64
+	for k, v := range s.Counters {
+		if k == name || (len(k) > len(name) && k[:len(name)] == name && k[len(name)] == '{') {
+			total += v
+		}
+	}
+	return total
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

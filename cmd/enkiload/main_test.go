@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"enki/internal/obs"
+)
+
+// TestLoadSmallPopulation runs the harness end to end at toy scale with
+// the determinism check on: budget identity, workers=1 equivalence, and
+// the wire summary all exercised in one pass.
+func TestLoadSmallPopulation(t *testing.T) {
+	obs.Default().Reset()
+	var out strings.Builder
+	err := run([]string{
+		"-households", "300", "-shards", "16", "-days", "2",
+		"-workers", "4", "-check",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"enrolled 300 households in 16 shards",
+		"day 1: settled",
+		"day 2: settled",
+		"determinism check passed",
+		"wire:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestLoadJSONCodecAndSnapshot covers the JSON wire path and the -out
+// metrics snapshot, which must include the per-codec byte series.
+func TestLoadJSONCodecAndSnapshot(t *testing.T) {
+	obs.Default().Reset()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out strings.Builder
+	err := run([]string{
+		"-households", "64", "-shards", "8", "-codec", "json", "-batch", "16",
+		"-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	found := false
+	for k := range snap.Counters {
+		if strings.HasPrefix(k, obs.MetricNetCodecBytesTotal) && strings.Contains(k, `codec="json"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("snapshot missing %s{codec=json} series; counters: %v",
+			obs.MetricNetCodecBytesTotal, len(snap.Counters))
+	}
+}
+
+// TestLoadFlagValidation rejects nonsense before any work happens.
+func TestLoadFlagValidation(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-households", "0"},
+		{"-shards", "0"},
+		{"-shards", "10", "-households", "5"},
+		{"-days", "0"},
+		{"-codec", "carrier-pigeon"},
+	} {
+		var out strings.Builder
+		if err := run(argv, &out); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", argv)
+		}
+	}
+}

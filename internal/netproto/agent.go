@@ -88,6 +88,7 @@ type Agent struct {
 	jitter *dist.RNG      // retry jitter stream, split per household
 
 	mu      sync.Mutex
+	ws      *wireState // framing negotiated on the current connection
 	conn    net.Conn
 	token   string // session-resumption credential from the welcome
 	history []PaymentDetail
@@ -176,10 +177,13 @@ func newAgent(conn net.Conn, id core.HouseholdID, policy Policy, cfg agentConfig
 }
 
 // handshake registers or resumes over conn: hello (bearing the resume
-// token, if any) out, welcome back. It returns the session token the
-// center issued.
+// token, if any, plus the codec offer) out, welcome back. The welcome's
+// codec selection fixes the connection's framing — empty (a pre-batching
+// center, or one that declined the offer) keeps the legacy per-message
+// JSON frames. It returns the session token the center issued.
 func (a *Agent) handshake(conn net.Conn, token string) (string, error) {
-	if err := a.inj.send(conn, &Message{Kind: KindHello, ID: a.id, Token: token}); err != nil {
+	hello := &Message{Kind: KindHello, ID: a.id, Token: token, Codecs: a.cfg.codecs}
+	if err := a.inj.send(conn, nil, hello); err != nil {
 		return "", err
 	}
 	welcome, err := ReadMessage(conn)
@@ -189,6 +193,17 @@ func (a *Agent) handshake(conn net.Conn, token string) (string, error) {
 	if welcome.Kind != KindWelcome {
 		return "", fmt.Errorf("netproto: registration rejected: %s %s", welcome.Kind, welcome.Err)
 	}
+	var ws *wireState
+	if welcome.Codec != "" {
+		codec, ok := LookupCodec(welcome.Codec)
+		if !ok {
+			return "", fmt.Errorf("netproto: center selected unknown codec %q", welcome.Codec)
+		}
+		ws = &wireState{codec: codec}
+	}
+	a.mu.Lock()
+	a.ws = ws
+	a.mu.Unlock()
 	return welcome.Token, nil
 }
 
@@ -265,9 +280,9 @@ func (a *Agent) loop() {
 	defer close(a.done)
 	for {
 		a.mu.Lock()
-		conn := a.conn
+		conn, ws := a.conn, a.ws
 		a.mu.Unlock()
-		m, err := ReadMessage(conn)
+		m, err := ws.read(conn)
 		if err != nil {
 			if a.isClosed() {
 				return
@@ -347,12 +362,12 @@ func (a *Agent) handle(m *Message) (fatal bool, err error) {
 }
 
 // send writes one message on the current connection through the fault
-// injector.
+// injector, under the connection's negotiated framing.
 func (a *Agent) send(m *Message) error {
 	a.mu.Lock()
-	conn := a.conn
+	conn, ws := a.conn, a.ws
 	a.mu.Unlock()
-	return a.inj.send(conn, m)
+	return a.inj.send(conn, ws, m)
 }
 
 // reconnect runs the retry policy after a link failure: bounded

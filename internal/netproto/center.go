@@ -55,6 +55,12 @@ type CenterConfig struct {
 	// center's outbound messages, independently per accepted
 	// connection. Test/soak tooling only.
 	FaultPlan *FaultPlan
+	// Codec is the batch-frame codec the center prefers when an agent's
+	// hello offers codec negotiation (CodecJSON or CodecBinary; empty
+	// behaves as CodecJSON). Connections whose hello offers nothing — a
+	// pre-batching agent — stay on the legacy per-message JSON framing
+	// regardless.
+	Codec string
 }
 
 // DefaultPhaseDeadline is the per-phase wait applied when neither
@@ -94,13 +100,23 @@ type centerConn struct {
 	id   core.HouseholdID
 	conn net.Conn
 	inj  *faultInjector
+	ws   *wireState // framing negotiated on this connection's hello
 	mu   sync.Mutex // serializes writes
 }
 
 func (c *centerConn) send(m *Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.inj.send(c.conn, m)
+	return c.inj.send(c.conn, c.ws, m)
+}
+
+// sendLegacy writes m in the legacy framing regardless of negotiation —
+// the welcome itself, which both sides must be able to read before the
+// negotiated mode takes effect.
+func (c *centerConn) sendLegacy(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inj.send(c.conn, nil, m)
 }
 
 // session is the center's durable state for one household, surviving
@@ -316,6 +332,11 @@ func (c *Center) handleConn(conn net.Conn) {
 		return
 	}
 	cc := &centerConn{id: hello.ID, conn: conn, inj: newFaultInjector(c.cfg.FaultPlan)}
+	var codecName string
+	if codec := selectCodec(c.cfg.Codec, hello.Codecs); codec != nil {
+		cc.ws = &wireState{codec: codec}
+		codecName = codec.Name()
+	}
 
 	c.mu.Lock()
 	s := c.sessions[hello.ID]
@@ -351,7 +372,7 @@ func (c *Center) handleConn(conn net.Conn) {
 	token := s.token
 	c.mu.Unlock()
 
-	if err := cc.send(&Message{Kind: KindWelcome, ID: hello.ID, Token: token}); err != nil {
+	if err := cc.sendLegacy(&Message{Kind: KindWelcome, ID: hello.ID, Token: token, Codec: codecName}); err != nil {
 		c.markDark(cc)
 		return
 	}
@@ -371,7 +392,7 @@ func (c *Center) handleConn(conn net.Conn) {
 	}
 
 	for {
-		m, err := ReadMessage(conn)
+		m, err := cc.ws.read(conn)
 		if err != nil {
 			c.markDark(cc)
 			select {

@@ -1,0 +1,691 @@
+package netproto
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/obs"
+	"enki/internal/parallel"
+	"enki/internal/pricing"
+	"enki/internal/sched"
+)
+
+// ClusterConfig carries the cluster-specific knobs of the option set;
+// the settlement parameters (pricer, mechanism, rating, trace seed,
+// ledger) are shared with the single-neighborhood center options.
+// Prefer StartCluster with functional options.
+type ClusterConfig struct {
+	// Shards is the number of neighborhoods the membership is
+	// partitioned into (≥ 1). Each shard settles as its own independent
+	// mechanism day — its own scheduler, its own Theorem 1 budget.
+	Shards int
+	// Workers sizes the worker pool shards settle on. Zero means
+	// GOMAXPROCS. The worker count never changes a settled byte.
+	Workers int
+	// Codec names the batch-frame codec shard links encode with
+	// (CodecJSON or CodecBinary; empty means CodecJSON).
+	Codec string
+	// BatchSize caps the messages per batch frame on shard links
+	// (≥ 1; zero means DefaultBatchSize).
+	BatchSize int
+	// Records keeps every shard's full per-household DayRecord on the
+	// ClusterDayRecord. Disable for memory-bounded million-household
+	// runs, which then retain only the per-shard summaries.
+	Records bool
+	// ShardFaults injects a deterministic fault plan into the named
+	// shards' links (chaos testing). Message indexes count across the
+	// shard link's whole lifetime, so a plan names the same messages on
+	// every run. Shards without an entry run fault-free.
+	ShardFaults map[int]*FaultPlan
+}
+
+func (c ClusterConfig) validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("netproto: cluster shards %d must be at least 1", c.Shards)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("netproto: cluster batch size %d must be positive", c.BatchSize)
+	}
+	for shard := range c.ShardFaults {
+		if shard < 0 || shard >= c.Shards {
+			return fmt.Errorf("netproto: fault plan for shard %d outside [0, %d)", shard, c.Shards)
+		}
+	}
+	return nil
+}
+
+// clusterSeedSalt namespaces per-shard RNG streams within the cluster's
+// trace seed, so a shard's scheduler stream never collides with trace
+// IDs or session tokens derived from the same seed.
+const clusterSeedSalt = 0x636c7573 // "clus"
+
+// clusterMember is one household enrolled in a cluster.
+type clusterMember struct {
+	id     core.HouseholdID
+	policy Policy
+}
+
+// shardState is the durable per-shard machinery: the framed link the
+// shard's protocol messages travel through, and the shard's own
+// scheduler (with a seed-derived RNG for the paper's random
+// tie-breaking) so concurrent shards never share mutable state.
+type shardState struct {
+	link      *shardLink
+	scheduler sched.Scheduler
+	members   []clusterMember // sorted by household ID
+}
+
+// Cluster is the sharded multi-neighborhood settlement service: it
+// partitions its households into Shards neighborhoods and settles all
+// of them concurrently, each through the same batched wire framing a
+// TCP connection negotiates. Create with StartCluster, enroll
+// households with Join, run days with ClusterDay.
+//
+// StartCenter remains the single-shard special case of this service
+// with real sockets under it; the cluster trades the sockets for
+// in-process links so a million households settle in seconds while
+// every message still passes through the negotiated codec framing.
+//
+// Determinism contract: the settled output — every ShardDay, every
+// DayRecord byte, every ledger entry — is bit-identical for any worker
+// count and any Join order. Shard seeds derive from the trace seed and
+// the shard index, results land in pre-sized per-shard slots, and the
+// merged ledger is appended in shard-index order after the parallel
+// phase.
+type Cluster struct {
+	center  CenterConfig  // settlement parameters shared with the center
+	cfg     ClusterConfig // cluster-specific knobs
+	codec   Codec
+	engine  parallel.Engine
+	custom  bool // scheduler came from WithScheduler (shared across shards)
+	mu      sync.Mutex
+	members map[core.HouseholdID]Policy
+	shards  []*shardState
+	dirty   bool // membership changed since shards were built
+	closed  bool
+}
+
+// StartCluster starts a sharded settlement service configured by
+// functional options; unset options take the paper's defaults plus one
+// shard — the single-neighborhood special case. The context only gates
+// ClusterDay cancellation; the cluster itself holds no sockets or
+// goroutines between days.
+func StartCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
+	if ctx == nil {
+		return nil, errors.New("netproto: nil context")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
+	}
+	custom := o.center.Scheduler != nil
+	center := o.resolveCenter()
+	cfg := o.cluster
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Codec == "" {
+		cfg.Codec = CodecJSON
+	}
+	if err := center.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	codec, ok := LookupCodec(cfg.Codec)
+	if !ok {
+		return nil, fmt.Errorf("netproto: unknown codec %q", cfg.Codec)
+	}
+	return &Cluster{
+		center:  center,
+		cfg:     cfg,
+		codec:   codec,
+		engine:  parallel.Engine{Workers: cfg.Workers},
+		custom:  custom,
+		members: make(map[core.HouseholdID]Policy),
+		dirty:   true,
+	}, nil
+}
+
+// Join enrolls a household. Households may join between days; the next
+// ClusterDay repartitions the membership (sorted by household ID, in
+// contiguous near-equal blocks) so the partition is a pure function of
+// the member set, never of join order.
+func (c *Cluster) Join(id core.HouseholdID, policy Policy) error {
+	if policy == nil {
+		return errors.New("netproto: nil policy")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("netproto: cluster closed")
+	}
+	if _, ok := c.members[id]; ok {
+		return fmt.Errorf("netproto: duplicate household id %d", id)
+	}
+	c.members[id] = policy
+	c.dirty = true
+	return nil
+}
+
+// Members returns the number of enrolled households.
+func (c *Cluster) Members() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.members)
+}
+
+// Shards returns the configured shard count.
+func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// Close marks the cluster closed; subsequent Join and ClusterDay calls
+// fail. There are no sockets or goroutines to tear down.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// rebuildShards repartitions the membership into shards. Callers hold
+// c.mu. Repartitioning re-derives each shard's scheduler stream and
+// resets its link's fault-plan message index, which is why mid-sequence
+// joins change subsequent days (they change the neighborhoods
+// themselves) but never the days already settled.
+func (c *Cluster) rebuildShards() {
+	ids := make([]core.HouseholdID, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	root := dist.New(c.center.TraceSeed)
+	n := len(ids)
+	c.shards = make([]*shardState, c.cfg.Shards)
+	for s := 0; s < c.cfg.Shards; s++ {
+		lo, hi := s*n/c.cfg.Shards, (s+1)*n/c.cfg.Shards
+		members := make([]clusterMember, 0, hi-lo)
+		for _, id := range ids[lo:hi] {
+			members = append(members, clusterMember{id: id, policy: c.members[id]})
+		}
+		scheduler := c.center.Scheduler
+		if !c.custom {
+			// Fresh Greedy per shard: the paper's random tie-breaking from
+			// a seed-derived stream, owned by this shard alone.
+			scheduler = &sched.Greedy{
+				Pricer: c.center.Pricer,
+				Rating: c.center.Rating,
+				RNG:    root.Split(clusterSeedSalt, uint64(s)),
+			}
+		}
+		c.shards[s] = &shardState{
+			link: &shardLink{
+				codec: c.codec,
+				batch: c.cfg.BatchSize,
+				plan:  c.cfg.ShardFaults[s],
+			},
+			scheduler: scheduler,
+			members:   members,
+		}
+	}
+	c.dirty = false
+}
+
+// ShardDay is one neighborhood's outcome within a cluster day. A shard
+// either settles (Err empty, aggregates populated, Record present when
+// records are kept) or fails in isolation (Err set, siblings
+// untouched).
+type ShardDay struct {
+	Shard   int    `json:"shard"`
+	TraceID string `json:"traceId,omitempty"`
+
+	Households  int `json:"households"`            // members at dawn
+	Settled     int `json:"settled"`               // households with a bill
+	Absent      int `json:"absent,omitempty"`      // never reported; sat the day out
+	Substituted int `json:"substituted,omitempty"` // settled via the imputed defector path
+
+	Cost    float64 `json:"cost"`    // κ(ω) for this neighborhood
+	Revenue float64 `json:"revenue"` // Σ payments (Theorem 1: ξ·κ)
+	Peak    float64 `json:"peak"`    // peak hourly load
+
+	// Record is the shard's full per-household day record; nil when the
+	// cluster runs with WithShardRecords(false) or the shard failed.
+	Record *DayRecord `json:"record,omitempty"`
+
+	Err string `json:"err,omitempty"` // non-empty when the shard failed
+}
+
+// ClusterDayRecord is the deterministic merge of one day across every
+// shard: the per-shard outcomes in shard-index order plus cluster-wide
+// aggregates. Failed shards are reported here rather than failing the
+// day — one faulty neighborhood never perturbs its siblings' ledgers.
+type ClusterDayRecord struct {
+	Day    int        `json:"day"`
+	Shards []ShardDay `json:"shards"`
+
+	Households  int `json:"households"`
+	Settled     int `json:"settled"`
+	Absent      int `json:"absent,omitempty"`
+	Substituted int `json:"substituted,omitempty"`
+	Failed      int `json:"failed,omitempty"` // shards with Err set
+
+	Cost    float64 `json:"cost"`    // Σ shard costs
+	Revenue float64 `json:"revenue"` // Σ shard revenues
+	Peak    float64 `json:"peak"`    // max shard peak
+}
+
+// ClusterDay settles day for every shard concurrently and merges the
+// outcomes. It is not safe for concurrent use with itself. Shard
+// failures (a shard whose protocol round breaks) are isolated into
+// their ShardDay.Err; the error return is reserved for cluster-level
+// problems — no members, cancellation, a closed cluster, or a ledger
+// write failure during the serial merge.
+func (c *Cluster) ClusterDay(ctx context.Context, day int) (*ClusterDayRecord, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("netproto: cluster closed")
+	}
+	if len(c.members) == 0 {
+		c.mu.Unlock()
+		return nil, errors.New("netproto: no enrolled households")
+	}
+	if c.dirty {
+		c.rebuildShards()
+	}
+	shards := c.shards
+	c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Parallel phase: each shard settles into its own pre-sized slot and
+	// never returns an error into ForEach (an error would stop dispatch
+	// and starve sibling shards); failures are recorded in the slot.
+	days := make([]ShardDay, len(shards))
+	entries := make([]*mechanism.LedgerEntry, len(shards))
+	_ = c.engine.ForEach(len(shards), func(s int) error {
+		days[s], entries[s] = c.runShardDay(shards[s], s, day)
+		return nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Serial merge, in shard-index order: ledger entries append in a
+	// deterministic sequence no matter how the parallel phase
+	// interleaved, and the aggregates fold left-to-right.
+	rec := &ClusterDayRecord{Day: day, Shards: days}
+	for s := range days {
+		d := &days[s]
+		rec.Households += d.Households
+		if d.Err != "" {
+			rec.Failed++
+			continue
+		}
+		rec.Settled += d.Settled
+		rec.Absent += d.Absent
+		rec.Substituted += d.Substituted
+		rec.Cost += d.Cost
+		rec.Revenue += d.Revenue
+		if d.Peak > rec.Peak {
+			rec.Peak = d.Peak
+		}
+		if c.center.Ledger != nil && entries[s] != nil {
+			if err := c.center.Ledger.AppendValue(entries[s]); err != nil {
+				return nil, fmt.Errorf("netproto: audit ledger: %w", err)
+			}
+		}
+	}
+	obs.Default().Counter(obs.MetricClusterDaysTotal).Inc()
+	return rec, nil
+}
+
+// runShardDay runs the full Figure 1 day cycle for one shard, every
+// message passing through the shard's batch-framed link: request →
+// preference → allocation → consumption → payment, then settlement.
+// Message loss (injected faults) degrades the shard the same way agent
+// darkness degrades the TCP center: a household whose preference never
+// arrives is absent; one that reported and then went dark is settled
+// via the Eq. 5 imputed-defector path.
+func (c *Cluster) runShardDay(st *shardState, shard, day int) (ShardDay, *mechanism.LedgerEntry) {
+	start := time.Now()
+	tid := obs.DeriveTraceID(c.center.TraceSeed, uint64(day), uint64(shard))
+	span := obs.DefaultTracer().StartTrace(tid, obs.SpanClusterShard,
+		"day", strconv.Itoa(day), "shard", strconv.Itoa(shard))
+	defer span.End()
+	defer func() {
+		obs.Default().Histogram(obs.MetricClusterShardSettleMS, obs.LatencyBucketsMS).
+			Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}()
+
+	out := ShardDay{Shard: shard, TraceID: tid, Households: len(st.members)}
+	fail := func(err error) (ShardDay, *mechanism.LedgerEntry) {
+		out.Err = err.Error()
+		obs.Default().Counter(obs.MetricClusterShardFailures).Inc()
+		return out, nil
+	}
+	if len(st.members) == 0 {
+		// An empty shard (more shards than households) settles trivially.
+		obs.Default().Counter(obs.MetricClusterShardsSettled).Inc()
+		return out, nil
+	}
+
+	// Phase 1: requests out, preferences back. Loss on either leg makes
+	// the household absent for the day.
+	requests := make([]*Message, len(st.members))
+	for i, m := range st.members {
+		requests[i] = &Message{Kind: KindRequest, ID: m.id, Day: day}
+	}
+	delivered, err := st.link.transfer(requests)
+	if err != nil {
+		return fail(err)
+	}
+	prefMsgs := make([]*Message, 0, len(delivered))
+	forEachDelivered(st.members, delivered, func(m clusterMember, _ *Message) {
+		pref := m.policy.Report(day)
+		prefMsgs = append(prefMsgs, &Message{Kind: KindPreference, ID: m.id, Day: day, Pref: &pref})
+	})
+	delivered, err = st.link.transfer(prefMsgs)
+	if err != nil {
+		return fail(err)
+	}
+	reports := make([]core.Report, 0, len(delivered))
+	forEachDelivered(st.members, delivered, func(m clusterMember, msg *Message) {
+		reports = append(reports, core.Report{ID: m.id, Pref: *msg.Pref})
+	})
+	if len(reports) == 0 {
+		return fail(fmt.Errorf("no household reported a preference (all %d dark)", len(st.members)))
+	}
+	for _, r := range reports {
+		if err := r.Pref.Validate(); err != nil {
+			return fail(fmt.Errorf("household %d: invalid report: %w", r.ID, err))
+		}
+	}
+	out.Absent = len(st.members) - len(reports)
+
+	assignments, err := st.scheduler.Allocate(reports)
+	if err != nil {
+		return fail(fmt.Errorf("allocate: %w", err))
+	}
+
+	// Phase 2: allocations out, consumptions back. Loss on either leg
+	// puts the household on the imputed-defector path.
+	reporting := make([]clusterMember, len(reports))
+	memberAt := memberIndexer(st.members)
+	allocMsgs := make([]*Message, len(reports))
+	for i := range reports {
+		reporting[i] = st.members[memberAt(reports[i].ID)]
+		iv := assignments[i].Interval
+		allocMsgs[i] = &Message{Kind: KindAllocation, ID: reports[i].ID, Day: day, Interval: &iv}
+	}
+	delivered, err = st.link.transfer(allocMsgs)
+	if err != nil {
+		return fail(err)
+	}
+	consMsgs := make([]*Message, 0, len(delivered))
+	reportAt := reportIndexer(reports)
+	forEachDelivered(reporting, delivered, func(m clusterMember, msg *Message) {
+		iv := m.policy.Consume(day, *msg.Interval)
+		consMsgs = append(consMsgs, &Message{Kind: KindConsumption, ID: m.id, Day: day, Interval: &iv})
+	})
+	delivered, err = st.link.transfer(consMsgs)
+	if err != nil {
+		return fail(err)
+	}
+	consumptions := make([]core.Consumption, len(reports))
+	seen := make([]bool, len(reports))
+	var badConsumption error
+	forEachDelivered(reporting, delivered, func(m clusterMember, msg *Message) {
+		i := reportAt(m.id)
+		if msg.Interval.Len() != reports[i].Pref.Duration && badConsumption == nil {
+			badConsumption = fmt.Errorf("household %d consumed %d slots, declared %d",
+				m.id, msg.Interval.Len(), reports[i].Pref.Duration)
+			return
+		}
+		consumptions[i] = core.Consumption{ID: m.id, Interval: *msg.Interval}
+		seen[i] = true
+	})
+	if badConsumption != nil {
+		return fail(badConsumption)
+	}
+	var substituted []bool
+	for i := range reports {
+		if seen[i] {
+			continue
+		}
+		if substituted == nil {
+			substituted = make([]bool, len(reports))
+		}
+		substituted[i] = true
+		out.Substituted++
+		consumptions[i] = core.Consumption{ID: reports[i].ID, Interval: mechanism.DarkConsumption(reports[i].Pref)}
+	}
+
+	record, entry, err := settleDay(c.center, tid, day, reports, assignments, consumptions, substituted)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Phase 3: payments out, best-effort — the settled record is already
+	// authoritative, so loss here only suppresses a household's feedback.
+	payMsgs := make([]*Message, len(reports))
+	for i := range reports {
+		payMsgs[i] = &Message{Kind: KindPayment, ID: reports[i].ID, Day: day, Payment: &PaymentDetail{
+			Amount:      record.Payments[i],
+			Flexibility: record.Flexibility[i],
+			Defection:   record.Defection[i],
+			SocialCost:  record.SocialCost[i],
+			TotalCost:   record.Cost,
+			PeakLoad:    record.Peak,
+		}}
+	}
+	delivered, err = st.link.transfer(payMsgs)
+	if err != nil {
+		return fail(err)
+	}
+	forEachDelivered(reporting, delivered, func(m clusterMember, msg *Message) {
+		m.policy.Feedback(day, *msg.Payment)
+	})
+
+	out.Settled = len(reports)
+	out.Cost = record.Cost
+	out.Peak = record.Peak
+	for _, p := range record.Payments {
+		out.Revenue += p
+	}
+	if c.cfg.Records {
+		out.Record = record
+	}
+	reg := obs.Default()
+	reg.Counter(obs.MetricClusterShardsSettled).Inc()
+	reg.Counter(obs.MetricClusterHouseholdsSettled).Add(uint64(len(reports)))
+	if out.Substituted > 0 {
+		reg.Counter(obs.MetricClusterSubstitutionsTotal).Add(uint64(out.Substituted))
+	}
+	return out, entry
+}
+
+// settleDay computes scores, payments, and aggregates for a completed
+// day — the shared settlement core of the TCP center and the cluster
+// shards. Substituted households forfeit their flexibility reward (they
+// never confirmed compliance), putting them on the Eq. 5 defector path.
+// The ledger entry is built but not appended; the caller owns ledger
+// ordering.
+func settleDay(cfg CenterConfig, tid string, day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption, substituted []bool) (*DayRecord, *mechanism.LedgerEntry, error) {
+	prefs := make([]core.Preference, len(reports))
+	assigned := make([]core.Interval, len(reports))
+	consumed := make([]core.Interval, len(reports))
+	for i := range reports {
+		prefs[i] = reports[i].Pref
+		assigned[i] = assignments[i].Interval
+		consumed[i] = consumptions[i].Interval
+	}
+	predicted := mechanism.FlexibilityScores(prefs)
+	flex := mechanism.ActualFlexibilities(predicted, assigned, consumed)
+	for i := range substituted {
+		if substituted[i] {
+			flex[i] = 0
+		}
+	}
+	defect := mechanism.DefectionScores(cfg.Pricer, cfg.Rating, assigned, consumed)
+	psi, err := mechanism.SocialCostScores(flex, defect, cfg.Mechanism.K)
+	if err != nil {
+		return nil, nil, fmt.Errorf("netproto: social cost: %w", err)
+	}
+	load := core.LoadOf(consumed, cfg.Rating)
+	cost := pricing.Cost(cfg.Pricer, load)
+	payments, err := mechanism.Payments(psi, cfg.Mechanism.Xi, cost)
+	if err != nil {
+		return nil, nil, fmt.Errorf("netproto: payments: %w", err)
+	}
+	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
+	var entry *mechanism.LedgerEntry
+	if cfg.Ledger != nil {
+		e := mechanism.BuildLedgerEntry(tid, day, cfg.Mechanism, cfg.Rating,
+			reports, assigned, consumed, substituted, predicted, flex, defect, psi, payments, cost, load.Peak())
+		entry = &e
+	}
+	return &DayRecord{
+		Day:          day,
+		TraceID:      tid,
+		Reports:      reports,
+		Assignments:  assignments,
+		Consumptions: consumptions,
+		Payments:     payments,
+		Flexibility:  flex,
+		Defection:    defect,
+		SocialCost:   psi,
+		Cost:         cost,
+		Peak:         load.Peak(),
+		Substituted:  substituted,
+	}, entry, nil
+}
+
+// forEachDelivered merge-walks delivered messages against the sorted
+// member slice they were generated from, invoking fn once per delivered
+// member in member order. Delivery preserves order and duplicates
+// (FaultDup) arrive adjacent, so a single forward walk suffices — no
+// per-phase maps, which matters at a million households.
+func forEachDelivered(members []clusterMember, delivered []*Message, fn func(m clusterMember, msg *Message)) {
+	i := 0
+	var last core.HouseholdID = -1
+	for _, msg := range delivered {
+		if msg.ID == last {
+			continue // duplicate delivery
+		}
+		for i < len(members) && members[i].id < msg.ID {
+			i++
+		}
+		if i >= len(members) {
+			return
+		}
+		if members[i].id == msg.ID {
+			fn(members[i], msg)
+			last = msg.ID
+			i++
+		}
+	}
+}
+
+// memberIndexer returns a lookup from household ID to index in the
+// sorted member slice, backed by binary search (no map at 1M scale).
+func memberIndexer(members []clusterMember) func(core.HouseholdID) int {
+	return func(id core.HouseholdID) int {
+		return sort.Search(len(members), func(i int) bool { return members[i].id >= id })
+	}
+}
+
+// reportIndexer is memberIndexer over a report slice (same sorted-by-ID
+// invariant).
+func reportIndexer(reports []core.Report) func(core.HouseholdID) int {
+	return func(id core.HouseholdID) int {
+		return sort.Search(len(reports), func(i int) bool { return reports[i].ID >= id })
+	}
+}
+
+// shardLink is the in-process stand-in for a shard's wire: every
+// message batch is encoded into a real batch frame (AppendBatch) and
+// decoded back out (ReadBatch), so frame counts, messages-per-frame,
+// and per-codec byte volumes in the wire metrics are honest — the
+// cluster measures the same framing a TCP connection would carry, minus
+// the socket.
+type shardLink struct {
+	codec    Codec
+	batch    int
+	plan     *FaultPlan
+	next     int // fault-plan message index, cumulative across days
+	buf      bytes.Buffer
+	batchBuf []*Message
+}
+
+// transfer carries msgs across the link in batches of up to batch
+// messages and returns what arrived, in order. Faults from the link's
+// plan apply per message index: drop loses the message, dup delivers it
+// twice, delay delivers normally (latency is meaningless in-process,
+// but the fault is still counted), and garble corrupts the whole frame
+// carrying the message — the receiver's decode fails and every message
+// in that frame is lost, the batched analogue of a garbled TCP frame
+// killing a connection. Only encode bugs return an error.
+func (l *shardLink) transfer(msgs []*Message) ([]*Message, error) {
+	out := make([]*Message, 0, len(msgs))
+	for start := 0; start < len(msgs); start += l.batch {
+		end := start + l.batch
+		if end > len(msgs) {
+			end = len(msgs)
+		}
+		batch := l.batchBuf[:0]
+		garbled := false
+		for _, m := range msgs[start:end] {
+			action := l.plan.ActionAt(l.next)
+			l.next++
+			if action != FaultNone {
+				obs.Default().Counter(obs.MetricNetFaultsTotal, obs.LabelAction, action.String()).Inc()
+			}
+			switch action {
+			case FaultDrop:
+				continue
+			case FaultDup:
+				batch = append(batch, m, m)
+			case FaultGarble:
+				garbled = true
+				batch = append(batch, m)
+			default: // FaultNone, FaultDelay
+				batch = append(batch, m)
+			}
+		}
+		l.batchBuf = batch
+		if len(batch) == 0 {
+			continue
+		}
+		l.buf.Reset()
+		if err := WriteBatch(&l.buf, l.codec, batch); err != nil {
+			return nil, err
+		}
+		if garbled {
+			payload := l.buf.Bytes()[4:]
+			for i := range payload {
+				payload[i] ^= 0x5a
+			}
+		}
+		got, err := ReadBatch(&l.buf)
+		if err != nil {
+			if garbled {
+				continue // the corrupted frame is lost in its entirety
+			}
+			return nil, err
+		}
+		out = append(out, got...)
+	}
+	return out, nil
+}

@@ -1,0 +1,381 @@
+package netproto
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/mechanism"
+	"enki/internal/pricing"
+	"enki/internal/profile"
+	"enki/internal/sched"
+)
+
+// buildCluster enrolls n deterministic truthful households (profile
+// generator, seed 42) into a fresh cluster built with opts.
+func buildCluster(t *testing.T, n int, opts ...Option) *Cluster {
+	t.Helper()
+	cluster, err := StartCluster(context.Background(), opts...)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(42))
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		p := gen.Draw()
+		if err := cluster.Join(core.HouseholdID(i), &Truthful{Type: p.TypeWide()}); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	return cluster
+}
+
+// marshalDays renders a multi-day cluster run to bytes for bit-identity
+// comparisons.
+func marshalDays(t *testing.T, cluster *Cluster, days int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for day := 1; day <= days; day++ {
+		rec, err := cluster.ClusterDay(context.Background(), day)
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		if err := enc.Encode(rec); err != nil {
+			t.Fatalf("encode day %d: %v", day, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestClusterWorkersBitIdentical is the cluster's determinism contract:
+// the serial reference run (Workers: 1) and any parallel run settle
+// byte-identical days — records and audit ledger both — for every codec.
+func TestClusterWorkersBitIdentical(t *testing.T) {
+	for _, codec := range CodecNames() {
+		t.Run(codec, func(t *testing.T) {
+			var ref []byte
+			var refLedger string
+			for _, workers := range []int{1, 2, 7} {
+				var ledger bytes.Buffer
+				cluster := buildCluster(t, 120,
+					WithShards(16),
+					WithWorkers(workers),
+					WithCodec(codec),
+					WithTraceSeed(7),
+					WithLedger(NewJournal(&ledger)),
+				)
+				got := marshalDays(t, cluster, 3)
+				if ref == nil {
+					ref, refLedger = got, ledger.String()
+					continue
+				}
+				if !bytes.Equal(got, ref) {
+					t.Errorf("workers=%d record bytes differ from serial reference", workers)
+				}
+				if ledger.String() != refLedger {
+					t.Errorf("workers=%d ledger bytes differ from serial reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterJoinOrderIrrelevant: the shard partition is a function of
+// the member set, so enrolling households in reverse produces the same
+// settled bytes as enrolling them in order.
+func TestClusterJoinOrderIrrelevant(t *testing.T) {
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(42))
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	n := 60
+	profiles := gen.DrawN(n)
+	run := func(order []int) []byte {
+		cluster, err := StartCluster(context.Background(), WithShards(8), WithTraceSeed(7))
+		if err != nil {
+			t.Fatalf("StartCluster: %v", err)
+		}
+		defer cluster.Close()
+		for _, i := range order {
+			if err := cluster.Join(core.HouseholdID(i), &Truthful{Type: profiles[i].TypeWide()}); err != nil {
+				t.Fatalf("join %d: %v", i, err)
+			}
+		}
+		return marshalDays(t, cluster, 2)
+	}
+	forward := make([]int, n)
+	reverse := make([]int, n)
+	for i := range forward {
+		forward[i] = i
+		reverse[i] = n - 1 - i
+	}
+	if !bytes.Equal(run(forward), run(reverse)) {
+		t.Error("join order changed the settled bytes")
+	}
+}
+
+// TestClusterMatchesSim pins the cluster's settlement to the in-process
+// simulator: one shard, a shared deterministic scheduler, batch framing
+// in between — the payments must match sim.Run exactly, proving the
+// wire framing is transparent to the mechanism.
+func TestClusterMatchesSim(t *testing.T) {
+	// Imported here to avoid a dependency cycle: sim imports netproto,
+	// so the equivalence test lives in enkitest-style form — the sim
+	// side is recomputed inline via the shared settlement helper.
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(9))
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	profiles := gen.DrawN(20)
+
+	cluster, err := StartCluster(context.Background(),
+		WithScheduler(&sched.Greedy{Pricer: defaultTestPricer(), Rating: 2}),
+		WithCodec(CodecBinary),
+	)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer cluster.Close()
+	for i, p := range profiles {
+		if err := cluster.Join(core.HouseholdID(i), &Truthful{Type: p.TypeWide()}); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	rec, err := cluster.ClusterDay(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("ClusterDay: %v", err)
+	}
+	if len(rec.Shards) != 1 || rec.Shards[0].Record == nil {
+		t.Fatalf("expected one shard with a record, got %+v", rec)
+	}
+
+	// Reference: the same day directly through the settlement core.
+	reports := make([]core.Report, len(profiles))
+	for i, p := range profiles {
+		reports[i] = core.Report{ID: core.HouseholdID(i), Pref: p.TypeWide().True}
+	}
+	scheduler := &sched.Greedy{Pricer: defaultTestPricer(), Rating: 2}
+	assignments, err := scheduler.Allocate(reports)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	consumptions := make([]core.Consumption, len(reports))
+	for i := range assignments {
+		consumptions[i] = core.Consumption{ID: reports[i].ID, Interval: assignments[i].Interval}
+	}
+	cfg := CenterConfig{Pricer: defaultTestPricer(), Mechanism: mechanism.DefaultConfig(), Rating: 2}
+	want, _, err := settleDay(cfg, "", 1, reports, assignments, consumptions, nil)
+	if err != nil {
+		t.Fatalf("settleDay: %v", err)
+	}
+	got := rec.Shards[0].Record
+	if len(got.Payments) != len(want.Payments) {
+		t.Fatalf("settled %d households, want %d", len(got.Payments), len(want.Payments))
+	}
+	for i := range want.Payments {
+		if got.Payments[i] != want.Payments[i] {
+			t.Errorf("household %d payment %g, want %g", i, got.Payments[i], want.Payments[i])
+		}
+	}
+	if got.Cost != want.Cost || got.Peak != want.Peak {
+		t.Errorf("aggregates (%g, %g), want (%g, %g)", got.Cost, got.Peak, want.Cost, want.Peak)
+	}
+}
+
+// TestClusterBudgetIdentityPerShard checks Theorem 1 on every shard and
+// on the merge: each neighborhood collects exactly ξ·κ, so residuals
+// vanish shard by shard and in total.
+func TestClusterBudgetIdentityPerShard(t *testing.T) {
+	cluster := buildCluster(t, 90, WithShards(9), WithCodec(CodecBinary), WithTraceSeed(3))
+	rec, err := cluster.ClusterDay(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("ClusterDay: %v", err)
+	}
+	xi := mechanism.DefaultConfig().Xi
+	for _, shard := range rec.Shards {
+		if shard.Err != "" {
+			t.Fatalf("shard %d failed: %s", shard.Shard, shard.Err)
+		}
+		if residual := shard.Revenue - xi*shard.Cost; math.Abs(residual) > 1e-9 {
+			t.Errorf("shard %d residual %g", shard.Shard, residual)
+		}
+	}
+	if residual := rec.Revenue - xi*rec.Cost; math.Abs(residual) > 1e-9 {
+		t.Errorf("merged residual %g", residual)
+	}
+	if rec.Settled != 90 || rec.Failed != 0 {
+		t.Errorf("settled %d failed %d, want 90/0", rec.Settled, rec.Failed)
+	}
+}
+
+// TestClusterShardRecordsOff: the memory-bounded mode drops the bulky
+// per-household records but keeps every summary aggregate.
+func TestClusterShardRecordsOff(t *testing.T) {
+	cluster := buildCluster(t, 40, WithShards(4), WithShardRecords(false))
+	rec, err := cluster.ClusterDay(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("ClusterDay: %v", err)
+	}
+	for _, shard := range rec.Shards {
+		if shard.Record != nil {
+			t.Errorf("shard %d kept a record with records off", shard.Shard)
+		}
+		if shard.Settled == 0 || shard.Cost <= 0 {
+			t.Errorf("shard %d summary empty: %+v", shard.Shard, shard)
+		}
+	}
+}
+
+// TestClusterChaosFaultyShardIsolated is the cluster's blast-radius
+// contract: a shard whose link eats every frame fails alone, and its
+// siblings settle byte-for-byte what they settle on a fault-free run.
+func TestClusterChaosFaultyShardIsolated(t *testing.T) {
+	// Drop every message on shard 2's link for the whole day.
+	sabotage := &FaultPlan{Actions: map[int]FaultAction{}}
+	for i := 0; i < 200; i++ {
+		sabotage.Actions[i] = FaultDrop
+	}
+	run := func(opts ...Option) *ClusterDayRecord {
+		base := []Option{WithShards(5), WithTraceSeed(11)}
+		cluster := buildCluster(t, 50, append(base, opts...)...)
+		rec, err := cluster.ClusterDay(context.Background(), 1)
+		if err != nil {
+			t.Fatalf("ClusterDay: %v", err)
+		}
+		return rec
+	}
+	clean := run()
+	faulty := run(WithShardFaultPlan(2, sabotage))
+
+	if faulty.Shards[2].Err == "" {
+		t.Fatal("sabotaged shard did not fail")
+	}
+	if faulty.Failed != 1 {
+		t.Fatalf("failed shards = %d, want 1", faulty.Failed)
+	}
+	for s := 0; s < 5; s++ {
+		if s == 2 {
+			continue
+		}
+		got, _ := json.Marshal(faulty.Shards[s])
+		want, _ := json.Marshal(clean.Shards[s])
+		if !bytes.Equal(got, want) {
+			t.Errorf("sibling shard %d perturbed by shard 2's faults", s)
+		}
+	}
+}
+
+// TestClusterChaosFaultDegradesShard: dropping one household's
+// consumption reply inside a shard settles that household via the
+// imputed-defector path — the shard degrades, it does not fail, and its
+// budget identity still holds exactly.
+func TestClusterChaosFaultDegradesShard(t *testing.T) {
+	// One shard of 10 households. Per-link message stream: 10 requests,
+	// 10 preferences, 10 allocations, then consumptions — drop the first
+	// consumption reply (index 30).
+	cluster := buildCluster(t, 10,
+		WithShards(1),
+		WithBatchSize(4),
+		WithShardFaultPlan(0, &FaultPlan{Actions: map[int]FaultAction{30: FaultDrop}}),
+	)
+	rec, err := cluster.ClusterDay(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("ClusterDay: %v", err)
+	}
+	shard := rec.Shards[0]
+	if shard.Err != "" {
+		t.Fatalf("shard failed instead of degrading: %s", shard.Err)
+	}
+	if shard.Substituted != 1 {
+		t.Fatalf("substituted = %d, want 1", shard.Substituted)
+	}
+	if shard.Settled != 10 {
+		t.Fatalf("settled = %d, want 10 (dark household still billed)", shard.Settled)
+	}
+	xi := mechanism.DefaultConfig().Xi
+	if residual := shard.Revenue - xi*shard.Cost; math.Abs(residual) > 1e-9 {
+		t.Errorf("degraded shard residual %g", residual)
+	}
+	if shard.Record == nil || shard.Record.Substituted == nil {
+		t.Fatal("record does not mark the substituted household")
+	}
+}
+
+// TestClusterChaosGarbledFrameLosesBatch: a garbled frame loses every
+// message it carries (the batched analogue of a corrupted TCP frame),
+// and with batch size 4 that means up to four households go absent from
+// one injected fault.
+func TestClusterChaosGarbledFrameLosesBatch(t *testing.T) {
+	// Garble the first request frame: requests 0-3 are lost, so those
+	// households never report and sit the day out.
+	cluster := buildCluster(t, 12,
+		WithShards(1),
+		WithBatchSize(4),
+		WithShardFaultPlan(0, &FaultPlan{Actions: map[int]FaultAction{0: FaultGarble}}),
+	)
+	rec, err := cluster.ClusterDay(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("ClusterDay: %v", err)
+	}
+	shard := rec.Shards[0]
+	if shard.Err != "" {
+		t.Fatalf("shard failed: %s", shard.Err)
+	}
+	if shard.Absent != 4 {
+		t.Errorf("absent = %d, want 4 (whole garbled frame lost)", shard.Absent)
+	}
+	if shard.Settled != 8 {
+		t.Errorf("settled = %d, want 8", shard.Settled)
+	}
+}
+
+// TestClusterEmptyAndErrorPaths covers the service's refusals: no
+// members, bad codec, bad shard count, double-join, joining after
+// close.
+func TestClusterEmptyAndErrorPaths(t *testing.T) {
+	ctx := context.Background()
+	if _, err := StartCluster(ctx, WithShards(0)); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := StartCluster(ctx, WithCodec("gzip")); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := StartCluster(ctx, WithShards(2), WithShardFaultPlan(5, &FaultPlan{})); err == nil {
+		t.Error("out-of-range shard fault plan accepted")
+	}
+	cluster, err := StartCluster(ctx)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	if _, err := cluster.ClusterDay(ctx, 1); err == nil {
+		t.Error("empty cluster settled a day")
+	}
+	typ := profile.Profile{}
+	_ = typ
+	p := &Truthful{}
+	if err := cluster.Join(1, p); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if err := cluster.Join(1, p); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	cluster.Close()
+	if err := cluster.Join(2, p); err == nil {
+		t.Error("join after close accepted")
+	}
+	if _, err := cluster.ClusterDay(ctx, 1); err == nil {
+		t.Error("day after close accepted")
+	}
+}
+
+// defaultTestPricer returns the pricer defaultOptions uses, for tests
+// that need a matching reference computation.
+func defaultTestPricer() pricing.Pricer { return defaultOptions().center.Pricer }

@@ -247,14 +247,15 @@ func newFaultInjector(plan *FaultPlan) *faultInjector {
 	return &faultInjector{plan: plan}
 }
 
-// send delivers m on conn, applying the fault scheduled for this
-// injector's next message index. FaultDrop closes conn and reports
+// send delivers m on conn under the connection's negotiated framing
+// (ws; nil means legacy JSON frames), applying the fault scheduled for
+// this injector's next message index. FaultDrop closes conn and reports
 // success: the message is lost in flight and the link is down, which
 // the sender discovers on its next read — exactly how a real link
 // failure presents.
-func (f *faultInjector) send(conn net.Conn, m *Message) error {
+func (f *faultInjector) send(conn net.Conn, ws *wireState, m *Message) error {
 	if f == nil || f.plan == nil {
-		return WriteMessage(conn, m)
+		return ws.write(conn, m)
 	}
 	idx := int(f.next.Add(1) - 1)
 	action := f.plan.ActionAt(idx)
@@ -267,25 +268,36 @@ func (f *faultInjector) send(conn net.Conn, m *Message) error {
 		return nil
 	case FaultDelay:
 		time.Sleep(f.plan.hold())
-		return WriteMessage(conn, m)
+		return ws.write(conn, m)
 	case FaultDup:
-		if err := WriteMessage(conn, m); err != nil {
+		if err := ws.write(conn, m); err != nil {
 			return err
 		}
-		return WriteMessage(conn, m)
+		return ws.write(conn, m)
 	case FaultGarble:
-		return writeGarbled(conn, m)
+		return writeGarbled(conn, ws, m)
 	default:
-		return WriteMessage(conn, m)
+		return ws.write(conn, m)
 	}
 }
 
 // writeGarbled frames m correctly but bit-flips every payload byte, so
-// the receiver's length-prefixed read succeeds and its JSON decode
-// fails — a deterministic stand-in for on-wire corruption.
-func writeGarbled(w net.Conn, m *Message) error {
-	payload, err := json.Marshal(m)
-	if err != nil {
+// the receiver's length-prefixed read succeeds and its decode fails — a
+// deterministic stand-in for on-wire corruption, under whichever
+// framing the connection negotiated.
+func writeGarbled(w net.Conn, ws *wireState, m *Message) error {
+	var payload []byte
+	var err error
+	if ws != nil && ws.codec != nil {
+		// Garble the whole batch frame body after the length header: the
+		// codec ID or the message bytes are corrupted either way, and
+		// the receiver's DecodeBatch fails.
+		frame, ferr := AppendBatch(nil, ws.codec, []*Message{m})
+		if ferr != nil {
+			return ferr
+		}
+		payload = frame[4:]
+	} else if payload, err = json.Marshal(m); err != nil {
 		return fmt.Errorf("netproto: encode %s: %w", m.Kind, err)
 	}
 	for i := range payload {

@@ -2,10 +2,12 @@ package netproto
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"unicode/utf8"
 
 	"enki/internal/core"
+	"enki/internal/obs"
 )
 
 // FuzzReadMessage feeds arbitrary bytes to the frame decoder: it must
@@ -28,7 +30,8 @@ func FuzzReadMessage(f *testing.F) {
 }
 
 // FuzzRoundTrip: any message the writer accepts must decode back to an
-// identical frame.
+// identical frame — in the legacy framing and through each batch-frame
+// codec.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add("hello", int64(3), 7, "some error")
 	f.Add("payment", int64(0), 0, "")
@@ -47,6 +50,109 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if out.Kind != in.Kind || out.ID != in.ID || out.Day != in.Day || out.Err != in.Err {
 			t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+		}
+		for _, name := range CodecNames() {
+			c, _ := LookupCodec(name)
+			enc, err := c.Append(nil, in)
+			if err != nil {
+				t.Fatalf("%s encode: %v", name, err)
+			}
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s wrote but could not decode back: %v", name, err)
+			}
+			if !reflect.DeepEqual(in, dec) {
+				t.Fatalf("%s round trip mismatch: %+v vs %+v", name, dec, in)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch feeds arbitrary bytes to the batch-frame decoder
+// (codec ID, message count, per-message lengths, codec payloads): it
+// must never panic and never return messages alongside an error.
+func FuzzDecodeBatch(f *testing.F) {
+	pref := core.MustPreference(18, 22, 2)
+	for _, name := range []string{CodecJSON, CodecBinary} {
+		c, _ := LookupCodec(name)
+		frame, err := AppendBatch(nil, c, []*Message{
+			{Kind: KindRequest, ID: 1, Day: 2},
+			{Kind: KindPreference, ID: 1, Day: 2, Pref: &pref},
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msgs, err := DecodeBatch(payload)
+		if err != nil && msgs != nil {
+			t.Fatal("messages returned alongside an error")
+		}
+		if err == nil {
+			for _, m := range msgs {
+				if m == nil {
+					t.Fatal("nil message in decoded batch")
+				}
+			}
+		}
+	})
+}
+
+// FuzzCodecDifferential is the cross-codec oracle: the same message
+// encoded by the JSON codec and by the binary codec must decode to the
+// same value — any divergence is a bug in one of them. The message is
+// assembled from fuzzed fields including the optional structs.
+func FuzzCodecDifferential(f *testing.F) {
+	f.Add("preference", int64(1), 2, "tok", int64(18), int64(22), 2, 1.5, true, "trace", "span")
+	f.Add("payment", int64(0), 0, "", int64(0), int64(0), 0, -3.25, false, "", "")
+	f.Fuzz(func(t *testing.T, kind string, id int64, day int, token string,
+		begin, end int64, duration int, amount float64, withPayment bool, traceID, spanID string) {
+		if !utf8.ValidString(kind) || !utf8.ValidString(token) ||
+			!utf8.ValidString(traceID) || !utf8.ValidString(spanID) {
+			t.Skip() // JSON cannot round-trip invalid UTF-8; binary can, so skip the comparison
+		}
+		in := &Message{Kind: Kind(kind), ID: core.HouseholdID(id), Day: day, Token: token}
+		if begin != 0 || end != 0 {
+			in.Interval = &core.Interval{Begin: core.Hour(begin), End: core.Hour(end)}
+		}
+		if duration > 0 {
+			in.Pref = &core.Preference{
+				Window:   core.Interval{Begin: core.Hour(begin), End: core.Hour(end)},
+				Duration: duration,
+			}
+		}
+		if withPayment {
+			in.Payment = &PaymentDetail{Amount: amount, TotalCost: amount * 2}
+		}
+		if traceID != "" || spanID != "" {
+			in.Trace = &obs.TraceContext{TraceID: traceID, SpanID: spanID}
+		}
+
+		jsonC, _ := LookupCodec(CodecJSON)
+		binC, _ := LookupCodec(CodecBinary)
+		je, err := jsonC.Append(nil, in)
+		if err != nil {
+			t.Skip() // unencodable by contract (e.g. NaN payment in JSON)
+		}
+		be, err := binC.Append(nil, in)
+		if err != nil {
+			t.Fatalf("json accepted but binary rejected: %v", err)
+		}
+		jd, err := jsonC.Decode(je)
+		if err != nil {
+			t.Fatalf("json decode: %v", err)
+		}
+		bd, err := binC.Decode(be)
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		if !reflect.DeepEqual(jd, bd) {
+			t.Fatalf("codecs disagree:\n json   %+v\n binary %+v", jd, bd)
 		}
 	})
 }

@@ -17,18 +17,20 @@ type DialFunc func(ctx context.Context) (net.Conn, error)
 
 // agentConfig is the agent side of the option set.
 type agentConfig struct {
-	retry RetryPolicy
-	plan  *FaultPlan
-	dial  DialFunc
+	retry  RetryPolicy
+	plan   *FaultPlan
+	dial   DialFunc
+	codecs []string // batch-frame codecs offered on the hello
 }
 
-// options is the combined center/agent option state. One Option type
-// serves both constructors — an option that only concerns the other
-// side is simply inert, so a test can build one shared option list
+// options is the combined center/agent/cluster option state. One Option
+// type serves every constructor — an option that only concerns another
+// surface is simply inert, so a test can build one shared option list
 // (say, a fault plan plus a phase deadline) and hand it to both ends.
 type options struct {
-	center CenterConfig
-	agent  agentConfig
+	center  CenterConfig
+	agent   agentConfig
+	cluster ClusterConfig
 }
 
 // Option configures StartCenter, StartCenterListener, Connect, and
@@ -47,6 +49,15 @@ func defaultOptions() *options {
 			Pricer:    pricing.Quadratic{Sigma: pricing.DefaultSigma},
 			Mechanism: mechanism.DefaultConfig(),
 			Rating:    2,
+			Codec:     CodecJSON,
+		},
+		agent: agentConfig{
+			codecs: CodecNames(),
+		},
+		cluster: ClusterConfig{
+			Shards:    1,
+			BatchSize: DefaultBatchSize,
+			Records:   true,
 		},
 	}
 }
@@ -131,4 +142,58 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // keeps TLS across resumes.
 func WithDialer(d DialFunc) Option {
 	return func(o *options) { o.agent.dial = d }
+}
+
+// WithCodec sets the batch-frame codec (CodecJSON or CodecBinary) the
+// center — or every shard link of a cluster — encodes with. On a TCP
+// center the codec still has to be negotiated: a connection whose agent
+// offers nothing stays on the legacy per-message JSON framing. Default:
+// CodecJSON.
+func WithCodec(name string) Option {
+	return func(o *options) {
+		o.center.Codec = name
+		o.cluster.Codec = name
+	}
+}
+
+// WithShards partitions a cluster's households into n neighborhoods,
+// each settled as its own independent mechanism day (default 1 — the
+// single-neighborhood special case).
+func WithShards(n int) Option {
+	return func(o *options) { o.cluster.Shards = n }
+}
+
+// WithBatchSize caps the messages carried per batch frame on cluster
+// shard links (default DefaultBatchSize; 1 degenerates to unbatched
+// framing, the baseline the BENCH_net delta is measured against).
+func WithBatchSize(n int) Option {
+	return func(o *options) { o.cluster.BatchSize = n }
+}
+
+// WithWorkers sets the worker-pool size a cluster settles shards with
+// (default 0 = GOMAXPROCS; the Workers:1≡Workers:N contract guarantees
+// the count never changes any settled byte).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.cluster.Workers = n }
+}
+
+// WithShardRecords controls whether ClusterDay retains every shard's
+// full per-household DayRecord (default true). Disabled, a day keeps
+// only the per-shard summaries — the memory-bounded mode the
+// million-household enkiload runs use.
+func WithShardRecords(keep bool) Option {
+	return func(o *options) { o.cluster.Records = keep }
+}
+
+// WithShardFaultPlan injects a deterministic fault plan into one
+// shard's link (chaos testing): message indexes count per shard per
+// day-phase stream, so a plan names the same messages on every run.
+// Sibling shards are untouched.
+func WithShardFaultPlan(shard int, plan *FaultPlan) Option {
+	return func(o *options) {
+		if o.cluster.ShardFaults == nil {
+			o.cluster.ShardFaults = make(map[int]*FaultPlan)
+		}
+		o.cluster.ShardFaults[shard] = plan
+	}
 }

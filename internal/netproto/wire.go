@@ -8,8 +8,12 @@
 //	agent → center: realized consumption ω
 //	center → agent: payment p (with score breakdown)
 //
-// Messages are length-prefixed JSON frames. The package uses only the
-// standard library (net, encoding/json, sync).
+// Messages travel in length-prefixed frames. Registration (hello and
+// welcome) always uses the legacy one-JSON-message-per-frame format;
+// the exchange doubles as codec negotiation, after which a connection
+// may switch to batched frames carrying multiple messages in either the
+// JSON or the compact binary codec (see frame.go and codec.go). The
+// package uses only the standard library (net, encoding/json, sync).
 package netproto
 
 import (
@@ -59,6 +63,17 @@ type Message struct {
 	// resume the interrupted session (the center replays the phase
 	// messages the agent missed) instead of registering fresh.
 	Token string `json:"token,omitempty"`
+
+	// Codecs (hello) offers the batch-frame codecs the agent can speak;
+	// Codec (welcome) is the center's selection. Both empty on either
+	// side keeps the connection on the legacy per-message JSON framing,
+	// which is how a post-batching endpoint interoperates with a
+	// pre-batching peer: an old center ignores the unknown hello field
+	// and answers a codec-less welcome, an old agent offers nothing and
+	// is answered in kind. The hello/welcome exchange itself always
+	// travels legacy-framed.
+	Codecs []string `json:"codecs,omitempty"` // hello: agent → center offer
+	Codec  string   `json:"codec,omitempty"`  // welcome: center → agent selection
 
 	Pref     *core.Preference `json:"pref,omitempty"`     // preference
 	Interval *core.Interval   `json:"interval,omitempty"` // allocation, consumption

@@ -71,6 +71,28 @@ const (
 	MetricNetReplaysTotal             = "enki_netproto_replayed_messages_total"
 	MetricNetPhaseDeadlineRemainingMS = "enki_netproto_phase_deadline_remaining_ms"
 
+	// internal/netproto — batched wire framing and codec accounting.
+	// Frames and messages-per-frame are deterministic for a given day's
+	// content (framing depends only on batch size and message order);
+	// codec bytes are deterministic per codec, which is what makes the
+	// JSON-vs-binary delta in BENCH_net.json a stable quantity.
+	MetricNetFramesTotal     = "enki_netproto_frames_total"
+	MetricNetFrameMessages   = "enki_netproto_frame_messages"
+	MetricNetCodecBytesTotal = "enki_netproto_codec_bytes_total"
+
+	// internal/netproto — sharded cluster settlement: days and shards
+	// settled, shard failures (chaos), and the per-shard settle latency
+	// histogram ("_ms", exempt from the determinism contract). Shard
+	// queue depth during a cluster day is the parallel engine's
+	// enki_parallel_queue_depth gauge — the cluster schedules shards as
+	// parallel jobs, so the engine's utilization series are its own.
+	MetricClusterDaysTotal          = "enki_cluster_days_total"
+	MetricClusterShardsSettled      = "enki_cluster_shards_settled_total"
+	MetricClusterShardFailures      = "enki_cluster_shard_failures_total"
+	MetricClusterShardSettleMS      = "enki_cluster_shard_settle_latency_ms"
+	MetricClusterHouseholdsSettled  = "enki_cluster_households_settled_total"
+	MetricClusterSubstitutionsTotal = "enki_cluster_substituted_households_total"
+
 	// internal/obs — the tracer's own health: spans evicted from the
 	// bounded ring (a long -trace-out run outgrowing its retention).
 	MetricObsTraceDropped = "enki_obs_trace_dropped_total"
@@ -93,6 +115,12 @@ const (
 	// per-scheduler allocation children.
 	SpanSweepDay      = "sweep.day"
 	SpanSweepAllocate = "sweep.allocate"
+
+	// internal/netproto cluster — each shard's settlement day is its own
+	// trace (trace ID derived from the shard seed and day), so a
+	// million-household day is a forest of shard traces rather than one
+	// giant span tree.
+	SpanClusterShard = "cluster.shard"
 )
 
 // Shared label keys.
@@ -103,6 +131,7 @@ const (
 	LabelSide      = "side"
 	LabelAction    = "action"
 	LabelBound     = "bound"
+	LabelCodec     = "codec"
 )
 
 // Bound label values for the solver's pruned-nodes series: which bound
@@ -143,6 +172,11 @@ var (
 	// DollarBuckets covers per-household payments and per-day budget
 	// quantities for neighborhood sizes up to a few hundred.
 	DollarBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+	// BatchBuckets covers messages-per-frame counts for the batched wire
+	// framing, from the TCP path's single-message frames up to the
+	// cluster links' kilomessage batches.
+	BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 )
 
 // IsTimingMetric reports whether the series key names a wall-clock

@@ -68,6 +68,53 @@ func Example() {
 	// degraded: false
 }
 
+// ExampleStartCluster settles many neighborhoods in one call: twelve
+// households partitioned into four shards, every protocol message
+// crossing its shard link as a binary batch frame. Each shard balances
+// its own Theorem 1 budget and the merged record sums them.
+func ExampleStartCluster() {
+	ctx := context.Background()
+	cluster, err := enkinet.StartCluster(ctx,
+		enkinet.WithShards(4),
+		enkinet.WithCodec(enkinet.CodecBinary),
+		enkinet.WithTraceSeed(7),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cluster.Close()
+
+	for i := 0; i < 12; i++ {
+		typ := exampleTypes[i%len(exampleTypes)]
+		if err := cluster.Join(enki.HouseholdID(i), &enkinet.Truthful{Type: typ}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	record, err := cluster.ClusterDay(ctx, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	balanced := true
+	for _, shard := range record.Shards {
+		if math.Abs(shard.Revenue-enki.DefaultXi*shard.Cost) > 1e-9 {
+			balanced = false
+		}
+	}
+	fmt.Printf("shards settled: %d\n", len(record.Shards))
+	fmt.Printf("households settled: %d\n", record.Settled)
+	fmt.Printf("every shard budget balanced: %v\n", balanced)
+	fmt.Printf("merged budget balanced: %v\n", math.Abs(record.Revenue-enki.DefaultXi*record.Cost) < 1e-9)
+	// Output:
+	// shards settled: 4
+	// households settled: 12
+	// every shard budget balanced: true
+	// merged budget balanced: true
+}
+
 // ExampleWithFaultPlan injects a deterministic link cut into one
 // agent's message stream. The agent's retry policy reconnects it, the
 // center replays the message it missed, and the day settles exactly as

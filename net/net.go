@@ -1,18 +1,31 @@
-// Package net is the public facade over Enki's TCP settlement
-// protocol. It re-exports the center, the agent, and the
+// Package net is the public facade over Enki's settlement protocol. It
+// re-exports the center, the agent, the sharded cluster, and the
 // fault-tolerance surface of internal/netproto so that library users
-// can run a networked neighborhood — including fault-injected and
-// degraded days — without reaching into internal packages.
+// can run a networked neighborhood — or thousands of them — without
+// reaching into internal packages.
 //
-// A minimal session:
+// A minimal TCP session:
 //
 //	center, _ := net.StartCenter("127.0.0.1:0", net.WithPhaseDeadline(5*time.Second))
 //	agent, _ := net.Connect(ctx, center.Addr(), 0, &net.Truthful{Type: typ})
 //	center.WaitForAgentsContext(ctx, 1)
 //	record, _ := center.RunDayContext(ctx, 1)
 //
+// StartCenter is the single-shard special case: one neighborhood, real
+// sockets. To settle many neighborhoods concurrently, StartCluster
+// partitions the households into shards and drives every shard's
+// protocol messages through the same batched wire framing a TCP
+// connection negotiates, minus the sockets:
+//
+//	cluster, _ := net.StartCluster(ctx, net.WithShards(1000), net.WithCodec(net.CodecBinary))
+//	for i, typ := range types {
+//		cluster.Join(core.HouseholdID(i), &net.Truthful{Type: typ})
+//	}
+//	record, _ := cluster.ClusterDay(ctx, 1) // per-shard DayRecords, merged deterministically
+//
 // For fault-tolerant agents add net.WithRetryPolicy; for deterministic
-// chaos testing add net.WithFaultPlan. See example_test.go for complete
+// chaos testing add net.WithFaultPlan (per-connection) or
+// net.WithShardFaultPlan (per-shard). See example_test.go for complete
 // runnable sessions.
 package net
 
@@ -62,6 +75,23 @@ type (
 	Replay = netproto.Replay
 	// PaymentDetail is the per-household payment message body.
 	PaymentDetail = netproto.PaymentDetail
+	// Cluster is the sharded multi-neighborhood settlement service.
+	Cluster = netproto.Cluster
+	// ClusterDayRecord is one settled day merged across every shard.
+	ClusterDayRecord = netproto.ClusterDayRecord
+	// ShardDay is one neighborhood's outcome within a cluster day.
+	ShardDay = netproto.ShardDay
+)
+
+// Batch-frame codecs a connection or cluster link can negotiate.
+const (
+	// CodecJSON is the JSON codec inside batch frames (the default).
+	CodecJSON = netproto.CodecJSON
+	// CodecBinary is the compact binary codec.
+	CodecBinary = netproto.CodecBinary
+	// DefaultBatchSize is the messages-per-frame cap when batching is
+	// enabled without an explicit WithBatchSize.
+	DefaultBatchSize = netproto.DefaultBatchSize
 )
 
 // Fault actions a FaultPlan can schedule.
@@ -108,19 +138,51 @@ func NewAgent(conn stdnet.Conn, id core.HouseholdID, policy Policy, opts ...Opti
 	return netproto.NewAgent(conn, id, policy, opts...)
 }
 
+// StartCluster starts a sharded settlement service: the households
+// enrolled via Join are partitioned into WithShards neighborhoods and
+// every ClusterDay settles all of them concurrently over a worker pool,
+// bit-identically for any worker count or join order. Every protocol
+// message crosses a shard link as a real batch frame in the WithCodec
+// codec, so the wire metrics (frames, messages per frame, per-codec
+// bytes) measure the same framing a TCP connection would carry.
+func StartCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
+	return netproto.StartCluster(ctx, opts...)
+}
+
 // Configuration options, re-exported from internal/netproto.
 var (
-	WithScheduler     = netproto.WithScheduler
-	WithPricer        = netproto.WithPricer
-	WithMechanism     = netproto.WithMechanism
-	WithRating        = netproto.WithRating
-	WithPhaseDeadline = netproto.WithPhaseDeadline
-	WithTraceSeed     = netproto.WithTraceSeed
-	WithLedger        = netproto.WithLedger
-	WithFaultPlan     = netproto.WithFaultPlan
-	WithRetryPolicy   = netproto.WithRetryPolicy
-	WithDialer        = netproto.WithDialer
+	WithScheduler      = netproto.WithScheduler
+	WithPricer         = netproto.WithPricer
+	WithMechanism      = netproto.WithMechanism
+	WithRating         = netproto.WithRating
+	WithPhaseDeadline  = netproto.WithPhaseDeadline
+	WithTraceSeed      = netproto.WithTraceSeed
+	WithLedger         = netproto.WithLedger
+	WithFaultPlan      = netproto.WithFaultPlan
+	WithRetryPolicy    = netproto.WithRetryPolicy
+	WithDialer         = netproto.WithDialer
+	WithCodec          = netproto.WithCodec
+	WithShards         = netproto.WithShards
+	WithBatchSize      = netproto.WithBatchSize
+	WithWorkers        = netproto.WithWorkers
+	WithShardRecords   = netproto.WithShardRecords
+	WithShardFaultPlan = netproto.WithShardFaultPlan
 )
+
+// NewCenter starts a center on addr from an explicit config struct.
+//
+// Deprecated: use StartCenter with functional options.
+func NewCenter(addr string, cfg CenterConfig) (*Center, error) {
+	return netproto.NewCenter(addr, cfg)
+}
+
+// Dial connects an agent without a context or options.
+//
+// Deprecated: use Connect, which takes a context governing the dial and
+// handshake and accepts options such as WithRetryPolicy.
+func Dial(addr string, id core.HouseholdID, policy Policy) (*Agent, error) {
+	return netproto.Dial(addr, id, policy)
+}
 
 // DefaultRetryPolicy returns the stock reconnect policy: 5 attempts,
 // 50ms base delay doubling to a 2s cap, ±20% seeded jitter.

@@ -28,17 +28,19 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Result mirrors tools/benchjson's per-benchmark entry (benchjson is a
 // main package, so the struct is duplicated rather than imported).
 type Result struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report mirrors tools/benchjson's JSON document.
@@ -64,6 +66,8 @@ func run(args []string, out io.Writer) error {
 		currPath   = fs.String("current", "", "fresh benchjson report to compare")
 		threshold  = fs.Float64("threshold", 25, "max allowed ns/op regression in percent")
 		allocSlack = fs.Int64("alloc-slack", 0, "max allowed allocs/op growth in absolute allocations")
+		bytesGate  = fs.Float64("bytes-threshold", 0, "max allowed B/op growth in percent (0 disables the gate)")
+		extraGate  = fs.Float64("extra-threshold", 0, "max allowed growth in percent for custom metrics such as frames/op (0 disables the gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +81,9 @@ func run(args []string, out io.Writer) error {
 	if *allocSlack < 0 {
 		return fmt.Errorf("alloc-slack %d must be non-negative", *allocSlack)
 	}
+	if *bytesGate < 0 || *extraGate < 0 {
+		return fmt.Errorf("bytes-threshold and extra-threshold must be non-negative")
+	}
 
 	base, err := readReport(*basePath)
 	if err != nil {
@@ -87,20 +94,41 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	regressions, allocRegressions, err := diff(out, base, curr, *threshold, *allocSlack)
+	g := gates{threshold: *threshold, allocSlack: *allocSlack, bytesGate: *bytesGate, extraGate: *extraGate}
+	n, err := diff(out, base, curr, g)
 	if err != nil {
 		return err
 	}
-	switch {
-	case regressions > 0 && allocRegressions > 0:
-		return fmt.Errorf("%d benchmarks regressed more than %g%% in ns/op and %d grew allocs/op past slack %d",
-			regressions, *threshold, allocRegressions, *allocSlack)
-	case regressions > 0:
-		return fmt.Errorf("%d benchmarks regressed more than %g%% in ns/op", regressions, *threshold)
-	case allocRegressions > 0:
-		return fmt.Errorf("%d benchmarks grew allocs/op past slack %d", allocRegressions, *allocSlack)
+	var failures []string
+	if n.ns > 0 {
+		failures = append(failures, fmt.Sprintf("%d benchmarks regressed more than %g%% in ns/op", n.ns, *threshold))
+	}
+	if n.alloc > 0 {
+		failures = append(failures, fmt.Sprintf("%d grew allocs/op past slack %d", n.alloc, *allocSlack))
+	}
+	if n.bytes > 0 {
+		failures = append(failures, fmt.Sprintf("%d grew B/op more than %g%%", n.bytes, *bytesGate))
+	}
+	if n.extra > 0 {
+		failures = append(failures, fmt.Sprintf("%d grew a custom metric more than %g%%", n.extra, *extraGate))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// gates bundles the per-dimension regression thresholds; counts tallies
+// how many shared benchmarks tripped each.
+type gates struct {
+	threshold  float64
+	allocSlack int64
+	bytesGate  float64
+	extraGate  float64
+}
+
+type counts struct {
+	ns, alloc, bytes, extra int
 }
 
 func readReport(path string) (*Report, error) {
@@ -119,10 +147,9 @@ func readReport(path string) (*Report, error) {
 	return &r, nil
 }
 
-// diff prints the comparison table and returns how many shared
-// benchmarks regressed past the ns/op threshold and how many grew
-// their allocs/op past the slack.
-func diff(out io.Writer, base, curr *Report, threshold float64, allocSlack int64) (int, int, error) {
+// diff prints the comparison table and tallies, per gate dimension, how
+// many shared benchmarks regressed past their threshold.
+func diff(out io.Writer, base, curr *Report, g gates) (counts, error) {
 	baseline := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseline[r.Name] = r
@@ -138,39 +165,62 @@ func diff(out io.Writer, base, curr *Report, threshold float64, allocSlack int64
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(out, "%-28s %14s %14s %9s %12s\n", "benchmark", "base ns/op", "curr ns/op", "delta", "allocs")
-	regressions, allocRegressions := 0, 0
+	fmt.Fprintf(out, "%-40s %14s %14s %9s %12s\n", "benchmark", "base ns/op", "curr ns/op", "delta", "allocs")
+	var n counts
 	for _, name := range names {
 		b := baseline[name]
 		c, ok := current[name]
 		if !ok {
-			fmt.Fprintf(out, "%-28s %14.0f %14s %9s\n", name, b.NsPerOp, "-", "gone")
+			fmt.Fprintf(out, "%-40s %14.0f %14s %9s\n", name, b.NsPerOp, "-", "gone")
 			continue
 		}
 		if b.NsPerOp <= 0 {
-			return 0, 0, fmt.Errorf("baseline %s has non-positive ns/op %g", name, b.NsPerOp)
+			return counts{}, fmt.Errorf("baseline %s has non-positive ns/op %g", name, b.NsPerOp)
 		}
 		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		verdict := ""
-		if delta > threshold {
+		if delta > g.threshold {
 			verdict = "  REGRESSION"
-			regressions++
+			n.ns++
 		}
 		allocs := fmt.Sprintf("%d->%d", b.AllocsPerOp, c.AllocsPerOp)
 		// Slack plus 1% of baseline: zero-alloc contracts stay exact at
 		// the default slack, while heavy allocators (time-budgeted
 		// solves, pooled searches) get headroom proportional to their
 		// baseline rather than a flat number.
-		if c.AllocsPerOp > b.AllocsPerOp+allocSlack+b.AllocsPerOp/100 {
+		if c.AllocsPerOp > b.AllocsPerOp+g.allocSlack+b.AllocsPerOp/100 {
 			verdict += "  ALLOC-REGRESSION"
-			allocRegressions++
+			n.alloc++
 		}
-		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+8.1f%% %12s%s\n", name, b.NsPerOp, c.NsPerOp, delta, allocs, verdict)
+		if g.bytesGate > 0 && b.BytesPerOp > 0 &&
+			float64(c.BytesPerOp) > float64(b.BytesPerOp)*(1+g.bytesGate/100) {
+			verdict += fmt.Sprintf("  BYTES-REGRESSION(%d->%d B/op)", b.BytesPerOp, c.BytesPerOp)
+			n.bytes++
+		}
+		if g.extraGate > 0 {
+			units := make([]string, 0, len(b.Extra))
+			for unit := range b.Extra {
+				units = append(units, unit)
+			}
+			sort.Strings(units)
+			for _, unit := range units {
+				bv := b.Extra[unit]
+				cv, ok := c.Extra[unit]
+				if !ok || bv <= 0 {
+					continue
+				}
+				if cv > bv*(1+g.extraGate/100) {
+					verdict += fmt.Sprintf("  %s-REGRESSION(%g->%g)", strings.ToUpper(unit), bv, cv)
+					n.extra++
+				}
+			}
+		}
+		fmt.Fprintf(out, "%-40s %14.0f %14.0f %+8.1f%% %12s%s\n", name, b.NsPerOp, c.NsPerOp, delta, allocs, verdict)
 	}
 	for name := range current {
 		if _, ok := baseline[name]; !ok {
-			fmt.Fprintf(out, "%-28s %14s %14.0f %9s\n", name, "-", current[name].NsPerOp, "new")
+			fmt.Fprintf(out, "%-40s %14s %14.0f %9s\n", name, "-", current[name].NsPerOp, "new")
 		}
 	}
-	return regressions, allocRegressions, nil
+	return n, nil
 }

@@ -155,3 +155,45 @@ func TestAgainstCommittedBaseline(t *testing.T) {
 		t.Errorf("self-diff flagged a regression:\n%s", out.String())
 	}
 }
+
+// TestBytesGate: -bytes-threshold turns B/op growth into a failure;
+// off by default so legacy invocations are unchanged.
+func TestBytesGate(t *testing.T) {
+	base := writeReport(t, "base.json", []Result{{Name: "WireBatch", NsPerOp: 1000, BytesPerOp: 8000}})
+	curr := writeReport(t, "curr.json", []Result{{Name: "WireBatch", NsPerOp: 1000, BytesPerOp: 12000}})
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", curr}, &out); err != nil {
+		t.Fatalf("gate should be off by default: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	err := run([]string{"-baseline", base, "-current", curr, "-bytes-threshold", "25"}, &out)
+	if err == nil || !strings.Contains(out.String(), "BYTES-REGRESSION") {
+		t.Fatalf("+50%% B/op should fail a 25%% bytes gate: err=%v\n%s", err, out.String())
+	}
+}
+
+// TestExtraMetricGate: -extra-threshold gates custom b.ReportMetric
+// series such as frames/op.
+func TestExtraMetricGate(t *testing.T) {
+	base := writeReport(t, "base.json", []Result{
+		{Name: "ClusterDay", NsPerOp: 1000, Extra: map[string]float64{"frames/op": 2.5}},
+	})
+	curr := writeReport(t, "curr.json", []Result{
+		{Name: "ClusterDay", NsPerOp: 1000, Extra: map[string]float64{"frames/op": 4.0}},
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", curr}, &out); err != nil {
+		t.Fatalf("gate should be off by default: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	err := run([]string{"-baseline", base, "-current", curr, "-extra-threshold", "10"}, &out)
+	if err == nil || !strings.Contains(out.String(), "FRAMES/OP-REGRESSION") {
+		t.Fatalf("+60%% frames/op should fail a 10%% extra gate: err=%v\n%s", err, out.String())
+	}
+	// A metric missing from the current report never fails the gate.
+	curr2 := writeReport(t, "curr2.json", []Result{{Name: "ClusterDay", NsPerOp: 1000}})
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", curr2, "-extra-threshold", "10"}, &out); err != nil {
+		t.Fatalf("missing metric should not fail: %v\n%s", err, out.String())
+	}
+}

@@ -39,6 +39,10 @@ type Result struct {
 	// log carried no memory columns.
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric pairs by unit (e.g.
+	// "frames/op"), which the bench framework prints between ns/op and
+	// the -benchmem columns.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -50,10 +54,13 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
-// benchLine matches e.g.
+// benchLine matches the fixed prefix of a result line, e.g.
 //
 //	BenchmarkGreedyAllocate10-8   1234   9876 ns/op   120 B/op   7 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+//
+// The measurements after the iteration count are parsed as
+// value-unit pairs so custom b.ReportMetric units survive.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(\S.*)$`)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -141,14 +148,33 @@ func Parse(r io.Reader) (*Report, error) {
 			return nil, fmt.Errorf("parse iterations in %q: %w", line, err)
 		}
 		res.Iterations = iters
-		ns, err := strconv.ParseFloat(m[4], 64)
-		if err != nil {
-			return nil, fmt.Errorf("parse ns/op in %q: %w", line, err)
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd measurement fields in %q", line)
 		}
-		res.NsPerOp = ns
-		if m[5] != "" {
-			res.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-			res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		sawNs := false
+		for i := 0; i < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s value in %q: %w", fields[i+1], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = value
+				sawNs = true
+			case "B/op":
+				res.BytesPerOp = int64(value)
+			case "allocs/op":
+				res.AllocsPerOp = int64(value)
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = value
+			}
+		}
+		if !sawNs {
+			return nil, fmt.Errorf("no ns/op measurement in %q", line)
 		}
 		report.Results = append(report.Results, res)
 	}

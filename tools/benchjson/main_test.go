@@ -45,6 +45,33 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseReportMetric: custom b.ReportMetric units print between
+// ns/op and the -benchmem columns; they must land in Extra without
+// disturbing the standard fields.
+func TestParseReportMetric(t *testing.T) {
+	const log = `goos: linux
+BenchmarkClusterDay/codec=binary/batch=64-8    50   21000000 ns/op   2.500 frames/op   9100 wireB/op   4096 B/op   12 allocs/op
+PASS
+`
+	report, err := Parse(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 1 {
+		t.Fatalf("got %d results: %+v", len(report.Results), report.Results)
+	}
+	r := report.Results[0]
+	if r.Name != "ClusterDay/codec=binary/batch=64" || r.Procs != 8 {
+		t.Errorf("name/procs mis-parsed: %+v", r)
+	}
+	if r.NsPerOp != 21000000 || r.BytesPerOp != 4096 || r.AllocsPerOp != 12 {
+		t.Errorf("standard fields mis-parsed: %+v", r)
+	}
+	if r.Extra["frames/op"] != 2.5 || r.Extra["wireB/op"] != 9100 {
+		t.Errorf("custom metrics mis-parsed: %+v", r.Extra)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	report, err := Parse(strings.NewReader("PASS\nok enki 0.1s\n"))
 	if err != nil {
