@@ -11,6 +11,7 @@ package enki
 // highlights (~600x at n ≥ 40).
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"enki/internal/dist"
 	"enki/internal/experiment"
 	"enki/internal/mechanism"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 	"enki/internal/profile"
 	"enki/internal/sched"
@@ -403,6 +405,40 @@ func BenchmarkFlexibilityScores(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = mechanism.FlexibilityScores(prefs)
+	}
+}
+
+// BenchmarkFederatedSnapshot measures the operator plane's merge path:
+// assembling the cluster-wide FederatedSnapshot from 128 shard-sized
+// sources, each carrying the counter, gauge, and settle-latency series
+// a real shard reports. This is what every /api/v1/federation scrape
+// and every enkiops poll pays, so its allocs/op is gated alongside the
+// allocator benches in make bench-check.
+func BenchmarkFederatedSnapshot(b *testing.B) {
+	fed := obs.NewFederation(obs.NewRegistry())
+	for s := 0; s < 128; s++ {
+		reg := obs.NewRegistry()
+		reg.Counter(obs.MetricClusterShardsSettled).Add(uint64(30 + s))
+		reg.Counter(obs.MetricClusterHouseholdsSettled).Add(uint64(8 * (30 + s)))
+		reg.Counter(obs.MetricClusterSubstitutionsTotal).Add(uint64(s % 3))
+		reg.Gauge(obs.MetricMechBudgetResidual).Set(0)
+		reg.Gauge(obs.MetricMechDayPAR).Set(1.2)
+		h := reg.Histogram(obs.MetricClusterShardSettleMS, obs.LatencyBucketsMS)
+		for d := 0; d < 30; d++ {
+			h.Observe(float64(1+(s+d)%7) * 0.3)
+		}
+		fed.Report(&obs.MetricsReport{
+			Source:   fmt.Sprintf("shard/%04d", s),
+			Snapshot: reg.Snapshot(),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := fed.Snapshot()
+		if len(snap.Sources) != 128 {
+			b.Fatalf("sources = %d", len(snap.Sources))
+		}
 	}
 }
 

@@ -47,6 +47,7 @@ func run(args []string) error {
 		days      = fs.Duration("for", time.Hour, "how long to keep serving")
 		retrySpec = fs.String("retry", "", "reconnect policy, e.g. attempts=5,base=50ms,max=2s,mult=2,jitter=0.2,seed=1 (empty = no reconnection)")
 		faultSpec = fs.String("fault-plan", "", "deterministic outbound fault plan, e.g. drop@2 or seed=42,msgs=100,drop=0.05")
+		reporting = fs.Bool("reporting", false, "piggyback the agent's metrics snapshot on each day's consumption phase (pair with enkid -obs.reporting)")
 		traceOut  = fs.String("trace-out", "", "write the agent-side span trace to this JSONL file")
 	)
 	logOpts := obs.LogFlags(fs)
@@ -105,6 +106,7 @@ func run(args []string) error {
 	agent, err := netproto.Connect(context.Background(), *addr, core.HouseholdID(*id), policy,
 		netproto.WithRetryPolicy(retry),
 		netproto.WithFaultPlan(plan),
+		netproto.WithMetricsReporting(*reporting),
 	)
 	if err != nil {
 		return err

@@ -60,6 +60,7 @@ type daemonFlags struct {
 	journal    string
 	ledger     string
 	httpAddr   string
+	reporting  bool
 	traceOut   string
 	traceSeed  uint64
 	traceLimit int
@@ -93,7 +94,8 @@ func newFlagSet() (*flag.FlagSet, *daemonFlags) {
 	// -obs.*: observability — metrics endpoint, journals, traces.
 	fs.StringVar(&f.journal, "obs.journal", "", "append day settlements to this JSONL file")
 	fs.StringVar(&f.ledger, "obs.ledger", "", "append per-day mechanism audit-ledger entries to this JSONL file")
-	fs.StringVar(&f.httpAddr, "obs.http", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:8080; empty = off)")
+	fs.StringVar(&f.httpAddr, "obs.http", "", "serve the operator plane on this address: /metrics, /healthz, /readyz, /api/v1/*, pprof (e.g. 127.0.0.1:8080; empty = off)")
+	fs.BoolVar(&f.reporting, "obs.reporting", false, "merge agent metricsReport snapshots into the federated view at /api/v1/federation")
 	fs.StringVar(&f.traceOut, "obs.trace-out", "", "write the day-cycle span trace to this JSONL file")
 	fs.Uint64Var(&f.traceSeed, "obs.trace-seed", 0, "seed for the deterministic per-day trace IDs and session tokens")
 	fs.IntVar(&f.traceLimit, "obs.trace-limit", 0, "max retained spans before the oldest are dropped (0 = default)")
@@ -163,7 +165,7 @@ func run(args []string) error {
 	}
 
 	scheduler := &sched.Greedy{Pricer: pricer, Rating: *rating}
-	center, err := netproto.StartCenter(*addr,
+	centerOpts := []netproto.Option{
 		netproto.WithScheduler(scheduler),
 		netproto.WithPricer(pricer),
 		netproto.WithMechanism(mechanism.Config{K: mechanism.DefaultK, Xi: *xi}),
@@ -173,21 +175,30 @@ func run(args []string) error {
 		netproto.WithLedger(ledgerLog),
 		netproto.WithFaultPlan(plan),
 		netproto.WithCodec(f.codec),
-	)
+		netproto.WithMetricsReporting(f.reporting),
+	}
+	if *httpAddr != "" {
+		// The operator plane implies the SLO engine: /api/v1/slo burns
+		// against the default objectives.
+		centerOpts = append(centerOpts, netproto.WithSLO())
+	}
+	center, err := netproto.StartCenter(*addr, centerOpts...)
 	if err != nil {
 		return err
 	}
 	defer center.Close()
 
 	preregisterMetrics(scheduler.Name())
+	var operator *obs.Operator
 	if *httpAddr != "" {
-		debug, err := obs.ServeDebug(*httpAddr, obs.Default())
+		operator = center.Operator()
+		srv, err := obs.ServeOperator(*httpAddr, operator)
 		if err != nil {
 			return err
 		}
-		defer debug.Close()
-		logger.Info("debug listener up", "addr", debug.Addr(),
-			"endpoints", "/metrics /healthz /debug/pprof/")
+		defer srv.Close()
+		logger.Info("operator plane up", "addr", srv.Addr(),
+			"endpoints", "/metrics /healthz /readyz /api/v1/{day,shards,ledger/tail,slo,federation,metrics} /debug/pprof/")
 	}
 	if *traceLimit > 0 {
 		obs.DefaultTracer().SetCapacity(*traceLimit)
@@ -215,6 +226,9 @@ func run(args []string) error {
 		return fmt.Errorf("waiting for %d agents: %w", *agents, err)
 	}
 	logger.Info("agents registered", "count", center.AgentCount())
+	if operator != nil {
+		operator.SetReady(true) // enrollment complete: /readyz flips to 200
+	}
 
 	var journalLog *netproto.Journal
 	if *journal != "" {
@@ -276,6 +290,7 @@ func preregisterMetrics(schedulerName string) {
 	}
 	reg.Counter(obs.MetricNetDegradedDaysTotal)
 	reg.Counter(obs.MetricNetSubstitutionsTotal)
+	reg.Histogram(obs.MetricNetDaySettleMS, obs.LatencyBucketsMS)
 	reg.Counter(obs.MetricNetReplaysTotal)
 	for _, side := range []string{obs.SideCenter, obs.SideAgent} {
 		reg.Counter(obs.MetricNetResumesTotal, obs.LabelSide, side)
@@ -296,5 +311,7 @@ func preregisterMetrics(schedulerName string) {
 	reg.Gauge(obs.MetricMechBudgetResidual)
 	reg.Gauge(obs.MetricMechPaymentSpread)
 	reg.Gauge(obs.MetricMechDayPAR)
+	reg.Gauge(obs.MetricMechTheorem1Deviation)
+	reg.Counter(obs.MetricMechBudgetViolations)
 	reg.Counter(obs.MetricObsTraceDropped)
 }

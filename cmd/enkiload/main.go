@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"time"
 
@@ -53,6 +54,9 @@ type loadFlags struct {
 	records    bool
 	check      bool
 	out        string
+	ops        string
+	opsCheck   bool
+	fedOut     string
 }
 
 func newFlagSet() (*flag.FlagSet, *loadFlags) {
@@ -71,6 +75,9 @@ func newFlagSet() (*flag.FlagSet, *loadFlags) {
 	fs.BoolVar(&f.records, "records", false, "keep full per-shard DayRecords (costs memory at scale)")
 	fs.BoolVar(&f.check, "check", false, "re-settle each day on one worker and require byte-identical output")
 	fs.StringVar(&f.out, "out", "", "write an obs metrics snapshot (JSON) on exit")
+	fs.StringVar(&f.ops, "ops", "", "serve the operator plane on this address (e.g. 127.0.0.1:0; enables metrics federation and the default SLOs)")
+	fs.BoolVar(&f.opsCheck, "ops-check", false, "after the run, scrape /api/v1/day and /api/v1/slo and fail on non-2xx, an unsettled day, or an unhealthy objective")
+	fs.StringVar(&f.fedOut, "fed-out", "", "write the federated metrics snapshot (JSON) on exit (requires -ops)")
 	return fs, f
 }
 
@@ -91,6 +98,9 @@ func run(argv []string, out io.Writer) error {
 	if _, ok := netproto.LookupCodec(f.codec); !ok {
 		return fmt.Errorf("unknown -codec %q (have: %v)", f.codec, netproto.CodecNames())
 	}
+	if (f.opsCheck || f.fedOut != "") && f.ops == "" {
+		return fmt.Errorf("-ops-check and -fed-out require -ops")
+	}
 	pricer, err := pricing.NewQuadratic(f.sigma)
 	if err != nil {
 		return err
@@ -105,6 +115,19 @@ func run(argv []string, out io.Writer) error {
 	defer cluster.Close()
 	fmt.Fprintf(out, "enrolled %d households in %d shards (codec=%s batch=%d) in %v\n",
 		cluster.Members(), cluster.Shards(), f.codec, f.batch, time.Since(start).Round(time.Millisecond))
+
+	var opsURL string
+	if f.ops != "" {
+		op := cluster.Operator()
+		srv, err := obs.ServeOperator(f.ops, op)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		op.SetReady(true) // enrollment is complete by here
+		opsURL = "http://" + srv.Addr()
+		fmt.Fprintf(out, "operator plane: %s (api /api/v1/{day,shards,ledger/tail,slo,federation})\n", opsURL)
+	}
 
 	var check *netproto.Cluster
 	if f.check {
@@ -150,6 +173,23 @@ func run(argv []string, out io.Writer) error {
 	fmt.Fprintf(out, "wire: %d messages in %d frames, %d codec bytes (%.1f msgs/frame, %.1f B/msg)\n",
 		msgs, frames, wire, ratio(msgs, frames), ratio(wire, msgs))
 
+	if f.opsCheck {
+		if err := checkOps(opsURL, f.days, out); err != nil {
+			return err
+		}
+	}
+	if f.fedOut != "" {
+		w, err := os.Create(f.fedOut)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cluster.Federation().Snapshot()); err != nil {
+			return err
+		}
+	}
 	if f.out != "" {
 		w, err := os.Create(f.out)
 		if err != nil {
@@ -161,6 +201,47 @@ func run(argv []string, out io.Writer) error {
 	return nil
 }
 
+// checkOps is the harness's operator-plane gate: the day API must agree
+// that every requested day settled, and every SLO objective must be
+// within its burn budget. CI runs this after the 100k smoke so a
+// regression in the observability path — not just the settlement path —
+// fails the build.
+func checkOps(opsURL string, days int, out io.Writer) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	get := func(path string, v any) error {
+		resp, err := client.Get(opsURL + path)
+		if err != nil {
+			return fmt.Errorf("ops-check: GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("ops-check: GET %s: status %d", path, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(v)
+	}
+	var day obs.DayStatus
+	if err := get("/api/v1/day", &day); err != nil {
+		return err
+	}
+	if day.Phase != "settled" || day.Day != days || day.DaysSettled != uint64(days) {
+		return fmt.Errorf("ops-check: day status %+v, want day %d settled", day, days)
+	}
+	var slo obs.SLOReport
+	if err := get("/api/v1/slo", &slo); err != nil {
+		return err
+	}
+	if len(slo.Objectives) == 0 {
+		return fmt.Errorf("ops-check: /api/v1/slo returned no objectives")
+	}
+	for _, o := range slo.Objectives {
+		if !o.Healthy {
+			return fmt.Errorf("ops-check: SLO %s violated: %d/%d bad over budget %g", o.Name, o.Bad, o.Total, o.Budget)
+		}
+	}
+	fmt.Fprintf(out, "ops-check: day %d settled, %d SLO objectives healthy\n", day.Day, len(slo.Objectives))
+	return nil
+}
+
 // startCluster builds a cluster and enrolls the truthful population.
 // Profiles are drawn once per call from the same seed, so two clusters
 // built from identical flags hold identical member sets.
@@ -169,7 +250,7 @@ func startCluster(ctx context.Context, f *loadFlags, pricer pricing.Pricer, work
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := netproto.StartCluster(ctx,
+	opts := []netproto.Option{
 		netproto.WithPricer(pricer),
 		netproto.WithMechanism(mechanism.Config{K: mechanism.DefaultK, Xi: f.xi}),
 		netproto.WithRating(f.rating),
@@ -179,7 +260,14 @@ func startCluster(ctx context.Context, f *loadFlags, pricer pricing.Pricer, work
 		netproto.WithCodec(f.codec),
 		netproto.WithBatchSize(f.batch),
 		netproto.WithShardRecords(f.records),
-	)
+	}
+	if f.ops != "" {
+		// The operator plane wants the federated per-shard view and the
+		// burn-rate objectives; both stay off otherwise so a plain run's
+		// wire stream and registry are unchanged.
+		opts = append(opts, netproto.WithMetricsReporting(true), netproto.WithSLO())
+	}
+	cluster, err := netproto.StartCluster(ctx, opts...)
 	if err != nil {
 		return nil, err
 	}

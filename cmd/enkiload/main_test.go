@@ -70,6 +70,47 @@ func TestLoadJSONCodecAndSnapshot(t *testing.T) {
 	}
 }
 
+// TestLoadOperatorPlane runs the harness with the operator API up and
+// the post-run ops gate on, plus a federated-snapshot export: the day
+// must settle, every SLO objective must be healthy, and the federation
+// must hold one source per shard.
+func TestLoadOperatorPlane(t *testing.T) {
+	obs.Default().Reset()
+	fedPath := filepath.Join(t.TempDir(), "federation.json")
+	var out strings.Builder
+	err := run([]string{
+		"-households", "128", "-shards", "8", "-days", "2",
+		"-ops", "127.0.0.1:0", "-ops-check", "-fed-out", fedPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"operator plane: http://127.0.0.1:",
+		"ops-check: day 2 settled",
+		"SLO objectives healthy",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	raw, err := os.ReadFile(fedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fed obs.FederatedSnapshot
+	if err := json.Unmarshal(raw, &fed); err != nil {
+		t.Fatalf("federated snapshot not valid JSON: %v", err)
+	}
+	if len(fed.Sources) != 8 {
+		t.Errorf("federated sources = %d, want one per shard", len(fed.Sources))
+	}
+	if got := fed.Merged.Counters[obs.MetricClusterHouseholdsSettled]; got != 256 {
+		t.Errorf("merged households settled = %d, want 256 (128 × 2 days)", got)
+	}
+}
+
 // TestLoadFlagValidation rejects nonsense before any work happens.
 func TestLoadFlagValidation(t *testing.T) {
 	for _, argv := range [][]string{
@@ -78,6 +119,8 @@ func TestLoadFlagValidation(t *testing.T) {
 		{"-shards", "10", "-households", "5"},
 		{"-days", "0"},
 		{"-codec", "carrier-pigeon"},
+		{"-ops-check"},
+		{"-fed-out", "fed.json"},
 	} {
 		var out strings.Builder
 		if err := run(argv, &out); err == nil {

@@ -1,0 +1,278 @@
+// Command enkiops is the operator console for a running settlement
+// service: it polls the /api/v1 status API that enkid -obs.http and
+// enkiload -ops serve and renders a live day/shard view — current
+// phase and deadline, households reported vs dark, per-shard health
+// with substitutions and settle latency, the day's PAR and payment
+// fairness spread, the Theorem 1 residual of each audited ledger day,
+// and SLO burn rates.
+//
+//	enkiops -addr 127.0.0.1:8080              # live watch, 2s cadence
+//	enkiops -addr 127.0.0.1:8080 -once        # one snapshot, then exit
+//	enkiops -addr 127.0.0.1:8080 -once -json  # machine-readable, for scripts
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"enki/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "enkiops:", err)
+		os.Exit(1)
+	}
+}
+
+// opsReport is one polled snapshot of the operator plane — the JSON
+// document -json emits, assembled from the individual API endpoints.
+type opsReport struct {
+	Ready  bool              `json:"ready"`
+	Day    obs.DayStatus     `json:"day"`
+	Shards []obs.ShardStatus `json:"shards"`
+	SLO    *obs.SLOReport    `json:"slo,omitempty"`
+	Ledger []ledgerLine      `json:"ledgerTail,omitempty"`
+	// PAR and Spread mirror the mechanism gauges for the last settled
+	// day: peak-to-average ratio and max−min payment.
+	PAR    float64 `json:"par,omitempty"`
+	Spread float64 `json:"paymentSpread,omitempty"`
+}
+
+// ledgerLine is the console's view of one audit-ledger entry: the day,
+// its money totals, and the Theorem 1 residual Σp − ξ·κ recomputed from
+// the audited values (zero on every sound day).
+type ledgerLine struct {
+	Day      int     `json:"day"`
+	TraceID  string  `json:"traceId,omitempty"`
+	Cost     float64 `json:"cost"`
+	Revenue  float64 `json:"revenue"`
+	Xi       float64 `json:"xi"`
+	Residual float64 `json:"residual"`
+}
+
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("enkiops", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "operator-plane address (host:port or full http:// URL)")
+		interval = fs.Duration("interval", 2*time.Second, "poll cadence in watch mode")
+		once     = fs.Bool("once", false, "poll once and exit")
+		asJSON   = fs.Bool("json", false, "emit the snapshot as JSON instead of the table")
+		tailN    = fs.Int("ledger", 5, "audited ledger-tail entries to include")
+		watchFor = fs.Duration("for", 0, "stop watching after this long (0 = until interrupted)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval %v must be positive", *interval)
+	}
+	if *tailN < 0 {
+		return fmt.Errorf("-ledger %d must be non-negative", *tailN)
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	poll := func() error {
+		rep, err := fetch(client, base, *tailN)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		render(out, rep)
+		return nil
+	}
+	if *once {
+		return poll()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *watchFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *watchFor)
+		defer cancel()
+	}
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		if err := poll(); err != nil {
+			// A transient scrape failure must not kill the watch: the
+			// service may be mid-restart. Report it and keep polling.
+			fmt.Fprintf(out, "enkiops: %v\n", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// fetch assembles one opsReport from the operator API. The day and
+// shard endpoints are mandatory — their absence is a broken target —
+// while SLO, ledger, and metrics are optional surfaces that degrade to
+// empty sections when the service runs without them.
+func fetch(client *http.Client, base string, tailN int) (*opsReport, error) {
+	get := func(path string, v any, required bool) (bool, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return false, fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound && !required {
+			return false, nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			return false, fmt.Errorf("decode %s: %w", path, err)
+		}
+		return true, nil
+	}
+
+	rep := &opsReport{}
+	if resp, err := client.Get(base + "/readyz"); err == nil {
+		rep.Ready = resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+	}
+	if _, err := get("/api/v1/day", &rep.Day, true); err != nil {
+		return nil, err
+	}
+	if _, err := get("/api/v1/shards", &rep.Shards, true); err != nil {
+		return nil, err
+	}
+	var slo obs.SLOReport
+	if ok, err := get("/api/v1/slo", &slo, false); err != nil {
+		return nil, err
+	} else if ok {
+		rep.SLO = &slo
+	}
+	if tailN > 0 {
+		var raw []json.RawMessage
+		if ok, err := get(fmt.Sprintf("/api/v1/ledger/tail?n=%d", tailN), &raw, false); err != nil {
+			return nil, err
+		} else if ok {
+			rep.Ledger = decodeLedger(raw)
+		}
+	}
+	var snap obs.Snapshot
+	if ok, err := get("/api/v1/metrics", &snap, false); err != nil {
+		return nil, err
+	} else if ok {
+		rep.PAR = snap.Gauges[obs.MetricMechDayPAR]
+		rep.Spread = snap.Gauges[obs.MetricMechPaymentSpread]
+	}
+	return rep, nil
+}
+
+// decodeLedger projects raw audit-ledger lines onto the console view,
+// recomputing each day's Theorem 1 residual from its audited totals.
+func decodeLedger(raw []json.RawMessage) []ledgerLine {
+	out := make([]ledgerLine, 0, len(raw))
+	for _, line := range raw {
+		var e struct {
+			Day     int     `json:"day"`
+			TraceID string  `json:"traceId"`
+			Cost    float64 `json:"cost"`
+			Revenue float64 `json:"revenue"`
+			Xi      float64 `json:"xi"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // foreign journal line; the console shows what it can
+		}
+		out = append(out, ledgerLine{
+			Day:      e.Day,
+			TraceID:  e.TraceID,
+			Cost:     e.Cost,
+			Revenue:  e.Revenue,
+			Xi:       e.Xi,
+			Residual: e.Revenue - e.Xi*e.Cost,
+		})
+	}
+	return out
+}
+
+// render writes the human table: day header, shard health table, SLO
+// burn rates, and the audited ledger tail.
+func render(w io.Writer, rep *opsReport) {
+	ready := "ready"
+	if !rep.Ready {
+		ready = "starting"
+	}
+	d := rep.Day
+	fmt.Fprintf(w, "day %d [%s] %s — members %d, reported %d, dark %d, days settled %d",
+		d.Day, d.Phase, ready, d.Members, d.Reported, d.Dark, d.DaysSettled)
+	if d.DeadlineRemainingMS > 0 {
+		fmt.Fprintf(w, ", deadline in %.0fms", d.DeadlineRemainingMS)
+	}
+	fmt.Fprintln(w)
+	if d.DaysSettled > 0 {
+		fmt.Fprintf(w, "last day: cost $%.2f revenue $%.2f residual %+.3g peak %.1f kW",
+			d.LastCost, d.LastRevenue, d.LastResidual, d.LastPeak)
+		if rep.PAR > 0 {
+			fmt.Fprintf(w, " PAR %.3f spread $%.2f", rep.PAR, rep.Spread)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(rep.Shards) > 0 {
+		fmt.Fprintf(w, "%-6s %-8s %5s %6s %7s %6s %6s %10s %10s %10s %9s\n",
+			"shard", "health", "day", "hh", "settled", "absent", "subst", "cost", "revenue", "residual", "settle ms")
+		for _, s := range rep.Shards {
+			health := "ok"
+			if !s.Healthy {
+				health = "FAILED"
+			} else if s.Absent+s.Substituted > 0 {
+				health = "degraded"
+			}
+			fmt.Fprintf(w, "%-6d %-8s %5d %6d %7d %6d %6d %10.2f %10.2f %+10.2g %9.2f\n",
+				s.Shard, health, s.LastDay, s.Households, s.Settled, s.Absent, s.Substituted,
+				s.Cost, s.Revenue, s.Residual, s.LastSettleMS)
+			if s.Err != "" {
+				fmt.Fprintf(w, "       err: %s\n", s.Err)
+			}
+		}
+	}
+
+	if rep.SLO != nil {
+		fmt.Fprintf(w, "slo:\n")
+		for _, o := range rep.SLO.Objectives {
+			health := "ok"
+			if !o.Healthy {
+				health = "BURNING"
+			}
+			fmt.Fprintf(w, "  %-28s %-8s budget %-7g bad %d/%d", o.Name, health, o.Budget, o.Bad, o.Total)
+			for _, b := range o.Burn {
+				fmt.Fprintf(w, "  %s×%.2f", b.Window, b.Rate)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(rep.Ledger) > 0 {
+		fmt.Fprintf(w, "ledger tail:\n")
+		for _, l := range rep.Ledger {
+			fmt.Fprintf(w, "  day %-5d cost $%-10.2f revenue $%-10.2f residual %+.3g  %s\n",
+				l.Day, l.Cost, l.Revenue, l.Residual, l.TraceID)
+		}
+	}
+}

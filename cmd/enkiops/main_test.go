@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/netproto"
+	"enki/internal/obs"
+	"enki/internal/profile"
+)
+
+// startOpsCluster settles fault-injected days on a live 8-shard cluster
+// and serves its operator plane on a loopback port, returning the
+// address enkiops should scrape. Shard 3's link drops the first
+// consumption frame of day 1 (index 24 of its 8-household stream), so
+// the shard settles degraded with one substituted household.
+func startOpsCluster(t *testing.T, days int) string {
+	t.Helper()
+	var ledgerBuf bytes.Buffer
+	cluster, err := netproto.StartCluster(context.Background(),
+		netproto.WithShards(8),
+		netproto.WithTraceSeed(5),
+		netproto.WithLedger(netproto.NewJournal(&ledgerBuf)),
+		netproto.WithMetricsReporting(true),
+		netproto.WithSLO(),
+		netproto.WithShardFaultPlan(3, &netproto.FaultPlan{
+			Actions: map[int]netproto.FaultAction{24: netproto.FaultDrop},
+		}),
+	)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(42))
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	for i := 0; i < 64; i++ {
+		p := gen.Draw()
+		if err := cluster.Join(core.HouseholdID(i), &netproto.Truthful{Type: p.TypeWide()}); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	op := cluster.Operator()
+	srv, err := obs.ServeOperator("127.0.0.1:0", op)
+	if err != nil {
+		t.Fatalf("ServeOperator: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	op.SetReady(true)
+	for day := 1; day <= days; day++ {
+		if _, err := cluster.ClusterDay(context.Background(), day); err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+	}
+	return srv.Addr()
+}
+
+// TestOpsOnceJSONAgainstLiveCluster is the acceptance path: one -once
+// -json scrape of a live fault-injected 8-shard cluster returns the day
+// status, the per-shard health table with the degraded shard visible,
+// the audited ledger tail with zero Theorem 1 residual, and the SLO
+// burn rates.
+func TestOpsOnceJSONAgainstLiveCluster(t *testing.T) {
+	addr := startOpsCluster(t, 1)
+	var out strings.Builder
+	if err := run([]string{"-addr", addr, "-once", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep opsReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, out.String())
+	}
+	if !rep.Ready {
+		t.Error("ready = false for a serving cluster")
+	}
+	if rep.Day.Phase != "settled" || rep.Day.DaysSettled != 1 {
+		t.Errorf("day status %+v, want settled day 1", rep.Day)
+	}
+	if rep.Day.Dark != 1 {
+		t.Errorf("dark = %d, want 1 (substituted household)", rep.Day.Dark)
+	}
+	if len(rep.Shards) != 8 {
+		t.Fatalf("shards = %d, want 8", len(rep.Shards))
+	}
+	for s, sh := range rep.Shards {
+		if !sh.Healthy {
+			t.Errorf("shard %d unhealthy: %+v", s, sh)
+		}
+		wantSub := 0
+		if s == 3 {
+			wantSub = 1
+		}
+		if sh.Substituted != wantSub {
+			t.Errorf("shard %d substituted = %d, want %d", s, sh.Substituted, wantSub)
+		}
+		if math.Abs(sh.Residual) > 1e-9 {
+			t.Errorf("shard %d residual %g, want 0 (Theorem 1)", s, sh.Residual)
+		}
+	}
+	// The cluster audits one ledger entry per shard per day; the tail
+	// default returns the last 5, all from the one settled day, each
+	// with a vanishing Theorem 1 residual.
+	if len(rep.Ledger) != 5 {
+		t.Fatalf("ledger tail has %d entries, want 5 (default -ledger)", len(rep.Ledger))
+	}
+	for _, l := range rep.Ledger {
+		if l.Day != 1 {
+			t.Errorf("ledger entry for day %d, want 1", l.Day)
+		}
+		if math.Abs(l.Residual) > 1e-9 {
+			t.Errorf("ledger residual %g, want 0 (Theorem 1)", l.Residual)
+		}
+	}
+	if rep.SLO == nil || len(rep.SLO.Objectives) != len(obs.DefaultObjectives()) {
+		t.Fatalf("slo section %+v, want %d objectives", rep.SLO, len(obs.DefaultObjectives()))
+	}
+	for _, o := range rep.SLO.Objectives {
+		if len(o.Burn) != len(rep.SLO.Windows) {
+			t.Errorf("objective %s has %d burn windows, want %d", o.Name, len(o.Burn), len(rep.SLO.Windows))
+		}
+	}
+	if rep.PAR <= 0 {
+		t.Errorf("PAR = %g, want > 0 from the mechanism gauges", rep.PAR)
+	}
+}
+
+// TestOpsOnceTableRendersDegradedShard: the human table marks the
+// degraded shard and prints the SLO and ledger sections.
+func TestOpsOnceTableRendersDegradedShard(t *testing.T) {
+	addr := startOpsCluster(t, 2)
+	var out strings.Builder
+	if err := run([]string{"-addr", addr, "-once"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"day 2 [settled] ready",
+		"days settled 2",
+		"shard", "slo:", "ledger tail:",
+		"budget-residual-zero",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+	// Day 2 is fault-free (the plan names only index 24), so every
+	// shard row reads ok; day 1's substitution still shows in the
+	// ledger tail length.
+	if !strings.Contains(got, "ok") {
+		t.Errorf("table missing healthy shard rows:\n%s", got)
+	}
+	if strings.Count(got, "day ") < 2 {
+		t.Errorf("ledger tail missing both settled days:\n%s", got)
+	}
+}
+
+// TestOpsFlagValidation rejects nonsense and unreachable targets.
+func TestOpsFlagValidation(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-interval", "0s"},
+		{"-ledger", "-1"},
+	} {
+		var out strings.Builder
+		if err := run(argv, &out); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", argv)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-addr", "127.0.0.1:1", "-once", "-timeout", "200ms"}, &out); err == nil {
+		t.Error("run against a dead port succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package mechanism
 
 import (
 	"fmt"
+	"math"
 
 	"enki/internal/core"
 	"enki/internal/obs"
@@ -99,10 +100,13 @@ func (s Settlement) CenterUtility() float64 { return s.Revenue() - s.Cost }
 // metrics registry: score and payment distributions (histograms, so
 // they merge deterministically across parallel days), the Theorem 1
 // budget residual Σp − κ(ω), the payment spread max p − min p, and
-// the day's PAR. The gauges hold the most recent day — meaningful for
+// the day's PAR. It also enforces the Theorem 1 identity Σp = ξ·κ(ω):
+// a day whose signed deviation leaves the floating-point tolerance band
+// increments the budget-violations counter the budget-residual-zero SLO
+// burns against. The gauges hold the most recent day — meaningful for
 // the serial enkid daemon; in parallel experiment runs only the
-// histograms and the settlement counter are deterministic.
-func RecordSettlementMetrics(flex, defect, psi, payments []float64, cost, par float64) {
+// histograms and the counters are deterministic.
+func RecordSettlementMetrics(flex, defect, psi, payments []float64, cost, xi, par float64) {
 	reg := obs.Default()
 	reg.Counter(obs.MetricMechSettlementsTotal).Inc()
 	flexH := reg.Histogram(obs.MetricMechFlexibilityScore, obs.ScoreBuckets)
@@ -126,6 +130,11 @@ func RecordSettlementMetrics(flex, defect, psi, payments []float64, cost, par fl
 	reg.Gauge(obs.MetricMechBudgetResidual).Set(revenue - cost)
 	reg.Gauge(obs.MetricMechPaymentSpread).Set(maxP - minP)
 	reg.Gauge(obs.MetricMechDayPAR).Set(par)
+	deviation := revenue - xi*cost
+	reg.Gauge(obs.MetricMechTheorem1Deviation).Set(deviation)
+	if tol := 1e-9 * math.Max(1, math.Abs(xi*cost)); math.Abs(deviation) > tol {
+		reg.Counter(obs.MetricMechBudgetViolations).Inc()
+	}
 }
 
 // Settle computes the full Enki settlement for a day: scores, payments,
@@ -167,7 +176,7 @@ func Settle(p pricing.Pricer, cfg Config, day Day) (Settlement, error) {
 	}
 
 	load := core.LoadOf(day.Consumptions, day.Rating)
-	RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
+	RecordSettlementMetrics(flex, defect, psi, payments, cost, cfg.Xi, load.PAR())
 
 	return Settlement{
 		Cost:        cost,

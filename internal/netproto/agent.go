@@ -86,6 +86,8 @@ type Agent struct {
 	cfg    agentConfig
 	inj    *faultInjector // indices persist across reconnects
 	jitter *dist.RNG      // retry jitter stream, split per household
+	reg    *obs.Registry  // per-agent metrics, piggybacked when reporting
+	src    string         // federation source key ("agent/<id>")
 
 	mu      sync.Mutex
 	ws      *wireState // framing negotiated on the current connection
@@ -166,6 +168,10 @@ func newAgent(conn net.Conn, id core.HouseholdID, policy Policy, cfg agentConfig
 	}
 	if cfg.retry.Enabled() {
 		a.jitter = cfg.retry.jitterRNG(uint64(id))
+	}
+	if cfg.reporting {
+		a.reg = obs.NewRegistry()
+		a.src = fmt.Sprintf("agent/%d", id)
 	}
 	token, err := a.handshake(conn, "")
 	if err != nil {
@@ -325,6 +331,9 @@ func (a *Agent) handle(m *Message) (fatal bool, err error) {
 	case KindRequest:
 		span := a.phaseSpan(m, KindPreference)
 		pref := a.policy.Report(m.Day)
+		if a.reg != nil {
+			a.reg.Counter(obs.MetricAgentReportsTotal).Inc()
+		}
 		err := a.send(&Message{Kind: KindPreference, ID: a.id, Day: m.Day, Pref: &pref, Trace: span.reply()})
 		span.End()
 		return false, err
@@ -334,6 +343,19 @@ func (a *Agent) handle(m *Message) (fatal bool, err error) {
 		}
 		span := a.phaseSpan(m, KindConsumption)
 		cons := a.policy.Consume(m.Day, *m.Interval)
+		// The obs snapshot piggybacks on the consumption phase, sent
+		// BEFORE the reply: the center's collect() returns the moment
+		// the last consumption lands, so a report trailing it would sit
+		// in the inbox until the next phase. Snapshots are cumulative —
+		// a replay after reconnect just re-delivers the same totals.
+		if a.reg != nil {
+			report := &Message{Kind: KindMetricsReport, ID: a.id, Day: m.Day,
+				Metrics: &obs.MetricsReport{Source: a.src, Snapshot: a.reg.Snapshot()}}
+			if err := a.send(report); err != nil {
+				span.End()
+				return false, err
+			}
+		}
 		err := a.send(&Message{Kind: KindConsumption, ID: a.id, Day: m.Day, Interval: &cons, Trace: span.reply()})
 		span.End()
 		return false, err
@@ -349,6 +371,9 @@ func (a *Agent) handle(m *Message) (fatal bool, err error) {
 		}
 		a.mu.Unlock()
 		if !dup {
+			if a.reg != nil {
+				a.reg.Counter(obs.MetricAgentDaysSettled).Inc()
+			}
 			span := a.phaseSpan(m, KindPayment)
 			a.policy.Feedback(m.Day, *m.Payment)
 			span.End()

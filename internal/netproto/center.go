@@ -61,6 +61,16 @@ type CenterConfig struct {
 	// pre-batching agent — stay on the legacy per-message JSON framing
 	// regardless.
 	Codec string
+	// Reporting enables metrics federation: agents and cluster shards
+	// piggyback metricsReport snapshots onto the settlement wire, and the
+	// center merges them into its federated registry view. Off by
+	// default — the extra wire messages shift fault-plan message indices,
+	// so chaos plans written without reporting stay valid.
+	Reporting bool
+	// SLO, when non-empty, attaches an SLO engine with these objectives
+	// to the center's operator plane (see Operator). Objectives are
+	// validated at start-up.
+	SLO []obs.Objective
 }
 
 // DefaultPhaseDeadline is the per-phase wait applied when neither
@@ -156,9 +166,39 @@ type Center struct {
 
 	inbox chan inbound
 
+	fed  *obs.Federation // non-nil when cfg.Reporting
+	slo  *obs.SLOEngine  // non-nil when cfg.SLO is set
+	stat centerStatus
+
 	wg      sync.WaitGroup
 	closing chan struct{}
 	once    sync.Once
+}
+
+// centerStatus is the live operator-plane state behind /api/v1/day and
+// /api/v1/shards: phase progress updated as the day cycle runs, last
+// settled aggregates updated at settle. Its own mutex keeps the status
+// readers off the session lock.
+type centerStatus struct {
+	mu          sync.Mutex
+	day         int
+	phase       string // "idle" between days
+	deadlineAt  time.Time
+	members     int
+	reported    int
+	dark        int
+	daysSettled uint64
+
+	lastDay         int
+	lastSettled     int
+	lastAbsent      int
+	lastSubstituted int
+	lastCost        float64
+	lastRevenue     float64
+	lastResidual    float64
+	lastPeak        float64
+	lastSettleMS    float64
+	lastTrace       string
 }
 
 // StartCenter starts a center listening on a plain TCP addr (e.g.
@@ -233,9 +273,40 @@ func newCenter(ln net.Listener, cfg CenterConfig) (*Center, error) {
 		inbox:    make(chan inbound),
 		closing:  make(chan struct{}),
 	}
+	c.stat.phase = "idle"
+	if cfg.Reporting {
+		c.fed = obs.NewFederation(obs.Default())
+	}
+	if len(cfg.SLO) > 0 {
+		slo, err := obs.NewSLOEngine(obs.Default(), cfg.SLO)
+		if err != nil {
+			return nil, err
+		}
+		c.slo = slo
+	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// Federation returns the center's federated metrics view, or nil when
+// metrics reporting is off.
+func (c *Center) Federation() *obs.Federation { return c.fed }
+
+// Operator assembles the center's operator plane: the default registry,
+// this center as the status source, the audit ledger's tail when a
+// ledger is configured, plus the federation and SLO engine when enabled.
+// Serve it with obs.ServeOperator; the caller flips SetReady once
+// enrollment is complete.
+func (c *Center) Operator() *obs.Operator {
+	op := obs.NewOperator(nil)
+	op.Status = c
+	if c.cfg.Ledger != nil {
+		op.Ledger = c.cfg.Ledger
+	}
+	op.Federation = c.fed
+	op.SLO = c.slo
+	return op
 }
 
 // Addr returns the listening address, for agents to dial.
@@ -487,6 +558,7 @@ type DayRecord struct {
 // and the phase span's context rides on every outgoing message so the
 // agents' spans join the same trace across the process boundary.
 func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error) {
+	start := time.Now()
 	tid := obs.DeriveTraceID(c.cfg.TraceSeed, uint64(day))
 	daySpan := obs.DefaultTracer().StartTrace(tid, obs.SpanNetDay, "day", strconv.Itoa(day))
 	defer daySpan.End()
@@ -564,6 +636,7 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 		consumptions[i] = core.Consumption{ID: r.ID, Interval: *m.Interval}
 	}
 
+	c.stat.setPhase("settling")
 	settleSpan := daySpan.StartChild(obs.SpanNetSettle, "day", strconv.Itoa(day))
 	record, err := c.settle(tid, day, reports, assignments, consumptions, substituted)
 	settleSpan.End()
@@ -596,6 +669,28 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 			obs.Default().Counter(obs.MetricNetSubstitutionsTotal).Add(uint64(nSub))
 		}
 	}
+
+	settleMS := float64(time.Since(start).Nanoseconds()) / 1e6
+	obs.Default().Histogram(obs.MetricNetDaySettleMS, obs.LatencyBucketsMS).ObserveExemplar(settleMS, tid)
+	var revenue float64
+	for _, p := range record.Payments {
+		revenue += p
+	}
+	s := &c.stat
+	s.mu.Lock()
+	s.phase = "settled"
+	s.daysSettled++
+	s.lastDay = day
+	s.lastTrace = tid
+	s.lastSettled = len(reports)
+	s.lastAbsent = len(absent)
+	s.lastSubstituted = len(consDark)
+	s.lastCost = record.Cost
+	s.lastRevenue = revenue
+	s.lastResidual = revenue - c.cfg.Mechanism.Xi*record.Cost
+	s.lastPeak = record.Peak
+	s.lastSettleMS = settleMS
+	s.mu.Unlock()
 	return record, nil
 }
 
@@ -674,7 +769,7 @@ func (c *Center) settle(tid string, day int, reports []core.Report, assignments 
 	if err != nil {
 		return nil, fmt.Errorf("netproto: payments: %w", err)
 	}
-	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
+	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, c.cfg.Mechanism.Xi, load.PAR())
 	if c.cfg.Ledger != nil {
 		entry := mechanism.BuildLedgerEntry(tid, day, c.cfg.Mechanism, c.cfg.Rating,
 			reports, assigned, consumed, substituted, predicted, flex, defect, psi, payments, cost, load.Peak())
@@ -696,6 +791,85 @@ func (c *Center) settle(tid string, day int, reports []core.Report, assignments 
 		Peak:         load.Peak(),
 		Substituted:  substituted,
 	}, nil
+}
+
+func (s *centerStatus) startPhase(day int, phase string, members int, deadline time.Duration) {
+	s.mu.Lock()
+	s.day, s.phase, s.members = day, phase, members
+	s.deadlineAt = time.Now().Add(deadline)
+	s.reported, s.dark = 0, 0
+	s.mu.Unlock()
+}
+
+func (s *centerStatus) setPhase(phase string) {
+	s.mu.Lock()
+	s.phase = phase
+	s.mu.Unlock()
+}
+
+func (s *centerStatus) noteReported() {
+	s.mu.Lock()
+	s.reported++
+	s.mu.Unlock()
+}
+
+func (s *centerStatus) noteDark(n int) {
+	s.mu.Lock()
+	s.dark = n
+	s.mu.Unlock()
+}
+
+// DayStatus implements obs.StatusSource: the current day, phase, and
+// reporting progress for /api/v1/day.
+func (c *Center) DayStatus() obs.DayStatus {
+	s := &c.stat
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var remaining float64
+	if s.phase != "idle" && s.phase != "settled" {
+		if d := time.Until(s.deadlineAt); d > 0 {
+			remaining = float64(d.Nanoseconds()) / 1e6
+		}
+	}
+	return obs.DayStatus{
+		Day:                 s.day,
+		Phase:               s.phase,
+		DeadlineRemainingMS: remaining,
+		Members:             s.members,
+		Reported:            s.reported,
+		Dark:                s.dark,
+		DaysSettled:         s.daysSettled,
+		LastCost:            s.lastCost,
+		LastRevenue:         s.lastRevenue,
+		LastResidual:        s.lastResidual,
+		LastPeak:            s.lastPeak,
+	}
+}
+
+// ShardStatuses implements obs.StatusSource. A single-neighborhood
+// center is its own shard 0, so enkiops renders the same table against
+// an enkid daemon and a sharded cluster.
+func (c *Center) ShardStatuses() []obs.ShardStatus {
+	s := &c.stat
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.daysSettled == 0 {
+		return []obs.ShardStatus{}
+	}
+	return []obs.ShardStatus{{
+		Shard:        0,
+		Healthy:      true,
+		TraceID:      s.lastTrace,
+		LastDay:      s.lastDay,
+		Households:   s.lastSettled + s.lastAbsent,
+		Settled:      s.lastSettled,
+		Absent:       s.lastAbsent,
+		Substituted:  s.lastSubstituted,
+		Cost:         s.lastCost,
+		Revenue:      s.lastRevenue,
+		Residual:     s.lastResidual,
+		LastSettleMS: s.lastSettleMS,
+	}}
 }
 
 // memberIDs returns every neighborhood member — live or dark — sorted
@@ -723,6 +897,7 @@ func (c *Center) phase(ctx context.Context, daySpan *obs.ActiveSpan, tid string,
 	build func(id core.HouseholdID, tc *obs.TraceContext) *Message) (map[core.HouseholdID]*Message, []core.HouseholdID, error) {
 	span := daySpan.StartChild(obs.SpanNetPhase, obs.LabelPhase, string(want), "day", strconv.Itoa(day))
 	defer span.End()
+	c.stat.startPhase(day, string(want), len(members), c.cfg.PhaseDeadline)
 	tc := wireTrace(tid, span)
 	for _, id := range members {
 		m := build(id, tc)
@@ -791,6 +966,13 @@ func (c *Center) collect(ctx context.Context, members []core.HouseholdID, want K
 			}
 			m := in.msg
 			switch {
+			case m.Kind == KindMetricsReport:
+				// Federated snapshots are cumulative, so day skew is
+				// harmless; merge (when reporting is on) and move on.
+				if c.fed != nil {
+					c.fed.Report(m.Metrics)
+				}
+				continue
 			case m.Day < day:
 				continue // stale reply from a previous day's replay
 			case m.Day > day:
@@ -803,6 +985,7 @@ func (c *Center) collect(ctx context.Context, members []core.HouseholdID, want K
 				delete(pending, in.id)
 				got[in.id] = m
 				c.clearLastOut(in.id)
+				c.stat.noteReported()
 			case earlierReply(m.Kind, want):
 				continue // late answer to an already-closed round
 			default:
@@ -817,6 +1000,7 @@ func (c *Center) collect(ctx context.Context, members []core.HouseholdID, want K
 				dark = append(dark, id)
 			}
 			sort.Slice(dark, func(i, j int) bool { return dark[i] < dark[j] })
+			c.stat.noteDark(len(dark))
 			return got, dark, nil
 		case <-ctx.Done():
 			return nil, nil, fmt.Errorf("netproto: %s phase: %w", want, ctx.Err())

@@ -82,6 +82,14 @@ type shardState struct {
 	link      *shardLink
 	scheduler sched.Scheduler
 	members   []clusterMember // sorted by household ID
+
+	// src and reg carry the shard's federated metrics dimension when
+	// reporting is on: reg accumulates the shard's own series across
+	// days, and each day's payment batch carries a metricsReport with
+	// reg's snapshot under the src source name ("shard/0003" — zero-
+	// padded so federation sources sort in shard-index order).
+	src string
+	reg *obs.Registry
 }
 
 // Cluster is the sharded multi-neighborhood settlement service: it
@@ -107,11 +115,23 @@ type Cluster struct {
 	codec   Codec
 	engine  parallel.Engine
 	custom  bool // scheduler came from WithScheduler (shared across shards)
+	fed     *obs.Federation
+	slo     *obs.SLOEngine
 	mu      sync.Mutex
 	members map[core.HouseholdID]Policy
 	shards  []*shardState
 	dirty   bool // membership changed since shards were built
 	closed  bool
+
+	stat clusterStatus
+}
+
+// clusterStatus is the cluster's operator-plane state: the day summary
+// and the per-shard health table, rebuilt at each merge.
+type clusterStatus struct {
+	mu     sync.Mutex
+	day    obs.DayStatus
+	shards []obs.ShardStatus
 }
 
 // StartCluster starts a sharded settlement service configured by
@@ -146,7 +166,7 @@ func StartCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
 	if !ok {
 		return nil, fmt.Errorf("netproto: unknown codec %q", cfg.Codec)
 	}
-	return &Cluster{
+	c := &Cluster{
 		center:  center,
 		cfg:     cfg,
 		codec:   codec,
@@ -154,7 +174,54 @@ func StartCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
 		custom:  custom,
 		members: make(map[core.HouseholdID]Policy),
 		dirty:   true,
-	}, nil
+	}
+	c.stat.day.Phase = "idle"
+	if center.Reporting {
+		c.fed = obs.NewFederation(obs.Default())
+	}
+	if len(center.SLO) > 0 {
+		slo, err := obs.NewSLOEngine(obs.Default(), center.SLO)
+		if err != nil {
+			return nil, err
+		}
+		c.slo = slo
+	}
+	return c, nil
+}
+
+// Federation returns the cluster's federated metrics view, or nil when
+// metrics reporting is off.
+func (c *Cluster) Federation() *obs.Federation { return c.fed }
+
+// Operator assembles the cluster's operator plane: the default
+// registry, this cluster as the status source, the audit ledger's tail
+// when a ledger is configured, plus the federation and SLO engine when
+// enabled. Serve it with obs.ServeOperator; the caller flips SetReady
+// once enrollment is complete.
+func (c *Cluster) Operator() *obs.Operator {
+	op := obs.NewOperator(nil)
+	op.Status = c
+	if c.center.Ledger != nil {
+		op.Ledger = c.center.Ledger
+	}
+	op.Federation = c.fed
+	op.SLO = c.slo
+	return op
+}
+
+// DayStatus implements obs.StatusSource for /api/v1/day.
+func (c *Cluster) DayStatus() obs.DayStatus {
+	c.stat.mu.Lock()
+	defer c.stat.mu.Unlock()
+	return c.stat.day
+}
+
+// ShardStatuses implements obs.StatusSource for /api/v1/shards: the
+// last settled day's per-shard health table, in shard-index order.
+func (c *Cluster) ShardStatuses() []obs.ShardStatus {
+	c.stat.mu.Lock()
+	defer c.stat.mu.Unlock()
+	return append([]obs.ShardStatus(nil), c.stat.shards...)
 }
 
 // Join enrolls a household. Households may join between days; the next
@@ -237,6 +304,10 @@ func (c *Cluster) rebuildShards() {
 			scheduler: scheduler,
 			members:   members,
 		}
+		if c.fed != nil {
+			c.shards[s].src = fmt.Sprintf("shard/%04d", s)
+			c.shards[s].reg = obs.NewRegistry()
+		}
 	}
 	c.dirty = false
 }
@@ -291,6 +362,7 @@ type ClusterDayRecord struct {
 // problems — no members, cancellation, a closed cluster, or a ledger
 // write failure during the serial merge.
 func (c *Cluster) ClusterDay(ctx context.Context, day int) (*ClusterDayRecord, error) {
+	start := time.Now()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -304,18 +376,29 @@ func (c *Cluster) ClusterDay(ctx context.Context, day int) (*ClusterDayRecord, e
 		c.rebuildShards()
 	}
 	shards := c.shards
+	memberCount := len(c.members)
 	c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	c.stat.mu.Lock()
+	prevSettled := c.stat.day.DaysSettled
+	c.stat.day = obs.DayStatus{Day: day, Phase: "settling", Members: memberCount, DaysSettled: prevSettled}
+	c.stat.mu.Unlock()
+
 	// Parallel phase: each shard settles into its own pre-sized slot and
 	// never returns an error into ForEach (an error would stop dispatch
 	// and starve sibling shards); failures are recorded in the slot.
+	// Per-shard wall-clock lands in a side slot, never in the ShardDay —
+	// its JSON stays bit-identical across worker counts.
 	days := make([]ShardDay, len(shards))
 	entries := make([]*mechanism.LedgerEntry, len(shards))
+	latMS := make([]float64, len(shards))
 	_ = c.engine.ForEach(len(shards), func(s int) error {
+		t0 := time.Now()
 		days[s], entries[s] = c.runShardDay(shards[s], s, day)
+		latMS[s] = float64(time.Since(t0).Nanoseconds()) / 1e6
 		return nil
 	})
 	if err := ctx.Err(); err != nil {
@@ -348,6 +431,50 @@ func (c *Cluster) ClusterDay(ctx context.Context, day int) (*ClusterDayRecord, e
 		}
 	}
 	obs.Default().Counter(obs.MetricClusterDaysTotal).Inc()
+	if rec.Absent > 0 {
+		obs.Default().Counter(obs.MetricClusterAbsentTotal).Add(uint64(rec.Absent))
+	}
+	if rec.Absent+rec.Substituted+rec.Failed > 0 {
+		obs.Default().Counter(obs.MetricNetDegradedDaysTotal).Inc()
+	}
+	settleMS := float64(time.Since(start).Nanoseconds()) / 1e6
+	obs.Default().Histogram(obs.MetricNetDaySettleMS, obs.LatencyBucketsMS).
+		ObserveExemplar(settleMS, obs.DeriveTraceID(c.center.TraceSeed, uint64(day)))
+
+	statuses := make([]obs.ShardStatus, len(days))
+	for s := range days {
+		d := &days[s]
+		statuses[s] = obs.ShardStatus{
+			Shard:        s,
+			Healthy:      d.Err == "",
+			Err:          d.Err,
+			TraceID:      d.TraceID,
+			LastDay:      day,
+			Households:   d.Households,
+			Settled:      d.Settled,
+			Absent:       d.Absent,
+			Substituted:  d.Substituted,
+			Cost:         d.Cost,
+			Revenue:      d.Revenue,
+			Residual:     d.Revenue - c.center.Mechanism.Xi*d.Cost,
+			LastSettleMS: latMS[s],
+		}
+	}
+	c.stat.mu.Lock()
+	c.stat.shards = statuses
+	c.stat.day = obs.DayStatus{
+		Day:          day,
+		Phase:        "settled",
+		Members:      rec.Households,
+		Reported:     rec.Settled,
+		Dark:         rec.Absent + rec.Substituted,
+		DaysSettled:  prevSettled + 1,
+		LastCost:     rec.Cost,
+		LastRevenue:  rec.Revenue,
+		LastResidual: rec.Revenue - c.center.Mechanism.Xi*rec.Cost,
+		LastPeak:     rec.Peak,
+	}
+	c.stat.mu.Unlock()
 	return rec, nil
 }
 
@@ -479,7 +606,16 @@ func (c *Cluster) runShardDay(st *shardState, shard, day int) (ShardDay, *mechan
 
 	// Phase 3: payments out, best-effort — the settled record is already
 	// authoritative, so loss here only suppresses a household's feedback.
-	payMsgs := make([]*Message, len(reports))
+	// When reporting is on, the shard's cumulative metrics snapshot rides
+	// the same batch as one trailing metricsReport message — through the
+	// same codec, counted by the same wire metrics, subject to the same
+	// fault plan (a dropped or garbled frame loses the day's report; the
+	// next day's cumulative snapshot covers the gap).
+	var revenue float64
+	for _, p := range record.Payments {
+		revenue += p
+	}
+	payMsgs := make([]*Message, len(reports), len(reports)+1)
 	for i := range reports {
 		payMsgs[i] = &Message{Kind: KindPayment, ID: reports[i].ID, Day: day, Payment: &PaymentDetail{
 			Amount:      record.Payments[i],
@@ -490,20 +626,49 @@ func (c *Cluster) runShardDay(st *shardState, shard, day int) (ShardDay, *mechan
 			PeakLoad:    record.Peak,
 		}}
 	}
+	if st.reg != nil {
+		st.reg.Counter(obs.MetricClusterShardsSettled).Inc()
+		st.reg.Counter(obs.MetricClusterHouseholdsSettled).Add(uint64(len(reports)))
+		if out.Substituted > 0 {
+			st.reg.Counter(obs.MetricClusterSubstitutionsTotal).Add(uint64(out.Substituted))
+		}
+		if out.Absent > 0 {
+			st.reg.Counter(obs.MetricClusterAbsentTotal).Add(uint64(out.Absent))
+		}
+		st.reg.Gauge(obs.MetricMechTheorem1Deviation).Set(revenue - c.center.Mechanism.Xi*record.Cost)
+		st.reg.Histogram(obs.MetricClusterShardSettleMS, obs.LatencyBucketsMS).
+			ObserveExemplar(float64(time.Since(start).Nanoseconds())/1e6, tid)
+		payMsgs = append(payMsgs, &Message{Kind: KindMetricsReport, Day: day,
+			Metrics: &obs.MetricsReport{Source: st.src, Snapshot: st.reg.Snapshot()}})
+	}
 	delivered, err = st.link.transfer(payMsgs)
 	if err != nil {
 		return fail(err)
 	}
-	forEachDelivered(reporting, delivered, func(m clusterMember, msg *Message) {
+	// The trailing metricsReport (ID 0, no payment) must never reach the
+	// member walk: extract it by kind before delivering feedback.
+	var shardReport *obs.MetricsReport
+	kept := delivered[:0]
+	for _, m := range delivered {
+		if m.Kind == KindMetricsReport {
+			if m.Metrics != nil {
+				shardReport = m.Metrics
+			}
+			continue
+		}
+		kept = append(kept, m)
+	}
+	forEachDelivered(reporting, kept, func(m clusterMember, msg *Message) {
 		m.policy.Feedback(day, *msg.Payment)
 	})
+	if shardReport != nil && c.fed != nil {
+		c.fed.Report(shardReport)
+	}
 
 	out.Settled = len(reports)
 	out.Cost = record.Cost
 	out.Peak = record.Peak
-	for _, p := range record.Payments {
-		out.Revenue += p
-	}
+	out.Revenue = revenue
 	if c.cfg.Records {
 		out.Record = record
 	}
@@ -549,7 +714,7 @@ func settleDay(cfg CenterConfig, tid string, day int, reports []core.Report, ass
 	if err != nil {
 		return nil, nil, fmt.Errorf("netproto: payments: %w", err)
 	}
-	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, load.PAR())
+	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, cfg.Mechanism.Xi, load.PAR())
 	var entry *mechanism.LedgerEntry
 	if cfg.Ledger != nil {
 		e := mechanism.BuildLedgerEntry(tid, day, cfg.Mechanism, cfg.Rating,

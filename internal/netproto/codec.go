@@ -129,7 +129,7 @@ func (jsonCodec) Decode(data []byte) (*Message, error) {
 //	[str]   kind (only when code == 0)
 //	varint  id (zigzag)
 //	varint  day (zigzag)
-//	u8      presence bitmask (binTrace … binCodec bits)
+//	uvarint presence bitmask (binTrace … binMetrics bits)
 //	fields in bit order, each:
 //	  trace    = str traceID, str spanID
 //	  token    = str
@@ -139,8 +139,14 @@ func (jsonCodec) Decode(data []byte) (*Message, error) {
 //	  err      = str
 //	  codecs   = uvarint count, count × str
 //	  codec    = str
+//	  metrics  = str (JSON-encoded obs.MetricsReport)
 //
-// str = uvarint length + raw bytes.
+// str = uvarint length + raw bytes. The mask was a single byte until
+// the binMetrics bit pushed it past eight bits; masks below 0x80 encode
+// to the same byte either way, and larger masks only ever travel on
+// connections that negotiated a codec (hello/welcome are always
+// legacy-framed), so the widening is not a wire break for any message
+// an older build could have produced.
 type binaryCodec struct{}
 
 func (binaryCodec) Name() string { return CodecBinary }
@@ -151,6 +157,7 @@ func (binaryCodec) ID() byte     { return 1 }
 var wireKinds = []Kind{
 	KindHello, KindWelcome, KindRequest, KindPreference,
 	KindAllocation, KindConsumption, KindPayment, KindError,
+	KindMetricsReport,
 }
 
 // Presence bits of the binary codec's optional fields.
@@ -163,6 +170,7 @@ const (
 	binErr
 	binCodecs
 	binCodec
+	binMetrics
 )
 
 func appendUvarint(dst []byte, v uint64) []byte {
@@ -193,7 +201,7 @@ func (binaryCodec) Append(dst []byte, m *Message) ([]byte, error) {
 	dst = appendVarint(dst, int64(m.ID))
 	dst = appendVarint(dst, int64(m.Day))
 
-	var mask byte
+	var mask uint64
 	if m.Trace != nil {
 		mask |= binTrace
 	}
@@ -218,7 +226,16 @@ func (binaryCodec) Append(dst []byte, m *Message) ([]byte, error) {
 	if m.Codec != "" {
 		mask |= binCodec
 	}
-	dst = append(dst, mask)
+	var metricsJSON []byte
+	if m.Metrics != nil {
+		var err error
+		metricsJSON, err = json.Marshal(m.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("netproto: encode %s metrics: %w", m.Kind, err)
+		}
+		mask |= binMetrics
+	}
+	dst = appendUvarint(dst, mask)
 
 	if m.Trace != nil {
 		dst = appendString(dst, m.Trace.TraceID)
@@ -255,6 +272,10 @@ func (binaryCodec) Append(dst []byte, m *Message) ([]byte, error) {
 	}
 	if m.Codec != "" {
 		dst = appendString(dst, m.Codec)
+	}
+	if metricsJSON != nil {
+		dst = appendUvarint(dst, uint64(len(metricsJSON)))
+		dst = append(dst, metricsJSON...)
 	}
 	return dst, nil
 }
@@ -345,7 +366,7 @@ func (binaryCodec) Decode(data []byte) (*Message, error) {
 	}
 	m.ID = core.HouseholdID(r.varint())
 	m.Day = int(r.varint())
-	mask := r.byte()
+	mask := r.uvarint()
 	if mask&binTrace != 0 {
 		m.Trace = &obs.TraceContext{TraceID: r.string(), SpanID: r.string()}
 	}
@@ -388,6 +409,15 @@ func (binaryCodec) Decode(data []byte) (*Message, error) {
 	}
 	if mask&binCodec != 0 {
 		m.Codec = r.string()
+	}
+	if mask&binMetrics != 0 {
+		blob := r.string()
+		if r.err == nil {
+			m.Metrics = &obs.MetricsReport{}
+			if err := json.Unmarshal([]byte(blob), m.Metrics); err != nil {
+				return nil, fmt.Errorf("netproto: decode metrics report: %w", err)
+			}
+		}
 	}
 	if r.err != nil {
 		return nil, r.err

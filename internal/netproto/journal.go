@@ -8,13 +8,21 @@ import (
 	"sync"
 )
 
+// journalTailCap bounds the in-memory ring of recent lines the operator
+// API's /api/v1/ledger/tail serves without re-reading the file.
+const journalTailCap = 256
+
 // Journal persists DayRecords as JSON Lines — one settlement per line —
 // so a neighborhood's history survives restarts and can be replayed for
 // billing audits. Writes are serialized; a Journal may be shared by a
-// Center and ad-hoc writers.
+// Center and ad-hoc writers. The most recent lines are retained in a
+// bounded ring, which is what makes a Journal an obs.LedgerTailer.
 type Journal struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu   sync.Mutex
+	w    io.Writer
+	tail []json.RawMessage // ring of the last journalTailCap lines
+	next int               // ring write position
+	len  int               // lines retained (≤ journalTailCap)
 }
 
 // NewJournal wraps a writer (typically an os.File opened with append).
@@ -34,7 +42,39 @@ func (j *Journal) AppendValue(v any) error {
 	if _, err := j.w.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("netproto: append journal record: %w", err)
 	}
+	if j.tail == nil {
+		j.tail = make([]json.RawMessage, journalTailCap)
+	}
+	j.tail[j.next] = json.RawMessage(data)
+	j.next = (j.next + 1) % journalTailCap
+	if j.len < journalTailCap {
+		j.len++
+	}
 	return nil
+}
+
+// LedgerTail returns the last n journal lines, oldest first, as raw
+// JSON — the obs.LedgerTailer contract behind /api/v1/ledger/tail. At
+// most journalTailCap lines are retained; asking for more returns what
+// the ring holds.
+func (j *Journal) LedgerTail(n int) []json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n > j.len {
+		n = j.len
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]json.RawMessage, n)
+	start := j.next - n
+	if start < 0 {
+		start += journalTailCap
+	}
+	for i := 0; i < n; i++ {
+		out[i] = j.tail[(start+i)%journalTailCap]
+	}
+	return out
 }
 
 // Append writes one day record as a JSON line.

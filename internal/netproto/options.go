@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"enki/internal/mechanism"
+	"enki/internal/obs"
 	"enki/internal/pricing"
 	"enki/internal/sched"
 )
@@ -17,10 +18,11 @@ type DialFunc func(ctx context.Context) (net.Conn, error)
 
 // agentConfig is the agent side of the option set.
 type agentConfig struct {
-	retry  RetryPolicy
-	plan   *FaultPlan
-	dial   DialFunc
-	codecs []string // batch-frame codecs offered on the hello
+	retry     RetryPolicy
+	plan      *FaultPlan
+	dial      DialFunc
+	codecs    []string // batch-frame codecs offered on the hello
+	reporting bool     // piggyback per-agent obs snapshots on the consumption phase
 }
 
 // options is the combined center/agent/cluster option state. One Option
@@ -153,6 +155,33 @@ func WithCodec(name string) Option {
 	return func(o *options) {
 		o.center.Codec = name
 		o.cluster.Codec = name
+	}
+}
+
+// WithMetricsReporting enables obs federation on both sides of the
+// protocol: agents piggyback a cumulative per-agent snapshot on every
+// consumption phase, cluster shards append theirs to the payment batch,
+// and the center (or cluster) folds every report into the federated
+// registry behind /api/v1/federation. Default off — the extra wire
+// messages shift fault-plan indices, so chaos plans written against the
+// plain stream stay valid unless a test opts in.
+func WithMetricsReporting(on bool) Option {
+	return func(o *options) {
+		o.center.Reporting = on
+		o.agent.reporting = on
+	}
+}
+
+// WithSLO installs the burn-rate objectives the center's operator plane
+// evaluates on every /api/v1/slo scrape. Called with no arguments it
+// installs obs.DefaultObjectives. Without this option the endpoint
+// serves 404.
+func WithSLO(objectives ...obs.Objective) Option {
+	return func(o *options) {
+		if len(objectives) == 0 {
+			objectives = obs.DefaultObjectives()
+		}
+		o.center.SLO = objectives
 	}
 }
 

@@ -43,6 +43,15 @@ const (
 	KindConsumption Kind = "consumption" // agent → center: realized consumption
 	KindPayment     Kind = "payment"     // center → agent: settlement for the day
 	KindError       Kind = "error"       // either direction: fatal protocol error
+
+	// KindMetricsReport piggybacks a source's compact obs snapshot onto
+	// the settlement wire (agent → center after the consumption reply;
+	// shard → center appended to the payment batch) so the center can
+	// assemble the federated cluster-wide metrics view. Emitted only when
+	// metrics reporting is negotiated on (WithMetricsReporting); a center
+	// that does not expect it rejects it like any other out-of-phase
+	// message.
+	KindMetricsReport Kind = "metricsReport"
 )
 
 // Message is the single frame type exchanged on the wire. Fields are
@@ -79,6 +88,9 @@ type Message struct {
 	Interval *core.Interval   `json:"interval,omitempty"` // allocation, consumption
 
 	Payment *PaymentDetail `json:"payment,omitempty"` // payment
+
+	// Metrics is a metricsReport's federated snapshot payload.
+	Metrics *obs.MetricsReport `json:"metrics,omitempty"`
 
 	Err string `json:"err,omitempty"` // error
 }

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// MetricsReport is the compact federated form of one source's metrics:
+// what a cluster shard or a household agent piggybacks onto the
+// settlement wire (a metricsReport message) so the center can assemble
+// a cluster-wide view. Source names the reporting dimension
+// ("shard/0003", "agent/42"); the snapshot carries the source's
+// cumulative series, so re-reporting replaces rather than accumulates.
+type MetricsReport struct {
+	Source   string   `json:"source"`
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// Federation merges per-source MetricsReports into a cluster-wide
+// registry view. It is the center-side half of metrics federation:
+// each report replaces its source's previous snapshot (reports carry
+// cumulative series), and FederatedSnapshot folds the sources together
+// in sorted-source order, so the merged view is a pure function of the
+// set of reports — independent of arrival order and worker count,
+// which is what keeps the Workers:1≡Workers:N DiffDeterministic
+// contract intact for non-timing series.
+type Federation struct {
+	mu      sync.Mutex
+	reg     *Registry // receives the federation's own counters; nil = Default
+	sources map[string]Snapshot
+}
+
+// NewFederation returns an empty federation reporting its own health
+// counters into reg (nil means the default registry).
+func NewFederation(reg *Registry) *Federation {
+	if reg == nil {
+		reg = Default()
+	}
+	return &Federation{reg: reg, sources: make(map[string]Snapshot)}
+}
+
+// Report merges one source's report, replacing the source's previous
+// snapshot. Reports without a source name are dropped.
+func (f *Federation) Report(r *MetricsReport) {
+	if r == nil || r.Source == "" {
+		return
+	}
+	f.mu.Lock()
+	f.sources[r.Source] = r.Snapshot
+	f.mu.Unlock()
+	f.reg.Counter(MetricObsFederationReports, LabelSource, sourceKind(r.Source)).Inc()
+}
+
+// sourceKind maps a source name to its dimension label: the prefix
+// before the '/' ("shard", "agent"), or the whole name when unscoped.
+func sourceKind(source string) string {
+	for i := 0; i < len(source); i++ {
+		if source[i] == '/' {
+			return source[:i]
+		}
+	}
+	return source
+}
+
+// Sources returns the reporting source names, sorted.
+func (f *Federation) Sources() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.sources))
+	for s := range f.sources {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FederatedSnapshot is the cluster-wide metrics view: every source's
+// own snapshot plus their deterministic merge.
+type FederatedSnapshot struct {
+	Sources map[string]Snapshot `json:"sources"`
+	Merged  Snapshot            `json:"merged"`
+}
+
+// Snapshot assembles the federated view at this instant.
+func (f *Federation) Snapshot() FederatedSnapshot {
+	f.mu.Lock()
+	sources := make(map[string]Snapshot, len(f.sources))
+	for name, snap := range f.sources {
+		sources[name] = snap
+	}
+	f.mu.Unlock()
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]Snapshot, len(names))
+	for i, name := range names {
+		parts[i] = sources[name]
+	}
+	return FederatedSnapshot{Sources: sources, Merged: MergeSnapshots(parts...)}
+}
+
+// MergeSnapshots folds snapshots left to right into one: counters sum,
+// gauges sum (so per-shard residual/cost/revenue gauges aggregate to
+// their cluster totals), and histograms with identical bounds sum
+// bucket-wise. A histogram whose bounds disagree with the series'
+// first-seen layout is skipped — a name maps to one bucket layout (see
+// names.go), so this only triggers across incompatible builds.
+// Exemplars keep the per-bucket maximum across sources. The fold order
+// is the argument order; callers wanting determinism pass sources in
+// sorted-name order, as Federation.Snapshot does.
+func MergeSnapshots(parts ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, p := range parts {
+		for _, k := range unionKeys(p.Counters, nil) {
+			out.Counters[k] += p.Counters[k]
+		}
+		for _, k := range unionKeys(p.Gauges, nil) {
+			out.Gauges[k] += p.Gauges[k]
+		}
+		for _, k := range unionKeys(p.Histograms, nil) {
+			h := p.Histograms[k]
+			acc, ok := out.Histograms[k]
+			if !ok {
+				out.Histograms[k] = copyHistogramSnapshot(h)
+				continue
+			}
+			if !sameBounds(acc.Bounds, h.Bounds) || len(acc.Buckets) != len(h.Buckets) {
+				continue // incompatible layout: first-seen wins
+			}
+			for i := range h.Buckets {
+				acc.Buckets[i] += h.Buckets[i]
+			}
+			acc.Count += h.Count
+			acc.Sum += h.Sum
+			acc.Exemplars = mergeExemplars(acc.Exemplars, h.Exemplars)
+			out.Histograms[k] = acc
+		}
+	}
+	return out
+}
+
+func copyHistogramSnapshot(h HistogramSnapshot) HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds:    append([]float64(nil), h.Bounds...),
+		Buckets:   append([]uint64(nil), h.Buckets...),
+		Count:     h.Count,
+		Sum:       h.Sum,
+		Exemplars: append([]Exemplar(nil), h.Exemplars...),
+	}
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeExemplars keeps, per bucket, the slowest exemplar seen across
+// sources. Both inputs are sorted by bucket (Histogram.Exemplars emits
+// them that way); the output is too.
+func mergeExemplars(a, b []Exemplar) []Exemplar {
+	if len(b) == 0 {
+		return a
+	}
+	byBucket := make(map[int]Exemplar, len(a)+len(b))
+	for _, e := range a {
+		byBucket[e.Bucket] = e
+	}
+	for _, e := range b {
+		if cur, ok := byBucket[e.Bucket]; !ok || e.Value > cur.Value {
+			byBucket[e.Bucket] = e
+		}
+	}
+	out := make([]Exemplar, 0, len(byBucket))
+	for _, e := range byBucket {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
+}

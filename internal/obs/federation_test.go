@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func shardSnapshot(days uint64, residual float64, settleMS float64, trace string) Snapshot {
+	reg := NewRegistry()
+	reg.Counter(MetricClusterShardsSettled).Add(days)
+	reg.Gauge(MetricMechBudgetResidual).Set(residual)
+	reg.Histogram(MetricClusterShardSettleMS, LatencyBucketsMS).ObserveExemplar(settleMS, trace)
+	return reg.Snapshot()
+}
+
+func TestFederationMergeSumsSources(t *testing.T) {
+	fed := NewFederation(NewRegistry())
+	fed.Report(&MetricsReport{Source: "shard/0001", Snapshot: shardSnapshot(3, 0, 2.5, "t1")})
+	fed.Report(&MetricsReport{Source: "shard/0000", Snapshot: shardSnapshot(4, 0, 7.5, "t0")})
+
+	snap := fed.Snapshot()
+	if got := snap.Merged.Counters[MetricClusterShardsSettled]; got != 7 {
+		t.Fatalf("merged shards settled = %d, want 7", got)
+	}
+	if got := snap.Merged.Gauges[MetricMechBudgetResidual]; got != 0 {
+		t.Fatalf("merged residual = %g, want 0", got)
+	}
+	h := snap.Merged.Histograms[MetricClusterShardSettleMS]
+	if h.Count != 2 || h.Sum != 10 {
+		t.Fatalf("merged settle histogram count=%d sum=%g, want 2/10", h.Count, h.Sum)
+	}
+	if len(snap.Sources) != 2 {
+		t.Fatalf("sources = %d, want 2", len(snap.Sources))
+	}
+}
+
+func TestFederationReportReplacesCumulativeSnapshots(t *testing.T) {
+	fed := NewFederation(NewRegistry())
+	fed.Report(&MetricsReport{Source: "shard/0000", Snapshot: shardSnapshot(2, 0, 1, "a")})
+	fed.Report(&MetricsReport{Source: "shard/0000", Snapshot: shardSnapshot(5, 0, 1, "a")})
+	if got := fed.Snapshot().Merged.Counters[MetricClusterShardsSettled]; got != 5 {
+		t.Fatalf("re-report should replace, not accumulate: got %d, want 5", got)
+	}
+}
+
+func TestFederationMergeOrderIndependent(t *testing.T) {
+	parts := []MetricsReport{
+		{Source: "shard/0000", Snapshot: shardSnapshot(1, 0.5, 1, "a")},
+		{Source: "shard/0001", Snapshot: shardSnapshot(2, -0.5, 2, "b")},
+		{Source: "agent/7", Snapshot: shardSnapshot(3, 0, 3, "c")},
+	}
+	encode := func(order []int) string {
+		fed := NewFederation(NewRegistry())
+		for _, i := range order {
+			r := parts[i]
+			fed.Report(&r)
+		}
+		b, err := json.Marshal(fed.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	want := encode([]int{0, 1, 2})
+	for _, order := range [][]int{{2, 1, 0}, {1, 0, 2}, {2, 0, 1}} {
+		if got := encode(order); got != want {
+			t.Fatalf("federated snapshot depends on arrival order %v", order)
+		}
+	}
+}
+
+func TestFederationIgnoresUnnamedReports(t *testing.T) {
+	fed := NewFederation(NewRegistry())
+	fed.Report(nil)
+	fed.Report(&MetricsReport{Snapshot: shardSnapshot(1, 0, 1, "x")})
+	if got := len(fed.Sources()); got != 0 {
+		t.Fatalf("unnamed reports should be dropped, have %d sources", got)
+	}
+}
+
+func TestFederationCountsReportsBySourceKind(t *testing.T) {
+	reg := NewRegistry()
+	fed := NewFederation(reg)
+	fed.Report(&MetricsReport{Source: "shard/0000"})
+	fed.Report(&MetricsReport{Source: "shard/0001"})
+	fed.Report(&MetricsReport{Source: "agent/9"})
+	snap := reg.Snapshot()
+	if got := snap.Counters[metricKey(MetricObsFederationReports, []string{LabelSource, "shard"})]; got != 2 {
+		t.Fatalf("shard reports counter = %d, want 2", got)
+	}
+	if got := snap.Counters[metricKey(MetricObsFederationReports, []string{LabelSource, "agent"})]; got != 1 {
+		t.Fatalf("agent reports counter = %d, want 1", got)
+	}
+}
+
+func TestMergeSnapshotsSkipsIncompatibleBounds(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram(MetricMechPaymentDollars, DollarBuckets).Observe(1)
+	b := NewRegistry()
+	b.Histogram(MetricMechPaymentDollars, ScoreBuckets).Observe(2)
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	h := merged.Histograms[MetricMechPaymentDollars]
+	if h.Count != 1 || !sameBounds(h.Bounds, DollarBuckets) {
+		t.Fatalf("incompatible bounds must keep first-seen layout: count=%d", h.Count)
+	}
+}
+
+func TestMergeExemplarsKeepsSlowestPerBucket(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram(MetricNetDaySettleMS, LatencyBucketsMS).ObserveExemplar(2, "fast")
+	b := NewRegistry()
+	b.Histogram(MetricNetDaySettleMS, LatencyBucketsMS).ObserveExemplar(2.9, "slow")
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	ex := merged.Histograms[MetricNetDaySettleMS].Exemplars
+	if len(ex) != 1 || ex[0].TraceID != "slow" || ex[0].Value != 2.9 {
+		t.Fatalf("merged exemplars = %+v, want the slow trace", ex)
+	}
+}

@@ -1,36 +1,225 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// DebugHandler builds the daemon introspection mux: Prometheus-text
-// /metrics, a trivial /healthz, and the net/http/pprof profiling
-// endpoints under /debug/pprof/.
-func DebugHandler(reg *Registry) http.Handler {
+// DayStatus is the operator view of the current settlement day — what
+// /api/v1/day serves. Phase names follow the protocol kinds
+// ("preference", "consumption", "payment") plus "settling", "settled",
+// and "idle" between days.
+type DayStatus struct {
+	Day                 int     `json:"day"`
+	Phase               string  `json:"phase"`
+	DeadlineRemainingMS float64 `json:"deadlineRemainingMs"`
+	Members             int     `json:"members"`
+	Reported            int     `json:"reported"`
+	Dark                int     `json:"dark"` // members with no reply this phase
+	DaysSettled         uint64  `json:"daysSettled"`
+
+	// Last settled day's aggregates. LastResidual is the Theorem 1
+	// deviation Σp − ξ·κ, which a healthy mechanism keeps at zero.
+	LastCost     float64 `json:"lastCost"`
+	LastRevenue  float64 `json:"lastRevenue"`
+	LastResidual float64 `json:"lastResidual"`
+	LastPeak     float64 `json:"lastPeak"`
+}
+
+// ShardStatus is one shard's operator view — what /api/v1/shards
+// serves, one element per shard. A single-neighborhood center reports
+// itself as shard 0.
+type ShardStatus struct {
+	Shard        int     `json:"shard"`
+	Healthy      bool    `json:"healthy"`
+	Err          string  `json:"err,omitempty"`
+	TraceID      string  `json:"traceId,omitempty"`
+	LastDay      int     `json:"lastDay"`
+	Households   int     `json:"households"`
+	Settled      int     `json:"settled"`
+	Absent       int     `json:"absent"`
+	Substituted  int     `json:"substituted"`
+	Cost         float64 `json:"cost"`
+	Revenue      float64 `json:"revenue"`
+	Residual     float64 `json:"residual"` // Σp − ξ·κ for the shard
+	LastSettleMS float64 `json:"lastSettleMs"`
+}
+
+// StatusSource supplies the live day and shard state the operator API
+// serves; the netproto Center and Cluster implement it.
+type StatusSource interface {
+	DayStatus() DayStatus
+	ShardStatuses() []ShardStatus
+}
+
+// LedgerTailer serves the last n audit-ledger lines; the netproto
+// Journal implements it. Lines are raw JSON (mechanism.LedgerEntry
+// encodings) — obs stays dependency-free of the mechanism package.
+type LedgerTailer interface {
+	LedgerTail(n int) []json.RawMessage
+}
+
+// Operator is the cluster-wide operator plane served beside /metrics:
+// readiness distinct from liveness, the /api/v1 status endpoints, SLO
+// burn rates, and the federated metrics view. Zero-value fields are
+// simply absent from the API (their endpoints return 404), so a
+// process wires up only the surfaces it has.
+type Operator struct {
+	Registry   *Registry
+	Status     StatusSource
+	Ledger     LedgerTailer
+	Federation *Federation
+	SLO        *SLOEngine
+
+	ready atomic.Bool
+	sloMu sync.Mutex // serializes SLOEngine.Sample across requests
+}
+
+// NewOperator returns an operator plane over reg (nil means the default
+// registry), initially not ready.
+func NewOperator(reg *Registry) *Operator {
+	if reg == nil {
+		reg = Default()
+	}
+	return &Operator{Registry: reg}
+}
+
+// SetReady flips /readyz between 503 (starting, draining) and 200.
+func (o *Operator) SetReady(ready bool) { o.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (o *Operator) Ready() bool { return o.ready.Load() }
+
+// Handler builds the operator mux: the debug surface (/metrics,
+// /healthz, pprof) plus /readyz and the /api/v1 endpoints.
+func (o *Operator) Handler() http.Handler {
 	mux := http.NewServeMux()
+	o.register(mux)
+	return mux
+}
+
+func (o *Operator) register(mux *http.ServeMux) {
+	reg := o.Registry
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
 			Logger().Error("metrics write failed", "err", err)
 		}
 	})
+	// /healthz is liveness: the process is up and serving. Readiness —
+	// enrolled, cluster started, able to do useful work — is /readyz.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !o.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "starting")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/api/v1/day", func(w http.ResponseWriter, r *http.Request) {
+		if o.Status == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, o.Status.DayStatus())
+	})
+	mux.HandleFunc("/api/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		if o.Status == nil {
+			http.NotFound(w, r)
+			return
+		}
+		shards := o.Status.ShardStatuses()
+		if shards == nil {
+			shards = []ShardStatus{}
+		}
+		writeJSON(w, shards)
+	})
+	mux.HandleFunc("/api/v1/ledger/tail", func(w http.ResponseWriter, r *http.Request) {
+		if o.Ledger == nil {
+			http.NotFound(w, r)
+			return
+		}
+		n := 10
+		if arg := r.URL.Query().Get("n"); arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		tail := o.Ledger.LedgerTail(n)
+		if tail == nil {
+			tail = []json.RawMessage{}
+		}
+		writeJSON(w, tail)
+	})
+	mux.HandleFunc("/api/v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		if o.SLO == nil {
+			http.NotFound(w, r)
+			return
+		}
+		o.sloMu.Lock()
+		statuses := o.SLO.Sample(time.Now())
+		o.sloMu.Unlock()
+		writeJSON(w, SLOReport{Objectives: statuses, Windows: o.SLO.Windows()})
+	})
+	mux.HandleFunc("/api/v1/federation", func(w http.ResponseWriter, r *http.Request) {
+		if o.Federation == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, o.Federation.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
-// DebugServer is a running debug listener; Close shuts it down.
+// SLOReport is the /api/v1/slo response body.
+type SLOReport struct {
+	Objectives []ObjectiveStatus `json:"objectives"`
+	Windows    []SLOWindow       `json:"windows"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		Logger().Error("api encode failed", "err", err)
+	}
+}
+
+// DebugHandler builds the historical daemon introspection mux:
+// Prometheus-text /metrics, liveness /healthz, and the net/http/pprof
+// endpoints — an Operator with no status sources, reporting ready
+// (a bare debug surface has no start-up to gate on).
+func DebugHandler(reg *Registry) http.Handler {
+	op := NewOperator(reg)
+	op.SetReady(true)
+	return op.Handler()
+}
+
+// DebugServer is a running debug/operator listener; Close shuts it
+// down.
 type DebugServer struct {
 	srv *http.Server
 	ln  net.Listener
@@ -45,11 +234,21 @@ func (s *DebugServer) Close() error { return s.srv.Close() }
 // ServeDebug starts the debug handler on addr (e.g. "127.0.0.1:0")
 // in a background goroutine and returns the running server.
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return serveHandler(addr, DebugHandler(reg))
+}
+
+// ServeOperator starts the full operator plane on addr in a background
+// goroutine and returns the running server.
+func ServeOperator(addr string, op *Operator) (*DebugServer, error) {
+	return serveHandler(addr, op.Handler())
+}
+
+func serveHandler(addr string, h http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen: %w", err)
 	}
-	srv := &http.Server{Handler: DebugHandler(reg)}
+	srv := &http.Server{Handler: h}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			Logger().Error("debug server failed", "err", err)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -70,6 +71,25 @@ type Histogram struct {
 	bounds []float64       // ascending upper bounds, +Inf implicit
 	counts []atomic.Uint64 // len(bounds)+1
 	sum    Gauge           // running Σv via atomic float add
+
+	exMu      sync.Mutex
+	exemplars []exemplar // lazily len(counts); slowest observation per bucket
+}
+
+// exemplar is the retained worst observation of one bucket.
+type exemplar struct {
+	value float64
+	trace string
+	set   bool
+}
+
+// Exemplar links a bucket's slowest retained observation to the trace
+// that produced it, so an operator can jump from a latency histogram in
+// /metrics JSON straight to the worst day's trace in enkitrace.
+type Exemplar struct {
+	Bucket  int     `json:"bucket"` // index into Buckets; the last is +Inf
+	Value   float64 `json:"value"`
+	TraceID string  `json:"traceId"`
 }
 
 // NewHistogram builds a histogram over the given ascending bucket
@@ -95,6 +115,45 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the le-bucket
 	h.counts[i].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// keeps it as the bucket's exemplar if it is the slowest observation the
+// bucket has seen. Exemplars ride on Snapshot (JSON only, never the
+// Prometheus text format) and are excluded from the determinism
+// contract — they identify wall-clock extremes, which are timing facts.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	if traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.counts))
+	}
+	if e := &h.exemplars[i]; !e.set || v > e.value {
+		*e = exemplar{value: v, trace: traceID, set: true}
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the retained per-bucket exemplars in bucket order.
+// Nil when no observation ever carried a trace ID.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i]; e.set {
+			out = append(out, Exemplar{Bucket: i, Value: e.value, TraceID: e.trace})
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.

@@ -93,6 +93,41 @@ const (
 	MetricClusterHouseholdsSettled  = "enki_cluster_households_settled_total"
 	MetricClusterSubstitutionsTotal = "enki_cluster_substituted_households_total"
 
+	// internal/netproto — operator plane: end-to-end day-settle latency
+	// ("_ms", wall clock, exempt from the determinism contract; its
+	// exemplars carry the slowest day's trace ID), and per-day absences
+	// (households that were members at dawn but never reported).
+	MetricNetDaySettleMS     = "enki_netproto_day_settle_latency_ms"
+	MetricClusterAbsentTotal = "enki_cluster_absent_households_total"
+
+	// internal/mechanism — Theorem 1 enforcement: settlements whose
+	// Σp − ξ·κ residual left the floating-point tolerance band, and the
+	// last settled day's signed deviation. The counter is deterministic
+	// (a pure function of the settled bytes); the gauge, like every
+	// gauge, holds the most recent day.
+	MetricMechBudgetViolations  = "enki_mechanism_budget_violations_total"
+	MetricMechTheorem1Deviation = "enki_mechanism_theorem1_deviation_dollars"
+
+	// internal/obs — metrics federation: reports merged into the
+	// cluster-wide view, labeled by the reporting side (shard or agent).
+	MetricObsFederationReports = "enki_obs_federation_reports_total"
+
+	// internal/netproto — agent-local series piggybacked to the center as
+	// metricsReport messages when WithMetricsReporting is on: preferences
+	// reported and days settled, both deterministic per household.
+	MetricAgentReportsTotal = "enki_agent_reports_total"
+	MetricAgentDaysSettled  = "enki_agent_days_settled_total"
+
+	// internal/obs — SLO engine exports: per-objective-per-window burn
+	// rate (error-budget consumption speed; 1.0 = burning exactly the
+	// budget), per-objective health (1 healthy, 0 violated), and the
+	// evaluation counter. All are wall-clock-window facts and, being
+	// gauges plus a scrape-driven counter, outside the determinism
+	// contract.
+	MetricSLOBurnRate = "enki_slo_burn_rate"
+	MetricSLOHealthy  = "enki_slo_healthy"
+	MetricSLOSamples  = "enki_slo_samples_total"
+
 	// internal/obs — the tracer's own health: spans evicted from the
 	// bounded ring (a long -trace-out run outgrowing its retention).
 	MetricObsTraceDropped = "enki_obs_trace_dropped_total"
@@ -132,6 +167,9 @@ const (
 	LabelAction    = "action"
 	LabelBound     = "bound"
 	LabelCodec     = "codec"
+	LabelObjective = "objective"
+	LabelWindow    = "window"
+	LabelSource    = "source"
 )
 
 // Bound label values for the solver's pruned-nodes series: which bound

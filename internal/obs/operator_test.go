@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type fakeStatus struct{}
+
+func (fakeStatus) DayStatus() DayStatus {
+	return DayStatus{Day: 3, Phase: "consumption", Members: 8, Reported: 6, Dark: 2, DaysSettled: 3}
+}
+
+func (fakeStatus) ShardStatuses() []ShardStatus {
+	return []ShardStatus{
+		{Shard: 0, Healthy: true, LastDay: 3, Households: 4, Settled: 4},
+		{Shard: 1, Healthy: false, Err: "link down", LastDay: 2, Households: 4, Substituted: 1},
+	}
+}
+
+type fakeLedger struct{ lines []string }
+
+func (l fakeLedger) LedgerTail(n int) []json.RawMessage {
+	if n > len(l.lines) {
+		n = len(l.lines)
+	}
+	out := make([]json.RawMessage, 0, n)
+	for _, s := range l.lines[len(l.lines)-n:] {
+		out = append(out, json.RawMessage(s))
+	}
+	return out
+}
+
+func newTestOperator(t *testing.T) (*Operator, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	eng, err := NewSLOEngine(reg, DefaultObjectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewOperator(reg)
+	op.Status = fakeStatus{}
+	op.Ledger = fakeLedger{lines: []string{`{"day":1}`, `{"day":2}`, `{"day":3}`}}
+	op.Federation = NewFederation(reg)
+	op.SLO = eng
+	srv := httptest.NewServer(op.Handler())
+	t.Cleanup(srv.Close)
+	return op, srv
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestOperatorReadyzGatesOnReadiness(t *testing.T) {
+	op, srv := newTestOperator(t)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before SetReady = %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays 200 the whole time.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while starting = %d, want 200", resp.StatusCode)
+	}
+	op.SetReady(true)
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after SetReady = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestOperatorDayAndShards(t *testing.T) {
+	_, srv := newTestOperator(t)
+	var day DayStatus
+	if resp := getJSON(t, srv.URL+"/api/v1/day", &day); resp.StatusCode != 200 {
+		t.Fatalf("/api/v1/day = %d", resp.StatusCode)
+	}
+	if day.Day != 3 || day.Phase != "consumption" || day.Dark != 2 {
+		t.Fatalf("day status = %+v", day)
+	}
+	var shards []ShardStatus
+	getJSON(t, srv.URL+"/api/v1/shards", &shards)
+	if len(shards) != 2 || shards[1].Err != "link down" || shards[1].Substituted != 1 {
+		t.Fatalf("shard statuses = %+v", shards)
+	}
+}
+
+func TestOperatorLedgerTail(t *testing.T) {
+	_, srv := newTestOperator(t)
+	var tail []struct {
+		Day int `json:"day"`
+	}
+	getJSON(t, srv.URL+"/api/v1/ledger/tail?n=2", &tail)
+	if len(tail) != 2 || tail[0].Day != 2 || tail[1].Day != 3 {
+		t.Fatalf("ledger tail = %+v", tail)
+	}
+	resp, err := http.Get(srv.URL + "/api/v1/ledger/tail?n=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOperatorSLOEndpoint(t *testing.T) {
+	_, srv := newTestOperator(t)
+	var report SLOReport
+	getJSON(t, srv.URL+"/api/v1/slo", &report)
+	if len(report.Objectives) != len(DefaultObjectives()) {
+		t.Fatalf("slo objectives = %d, want %d", len(report.Objectives), len(DefaultObjectives()))
+	}
+	for _, o := range report.Objectives {
+		if !o.Healthy {
+			t.Fatalf("idle registry must be healthy, got %+v", o)
+		}
+		if len(o.Burn) != len(DefaultSLOWindows()) {
+			t.Fatalf("objective %s burn windows = %d", o.Name, len(o.Burn))
+		}
+	}
+}
+
+func TestOperatorFederationEndpoint(t *testing.T) {
+	op, srv := newTestOperator(t)
+	op.Federation.Report(&MetricsReport{Source: "shard/0000", Snapshot: shardSnapshot(2, 0, 1, "t")})
+	var fs FederatedSnapshot
+	getJSON(t, srv.URL+"/api/v1/federation", &fs)
+	if fs.Merged.Counters[MetricClusterShardsSettled] != 2 {
+		t.Fatalf("federation endpoint merged = %+v", fs.Merged.Counters)
+	}
+}
+
+func TestOperatorAbsentSurfacesReturn404(t *testing.T) {
+	op := NewOperator(NewRegistry())
+	srv := httptest.NewServer(op.Handler())
+	defer srv.Close()
+	for _, path := range []string{"/api/v1/day", "/api/v1/shards", "/api/v1/ledger/tail", "/api/v1/slo", "/api/v1/federation"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s with no source = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestExemplarsKeepSlowestPerBucket(t *testing.T) {
+	h := NewHistogram(LatencyBucketsMS)
+	h.ObserveExemplar(2.1, "slowest")
+	h.ObserveExemplar(2.9, "slower")
+	h.ObserveExemplar(0.5, "fast") // lands in the 1ms bucket, not the 3ms one
+	h.Observe(2.8)                 // untraced observations never displace exemplars
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want 2 buckets", ex)
+	}
+	if ex[0].TraceID != "fast" || ex[0].Value != 0.5 {
+		t.Fatalf("fast-bucket exemplar = %+v", ex[0])
+	}
+	if ex[1].TraceID != "slower" || ex[1].Value != 2.9 {
+		t.Fatalf("bucket exemplar = %+v, want the 2.9 trace", ex[1])
+	}
+}

@@ -151,11 +151,15 @@ func (r *Registry) Reset() {
 func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
 // HistogramSnapshot is the exported state of one histogram series.
+// Exemplars (the slowest traced observation per bucket) are a JSON-only
+// extra: timing facts outside the determinism contract, so
+// DiffDeterministic never compares them.
 type HistogramSnapshot struct {
-	Bounds  []float64 `json:"bounds"`
-	Buckets []uint64  `json:"buckets"` // len(Bounds)+1, last is +Inf
-	Count   uint64    `json:"count"`
-	Sum     float64   `json:"sum"`
+	Bounds    []float64  `json:"bounds"`
+	Buckets   []uint64   `json:"buckets"` // len(Bounds)+1, last is +Inf
+	Count     uint64     `json:"count"`
+	Sum       float64    `json:"sum"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry, with series sorted
@@ -183,10 +187,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, h := range r.histograms {
 		s.Histograms[k] = HistogramSnapshot{
-			Bounds:  h.Bounds(),
-			Buckets: h.BucketCounts(),
-			Count:   h.Count(),
-			Sum:     h.Sum(),
+			Bounds:    h.Bounds(),
+			Buckets:   h.BucketCounts(),
+			Count:     h.Count(),
+			Sum:       h.Sum(),
+			Exemplars: h.Exemplars(),
 		}
 	}
 	return s

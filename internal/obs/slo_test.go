@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func sloTime() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+
+func TestSLODefaultObjectivesValidate(t *testing.T) {
+	if _, err := NewSLOEngine(NewRegistry(), DefaultObjectives()); err != nil {
+		t.Fatalf("default objectives must validate: %v", err)
+	}
+}
+
+func TestSLOEngineRejectsBadObjectives(t *testing.T) {
+	cases := []Objective{
+		{Name: "", Kind: ObjectiveRatio, Budget: 0.1, Bad: []string{"a"}, Total: []string{"b"}},
+		{Name: "no-budget", Kind: ObjectiveRatio, Bad: []string{"a"}, Total: []string{"b"}},
+		{Name: "latency-no-series", Kind: ObjectiveLatency, Budget: 0.1, ThresholdMS: 5},
+		{Name: "ratio-no-total", Kind: ObjectiveRatio, Budget: 0.1, Bad: []string{"a"}},
+		{Name: "bad-kind", Kind: ObjectiveKind("nope"), Budget: 0.1},
+	}
+	for _, o := range cases {
+		if _, err := NewSLOEngine(NewRegistry(), []Objective{o}); err == nil {
+			t.Fatalf("objective %+v should be rejected", o)
+		}
+	}
+	dup := Objective{Name: "twice", Kind: ObjectiveRatio, Budget: 0.1, Bad: []string{"a"}, Total: []string{"b"}}
+	if _, err := NewSLOEngine(NewRegistry(), []Objective{dup, dup}); err == nil {
+		t.Fatal("duplicate objective names should be rejected")
+	}
+}
+
+func TestSLORatioBurnRate(t *testing.T) {
+	reg := NewRegistry()
+	eng, err := NewSLOEngine(reg, []Objective{{
+		Name:   "degraded",
+		Kind:   ObjectiveRatio,
+		Budget: 0.05,
+		Bad:    []string{MetricNetDegradedDaysTotal},
+		Total:  []string{MetricNetDaysTotal},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := sloTime()
+	reg.Counter(MetricNetDaysTotal).Add(100)
+	eng.Sample(t0)
+
+	// One minute later 10 more days settled, all degraded: the 5m window
+	// sees 10/10 bad (burn 200×budget) while the lifetime share stays
+	// healthy at 10/110.
+	reg.Counter(MetricNetDaysTotal).Add(10)
+	reg.Counter(MetricNetDegradedDaysTotal).Add(10)
+	st := eng.Sample(t0.Add(time.Minute))[0]
+	if st.Bad != 10 || st.Total != 110 {
+		t.Fatalf("lifetime bad/total = %d/%d, want 10/110", st.Bad, st.Total)
+	}
+	fast := st.Burn[0]
+	if fast.Window != "5m" || fast.Bad != 10 || fast.Total != 10 {
+		t.Fatalf("5m burn = %+v, want 10 bad of 10", fast)
+	}
+	if fast.Rate != 1.0/0.05 {
+		t.Fatalf("5m rate = %g, want %g", fast.Rate, 1.0/0.05)
+	}
+	if st.Healthy {
+		t.Fatal("burning 20x budget must be unhealthy")
+	}
+	if got := reg.Gauge(MetricSLOBurnRate, LabelObjective, "degraded", LabelWindow, "5m").Value(); got != fast.Rate {
+		t.Fatalf("exported burn gauge = %g, want %g", got, fast.Rate)
+	}
+	if got := reg.Gauge(MetricSLOHealthy, LabelObjective, "degraded").Value(); got != 0 {
+		t.Fatalf("exported health gauge = %g, want 0", got)
+	}
+}
+
+func TestSLOLatencyObjectiveCountsSlowObservations(t *testing.T) {
+	reg := NewRegistry()
+	eng, err := NewSLOEngine(reg, []Objective{{
+		Name:        "settle-fast",
+		Kind:        ObjectiveLatency,
+		Budget:      0.25,
+		Series:      MetricNetDaySettleMS,
+		ThresholdMS: 10,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram(MetricNetDaySettleMS, LatencyBucketsMS)
+	h.Observe(1)  // good: lands in bound 1 ≤ 10
+	h.Observe(10) // good: lands exactly on the 10ms bound
+	h.Observe(25) // bad: lands in bound 30 > 10
+	st := eng.Sample(sloTime())[0]
+	if st.Bad != 1 || st.Total != 3 {
+		t.Fatalf("latency bad/total = %d/%d, want 1/3", st.Bad, st.Total)
+	}
+	if st.Healthy {
+		t.Fatal("lifetime 1/3 bad against a 0.25 budget must be unhealthy")
+	}
+}
+
+func TestSLOValueObjectiveBandsGauge(t *testing.T) {
+	reg := NewRegistry()
+	eng, err := NewSLOEngine(reg, []Objective{{
+		Name:      "residual-zero",
+		Kind:      ObjectiveValue,
+		Budget:    0.5,
+		Series:    MetricMechBudgetResidual,
+		Target:    0,
+		Tolerance: 1e-6,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := sloTime()
+	reg.Gauge(MetricMechBudgetResidual).Set(0)
+	st := eng.Sample(t0)[0]
+	if st.Bad != 0 || st.Total != 1 || !st.Healthy {
+		t.Fatalf("in-band value objective: %+v", st)
+	}
+	// Value samples fold forward: a second evaluation out of band makes
+	// lifetime 1 bad of 2 total.
+	reg.Gauge(MetricMechBudgetResidual).Set(3.5)
+	st = eng.Sample(t0.Add(time.Minute))[0]
+	if st.Bad != 1 || st.Total != 2 || st.Value != 3.5 {
+		t.Fatalf("out-of-band value objective: %+v", st)
+	}
+	if st.Healthy {
+		t.Fatal("out-of-band residual must be unhealthy")
+	}
+}
+
+func TestSLOPruneKeepsWindowBaseline(t *testing.T) {
+	reg := NewRegistry()
+	eng, err := NewSLOEngine(reg, []Objective{{
+		Name:   "r",
+		Kind:   ObjectiveRatio,
+		Budget: 0.5,
+		Bad:    []string{MetricNetDegradedDaysTotal},
+		Total:  []string{MetricNetDaysTotal},
+	}}, SLOWindow{Name: "1m", Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := sloTime()
+	for i := 0; i < 10; i++ {
+		reg.Counter(MetricNetDaysTotal).Add(1)
+		eng.Sample(t0.Add(time.Duration(i) * 10 * time.Second))
+	}
+	// Only ~the last window plus one baseline sample should be retained.
+	if n := len(eng.samples); n > 8 {
+		t.Fatalf("prune retained %d samples for a 1m window at 10s cadence", n)
+	}
+	st := eng.Sample(t0.Add(100 * time.Second))
+	if br := st[0].Burn[0]; br.Total == 0 || br.Total > 7 {
+		t.Fatalf("window delta after prune = %+v, want a ~1m slice", br)
+	}
+}

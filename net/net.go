@@ -167,6 +167,13 @@ var (
 	WithWorkers        = netproto.WithWorkers
 	WithShardRecords   = netproto.WithShardRecords
 	WithShardFaultPlan = netproto.WithShardFaultPlan
+	// WithMetricsReporting piggybacks per-agent (and per-shard) metrics
+	// snapshots onto the existing wire phases so the center or cluster
+	// federates them at /api/v1/federation.
+	WithMetricsReporting = netproto.WithMetricsReporting
+	// WithSLO installs burn-rate objectives on the center or cluster
+	// (defaults to obs.DefaultObjectives when called with none).
+	WithSLO = netproto.WithSLO
 )
 
 // NewCenter starts a center on addr from an explicit config struct.
