@@ -19,7 +19,7 @@ race:
 # the raw log goes to BENCH_sched.txt, tools/benchjson converts it to
 # BENCH_sched.json (ns/op, B/op, allocs/op per benchmark).
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(GreedyAllocate|OptimalAllocate|Sweep|FederatedSnapshot)' \
+	$(GO) test -run '^$$' -bench '^Benchmark(GreedyAllocate|OptimalAllocate|Sweep|FederatedSnapshot|RecorderSteadyState)' \
 		-benchmem . | tee BENCH_sched.txt
 	$(GO) run ./tools/benchjson -o BENCH_sched.json BENCH_sched.txt
 
@@ -40,7 +40,7 @@ bench-all:
 # steady-state contract (1 alloc/op, down from 43) still has no room
 # to regress meaningfully.
 bench-check:
-	$(GO) test -run '^$$' -bench '^Benchmark(GreedyAllocate|OptimalAllocate|Sweep|FederatedSnapshot)' \
+	$(GO) test -run '^$$' -bench '^Benchmark(GreedyAllocate|OptimalAllocate|Sweep|FederatedSnapshot|RecorderSteadyState)' \
 		-benchmem . > /tmp/bench-check.txt
 	$(GO) run ./tools/benchjson -o /tmp/bench-check.json /tmp/bench-check.txt
 	$(GO) run ./tools/benchdiff -baseline BENCH_sched.json -current /tmp/bench-check.json -alloc-slack 8

@@ -442,6 +442,28 @@ func BenchmarkFederatedSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkRecorderSteadyState measures one flight-recorder event on
+// the hot path every wire frame pays when -bundle-dir is set: an
+// enabled ring, cached counter handles, no per-event allocation. The
+// allocs/op figure is gated alongside the allocator benches in make
+// bench-check — a regression here taxes every settled household.
+func BenchmarkRecorderSteadyState(b *testing.B) {
+	rec := obs.NewRecorder()
+	rec.Enable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(obs.Event{
+			Kind:   obs.EventWireFrame,
+			Shard:  i & 7,
+			Codec:  "binary",
+			Action: "sent",
+			N:      64,
+			Bytes:  1 << 10,
+		})
+	}
+}
+
 // BenchmarkProfileDraw measures the Section VI workload generator.
 func BenchmarkProfileDraw(b *testing.B) {
 	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(21))

@@ -36,7 +36,9 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// run's error return is named so the bundle-on-failure defer can see
+// which exit path was taken.
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("enkiagent", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7600", "center address")
@@ -49,6 +51,7 @@ func run(args []string) error {
 		faultSpec = fs.String("fault-plan", "", "deterministic outbound fault plan, e.g. drop@2 or seed=42,msgs=100,drop=0.05")
 		reporting = fs.Bool("reporting", false, "piggyback the agent's metrics snapshot on each day's consumption phase (pair with enkid -obs.reporting)")
 		traceOut  = fs.String("trace-out", "", "write the agent-side span trace to this JSONL file")
+		bundleDir = fs.String("bundle-dir", "", "enable the flight recorder and capture a debug bundle here when the agent fails")
 	)
 	logOpts := obs.LogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +60,33 @@ func run(args []string) error {
 	logger, err := logOpts.Apply(nil)
 	if err != nil {
 		return err
+	}
+
+	if *bundleDir != "" {
+		// An agent has no operator plane; its bundle carries the recorder
+		// ring (retries, resumes, wire frames), span trace, default
+		// registry, and runtime profiles — the client side of an incident.
+		obs.DefaultRecorder().Enable()
+		trig, terr := obs.NewTrigger(obs.TriggerConfig{
+			Dir:    *bundleDir,
+			Config: map[string]string{"addr": *addr, "id": fmt.Sprint(*id)},
+		}, obs.BundleSources{
+			Recorder: obs.DefaultRecorder(),
+			Tracer:   obs.DefaultTracer(),
+		})
+		if terr != nil {
+			return terr
+		}
+		defer func() {
+			if err == nil {
+				return
+			}
+			if path, ferr := trig.Fire("agent-failure"); ferr != nil {
+				logger.Error("bundle capture failed", "err", ferr)
+			} else if path != "" {
+				logger.Info("debug bundle written", "path", path, "reason", "agent-failure")
+			}
+		}()
 	}
 
 	if *traceOut != "" {

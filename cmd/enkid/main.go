@@ -64,6 +64,8 @@ type daemonFlags struct {
 	traceOut   string
 	traceSeed  uint64
 	traceLimit int
+	bundleDir  string
+	bundleCPU  time.Duration
 	logOpts    *obs.LogOptions
 }
 
@@ -99,6 +101,8 @@ func newFlagSet() (*flag.FlagSet, *daemonFlags) {
 	fs.StringVar(&f.traceOut, "obs.trace-out", "", "write the day-cycle span trace to this JSONL file")
 	fs.Uint64Var(&f.traceSeed, "obs.trace-seed", 0, "seed for the deterministic per-day trace IDs and session tokens")
 	fs.IntVar(&f.traceLimit, "obs.trace-limit", 0, "max retained spans before the oldest are dropped (0 = default)")
+	fs.StringVar(&f.bundleDir, "obs.bundle-dir", "", "enable the flight recorder and write debug bundles here on SLO breach, shard degradation, SIGUSR1, or POST /api/v1/debug/bundle (empty = off)")
+	fs.DurationVar(&f.bundleCPU, "obs.bundle-cpu", 0, "CPU-profile length captured into each debug bundle (0 = skip; capture blocks the trigger for the duration)")
 	f.logOpts = obs.LogFlags(fs)
 
 	// Flat aliases from before the namespacing; each shares its
@@ -119,6 +123,8 @@ func newFlagSet() (*flag.FlagSet, *daemonFlags) {
 		"trace-out":      "obs.trace-out",
 		"trace-seed":     "obs.trace-seed",
 		"trace-limit":    "obs.trace-limit",
+		"bundle-dir":     "obs.bundle-dir",
+		"bundle-cpu":     "obs.bundle-cpu",
 	} {
 		fs.Var(fs.Lookup(canonical).Value, alias, "alias for -"+canonical)
 	}
@@ -177,9 +183,10 @@ func run(args []string) error {
 		netproto.WithCodec(f.codec),
 		netproto.WithMetricsReporting(f.reporting),
 	}
-	if *httpAddr != "" {
-		// The operator plane implies the SLO engine: /api/v1/slo burns
-		// against the default objectives.
+	if *httpAddr != "" || f.bundleDir != "" {
+		// The operator plane and the bundle trigger both imply the SLO
+		// engine: /api/v1/slo and the breach watcher burn against the
+		// default objectives.
 		centerOpts = append(centerOpts, netproto.WithSLO())
 	}
 	center, err := netproto.StartCenter(*addr, centerOpts...)
@@ -190,15 +197,54 @@ func run(args []string) error {
 
 	preregisterMetrics(scheduler.Name())
 	var operator *obs.Operator
-	if *httpAddr != "" {
+	if *httpAddr != "" || f.bundleDir != "" {
 		operator = center.Operator()
+	}
+	if *httpAddr != "" {
 		srv, err := obs.ServeOperator(*httpAddr, operator)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		logger.Info("operator plane up", "addr", srv.Addr(),
-			"endpoints", "/metrics /healthz /readyz /api/v1/{day,shards,ledger/tail,slo,federation,metrics} /debug/pprof/")
+			"endpoints", "/metrics /healthz /readyz /api/v1/{day,shards,ledger/tail,slo,federation,metrics,debug/bundle} /debug/pprof/")
+	}
+	if f.bundleDir != "" {
+		obs.DefaultRecorder().Enable()
+		trig, err := obs.NewTrigger(obs.TriggerConfig{
+			Dir:        f.bundleDir,
+			CPUProfile: f.bundleCPU,
+			Config: map[string]string{
+				"addr":  *addr,
+				"codec": f.codec,
+				"xi":    fmt.Sprint(*xi),
+				"days":  fmt.Sprint(*days),
+			},
+		}, obs.BundleSources{
+			Operator: operator,
+			Recorder: obs.DefaultRecorder(),
+			Tracer:   obs.DefaultTracer(),
+		})
+		if err != nil {
+			return err
+		}
+		operator.Debug = trig
+		// SIGUSR1 is the operator's on-demand capture path alongside
+		// POST /api/v1/debug/bundle.
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		defer signal.Stop(usr1)
+		go func() {
+			for range usr1 {
+				if path, err := trig.Fire("sigusr1"); err != nil {
+					logger.Error("bundle capture failed", "err", err)
+				} else if path != "" {
+					logger.Info("debug bundle written", "path", path, "reason", "sigusr1")
+				}
+			}
+		}()
+		go trig.Watch(ctx, 5*time.Second)
+		logger.Info("flight recorder on", "bundle_dir", f.bundleDir)
 	}
 	if *traceLimit > 0 {
 		obs.DefaultTracer().SetCapacity(*traceLimit)
@@ -314,4 +360,10 @@ func preregisterMetrics(schedulerName string) {
 	reg.Gauge(obs.MetricMechTheorem1Deviation)
 	reg.Counter(obs.MetricMechBudgetViolations)
 	reg.Counter(obs.MetricObsTraceDropped)
+	reg.Counter(obs.MetricObsRecorderEvents)
+	reg.Counter(obs.MetricObsRecorderDropped)
+	reg.Counter(obs.MetricObsBundleWrites)
+	reg.Counter(obs.MetricObsBundleSuppressed)
+	reg.Counter(obs.MetricObsBundleErrors)
+	reg.Gauge(obs.MetricObsBundleLastUnix)
 }

@@ -33,6 +33,7 @@ func TestHelpOutputDeterministicAndNamespaced(t *testing.T) {
 		"-shard.agents", "-shard.days", "-shard.wait", "-shard.sigma", "-shard.rating", "-shard.xi",
 		"-wire.addr", "-wire.codec", "-wire.phase-deadline", "-wire.fault-plan",
 		"-obs.journal", "-obs.ledger", "-obs.http", "-obs.trace-out", "-obs.trace-seed", "-obs.trace-limit",
+		"-obs.bundle-dir", "-obs.bundle-cpu",
 	}
 	for _, name := range namespaced {
 		if !strings.Contains(first, name+" ") && !strings.Contains(first, name+"\n") {
@@ -45,6 +46,7 @@ func TestHelpOutputDeterministicAndNamespaced(t *testing.T) {
 		"alias for -wire.addr", "alias for -wire.phase-deadline", "alias for -wire.fault-plan",
 		"alias for -obs.journal", "alias for -obs.ledger", "alias for -obs.http",
 		"alias for -obs.trace-out", "alias for -obs.trace-seed", "alias for -obs.trace-limit",
+		"alias for -obs.bundle-dir", "alias for -obs.bundle-cpu",
 	}
 	for _, a := range aliases {
 		if !strings.Contains(first, a) {
@@ -104,6 +106,9 @@ func TestFreshDaemonMetricsPage(t *testing.T) {
 		obs.MetricSchedDefermentSlots,
 		obs.MetricMechSettlementsTotal,
 		obs.MetricMechDayPAR,
+		obs.MetricObsRecorderEvents,
+		obs.MetricObsBundleWrites,
+		obs.MetricObsBundleLastUnix,
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("fresh /metrics missing series %s", series)

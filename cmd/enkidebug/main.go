@@ -1,0 +1,535 @@
+// Command enkidebug analyzes a debug bundle offline and prints a triage
+// report: the implicated day/shard/trace, phase latency against the SLO
+// threshold, the recomputed Theorem 1 budget residual from the bundled
+// ledger, the retry/fault timeline, and a ranked probable-cause summary.
+//
+// Exit codes are CI-suitable: 0 the bundle analyzed clean (Theorem 1
+// residual within tolerance), 1 usage or a corrupt/unreadable bundle,
+// 2 an integrity violation (the recomputed budget residual is nonzero
+// beyond float tolerance — the mechanism itself misbehaved).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"enki/internal/obs"
+)
+
+// errResidual marks a Theorem 1 integrity violation (exit 2).
+var errResidual = errors.New("enkidebug: budget residual violation")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errResidual) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// shardFinding is one implicated shard's triage row.
+type shardFinding struct {
+	Shard       int    `json:"shard"`
+	State       string `json:"state"` // "failed" or "degraded"
+	Err         string `json:"err,omitempty"`
+	TraceID     string `json:"traceId,omitempty"`
+	Absent      int    `json:"absent,omitempty"`
+	Substituted int    `json:"substituted,omitempty"`
+	Faults      int    `json:"faults"` // injected-fault events on its link
+	FaultMix    string `json:"faultMix,omitempty"`
+}
+
+// phaseFinding is one latency family's quantile row.
+type phaseFinding struct {
+	Name        string  `json:"name"`
+	Count       uint64  `json:"count"`
+	P50MS       float64 `json:"p50Ms"`
+	P99MS       float64 `json:"p99Ms"`
+	ThresholdMS float64 `json:"thresholdMs,omitempty"` // SLO bound when one applies
+	Breached    bool    `json:"breached,omitempty"`
+}
+
+// residualFinding is the recomputed Theorem 1 audit over the bundled
+// ledger tail.
+type residualFinding struct {
+	Entries   int     `json:"entries"`
+	MaxAbs    float64 `json:"maxAbs"`
+	Tolerance float64 `json:"tolerance"`
+	WorstDay  int     `json:"worstDay"`
+	Violated  bool    `json:"violated"`
+}
+
+// cause is one ranked probable-cause line.
+type cause struct {
+	Score int    `json:"score"`
+	Text  string `json:"text"`
+}
+
+// triageReport is the whole analysis (the -json output shape).
+type triageReport struct {
+	Bundle     string            `json:"bundle"`
+	Reason     string            `json:"reason"`
+	CapturedAt string            `json:"capturedAt"`
+	Build      string            `json:"build"`
+	Day        int               `json:"day"`
+	Traces     []string          `json:"traces,omitempty"`
+	Shards     []shardFinding    `json:"shards,omitempty"`
+	ShardTotal int               `json:"shardTotal"`
+	Phases     []phaseFinding    `json:"phases,omitempty"`
+	SLO        []string          `json:"sloUnhealthy,omitempty"`
+	Residual   residualFinding   `json:"residual"`
+	Events     int               `json:"events"`
+	Timeline   []string          `json:"timeline,omitempty"`
+	Causes     []cause           `json:"causes"`
+	Profiles   map[string]int    `json:"profiles,omitempty"`
+	Notes      []string          `json:"notes,omitempty"`
+	Config     map[string]string `json:"-"`
+}
+
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("enkidebug", flag.ContinueOnError)
+	fs.SetOutput(out)
+	jsonOut := fs.Bool("json", false, "emit the triage report as JSON")
+	tailN := fs.Int("n", 12, "timeline events to print (0 for all)")
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: enkidebug [-json] [-n events] bundle.tar.gz")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return errors.New("enkidebug: exactly one bundle path required")
+	}
+	path := fs.Arg(0)
+	b, err := obs.ReadBundle(path)
+	if err != nil {
+		return fmt.Errorf("enkidebug: %w", err)
+	}
+
+	rep := analyze(path, b)
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		render(out, rep, *tailN)
+	}
+	if rep.Residual.Violated {
+		return fmt.Errorf("%w: max |Σp − ξ·κ| = %g over %d ledger entries (tolerance %g)",
+			errResidual, rep.Residual.MaxAbs, rep.Residual.Entries, rep.Residual.Tolerance)
+	}
+	return nil
+}
+
+func analyze(path string, b *obs.Bundle) *triageReport {
+	rep := &triageReport{
+		Bundle:     path,
+		Reason:     b.Manifest.Reason,
+		CapturedAt: time.Unix(0, b.Manifest.CapturedUnixNS).UTC().Format(time.RFC3339),
+		Build:      fmt.Sprintf("%s %s/%s", b.Manifest.GoVersion, b.Manifest.GOOS, b.Manifest.GOARCH),
+		Day:        b.Manifest.ImplicatedDay,
+		Traces:     b.Manifest.ImplicatedTraces,
+		Events:     len(b.Events),
+		Profiles:   b.Profiles,
+		Notes:      b.Manifest.Notes,
+		Config:     b.Manifest.Config,
+	}
+	if b.Day != nil {
+		rep.Day = b.Day.Day
+	}
+
+	// Per-shard fault accounting from the event ring.
+	faultsByShard := map[int]map[string]int{}
+	var retries, resumes, darks int
+	for _, e := range b.Events {
+		switch e.Kind {
+		case obs.EventFault:
+			if faultsByShard[e.Shard] == nil {
+				faultsByShard[e.Shard] = map[string]int{}
+			}
+			faultsByShard[e.Shard][e.Action]++
+		case obs.EventRetry:
+			retries++
+		case obs.EventResume:
+			resumes++
+		case obs.EventDark:
+			darks++
+		}
+	}
+
+	rep.ShardTotal = len(b.Shards)
+	for _, sh := range b.Shards {
+		state := ""
+		switch {
+		case !sh.Healthy || sh.Err != "":
+			state = "failed"
+		case sh.Absent > 0 || sh.Substituted > 0:
+			state = "degraded"
+		default:
+			continue
+		}
+		n, mix := faultSummary(faultsByShard[sh.Shard])
+		rep.Shards = append(rep.Shards, shardFinding{
+			Shard:       sh.Shard,
+			State:       state,
+			Err:         sh.Err,
+			TraceID:     sh.TraceID,
+			Absent:      sh.Absent,
+			Substituted: sh.Substituted,
+			Faults:      n,
+			FaultMix:    mix,
+		})
+	}
+
+	// Phase-latency breakdown vs the SLO threshold. The day-settle
+	// family carries the latency objective's bound when the bundle's
+	// SLO spec names it.
+	thresholds := map[string]float64{}
+	if b.SLO != nil {
+		for _, o := range b.SLO.Spec {
+			if o.Kind == obs.ObjectiveLatency && o.Series != "" {
+				thresholds[o.Series] = o.ThresholdMS
+			}
+		}
+		for _, st := range b.SLO.Objectives {
+			if !st.Healthy {
+				rep.SLO = append(rep.SLO, fmt.Sprintf("%s (bad %d / total %d)", st.Name, st.Bad, st.Total))
+			}
+		}
+	}
+	if b.Metrics != nil {
+		keys := make([]string, 0, len(b.Metrics.Histograms))
+		for k := range b.Metrics.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			base := baseOf(k)
+			switch base {
+			case "enki_netproto_phase_latency_ms", "enki_netproto_day_settle_latency_ms", "enki_cluster_shard_settle_latency_ms":
+			default:
+				continue
+			}
+			h := b.Metrics.Histograms[k]
+			if h.Count == 0 {
+				continue
+			}
+			f := phaseFinding{
+				Name:  strings.TrimPrefix(k, "enki_"),
+				Count: h.Count,
+				P50MS: quantile(h, 0.50),
+				P99MS: quantile(h, 0.99),
+			}
+			if t, ok := thresholds[base]; ok {
+				f.ThresholdMS = t
+				f.Breached = f.P99MS > t
+			}
+			rep.Phases = append(rep.Phases, f)
+		}
+	}
+
+	rep.Residual = auditLedger(b.Ledger)
+	rep.Timeline = timeline(b.Events)
+	rep.Causes = rankCauses(rep, retries, resumes, darks)
+	return rep
+}
+
+// ledgerEntry is the slice of mechanism.LedgerEntry enkidebug needs;
+// decoding locally keeps the analyzer independent of internal/mechanism.
+type ledgerEntry struct {
+	Day        int     `json:"day"`
+	TraceID    string  `json:"traceId"`
+	Xi         float64 `json:"xi"`
+	Cost       float64 `json:"cost"`
+	Revenue    float64 `json:"revenue"`
+	Households []struct {
+		Payment float64 `json:"payment"`
+	} `json:"households"`
+}
+
+// auditLedger recomputes the Theorem 1 identity Σp − ξ·κ for every
+// bundled ledger entry from the per-household payments — not from the
+// entry's own revenue field, so a corrupted aggregate cannot hide.
+func auditLedger(lines []json.RawMessage) residualFinding {
+	res := residualFinding{WorstDay: -1}
+	for _, line := range lines {
+		var e ledgerEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // the journal may interleave day records; audit ledger lines only
+		}
+		if e.Xi == 0 && len(e.Households) == 0 {
+			continue // not a ledger entry
+		}
+		res.Entries++
+		var sum float64
+		for _, h := range e.Households {
+			sum += h.Payment
+		}
+		residual := sum - e.Xi*e.Cost
+		tol := 1e-6 * math.Max(1, math.Abs(sum))
+		if tol > res.Tolerance {
+			res.Tolerance = tol
+		}
+		if math.Abs(residual) > res.MaxAbs {
+			res.MaxAbs = math.Abs(residual)
+			res.WorstDay = e.Day
+		}
+		if math.Abs(residual) > tol {
+			res.Violated = true
+		}
+	}
+	return res
+}
+
+// timeline renders the event ring as human-readable lines, relative to
+// the first event's capture time.
+func timeline(events []obs.Event) []string {
+	if len(events) == 0 {
+		return nil
+	}
+	t0 := events[0].TimeNS
+	out := make([]string, len(events))
+	for i, e := range events {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "+%8.3fs %-12s", float64(e.TimeNS-t0)/1e9, e.Kind)
+		if e.Day != 0 || e.Kind == obs.EventShardDay || e.Kind == obs.EventDay || e.Kind == obs.EventPhase {
+			fmt.Fprintf(&sb, " day=%d", e.Day)
+		}
+		if e.Shard >= 0 {
+			fmt.Fprintf(&sb, " shard=%d", e.Shard)
+		}
+		if e.Phase != "" {
+			fmt.Fprintf(&sb, " phase=%s", e.Phase)
+		}
+		if e.Action != "" {
+			fmt.Fprintf(&sb, " action=%s", e.Action)
+		}
+		if e.Codec != "" {
+			fmt.Fprintf(&sb, " codec=%s", e.Codec)
+		}
+		if e.N != 0 {
+			fmt.Fprintf(&sb, " n=%d", e.N)
+		}
+		if e.Bytes != 0 {
+			fmt.Fprintf(&sb, " bytes=%d", e.Bytes)
+		}
+		if e.Val != 0 {
+			fmt.Fprintf(&sb, " val=%.3f", e.Val)
+		}
+		if e.TraceID != "" {
+			fmt.Fprintf(&sb, " trace=%s", e.TraceID)
+		}
+		if e.Err != "" {
+			fmt.Fprintf(&sb, " err=%q", e.Err)
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// rankCauses orders the evidence into a probable-cause list, strongest
+// first: a mechanism-integrity violation outranks shard failures, which
+// outrank fault-linked degradation, SLO burn, and link instability.
+func rankCauses(rep *triageReport, retries, resumes, darks int) []cause {
+	var causes []cause
+	if rep.Residual.Violated {
+		causes = append(causes, cause{100, fmt.Sprintf(
+			"Theorem 1 violated: recomputed Σp − ξ·κ reaches %g on day %d — the mechanism settled off-budget",
+			rep.Residual.MaxAbs, rep.Residual.WorstDay)})
+	}
+	for _, sh := range rep.Shards {
+		switch sh.State {
+		case "failed":
+			txt := fmt.Sprintf("shard %d failed: %s", sh.Shard, sh.Err)
+			if sh.Faults > 0 {
+				txt += fmt.Sprintf(" — %d injected faults (%s) on its link", sh.Faults, sh.FaultMix)
+			}
+			causes = append(causes, cause{90, txt})
+		case "degraded":
+			txt := fmt.Sprintf("shard %d degraded (absent %d, substituted %d)", sh.Shard, sh.Absent, sh.Substituted)
+			if sh.Faults > 0 {
+				txt += fmt.Sprintf(" — %d injected faults (%s) on its link explain the loss", sh.Faults, sh.FaultMix)
+			}
+			causes = append(causes, cause{80, txt})
+		}
+	}
+	for _, name := range rep.SLO {
+		causes = append(causes, cause{60, "SLO objective burning: " + name})
+	}
+	for _, ph := range rep.Phases {
+		if ph.Breached {
+			causes = append(causes, cause{50, fmt.Sprintf(
+				"%s p99 %.1fms exceeds the %gms SLO threshold", ph.Name, ph.P99MS, ph.ThresholdMS)})
+		}
+	}
+	if retries+resumes > 0 {
+		causes = append(causes, cause{40, fmt.Sprintf(
+			"link instability: %d reconnect attempts, %d session resumes", retries, resumes)})
+	}
+	if darks > 0 {
+		causes = append(causes, cause{30, fmt.Sprintf("%d connections went dark mid-day", darks)})
+	}
+	if len(causes) == 0 {
+		causes = append(causes, cause{0, "no anomalies: shards healthy, SLOs met, Theorem 1 residual zero"})
+	}
+	sort.SliceStable(causes, func(i, j int) bool { return causes[i].Score > causes[j].Score })
+	return causes
+}
+
+// faultSummary collapses a shard's injected-fault counts into a total
+// and a stable "drop×3 dup×1"-style mix string.
+func faultSummary(byAction map[string]int) (int, string) {
+	if len(byAction) == 0 {
+		return 0, ""
+	}
+	actions := make([]string, 0, len(byAction))
+	total := 0
+	for a, n := range byAction {
+		actions = append(actions, a)
+		total += n
+	}
+	sort.Strings(actions)
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = fmt.Sprintf("%s×%d", a, byAction[a])
+	}
+	return total, strings.Join(parts, " ")
+}
+
+// quantile returns the smallest bucket bound covering fraction q of the
+// observations (the +Inf bucket reports the largest finite bound).
+func quantile(h obs.HistogramSnapshot, q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	var cum uint64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.Bounds) == 0 {
+		return 0
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// baseOf strips the {label} suffix from a series key.
+func baseOf(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func render(out io.Writer, rep *triageReport, tailN int) {
+	fmt.Fprintf(out, "bundle   %s\n", rep.Bundle)
+	fmt.Fprintf(out, "reason   %s   captured %s   %s\n", rep.Reason, rep.CapturedAt, rep.Build)
+	fmt.Fprintf(out, "day      %d\n", rep.Day)
+	if len(rep.Traces) > 0 {
+		fmt.Fprintf(out, "traces   %s\n", strings.Join(rep.Traces, " "))
+	}
+
+	fmt.Fprintf(out, "\nimplicated shards (%d of %d):\n", len(rep.Shards), rep.ShardTotal)
+	if len(rep.Shards) == 0 {
+		fmt.Fprintln(out, "  none — every shard settled healthy")
+	}
+	for _, sh := range rep.Shards {
+		fmt.Fprintf(out, "  shard %d %s", sh.Shard, strings.ToUpper(sh.State))
+		if sh.Err != "" {
+			fmt.Fprintf(out, " err=%q", sh.Err)
+		}
+		if sh.Absent+sh.Substituted > 0 {
+			fmt.Fprintf(out, " absent=%d substituted=%d", sh.Absent, sh.Substituted)
+		}
+		if sh.Faults > 0 {
+			fmt.Fprintf(out, " faults=%d (%s)", sh.Faults, sh.FaultMix)
+		}
+		if sh.TraceID != "" {
+			fmt.Fprintf(out, " trace=%s", sh.TraceID)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if len(rep.Phases) > 0 {
+		fmt.Fprintln(out, "\nphase latency:")
+		for _, ph := range rep.Phases {
+			fmt.Fprintf(out, "  %-52s n=%-6d p50 %8.2fms  p99 %8.2fms", ph.Name, ph.Count, ph.P50MS, ph.P99MS)
+			if ph.ThresholdMS > 0 {
+				verdict := "within SLO"
+				if ph.Breached {
+					verdict = "BREACHED"
+				}
+				fmt.Fprintf(out, "  [threshold %gms: %s]", ph.ThresholdMS, verdict)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if len(rep.SLO) > 0 {
+		fmt.Fprintln(out, "\nunhealthy SLO objectives:")
+		for _, s := range rep.SLO {
+			fmt.Fprintf(out, "  %s\n", s)
+		}
+	}
+
+	fmt.Fprintln(out, "\nledger audit (Theorem 1, Σp − ξ·κ recomputed from per-household payments):")
+	if rep.Residual.Entries == 0 {
+		fmt.Fprintln(out, "  no ledger entries in bundle")
+	} else {
+		verdict := "OK"
+		if rep.Residual.Violated {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(out, "  %d entries, max |residual| = %g (tolerance %g): %s\n",
+			rep.Residual.Entries, rep.Residual.MaxAbs, rep.Residual.Tolerance, verdict)
+	}
+
+	if n := len(rep.Timeline); n > 0 {
+		show := rep.Timeline
+		if tailN > 0 && n > tailN {
+			show = show[n-tailN:]
+		}
+		fmt.Fprintf(out, "\ntimeline (last %d of %d events):\n", len(show), rep.Events)
+		for _, line := range show {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
+	}
+
+	fmt.Fprintln(out, "\nprobable causes:")
+	for i, c := range rep.Causes {
+		fmt.Fprintf(out, "  %d. [%3d] %s\n", i+1, c.Score, c.Text)
+	}
+	if len(rep.Profiles) > 0 {
+		names := make([]string, 0, len(rep.Profiles))
+		for k := range rep.Profiles {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(out, "\nprofiles:")
+		for _, k := range names {
+			fmt.Fprintf(out, "  %s (%d bytes)\n", k, rep.Profiles[k])
+		}
+	}
+	for _, note := range rep.Notes {
+		fmt.Fprintf(out, "note: %s\n", note)
+	}
+}

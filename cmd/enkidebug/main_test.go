@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"enki/internal/core"
+	"enki/internal/dist"
+	"enki/internal/netproto"
+	"enki/internal/obs"
+	"enki/internal/profile"
+)
+
+// TestEnkidebugAcceptance is the issue's end-to-end triage contract: a
+// fault-injected multi-shard day degrades one shard and breaches the
+// degraded-day objective, the trigger writes exactly one rate-limited
+// bundle, and enkidebug identifies the faulted shard while confirming
+// the recomputed Theorem 1 budget residual is zero — exit status clean.
+func TestEnkidebugAcceptance(t *testing.T) {
+	rec := obs.DefaultRecorder()
+	rec.Reset()
+	rec.Enable()
+	defer func() {
+		rec.Disable()
+		rec.Reset()
+	}()
+
+	// Shard 3's link drops the first consumption reply: its household
+	// settles via the imputed-defector substitution path, so the shard
+	// degrades without failing and the day counts as degraded.
+	plan := &netproto.FaultPlan{Actions: map[int]netproto.FaultAction{30: netproto.FaultDrop}}
+	var ledgerBuf bytes.Buffer
+	journal := netproto.NewJournal(&ledgerBuf)
+	cluster, err := netproto.StartCluster(context.Background(),
+		netproto.WithShards(8),
+		netproto.WithBatchSize(4),
+		netproto.WithShardFaultPlan(3, plan),
+		netproto.WithSLO(),
+		netproto.WithLedger(journal),
+	)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer cluster.Close()
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(42))
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	for i := 0; i < 80; i++ {
+		p := gen.Draw()
+		if err := cluster.Join(core.HouseholdID(i), &netproto.Truthful{Type: p.TypeWide()}); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	dayRec, err := cluster.ClusterDay(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("ClusterDay: %v", err)
+	}
+	if dayRec.Absent+dayRec.Substituted == 0 {
+		t.Fatalf("fault plan did not degrade the day: %+v", dayRec)
+	}
+	shard3 := dayRec.Shards[3]
+	if shard3.Err != "" || shard3.Absent+shard3.Substituted == 0 {
+		t.Fatalf("shard 3 should degrade, not fail: err=%q absent=%d substituted=%d",
+			shard3.Err, shard3.Absent, shard3.Substituted)
+	}
+
+	dir := t.TempDir()
+	op := cluster.Operator()
+	trig, err := obs.NewTrigger(obs.TriggerConfig{
+		Dir:         dir,
+		MinInterval: time.Hour, // the rate limit under test
+	}, obs.BundleSources{
+		Operator: op,
+		Recorder: rec,
+		Tracer:   obs.DefaultTracer(),
+		Config:   map[string]string{"shards": "8", "households": "80"},
+	})
+	if err != nil {
+		t.Fatalf("NewTrigger: %v", err)
+	}
+
+	// First breach check fires a bundle: the degraded day blows the 5%
+	// degraded-day budget on its first sample.
+	path, err := trig.CheckSLO(op.SampleSLO(time.Now()))
+	if err != nil {
+		t.Fatalf("CheckSLO: %v", err)
+	}
+	if path == "" {
+		t.Fatal("SLO breach did not fire a bundle")
+	}
+	// The degraded shard would also fire — the rate limit must suppress
+	// it so one incident yields one bundle.
+	if p2, err := trig.CheckShards(cluster.ShardStatuses()); err != nil || p2 != "" {
+		t.Fatalf("second trigger not suppressed: path=%q err=%v", p2, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var bundles []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tar.gz") {
+			bundles = append(bundles, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("bundle files = %d, want exactly 1 (rate-limited)", len(bundles))
+	}
+	st := trig.Status()
+	if st.Writes != 1 || st.Suppressed < 1 {
+		t.Fatalf("trigger status = %+v, want 1 write and ≥1 suppression", st)
+	}
+	if !strings.HasPrefix(st.LastReason, "slo:") {
+		t.Fatalf("bundle reason %q, want an SLO breach", st.LastReason)
+	}
+
+	// The offline analyzer must implicate shard 3 from the bundle alone
+	// and confirm the recomputed budget residual is zero (exit 0 — run
+	// returns nil, in particular not errResidual).
+	var out bytes.Buffer
+	if err := run([]string{bundles[0]}, &out); err != nil {
+		t.Fatalf("enkidebug: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "shard 3 DEGRADED") {
+		t.Errorf("report does not implicate shard 3:\n%s", report)
+	}
+	if !strings.Contains(report, "degraded-day-rate") {
+		t.Errorf("report does not name the breached objective:\n%s", report)
+	}
+	if !strings.Contains(report, ": OK") || strings.Contains(report, "VIOLATED") {
+		t.Errorf("report does not confirm a zero residual:\n%s", report)
+	}
+
+	// The JSON form carries the same verdicts for machine consumers.
+	out.Reset()
+	if err := run([]string{"-json", bundles[0]}, &out); err != nil {
+		t.Fatalf("enkidebug -json: %v", err)
+	}
+	var rep triageReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decode JSON report: %v", err)
+	}
+	if rep.Residual.Violated {
+		t.Errorf("JSON report flags a residual violation: %+v", rep.Residual)
+	}
+	if rep.Residual.Entries == 0 {
+		t.Error("JSON report audited no ledger entries")
+	}
+	found := false
+	for _, sh := range rep.Shards {
+		if sh.Shard == 3 && sh.State == "degraded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON report does not implicate shard 3: %+v", rep.Shards)
+	}
+}
+
+// TestEnkidebugBadInput: a missing or corrupt bundle is a usage error
+// (exit 1 path), never a residual verdict.
+func TestEnkidebugBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.tar.gz")}, &out); err == nil {
+		t.Fatal("missing bundle accepted")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.tar.gz")
+	if err := os.WriteFile(bad, []byte("not a tarball"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Fatal("corrupt bundle accepted")
+	}
+}

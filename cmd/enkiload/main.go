@@ -57,6 +57,11 @@ type loadFlags struct {
 	ops        string
 	opsCheck   bool
 	fedOut     string
+
+	faultPlan    string
+	faultShard   int
+	bundleDir    string
+	bundleOnFail bool
 }
 
 func newFlagSet() (*flag.FlagSet, *loadFlags) {
@@ -78,6 +83,10 @@ func newFlagSet() (*flag.FlagSet, *loadFlags) {
 	fs.StringVar(&f.ops, "ops", "", "serve the operator plane on this address (e.g. 127.0.0.1:0; enables metrics federation and the default SLOs)")
 	fs.BoolVar(&f.opsCheck, "ops-check", false, "after the run, scrape /api/v1/day and /api/v1/slo and fail on non-2xx, an unsettled day, or an unhealthy objective")
 	fs.StringVar(&f.fedOut, "fed-out", "", "write the federated metrics snapshot (JSON) on exit (requires -ops)")
+	fs.StringVar(&f.faultPlan, "fault-plan", "", "inject a deterministic fault plan on one shard link (e.g. 'drop@30' or 'seed=7,msgs=200,drop=0.02')")
+	fs.IntVar(&f.faultShard, "fault-shard", 0, "shard whose link -fault-plan sabotages")
+	fs.StringVar(&f.bundleDir, "bundle-dir", "", "enable the flight recorder and write breach-triggered debug bundles here (enables the default SLOs)")
+	fs.BoolVar(&f.bundleOnFail, "bundle-on-fail", false, "capture a debug bundle when the run fails (requires -bundle-dir)")
 	return fs, f
 }
 
@@ -101,6 +110,17 @@ func run(argv []string, out io.Writer) error {
 	if (f.opsCheck || f.fedOut != "") && f.ops == "" {
 		return fmt.Errorf("-ops-check and -fed-out require -ops")
 	}
+	if f.bundleOnFail && f.bundleDir == "" {
+		return fmt.Errorf("-bundle-on-fail requires -bundle-dir")
+	}
+	if f.faultPlan != "" {
+		if _, err := netproto.ParseFaultPlan(f.faultPlan); err != nil {
+			return err
+		}
+		if f.faultShard < 0 || f.faultShard >= f.shards {
+			return fmt.Errorf("-fault-shard %d outside [0, %d)", f.faultShard, f.shards)
+		}
+	}
 	pricer, err := pricing.NewQuadratic(f.sigma)
 	if err != nil {
 		return err
@@ -117,8 +137,9 @@ func run(argv []string, out io.Writer) error {
 		cluster.Members(), cluster.Shards(), f.codec, f.batch, time.Since(start).Round(time.Millisecond))
 
 	var opsURL string
+	var op *obs.Operator
 	if f.ops != "" {
-		op := cluster.Operator()
+		op = cluster.Operator()
 		srv, err := obs.ServeOperator(f.ops, op)
 		if err != nil {
 			return err
@@ -129,6 +150,29 @@ func run(argv []string, out io.Writer) error {
 		fmt.Fprintf(out, "operator plane: %s (api /api/v1/{day,shards,ledger/tail,slo,federation})\n", opsURL)
 	}
 
+	var trig *obs.Trigger
+	if f.bundleDir != "" {
+		if op == nil {
+			op = cluster.Operator()
+		}
+		obs.DefaultRecorder().Enable()
+		trig, err = obs.NewTrigger(obs.TriggerConfig{
+			Dir: f.bundleDir,
+			Config: map[string]string{
+				"households": fmt.Sprint(f.households),
+				"shards":     fmt.Sprint(f.shards),
+				"codec":      f.codec,
+				"batch":      fmt.Sprint(f.batch),
+				"fault-plan": f.faultPlan,
+			},
+		}, obs.BundleSources{Operator: op, Recorder: obs.DefaultRecorder(), Tracer: obs.DefaultTracer()})
+		if err != nil {
+			return err
+		}
+		op.Debug = trig
+		fmt.Fprintf(out, "flight recorder on; debug bundles → %s\n", f.bundleDir)
+	}
+
 	var check *netproto.Cluster
 	if f.check {
 		if check, err = startCluster(ctx, f, pricer, 1); err != nil {
@@ -137,33 +181,59 @@ func run(argv []string, out io.Writer) error {
 		defer check.Close()
 	}
 
-	for day := 1; day <= f.days; day++ {
-		dayStart := time.Now()
-		rec, err := cluster.ClusterDay(ctx, day)
-		if err != nil {
-			return fmt.Errorf("day %d: %w", day, err)
-		}
-		elapsed := time.Since(dayStart)
-		rate := float64(rec.Settled) / elapsed.Seconds()
-		residual := rec.Revenue - f.xi*rec.Cost
-		fmt.Fprintf(out, "day %d: settled %d/%d (failed shards %d) cost %.2f revenue %.2f residual %+.3g peak %.1f kW in %v (%.0f households/s)\n",
-			day, rec.Settled, rec.Households, rec.Failed, rec.Cost, rec.Revenue, residual,
-			rec.Peak, elapsed.Round(time.Millisecond), rate)
-		if math.Abs(residual) > 1e-6*math.Max(1, math.Abs(rec.Revenue)) {
-			return fmt.Errorf("day %d: budget identity violated: Σp = %.9f, ξ·κ = %.9f", day, rec.Revenue, f.xi*rec.Cost)
-		}
-		if check != nil {
-			ref, err := check.ClusterDay(ctx, day)
+	days := func() error {
+		for day := 1; day <= f.days; day++ {
+			dayStart := time.Now()
+			rec, err := cluster.ClusterDay(ctx, day)
 			if err != nil {
-				return fmt.Errorf("day %d (workers=1): %w", day, err)
+				return fmt.Errorf("day %d: %w", day, err)
 			}
-			got, _ := json.Marshal(rec)
-			want, _ := json.Marshal(ref)
-			if string(got) != string(want) {
-				return fmt.Errorf("day %d: workers=%d output diverges from workers=1", day, f.workers)
+			elapsed := time.Since(dayStart)
+			rate := float64(rec.Settled) / elapsed.Seconds()
+			residual := rec.Revenue - f.xi*rec.Cost
+			fmt.Fprintf(out, "day %d: settled %d/%d (failed shards %d) cost %.2f revenue %.2f residual %+.3g peak %.1f kW in %v (%.0f households/s)\n",
+				day, rec.Settled, rec.Households, rec.Failed, rec.Cost, rec.Revenue, residual,
+				rec.Peak, elapsed.Round(time.Millisecond), rate)
+			if trig != nil {
+				// Breach-triggered capture: an unhealthy objective or a
+				// degraded/failed shard drops a bundle (rate-limited, so a
+				// persistent breach yields one bundle, not one per day).
+				if path, err := trig.CheckSLO(op.SampleSLO(time.Now())); err != nil {
+					return err
+				} else if path != "" {
+					fmt.Fprintf(out, "day %d: SLO breach captured → %s\n", day, path)
+				}
+				if path, err := trig.CheckShards(cluster.ShardStatuses()); err != nil {
+					return err
+				} else if path != "" {
+					fmt.Fprintf(out, "day %d: shard breach captured → %s\n", day, path)
+				}
 			}
-			fmt.Fprintf(out, "day %d: determinism check passed (%d bytes identical)\n", day, len(got))
+			if math.Abs(residual) > 1e-6*math.Max(1, math.Abs(rec.Revenue)) {
+				return fmt.Errorf("day %d: budget identity violated: Σp = %.9f, ξ·κ = %.9f", day, rec.Revenue, f.xi*rec.Cost)
+			}
+			if check != nil {
+				ref, err := check.ClusterDay(ctx, day)
+				if err != nil {
+					return fmt.Errorf("day %d (workers=1): %w", day, err)
+				}
+				got, _ := json.Marshal(rec)
+				want, _ := json.Marshal(ref)
+				if string(got) != string(want) {
+					return fmt.Errorf("day %d: workers=%d output diverges from workers=1", day, f.workers)
+				}
+				fmt.Fprintf(out, "day %d: determinism check passed (%d bytes identical)\n", day, len(got))
+			}
 		}
+		return nil
+	}
+	if err := days(); err != nil {
+		if trig != nil && f.bundleOnFail {
+			if path, ferr := trig.Fire("run-failure"); ferr == nil && path != "" {
+				fmt.Fprintf(out, "failure bundle: %s\n", path)
+			}
+		}
+		return err
 	}
 
 	snap := obs.Default().Snapshot()
@@ -172,6 +242,15 @@ func run(argv []string, out io.Writer) error {
 	msgs := counterSum(snap, obs.MetricNetMessagesTotal)
 	fmt.Fprintf(out, "wire: %d messages in %d frames, %d codec bytes (%.1f msgs/frame, %.1f B/msg)\n",
 		msgs, frames, wire, ratio(msgs, frames), ratio(wire, msgs))
+
+	if trig != nil {
+		st := trig.Status()
+		fmt.Fprintf(out, "bundles: %d written, %d suppressed, %d errors", st.Writes, st.Suppressed, st.Errors)
+		if st.LastPath != "" {
+			fmt.Fprintf(out, " (last: %s, reason %s)", st.LastPath, st.LastReason)
+		}
+		fmt.Fprintln(out)
+	}
 
 	if f.opsCheck {
 		if err := checkOps(opsURL, f.days, out); err != nil {
@@ -261,11 +340,29 @@ func startCluster(ctx context.Context, f *loadFlags, pricer pricing.Pricer, work
 		netproto.WithBatchSize(f.batch),
 		netproto.WithShardRecords(f.records),
 	}
+	if f.faultPlan != "" {
+		plan, err := netproto.ParseFaultPlan(f.faultPlan)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, netproto.WithShardFaultPlan(f.faultShard, plan))
+	}
 	if f.ops != "" {
 		// The operator plane wants the federated per-shard view and the
 		// burn-rate objectives; both stay off otherwise so a plain run's
 		// wire stream and registry are unchanged.
 		opts = append(opts, netproto.WithMetricsReporting(true), netproto.WithSLO())
+	} else if f.bundleDir != "" {
+		// Bundle triggers need the SLO engine but not the reporting
+		// stream (reporting adds frames, which would shift the message
+		// indices a -fault-plan names).
+		opts = append(opts, netproto.WithSLO())
+	}
+	if f.bundleDir != "" {
+		// A discard-backed journal keeps the in-memory ledger tail that
+		// bundles export, so enkidebug can recompute the Theorem 1
+		// residual offline without the harness persisting anything.
+		opts = append(opts, netproto.WithLedger(netproto.NewJournal(io.Discard)))
 	}
 	cluster, err := netproto.StartCluster(ctx, opts...)
 	if err != nil {

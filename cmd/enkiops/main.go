@@ -6,14 +6,16 @@
 // fairness spread, the Theorem 1 residual of each audited ledger day,
 // and SLO burn rates.
 //
-//	enkiops -addr 127.0.0.1:8080              # live watch, 2s cadence
-//	enkiops -addr 127.0.0.1:8080 -once        # one snapshot, then exit
-//	enkiops -addr 127.0.0.1:8080 -once -json  # machine-readable, for scripts
+//	enkiops -addr 127.0.0.1:8080                  # live watch, 2s cadence
+//	enkiops -addr 127.0.0.1:8080 -once            # one snapshot, then exit
+//	enkiops -addr 127.0.0.1:8080 -once -json      # machine-readable, for scripts
+//	enkiops -addr 127.0.0.1:8080 -once -slo-exit  # CI gate: nonzero on any burning SLO
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +28,10 @@ import (
 
 	"enki/internal/obs"
 )
+
+// errSLOUnhealthy marks a -slo-exit failure: an objective is burning
+// (or the target has no SLO surface to gate on).
+var errSLOUnhealthy = errors.New("slo unhealthy")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -41,6 +47,7 @@ type opsReport struct {
 	Day    obs.DayStatus     `json:"day"`
 	Shards []obs.ShardStatus `json:"shards"`
 	SLO    *obs.SLOReport    `json:"slo,omitempty"`
+	Bundle *obs.BundleStatus `json:"bundle,omitempty"`
 	Ledger []ledgerLine      `json:"ledgerTail,omitempty"`
 	// PAR and Spread mirror the mechanism gauges for the last settled
 	// day: peak-to-average ratio and max−min payment.
@@ -70,6 +77,7 @@ func run(argv []string, out io.Writer) error {
 		tailN    = fs.Int("ledger", 5, "audited ledger-tail entries to include")
 		watchFor = fs.Duration("for", 0, "stop watching after this long (0 = until interrupted)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+		sloExit  = fs.Bool("slo-exit", false, "exit nonzero if any sampled SLO objective is unhealthy (CI gate; requires the target to serve /api/v1/slo)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -94,9 +102,22 @@ func run(argv []string, out io.Writer) error {
 		if *asJSON {
 			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
-			return enc.Encode(rep)
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+		} else {
+			render(out, rep)
 		}
-		render(out, rep)
+		if *sloExit {
+			if rep.SLO == nil {
+				return fmt.Errorf("%w: target serves no /api/v1/slo", errSLOUnhealthy)
+			}
+			for _, o := range rep.SLO.Objectives {
+				if !o.Healthy {
+					return fmt.Errorf("%w: %s (%d/%d bad over budget %g)", errSLOUnhealthy, o.Name, o.Bad, o.Total, o.Budget)
+				}
+			}
+		}
 		return nil
 	}
 	if *once {
@@ -114,8 +135,12 @@ func run(argv []string, out io.Writer) error {
 	defer ticker.Stop()
 	for {
 		if err := poll(); err != nil {
-			// A transient scrape failure must not kill the watch: the
-			// service may be mid-restart. Report it and keep polling.
+			// An SLO breach under -slo-exit ends the watch nonzero; a
+			// transient scrape failure must not kill it — the service may
+			// be mid-restart. Report the latter and keep polling.
+			if errors.Is(err, errSLOUnhealthy) {
+				return err
+			}
 			fmt.Fprintf(out, "enkiops: %v\n", err)
 		}
 		select {
@@ -165,6 +190,12 @@ func fetch(client *http.Client, base string, tailN int) (*opsReport, error) {
 		return nil, err
 	} else if ok {
 		rep.SLO = &slo
+	}
+	var bundle obs.BundleStatus
+	if ok, err := get("/api/v1/debug/bundle", &bundle, false); err != nil {
+		return nil, err
+	} else if ok {
+		rep.Bundle = &bundle
 	}
 	if tailN > 0 {
 		var raw []json.RawMessage
@@ -265,6 +296,17 @@ func render(w io.Writer, rep *opsReport) {
 				fmt.Fprintf(w, "  %s×%.2f", b.Window, b.Rate)
 			}
 			fmt.Fprintln(w)
+		}
+	}
+
+	if rep.Bundle != nil {
+		b := rep.Bundle
+		if b.Writes == 0 {
+			fmt.Fprintf(w, "bundles: none captured (%d suppressed, %d errors)\n", b.Suppressed, b.Errors)
+		} else {
+			fmt.Fprintf(w, "bundles: %d written, %d suppressed, %d errors — last %s (%s, %s)\n",
+				b.Writes, b.Suppressed, b.Errors, b.LastPath, b.LastReason,
+				time.Unix(0, b.LastUnixNS).UTC().Format(time.RFC3339))
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -48,6 +49,11 @@ func startOpsCluster(t *testing.T, days int) string {
 		}
 	}
 	op := cluster.Operator()
+	trig, err := obs.NewTrigger(obs.TriggerConfig{Dir: t.TempDir()}, obs.BundleSources{Operator: op})
+	if err != nil {
+		t.Fatalf("NewTrigger: %v", err)
+	}
+	op.Debug = trig
 	srv, err := obs.ServeOperator("127.0.0.1:0", op)
 	if err != nil {
 		t.Fatalf("ServeOperator: %v", err)
@@ -129,6 +135,12 @@ func TestOpsOnceJSONAgainstLiveCluster(t *testing.T) {
 	if rep.PAR <= 0 {
 		t.Errorf("PAR = %g, want > 0 from the mechanism gauges", rep.PAR)
 	}
+	if rep.Bundle == nil {
+		t.Fatal("bundle section absent though the target serves /api/v1/debug/bundle")
+	}
+	if rep.Bundle.Writes != 0 || rep.Bundle.Suppressed != 0 {
+		t.Errorf("fresh trigger status %+v, want zero writes and suppressions", rep.Bundle)
+	}
 }
 
 // TestOpsOnceTableRendersDegradedShard: the human table marks the
@@ -158,6 +170,86 @@ func TestOpsOnceTableRendersDegradedShard(t *testing.T) {
 	}
 	if strings.Count(got, "day ") < 2 {
 		t.Errorf("ledger tail missing both settled days:\n%s", got)
+	}
+}
+
+// TestOpsSLOExitBreach: a fault-injected day breaches the degraded-day
+// objective, so -slo-exit turns the scrape into a nonzero exit naming
+// the burning objective — the CI gate contract.
+func TestOpsSLOExitBreach(t *testing.T) {
+	addr := startOpsCluster(t, 1)
+	var out strings.Builder
+	err := run([]string{"-addr", addr, "-once", "-slo-exit"}, &out)
+	if err == nil {
+		t.Fatalf("run with -slo-exit succeeded against a breached target:\n%s", out.String())
+	}
+	if !errors.Is(err, errSLOUnhealthy) {
+		t.Errorf("error %v, want errSLOUnhealthy", err)
+	}
+	if !strings.Contains(err.Error(), "degraded-day-rate") {
+		t.Errorf("error %v does not name the burning objective", err)
+	}
+	// The snapshot still renders before the gate fires, so the operator
+	// sees why the exit was nonzero.
+	if !strings.Contains(out.String(), "BURNING") {
+		t.Errorf("output missing the burning objective row:\n%s", out.String())
+	}
+}
+
+// TestOpsSLOExitRequiresSurface: gating on a target that serves no
+// /api/v1/slo is a misconfiguration, not a pass — the gate fails loudly
+// instead of silently approving an unobserved service.
+func TestOpsSLOExitRequiresSurface(t *testing.T) {
+	cluster, err := netproto.StartCluster(context.Background(), netproto.WithShards(2))
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	srv, err := obs.ServeOperator("127.0.0.1:0", cluster.Operator())
+	if err != nil {
+		t.Fatalf("ServeOperator: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	var out strings.Builder
+	err = run([]string{"-addr", srv.Addr(), "-once", "-slo-exit"}, &out)
+	if err == nil {
+		t.Fatal("run with -slo-exit succeeded against a target without an SLO surface")
+	}
+	if !errors.Is(err, errSLOUnhealthy) || !strings.Contains(err.Error(), "/api/v1/slo") {
+		t.Errorf("error %v, want errSLOUnhealthy naming the missing surface", err)
+	}
+}
+
+// TestOpsRenderBundleLine: the bundle status renders as one line — a
+// placeholder until the first capture, then the full write/suppress
+// counters with the last bundle's path and reason.
+func TestOpsRenderBundleLine(t *testing.T) {
+	rep := &opsReport{Ready: true, Bundle: &obs.BundleStatus{Suppressed: 2}}
+	var out strings.Builder
+	render(&out, rep)
+	if !strings.Contains(out.String(), "bundles: none captured (2 suppressed, 0 errors)") {
+		t.Errorf("empty-status line missing:\n%s", out.String())
+	}
+
+	rep.Bundle = &obs.BundleStatus{
+		LastPath:   "/var/bundles/bundle-x.tar.gz",
+		LastReason: "slo:degraded-day-rate",
+		LastUnixNS: 1700000000 * int64(1e9),
+		Writes:     3,
+		Suppressed: 1,
+	}
+	out.Reset()
+	render(&out, rep)
+	got := out.String()
+	for _, want := range []string{
+		"bundles: 3 written, 1 suppressed, 0 errors",
+		"/var/bundles/bundle-x.tar.gz",
+		"slo:degraded-day-rate",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bundle line missing %q:\n%s", want, got)
+		}
 	}
 }
 

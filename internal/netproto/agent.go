@@ -410,6 +410,9 @@ func (a *Agent) reconnect() bool {
 	}
 	for attempt := 1; attempt <= a.cfg.retry.MaxAttempts; attempt++ {
 		obs.Default().Counter(obs.MetricNetRetriesTotal).Inc()
+		if rec := obs.DefaultRecorder(); rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.EventRetry, Shard: -1, Action: obs.SideAgent, N: attempt})
+		}
 		wait := time.NewTimer(a.cfg.retry.Backoff(attempt, a.jitter))
 		select {
 		case <-wait.C:
@@ -441,6 +444,9 @@ func (a *Agent) reconnect() bool {
 		}
 		a.mu.Unlock()
 		obs.Default().Counter(obs.MetricNetResumesTotal, obs.LabelSide, obs.SideAgent).Inc()
+		if rec := obs.DefaultRecorder(); rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.EventResume, Shard: -1, Action: obs.SideAgent, N: attempt})
+		}
 		return true
 	}
 	return false

@@ -449,12 +449,18 @@ func (c *Center) handleConn(conn net.Conn) {
 	}
 	if resume {
 		obs.Default().Counter(obs.MetricNetResumesTotal, obs.LabelSide, obs.SideCenter).Inc()
+		if rec := obs.DefaultRecorder(); rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.EventResume, Shard: -1, Action: obs.SideCenter, N: int(hello.ID)})
+		}
 		for _, m := range replay {
 			if err := cc.send(m); err != nil {
 				c.markDark(cc)
 				return
 			}
 			obs.Default().Counter(obs.MetricNetReplaysTotal).Inc()
+		}
+		if rec := obs.DefaultRecorder(); rec.Enabled() && len(replay) > 0 {
+			rec.Record(obs.Event{Kind: obs.EventReplay, Shard: -1, N: len(replay)})
 		}
 	}
 	select {
@@ -486,10 +492,15 @@ func (c *Center) handleConn(conn net.Conn) {
 func (c *Center) markDark(cc *centerConn) {
 	cc.conn.Close()
 	c.mu.Lock()
+	detached := false
 	if s := c.sessions[cc.id]; s != nil && s.conn == cc {
 		s.conn = nil
+		detached = true
 	}
 	c.mu.Unlock()
+	if rec := obs.DefaultRecorder(); detached && rec.Enabled() {
+		rec.Record(obs.Event{Kind: obs.EventDark, Shard: -1, N: int(cc.id)})
+	}
 }
 
 // currentConn returns the live connection registered for id, or nil.
@@ -668,6 +679,13 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 		if nSub > 0 {
 			obs.Default().Counter(obs.MetricNetSubstitutionsTotal).Add(uint64(nSub))
 		}
+	}
+	if rec := obs.DefaultRecorder(); rec.Enabled() {
+		action := "ok"
+		if len(consDark) > 0 || len(absent) > 0 {
+			action = "degraded"
+		}
+		rec.Record(obs.Event{Kind: obs.EventDay, Day: day, Shard: -1, Action: action, N: len(reports), TraceID: tid})
 	}
 
 	settleMS := float64(time.Since(start).Nanoseconds()) / 1e6
@@ -898,6 +916,9 @@ func (c *Center) phase(ctx context.Context, daySpan *obs.ActiveSpan, tid string,
 	span := daySpan.StartChild(obs.SpanNetPhase, obs.LabelPhase, string(want), "day", strconv.Itoa(day))
 	defer span.End()
 	c.stat.startPhase(day, string(want), len(members), c.cfg.PhaseDeadline)
+	if rec := obs.DefaultRecorder(); rec.Enabled() {
+		rec.Record(obs.Event{Kind: obs.EventPhase, Day: day, Shard: -1, Phase: string(want), Action: "start", N: len(members)})
+	}
 	tc := wireTrace(tid, span)
 	for _, id := range members {
 		m := build(id, tc)
@@ -1001,6 +1022,9 @@ func (c *Center) collect(ctx context.Context, members []core.HouseholdID, want K
 			}
 			sort.Slice(dark, func(i, j int) bool { return dark[i] < dark[j] })
 			c.stat.noteDark(len(dark))
+			if rec := obs.DefaultRecorder(); rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.EventPhase, Day: day, Shard: -1, Phase: string(want), Action: "deadline", N: len(dark)})
+			}
 			return got, dark, nil
 		case <-ctx.Done():
 			return nil, nil, fmt.Errorf("netproto: %s phase: %w", want, ctx.Err())

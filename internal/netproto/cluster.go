@@ -297,6 +297,7 @@ func (c *Cluster) rebuildShards() {
 		}
 		c.shards[s] = &shardState{
 			link: &shardLink{
+				shard: s,
 				codec: c.codec,
 				batch: c.cfg.BatchSize,
 				plan:  c.cfg.ShardFaults[s],
@@ -437,6 +438,13 @@ func (c *Cluster) ClusterDay(ctx context.Context, day int) (*ClusterDayRecord, e
 	if rec.Absent+rec.Substituted+rec.Failed > 0 {
 		obs.Default().Counter(obs.MetricNetDegradedDaysTotal).Inc()
 	}
+	if r := obs.DefaultRecorder(); r.Enabled() {
+		action := "ok"
+		if rec.Absent+rec.Substituted+rec.Failed > 0 {
+			action = "degraded"
+		}
+		r.Record(obs.Event{Kind: obs.EventDay, Day: day, Shard: -1, Action: action, N: rec.Settled})
+	}
 	settleMS := float64(time.Since(start).Nanoseconds()) / 1e6
 	obs.Default().Histogram(obs.MetricNetDaySettleMS, obs.LatencyBucketsMS).
 		ObserveExemplar(settleMS, obs.DeriveTraceID(c.center.TraceSeed, uint64(day)))
@@ -497,6 +505,29 @@ func (c *Cluster) runShardDay(st *shardState, shard, day int) (ShardDay, *mechan
 	}()
 
 	out := ShardDay{Shard: shard, TraceID: tid, Households: len(st.members)}
+	recordShardDay := func() {
+		rec := obs.DefaultRecorder()
+		if !rec.Enabled() {
+			return
+		}
+		action := "ok"
+		switch {
+		case out.Err != "":
+			action = "failed"
+		case out.Absent+out.Substituted > 0:
+			action = "degraded"
+		}
+		rec.Record(obs.Event{
+			Kind:    obs.EventShardDay,
+			Day:     day,
+			Shard:   shard,
+			Action:  action,
+			N:       out.Settled,
+			TraceID: tid,
+			Err:     out.Err,
+		})
+	}
+	defer recordShardDay()
 	fail := func(err error) (ShardDay, *mechanism.LedgerEntry) {
 		out.Err = err.Error()
 		obs.Default().Counter(obs.MetricClusterShardFailures).Inc()
@@ -786,6 +817,7 @@ func reportIndexer(reports []core.Report) func(core.HouseholdID) int {
 // cluster measures the same framing a TCP connection would carry, minus
 // the socket.
 type shardLink struct {
+	shard    int
 	codec    Codec
 	batch    int
 	plan     *FaultPlan
@@ -816,6 +848,14 @@ func (l *shardLink) transfer(msgs []*Message) ([]*Message, error) {
 			l.next++
 			if action != FaultNone {
 				obs.Default().Counter(obs.MetricNetFaultsTotal, obs.LabelAction, action.String()).Inc()
+				if rec := obs.DefaultRecorder(); rec.Enabled() {
+					rec.Record(obs.Event{
+						Kind:   obs.EventFault,
+						Shard:  l.shard,
+						Action: action.String(),
+						N:      l.next - 1, // the message index the fault struck
+					})
+				}
 			}
 			switch action {
 			case FaultDrop:

@@ -79,6 +79,16 @@ func observeBatch(direction string, c Codec, msgs, wireBytes int) {
 	reg.Counter(obs.MetricNetFramesTotal, obs.LabelDirection, direction).Inc()
 	reg.Histogram(obs.MetricNetFrameMessages, obs.BatchBuckets).Observe(float64(msgs))
 	reg.Counter(obs.MetricNetCodecBytesTotal, obs.LabelCodec, c.Name(), obs.LabelDirection, direction).Add(uint64(wireBytes))
+	if rec := obs.DefaultRecorder(); rec.Enabled() {
+		rec.Record(obs.Event{
+			Kind:   obs.EventWireFrame,
+			Shard:  -1,
+			Codec:  c.Name(),
+			Action: direction,
+			N:      msgs,
+			Bytes:  wireBytes,
+		})
+	}
 }
 
 // DecodeBatch parses one batch frame payload (everything after the u32

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"enki/internal/obs"
 )
 
 // journalTailCap bounds the in-memory ring of recent lines the operator
-// API's /api/v1/ledger/tail serves without re-reading the file.
-const journalTailCap = 256
+// API's /api/v1/ledger/tail serves without re-reading the file. It is
+// the same bound the HTTP surface enforces with a 400 on overlarge n.
+const journalTailCap = obs.MaxLedgerTail
 
 // Journal persists DayRecords as JSON Lines — one settlement per line —
 // so a neighborhood's history survives restarts and can be replayed for
@@ -49,6 +52,9 @@ func (j *Journal) AppendValue(v any) error {
 	j.next = (j.next + 1) % journalTailCap
 	if j.len < journalTailCap {
 		j.len++
+	}
+	if rec := obs.DefaultRecorder(); rec.Enabled() {
+		rec.Record(obs.Event{Kind: obs.EventLedger, Shard: -1, Bytes: len(data)})
 	}
 	return nil
 }

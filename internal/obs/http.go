@@ -66,6 +66,13 @@ type LedgerTailer interface {
 	LedgerTail(n int) []json.RawMessage
 }
 
+// MaxLedgerTail is the largest n the ledger-tail surface serves — the
+// journal's in-memory tail ring holds exactly this many entries, so a
+// larger request cannot be answered honestly and /api/v1/ledger/tail
+// rejects it with 400 rather than silently clamping. Debug bundles
+// capture the full ring.
+const MaxLedgerTail = 256
+
 // Operator is the cluster-wide operator plane served beside /metrics:
 // readiness distinct from liveness, the /api/v1 status endpoints, SLO
 // burn rates, and the federated metrics view. Zero-value fields are
@@ -77,6 +84,7 @@ type Operator struct {
 	Ledger     LedgerTailer
 	Federation *Federation
 	SLO        *SLOEngine
+	Debug      *Trigger // debug-bundle trigger, served at /api/v1/debug/bundle
 
 	ready atomic.Bool
 	sloMu sync.Mutex // serializes SLOEngine.Sample across requests
@@ -96,6 +104,19 @@ func (o *Operator) SetReady(ready bool) { o.ready.Store(ready) }
 
 // Ready reports the current readiness state.
 func (o *Operator) Ready() bool { return o.ready.Load() }
+
+// SampleSLO evaluates the SLO engine under the operator's sample lock
+// (nil when no engine is wired). The /api/v1/slo handler and the
+// debug-bundle trigger share it, so concurrent samples never
+// interleave on the engine's ring.
+func (o *Operator) SampleSLO(now time.Time) []ObjectiveStatus {
+	if o == nil || o.SLO == nil {
+		return nil
+	}
+	o.sloMu.Lock()
+	defer o.sloMu.Unlock()
+	return o.SLO.Sample(now)
+}
 
 // Handler builds the operator mux: the debug surface (/metrics,
 // /healthz, pprof) plus /readyz and the /api/v1 endpoints.
@@ -157,8 +178,8 @@ func (o *Operator) register(mux *http.ServeMux) {
 		n := 10
 		if arg := r.URL.Query().Get("n"); arg != "" {
 			v, err := strconv.Atoi(arg)
-			if err != nil || v < 1 {
-				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			if err != nil || v < 1 || v > MaxLedgerTail {
+				http.Error(w, fmt.Sprintf("n must be an integer in [1, %d]", MaxLedgerTail), http.StatusBadRequest)
 				return
 			}
 			n = v
@@ -174,10 +195,30 @@ func (o *Operator) register(mux *http.ServeMux) {
 			http.NotFound(w, r)
 			return
 		}
-		o.sloMu.Lock()
-		statuses := o.SLO.Sample(time.Now())
-		o.sloMu.Unlock()
-		writeJSON(w, SLOReport{Objectives: statuses, Windows: o.SLO.Windows()})
+		statuses := o.SampleSLO(time.Now())
+		writeJSON(w, SLOReport{Objectives: statuses, Windows: o.SLO.Windows(), Spec: o.SLO.Objectives()})
+	})
+	mux.HandleFunc("/api/v1/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		if o.Debug == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method == http.MethodPost {
+			path, err := o.Debug.Fire("api")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if path == "" {
+				http.Error(w, "bundle rate-limited", http.StatusTooManyRequests)
+				return
+			}
+			writeJSON(w, struct {
+				Path string `json:"path"`
+			}{path})
+			return
+		}
+		writeJSON(w, o.Debug.Status())
 	})
 	mux.HandleFunc("/api/v1/federation", func(w http.ResponseWriter, r *http.Request) {
 		if o.Federation == nil {
@@ -193,10 +234,14 @@ func (o *Operator) register(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// SLOReport is the /api/v1/slo response body.
+// SLOReport is the /api/v1/slo response body (and a debug bundle's
+// slo.json). Spec carries the objective definitions — thresholds,
+// budgets, series — so an offline analyzer can compare the sampled
+// state against what was promised.
 type SLOReport struct {
 	Objectives []ObjectiveStatus `json:"objectives"`
 	Windows    []SLOWindow       `json:"windows"`
+	Spec       []Objective       `json:"spec,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

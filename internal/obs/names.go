@@ -131,6 +131,21 @@ const (
 	// internal/obs — the tracer's own health: spans evicted from the
 	// bounded ring (a long -trace-out run outgrowing its retention).
 	MetricObsTraceDropped = "enki_obs_trace_dropped_total"
+
+	// internal/obs — flight recorder and debug-bundle trigger engine:
+	// events captured into the recorder ring, events evicted when the
+	// ring wraps, bundles written, bundle requests suppressed by the
+	// rate limit, bundle writes that failed, and the last bundle's
+	// write time (a wall-clock gauge, Unix seconds; 0 until the first
+	// incident). Event captures are deterministic counts (payloads are
+	// pure functions of the settled work); the drop counter depends
+	// only on ring capacity and event volume.
+	MetricObsRecorderEvents   = "enki_obs_recorder_events_total"
+	MetricObsRecorderDropped  = "enki_obs_recorder_dropped_total"
+	MetricObsBundleWrites     = "enki_obs_bundle_writes_total"
+	MetricObsBundleSuppressed = "enki_obs_bundle_suppressed_total"
+	MetricObsBundleErrors     = "enki_obs_bundle_errors_total"
+	MetricObsBundleLastUnix   = "enki_obs_bundle_last_unix"
 )
 
 // Span names. Every span the repository starts is named here — the

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRecorderDisabledIsFree: the zero value captures nothing until
+// enabled — the hot-path contract that lets hooks stay unconditional.
+func TestRecorderDisabledIsFree(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: EventWireFrame, Shard: 0})
+	if r.Len() != 0 {
+		t.Fatalf("disabled recorder captured %d events", r.Len())
+	}
+	var nilRec *Recorder
+	nilRec.Record(Event{Kind: EventWireFrame}) // must not panic
+	nilRec.SampleRuntime()
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+}
+
+// TestRecorderRingBound: the ring holds at most its capacity, keeps the
+// newest events in capture order, and counts each overwrite as a drop.
+func TestRecorderRingBound(t *testing.T) {
+	before := Default().Snapshot().Counters[MetricObsRecorderDropped]
+	r := NewRecorder()
+	r.SetCapacity(8)
+	r.Enable()
+	for i := 0; i < 20; i++ {
+		r.Record(Event{Kind: EventWireFrame, Shard: -1, N: i})
+	}
+	if r.Len() != 8 {
+		t.Fatalf("ring len = %d, want 8", r.Len())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if want := 12 + i; e.N != want {
+			t.Fatalf("event %d has N=%d, want %d (oldest overwritten first)", i, e.N, want)
+		}
+	}
+	dropped := Default().Snapshot().Counters[MetricObsRecorderDropped] - before
+	if dropped != 12 {
+		t.Fatalf("dropped counter delta = %d, want 12", dropped)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("reset left %d events", r.Len())
+	}
+	if !r.Enabled() {
+		t.Fatal("reset disabled the recorder")
+	}
+}
+
+// TestRecorderIdentities: the identity multiset is sorted, excludes the
+// wall-clock kinds (runtime, trigger), and ignores capture timestamps —
+// the exemption mirroring the "_ms" metric rule.
+func TestRecorderIdentities(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	r.Record(Event{TimeNS: 100, Kind: EventPhase, Day: 1, Shard: -1, Phase: "request", Action: "start", N: 4})
+	r.Record(Event{TimeNS: 200, Kind: EventRuntime, Shard: -1, N: 12})
+	r.Record(Event{TimeNS: 300, Kind: EventTrigger, Shard: -1, Action: "manual"})
+	r.Record(Event{TimeNS: 400, Kind: EventDay, Day: 1, Shard: -1, Action: "ok", N: 4})
+
+	ids := r.Identities()
+	if len(ids) != 2 {
+		t.Fatalf("identities = %d, want 2 (timing kinds skipped): %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if strings.Contains(id, "runtime") || strings.Contains(id, "trigger") {
+			t.Fatalf("timing kind leaked into identities: %s", id)
+		}
+	}
+
+	// Same events, different timestamps and order → same multiset.
+	r2 := NewRecorder()
+	r2.Enable()
+	r2.Record(Event{TimeNS: 999, Kind: EventDay, Day: 1, Shard: -1, Action: "ok", N: 4})
+	r2.Record(Event{TimeNS: 1, Kind: EventPhase, Day: 1, Shard: -1, Phase: "request", Action: "start", N: 4})
+	ids2 := r2.Identities()
+	if len(ids2) != 2 || ids[0] != ids2[0] || ids[1] != ids2[1] {
+		t.Fatalf("identity multiset not timestamp/order independent:\n%v\n%v", ids, ids2)
+	}
+}
+
+// TestRecorderJSONLRoundTrip: the dump format reloads losslessly, and
+// the reader applies the crash-recovery contract shared with spans and
+// the journal — a truncated last line is forgiven, corruption followed
+// by valid events is not.
+func TestRecorderJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	r.Record(Event{TimeNS: 1, Kind: EventWireFrame, Shard: 2, Codec: "binary", Action: "sent", N: 4, Bytes: 512})
+	r.Record(Event{TimeNS: 2, Kind: EventFault, Shard: 2, Action: "drop", N: 30})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 2 || events[0] != r.Events()[0] || events[1] != r.Events()[1] {
+		t.Fatalf("round trip mismatch: %+v", events)
+	}
+
+	truncated := buf.String() + `{"kind":"wire`
+	events, err = ReadEvents(strings.NewReader(truncated))
+	if err != nil || len(events) != 2 {
+		t.Fatalf("truncated tail not forgiven: %d events, err %v", len(events), err)
+	}
+	corrupt := `{"kind":"fault"}` + "\nnot json\n" + `{"kind":"day"}` + "\n"
+	if _, err := ReadEvents(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}
+
+// TestRecorderSampleRuntime: the runtime snapshot records live process
+// facts under the determinism-exempt kind.
+func TestRecorderSampleRuntime(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	r.SampleRuntime()
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	e := events[0]
+	if e.Kind != EventRuntime || e.N <= 0 || e.Bytes <= 0 {
+		t.Fatalf("runtime snapshot = %+v, want positive goroutines and heap", e)
+	}
+	if !IsTimingEvent(e.Kind) {
+		t.Fatal("runtime events must be determinism-exempt")
+	}
+}

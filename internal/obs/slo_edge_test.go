@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// assertFiniteBurnGauges fails if any exported enki_slo_burn_rate gauge
+// is NaN or Inf — the satellite contract for empty windows, short
+// history, and never-incremented counters.
+func assertFiniteBurnGauges(t *testing.T, reg *Registry) {
+	t.Helper()
+	snap := reg.Snapshot()
+	found := 0
+	for k, v := range snap.Gauges {
+		if !strings.HasPrefix(k, MetricSLOBurnRate) {
+			continue
+		}
+		found++
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("gauge %s = %v, want finite", k, v)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no enki_slo_burn_rate gauges exported")
+	}
+}
+
+// TestSLOEmptyRegistryNoNaN: sampling a registry where none of the
+// objective series exist yet must report every objective healthy with
+// zero (not NaN) burn rates.
+func TestSLOEmptyRegistryNoNaN(t *testing.T) {
+	reg := NewRegistry()
+	eng, err := NewSLOEngine(reg, DefaultObjectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	statuses := eng.Sample(time.Now())
+	for _, st := range statuses {
+		if !st.Healthy {
+			t.Errorf("objective %s unhealthy with no events", st.Name)
+		}
+		for _, br := range st.Burn {
+			if br.Total != 0 || br.Bad != 0 {
+				t.Errorf("%s/%s burn = %+v, want zero deltas", st.Name, br.Window, br)
+			}
+			if math.IsNaN(br.Rate) || math.IsInf(br.Rate, 0) || br.Rate != 0 {
+				t.Errorf("%s/%s rate = %v, want 0", st.Name, br.Window, br.Rate)
+			}
+			if math.IsNaN(br.BadShare) || math.IsInf(br.BadShare, 0) {
+				t.Errorf("%s/%s bad share = %v, want finite", st.Name, br.Window, br.BadShare)
+			}
+		}
+	}
+	assertFiniteBurnGauges(t, reg)
+}
+
+// TestSLOSingleSampleWindow: the first-ever sample is its own baseline,
+// so every window's burn delta is zero — a fresh engine cannot page.
+func TestSLOSingleSampleWindow(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricNetDegradedDaysTotal).Inc()
+	reg.Counter(MetricNetDaysTotal).Add(100)
+	eng, err := NewSLOEngine(reg, DefaultObjectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	statuses := eng.Sample(time.Now())
+	for _, st := range statuses {
+		for _, br := range st.Burn {
+			if br.Total != 0 {
+				t.Errorf("%s/%s window delta = %+v on the first sample, want zero", st.Name, br.Window, br)
+			}
+			if math.IsNaN(br.Rate) || math.IsInf(br.Rate, 0) {
+				t.Errorf("%s/%s rate = %v", st.Name, br.Window, br.Rate)
+			}
+		}
+	}
+	assertFiniteBurnGauges(t, reg)
+}
+
+// TestSLOShortHistoryUsesOldestBaseline: with less history than the 5m
+// fast window, every window falls back to the oldest retained sample —
+// deltas stay consistent and finite instead of extrapolating.
+func TestSLOShortHistoryUsesOldestBaseline(t *testing.T) {
+	reg := NewRegistry()
+	eng, err := NewSLOEngine(reg, DefaultObjectives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	eng.Sample(base) // baseline: all zero
+	reg.Counter(MetricNetDegradedDaysTotal).Add(3)
+	reg.Counter(MetricNetDaysTotal).Add(10)
+	// 90 seconds of history — far less than any window.
+	statuses := eng.Sample(base.Add(90 * time.Second))
+	for _, st := range statuses {
+		if st.Name != "degraded-day-rate" {
+			continue
+		}
+		if st.Healthy {
+			t.Error("30% degraded days reported healthy")
+		}
+		for _, br := range st.Burn {
+			if br.Bad != 3 || br.Total != 10 {
+				t.Errorf("window %s delta = %+v, want 3/10 from the oldest baseline", br.Window, br)
+			}
+			if math.Abs(br.Rate-(0.3/0.05)) > 1e-9 {
+				t.Errorf("window %s rate = %v, want 6", br.Window, br.Rate)
+			}
+		}
+	}
+	assertFiniteBurnGauges(t, reg)
+}
+
+// TestSLONeverIncrementedCounters: a ratio objective whose total family
+// never moves keeps rate 0 and health green across repeated samples —
+// no division by the zero total.
+func TestSLONeverIncrementedCounters(t *testing.T) {
+	reg := NewRegistry()
+	obj := []Objective{{
+		Name:   "ghost-ratio",
+		Kind:   ObjectiveRatio,
+		Budget: 0.01,
+		Bad:    []string{MetricClusterShardFailures},
+		Total:  []string{MetricClusterShardsSettled},
+	}}
+	eng, err := NewSLOEngine(reg, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		statuses := eng.Sample(base.Add(time.Duration(i) * time.Minute))
+		st := statuses[0]
+		if !st.Healthy || st.Bad != 0 || st.Total != 0 {
+			t.Fatalf("sample %d: %+v", i, st)
+		}
+		for _, br := range st.Burn {
+			if br.Rate != 0 || math.IsNaN(br.BadShare) {
+				t.Fatalf("sample %d window %s: %+v", i, br.Window, br)
+			}
+		}
+	}
+	assertFiniteBurnGauges(t, reg)
+}
+
+// TestSLOValueObjectiveZeroTolerance: a value objective with tolerance
+// 0 (exact-match band) still evaluates finitely when the gauge is
+// absent, and flags the first sample where the reading drifts.
+func TestSLOValueObjectiveZeroTolerance(t *testing.T) {
+	reg := NewRegistry()
+	obj := []Objective{{
+		Name:      "residual-exact",
+		Kind:      ObjectiveValue,
+		Budget:    0.5,
+		Series:    MetricMechBudgetResidual,
+		Target:    0,
+		Tolerance: 0,
+	}}
+	eng, err := NewSLOEngine(reg, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	st := eng.Sample(base)[0]
+	if !st.Healthy || st.Bad != 0 || st.Total != 1 {
+		t.Fatalf("absent gauge sample = %+v", st)
+	}
+	reg.Gauge(MetricMechBudgetResidual).Set(0.25)
+	st = eng.Sample(base.Add(time.Minute))[0]
+	if st.Bad != 1 {
+		t.Fatalf("drifted gauge not flagged: %+v", st)
+	}
+	assertFiniteBurnGauges(t, reg)
+}

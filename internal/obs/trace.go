@@ -283,6 +283,22 @@ func (t *Tracer) Drain() []Span {
 	return spans
 }
 
+// Snapshot returns a copy of the collected spans in insertion order
+// without draining the ring. The debug-bundle writer uses it so a
+// bundle capture never erases spans a later -trace-out export would
+// drain.
+func (t *Tracer) Snapshot() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.spans))
+	if t.full {
+		out = append(out, t.spans[t.head:]...)
+		out = append(out, t.spans[:t.head]...)
+		return out
+	}
+	return append(out, t.spans...)
+}
+
 // WriteJSONL drains the tracer and writes one JSON object per line.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)

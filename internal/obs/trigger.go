@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trigger-engine defaults: how often a breach may produce a bundle and
+// how many bundles the directory retains before the oldest is pruned.
+const (
+	DefaultBundleInterval  = time.Minute
+	DefaultBundleRetention = 8
+)
+
+// TriggerConfig configures the debug-bundle trigger engine.
+type TriggerConfig struct {
+	// Dir is the bundle output directory (created if absent). Required.
+	Dir string
+	// MinInterval rate-limits captures: a Fire within MinInterval of
+	// the previous bundle is suppressed, so a flapping objective cannot
+	// flood the disk. 0 means DefaultBundleInterval.
+	MinInterval time.Duration
+	// MaxBundles bounds disk retention; the oldest bundles beyond it
+	// are deleted after each write. 0 means DefaultBundleRetention.
+	MaxBundles int
+	// CPUProfile, when positive, adds a blocking CPU profile of that
+	// length to each bundle (the ISSUE's 5s capture; 0 skips it, which
+	// tests and fast-exit tools want).
+	CPUProfile time.Duration
+	// Config is the effective process configuration recorded in the
+	// bundle manifest.
+	Config map[string]string
+	// Clock overrides time.Now for the rate-limit tests.
+	Clock func() time.Time
+}
+
+// BundleStatus is the trigger's observable state — what
+// /api/v1/debug/bundle GET and enkiops report.
+type BundleStatus struct {
+	LastPath   string `json:"lastPath,omitempty"`
+	LastReason string `json:"lastReason,omitempty"`
+	LastUnixNS int64  `json:"lastUnixNs,omitempty"`
+	Writes     uint64 `json:"writes"`
+	Suppressed uint64 `json:"suppressed"`
+	Errors     uint64 `json:"errors"`
+}
+
+// Trigger is the incident-capture engine: it fires on SLO-objective
+// breaches, degraded or failed shard days, SIGUSR1, or an operator's
+// POST, and writes a rate-limited, retention-bounded debug bundle on
+// each accepted fire.
+type Trigger struct {
+	cfg TriggerConfig
+	src BundleSources
+
+	mu       sync.Mutex
+	lastFire time.Time
+	stat     BundleStatus
+}
+
+// NewTrigger validates cfg, creates the bundle directory, and returns
+// the engine.
+func NewTrigger(cfg TriggerConfig, src BundleSources) (*Trigger, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("obs: trigger needs a bundle directory")
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = DefaultBundleInterval
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = DefaultBundleRetention
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: bundle dir: %w", err)
+	}
+	return &Trigger{cfg: cfg, src: src}, nil
+}
+
+// Status returns the trigger's current counters and last-bundle info.
+func (t *Trigger) Status() BundleStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stat
+}
+
+// Fire captures one debug bundle for the given reason. A fire within
+// MinInterval of the previous bundle is suppressed and returns ("",
+// nil) — suppression is the rate limiter working, not a failure. On
+// success the bundle path is returned and retention pruned.
+func (t *Trigger) Fire(reason string) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.cfg.Clock()
+	if !t.lastFire.IsZero() && now.Sub(t.lastFire) < t.cfg.MinInterval {
+		t.stat.Suppressed++
+		Default().Counter(MetricObsBundleSuppressed).Inc()
+		return "", nil
+	}
+	t.lastFire = now
+
+	name := fmt.Sprintf("bundle-%s-%s.tar.gz", now.UTC().Format("20060102T150405.000000000"), sanitizeReason(reason))
+	path := filepath.Join(t.cfg.Dir, name)
+	if err := t.write(path, reason, now); err != nil {
+		t.stat.Errors++
+		Default().Counter(MetricObsBundleErrors).Inc()
+		return "", err
+	}
+
+	t.stat.LastPath = path
+	t.stat.LastReason = reason
+	t.stat.LastUnixNS = now.UnixNano()
+	t.stat.Writes++
+	Default().Counter(MetricObsBundleWrites).Inc()
+	Default().Gauge(MetricObsBundleLastUnix).Set(float64(now.Unix()))
+	t.src.Recorder.Record(Event{Kind: EventTrigger, Shard: -1, Action: reason})
+	t.prune()
+	return path, nil
+}
+
+// write captures the bundle to a temp file and renames it into place,
+// so a reader never sees a half-written archive.
+func (t *Trigger) write(path, reason string, now time.Time) error {
+	tmp, err := os.CreateTemp(t.cfg.Dir, ".bundle-*.tmp")
+	if err != nil {
+		return fmt.Errorf("obs: bundle create: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeBundle(tmp, reason, now, t.cfg.CPUProfile, t.src); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: bundle close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("obs: bundle rename: %w", err)
+	}
+	return nil
+}
+
+// prune deletes the oldest bundles beyond MaxBundles. Bundle names
+// start with a UTC timestamp, so lexical order is capture order.
+func (t *Trigger) prune() {
+	entries, err := os.ReadDir(t.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var bundles []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "bundle-") && strings.HasSuffix(name, ".tar.gz") {
+			bundles = append(bundles, name)
+		}
+	}
+	sort.Strings(bundles)
+	for len(bundles) > t.cfg.MaxBundles {
+		os.Remove(filepath.Join(t.cfg.Dir, bundles[0]))
+		bundles = bundles[1:]
+	}
+}
+
+// CheckSLO fires on the first unhealthy objective in the sample.
+// Returns the bundle path ("" when healthy or rate-limited).
+func (t *Trigger) CheckSLO(statuses []ObjectiveStatus) (string, error) {
+	for _, st := range statuses {
+		if !st.Healthy {
+			return t.Fire("slo:" + st.Name)
+		}
+	}
+	return "", nil
+}
+
+// CheckShards fires on the first failed shard, or — when none failed —
+// the first degraded one (absent or substituted households, which the
+// Eq. 5 defector path settled around).
+func (t *Trigger) CheckShards(shards []ShardStatus) (string, error) {
+	for _, sh := range shards {
+		if !sh.Healthy || sh.Err != "" {
+			return t.Fire(fmt.Sprintf("shard-failed:%d", sh.Shard))
+		}
+	}
+	for _, sh := range shards {
+		if sh.Absent > 0 || sh.Substituted > 0 {
+			return t.Fire(fmt.Sprintf("shard-degraded:%d", sh.Shard))
+		}
+	}
+	return "", nil
+}
+
+// Watch runs the breach loop until ctx is done: every interval it
+// samples the runtime into the recorder, evaluates the SLO engine, and
+// checks shard health, firing a bundle on any breach. The rate limiter
+// makes the loop idempotent while a breach persists.
+func (t *Trigger) Watch(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		t.src.Recorder.SampleRuntime()
+		op := t.src.Operator
+		if op == nil {
+			continue
+		}
+		if statuses := op.SampleSLO(t.cfg.Clock()); statuses != nil {
+			if _, err := t.CheckSLO(statuses); err != nil {
+				Logger().Error("bundle capture failed", "err", err)
+			}
+		}
+		if op.Status != nil {
+			if _, err := t.CheckShards(op.Status.ShardStatuses()); err != nil {
+				Logger().Error("bundle capture failed", "err", err)
+			}
+		}
+	}
+}
+
+// sanitizeReason folds a fire reason into a filename-safe slug.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(reason) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "manual"
+	}
+	return b.String()
+}

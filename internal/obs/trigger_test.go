@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestTrigger builds a trigger over the standard fake operator with
+// a controllable clock.
+func newTestTrigger(t *testing.T, cfg TriggerConfig, src BundleSources) *Trigger {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	trig, err := NewTrigger(cfg, src)
+	if err != nil {
+		t.Fatalf("NewTrigger: %v", err)
+	}
+	return trig
+}
+
+// tracedStatus is fakeStatus with a trace ID on the unhealthy shard,
+// so bundle capture has an implicated trace to filter spans by.
+type tracedStatus struct{}
+
+func (tracedStatus) DayStatus() DayStatus { return fakeStatus{}.DayStatus() }
+
+func (tracedStatus) ShardStatuses() []ShardStatus {
+	shards := fakeStatus{}.ShardStatuses()
+	shards[1].TraceID = "t-bbbb"
+	return shards
+}
+
+func countBundles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "bundle-") && strings.HasSuffix(e.Name(), ".tar.gz") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTriggerRateLimitAndRetention: fires inside MinInterval are
+// suppressed (one incident, one bundle), and retention deletes the
+// oldest bundles beyond MaxBundles.
+func TestTriggerRateLimitAndRetention(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+	trig := newTestTrigger(t, TriggerConfig{
+		Dir:         dir,
+		MinInterval: 10 * time.Second,
+		MaxBundles:  2,
+		Clock:       func() time.Time { return now },
+	}, BundleSources{})
+
+	p1, err := trig.Fire("first")
+	if err != nil || p1 == "" {
+		t.Fatalf("first fire: path=%q err=%v", p1, err)
+	}
+	now = now.Add(time.Second)
+	if p, err := trig.Fire("flap"); err != nil || p != "" {
+		t.Fatalf("fire inside MinInterval not suppressed: path=%q err=%v", p, err)
+	}
+	var paths []string
+	for i := 0; i < 3; i++ {
+		now = now.Add(11 * time.Second)
+		p, err := trig.Fire(fmt.Sprintf("breach-%d", i))
+		if err != nil || p == "" {
+			t.Fatalf("fire %d: path=%q err=%v", i, p, err)
+		}
+		paths = append(paths, p)
+	}
+	if got := countBundles(t, dir); got != 2 {
+		t.Fatalf("retained bundles = %d, want 2 (retention pruned)", got)
+	}
+	if _, err := os.Stat(p1); !os.IsNotExist(err) {
+		t.Fatal("oldest bundle survived pruning")
+	}
+	if _, err := os.Stat(paths[2]); err != nil {
+		t.Fatalf("newest bundle missing: %v", err)
+	}
+
+	st := trig.Status()
+	if st.Writes != 4 || st.Suppressed != 1 || st.Errors != 0 {
+		t.Fatalf("status = %+v, want 4 writes / 1 suppressed / 0 errors", st)
+	}
+	if st.LastPath != paths[2] || st.LastReason != "breach-2" {
+		t.Fatalf("last-bundle status = %+v", st)
+	}
+}
+
+// TestTriggerBundleRoundTrip: a bundle captured from a live operator
+// plane reloads with the manifest implicating the unhealthy shard, the
+// recorder ring, metrics, ledger tail, filtered spans, and profiles.
+func TestTriggerBundleRoundTrip(t *testing.T) {
+	op, _ := newTestOperator(t)
+	op.Status = tracedStatus{}
+	rec := NewRecorder()
+	rec.Enable()
+	rec.Record(Event{TimeNS: 1, Kind: EventFault, Shard: 1, Action: "drop", N: 30})
+	rec.Record(Event{TimeNS: 2, Kind: EventShardDay, Day: 3, Shard: 1, Action: "degraded", N: 3})
+
+	tr := &Tracer{}
+	tr.Enable()
+	// Shard 1 is implicated with trace t-bbbb: span export must keep
+	// that trace's spans and drop the healthy day's.
+	tr.StartTrace("t-aaaa", "netproto.day").End()
+	tr.StartTrace("t-bbbb", "netproto.day").End()
+
+	trig := newTestTrigger(t, TriggerConfig{MinInterval: time.Nanosecond}, BundleSources{
+		Operator: op,
+		Recorder: rec,
+		Tracer:   tr,
+		Config:   map[string]string{"codec": "binary"},
+	})
+	path, err := trig.Fire("unit:Test")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if base := filepath.Base(path); !strings.Contains(base, "unit-test") {
+		t.Fatalf("reason not slugged into filename: %s", base)
+	}
+
+	b, err := ReadBundle(path)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	m := b.Manifest
+	if m.Schema != BundleSchema || m.Reason != "unit:Test" || m.PID != os.Getpid() {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.ImplicatedDay != 3 || len(m.ImplicatedShards) != 1 || m.ImplicatedShards[0] != 1 {
+		t.Fatalf("implication = day %d shards %v, want day 3 shard 1", m.ImplicatedDay, m.ImplicatedShards)
+	}
+	if m.Config["codec"] != "binary" {
+		t.Fatalf("config not captured: %v", m.Config)
+	}
+	if len(b.Events) != 2 || b.Events[0].Kind != EventFault {
+		t.Fatalf("events = %+v", b.Events)
+	}
+	if b.Metrics == nil {
+		t.Fatal("metrics snapshot missing")
+	}
+	if b.Day == nil || b.Day.Day != 3 || len(b.Shards) != 2 {
+		t.Fatalf("status = %+v / %+v", b.Day, b.Shards)
+	}
+	if b.SLO == nil || len(b.SLO.Spec) == 0 || len(b.SLO.Objectives) == 0 {
+		t.Fatal("SLO sample or spec missing")
+	}
+	if len(b.Ledger) != 3 {
+		t.Fatalf("ledger lines = %d, want 3", len(b.Ledger))
+	}
+	if len(b.Spans) != 1 || b.Spans[0].TraceID != "t-bbbb" {
+		t.Fatalf("spans not filtered to implicated traces: %+v", b.Spans)
+	}
+	if len(m.ImplicatedTraces) != 1 || m.ImplicatedTraces[0] != "t-bbbb" {
+		t.Fatalf("implicated traces = %v", m.ImplicatedTraces)
+	}
+	if b.Profiles["heap.pprof"] == 0 || b.Profiles["goroutine.pprof"] == 0 {
+		t.Fatalf("profiles = %v, want heap and goroutine", b.Profiles)
+	}
+	if _, ok := b.Profiles["cpu.pprof"]; ok {
+		t.Fatal("CPU profile captured without being requested")
+	}
+	// The manifest's table of contents names every archive entry.
+	if m.Files[0] != "manifest.json" || len(m.Files) < 8 {
+		t.Fatalf("manifest files = %v", m.Files)
+	}
+}
+
+// TestTriggerChecks: CheckSLO fires on the first unhealthy objective,
+// CheckShards prefers failed shards over degraded ones, and healthy
+// inputs fire nothing.
+func TestTriggerChecks(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	trig := newTestTrigger(t, TriggerConfig{
+		MinInterval: time.Nanosecond,
+		Clock:       func() time.Time { now = now.Add(time.Second); return now },
+	}, BundleSources{})
+
+	if p, err := trig.CheckSLO([]ObjectiveStatus{{Name: "ok", Healthy: true}}); err != nil || p != "" {
+		t.Fatalf("healthy SLO fired: %q %v", p, err)
+	}
+	p, err := trig.CheckSLO([]ObjectiveStatus{{Name: "ok", Healthy: true}, {Name: "degraded-day-rate", Healthy: false}})
+	if err != nil || !strings.Contains(filepath.Base(p), "slo-degraded-day-rate") {
+		t.Fatalf("SLO breach bundle = %q, err %v", p, err)
+	}
+	if p, err := trig.CheckShards([]ShardStatus{{Shard: 0, Healthy: true}}); err != nil || p != "" {
+		t.Fatalf("healthy shards fired: %q %v", p, err)
+	}
+	p, err = trig.CheckShards([]ShardStatus{
+		{Shard: 0, Healthy: true, Substituted: 1},
+		{Shard: 2, Healthy: false, Err: "link down"},
+	})
+	if err != nil || !strings.Contains(filepath.Base(p), "shard-failed-2") {
+		t.Fatalf("failed shard should outrank degraded: %q, err %v", p, err)
+	}
+}
+
+// TestDebugBundleEndpoint: the operator API's on-demand capture — 404
+// without a trigger, POST fires (429 when rate-limited), GET reports
+// last-bundle status.
+func TestDebugBundleEndpoint(t *testing.T) {
+	op, srv := newTestOperator(t)
+	resp, err := http.Post(srv.URL+"/api/v1/debug/bundle", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST without trigger = %d, want 404", resp.StatusCode)
+	}
+
+	op.Debug = newTestTrigger(t, TriggerConfig{MinInterval: time.Hour}, BundleSources{Operator: op})
+	var fired struct {
+		Path string `json:"path"`
+	}
+	resp, err = http.Post(srv.URL+"/api/v1/debug/bundle", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonDecode(resp, &fired); err != nil {
+		t.Fatalf("decode fire response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || fired.Path == "" {
+		t.Fatalf("POST = %d path=%q", resp.StatusCode, fired.Path)
+	}
+	if _, err := os.Stat(fired.Path); err != nil {
+		t.Fatalf("reported bundle missing: %v", err)
+	}
+
+	resp, err = http.Post(srv.URL+"/api/v1/debug/bundle", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited POST = %d, want 429", resp.StatusCode)
+	}
+
+	var st BundleStatus
+	if r := getJSON(t, srv.URL+"/api/v1/debug/bundle", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", r.StatusCode)
+	}
+	if st.Writes != 1 || st.Suppressed != 1 || st.LastPath != fired.Path || st.LastReason != "api" {
+		t.Fatalf("bundle status = %+v", st)
+	}
+}
+
+// TestLedgerTailRejectsOutOfRangeN: satellite contract — out-of-range n
+// is a 400, not a silent clamp.
+func TestLedgerTailRejectsOutOfRangeN(t *testing.T) {
+	_, srv := newTestOperator(t)
+	for _, n := range []string{"0", "-3", fmt.Sprint(MaxLedgerTail + 1)} {
+		resp, err := http.Get(srv.URL + "/api/v1/ledger/tail?n=" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("n=%s → %d, want 400", n, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/api/v1/ledger/tail?n=" + fmt.Sprint(MaxLedgerTail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("n=%d → %d, want 200", MaxLedgerTail, resp.StatusCode)
+	}
+}
+
+// TestReadBundleRejectsGarbage: a non-archive and an archive without a
+// manifest are both corrupt-bundle errors.
+func TestReadBundleRejectsGarbage(t *testing.T) {
+	if _, err := ReadBundleFrom(bytes.NewReader([]byte("not a bundle"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.tar.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A valid but empty gzip stream: no manifest.
+	if _, err := f.Write([]byte{0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadBundle(path); err == nil {
+		t.Fatal("manifest-less archive accepted")
+	}
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
