@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all bench-check bench-net bench-net-check chaos differential metric-lint vet fmt
+.PHONY: all build test race bench bench-all bench-check bench-net bench-net-check chaos differential metric-lint apicheck apicheck-update vet fmt
 
 all: build test
 
@@ -71,12 +71,14 @@ bench-net-check:
 
 # The fault-tolerance acceptance suite: chaos tests (deterministic
 # fault injection, session resumption, degraded-day settlement, retry
-# jitter) plus a short fuzz pass over the wire codec, which is the
+# jitter, and the replica center-kill matrix — TestChaosReplica* kills
+# the leader in every settlement phase including between ledger append
+# and commit) plus a short fuzz pass over the wire codec, which is the
 # surface every injected fault ultimately exercises.
 chaos:
 	$(GO) test ./internal/netproto -count=1 \
 		-run 'Chaos|Fault|Retry|Backoff|Resume|SessionToken|ContextCancel'
-	$(GO) test ./cmd/enkitrace -count=1 -run Degraded
+	$(GO) test ./cmd/enkitrace -count=1 -run 'Degraded|SurvivingReplica'
 	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s
 	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s
 	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 10s
@@ -119,6 +121,16 @@ metric-lint:
 	done; \
 	if [ $$missing -ne 0 ]; then exit 1; fi; \
 	echo 'metric-lint: DESIGN.md inventory ok'
+
+# The v1 API freeze: the exported surface of the net package must match
+# the committed net/api.txt golden. Changing the surface is allowed but
+# deliberate — regenerate the golden in the same commit so the diff
+# shows exactly which symbols moved.
+apicheck:
+	$(GO) run ./tools/apicheck
+
+apicheck-update:
+	$(GO) run ./tools/apicheck -update
 
 vet:
 	$(GO) vet ./...

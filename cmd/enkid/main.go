@@ -17,6 +17,7 @@
 //	enkid -obs.ledger audit.jsonl       # per-day mechanism audit ledger
 //	enkid -wire.phase-deadline 5s       # settle dark households instead of hanging
 //	enkid -wire.fault-plan seed=42,msgs=100,drop=0.05
+//	enkid -replica.n 3                  # replicate the center: quorum journal + failover
 package main
 
 import (
@@ -66,6 +67,8 @@ type daemonFlags struct {
 	traceLimit int
 	bundleDir  string
 	bundleCPU  time.Duration
+	replicas   int
+	quorumWait time.Duration
 	logOpts    *obs.LogOptions
 }
 
@@ -92,6 +95,12 @@ func newFlagSet() (*flag.FlagSet, *daemonFlags) {
 	fs.StringVar(&f.codec, "wire.codec", netproto.CodecJSON, "preferred batch-frame codec when an agent offers negotiation (json or binary)")
 	fs.DurationVar(&f.deadline, "wire.phase-deadline", netproto.DefaultPhaseDeadline, "per-phase reply deadline; households dark past it are settled degraded")
 	fs.StringVar(&f.faultSpec, "wire.fault-plan", "", "deterministic outbound fault plan, e.g. drop@3,dup@7 or seed=42,msgs=100,drop=0.05")
+
+	// -replica.*: quorum replication of the settlement journal. n = 1
+	// runs the plain single center on -wire.addr; n > 1 replicates it
+	// across n nodes on ephemeral loopback listeners.
+	fs.IntVar(&f.replicas, "replica.n", 1, "settlement-center replicas (odd, 2f+1; 1 = unreplicated)")
+	fs.DurationVar(&f.quorumWait, "replica.quorum-timeout", netproto.DefaultQuorumTimeout, "per-follower deadline on append/commit round trips")
 
 	// -obs.*: observability — metrics endpoint, journals, traces.
 	fs.StringVar(&f.journal, "obs.journal", "", "append day settlements to this JSONL file")
@@ -189,9 +198,24 @@ func run(args []string) error {
 		// default objectives.
 		centerOpts = append(centerOpts, netproto.WithSLO())
 	}
-	center, err := netproto.StartCenter(*addr, centerOpts...)
-	if err != nil {
-		return err
+	var center settler
+	if f.replicas > 1 {
+		replicaOpts := append(centerOpts,
+			netproto.WithReplicas(f.replicas),
+			netproto.WithQuorumTimeout(f.quorumWait))
+		rs, err := netproto.StartReplicaSet(ctx, replicaOpts...)
+		if err != nil {
+			return err
+		}
+		logger.Info("replica set up", "replicas", f.replicas, "leader", rs.Leader(),
+			"note", "-wire.addr ignored: replicas bind ephemeral loopback listeners")
+		center = rs
+	} else {
+		c, err := netproto.StartCenter(*addr, centerOpts...)
+		if err != nil {
+			return err
+		}
+		center = c
 	}
 	defer center.Close()
 
@@ -311,6 +335,17 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// settler is the daemon's view of whatever settles its days: the plain
+// single center or, with -replica.n > 1, the quorum-replicated set.
+type settler interface {
+	Addr() string
+	AgentCount() int
+	WaitForAgentsContext(ctx context.Context, n int) error
+	RunDayContext(ctx context.Context, day int) (*netproto.DayRecord, error)
+	Operator() *obs.Operator
+	Close() error
 }
 
 // preregisterMetrics creates the daemon's core series up front so a

@@ -32,6 +32,7 @@ func TestHelpOutputDeterministicAndNamespaced(t *testing.T) {
 	namespaced := []string{
 		"-shard.agents", "-shard.days", "-shard.wait", "-shard.sigma", "-shard.rating", "-shard.xi",
 		"-wire.addr", "-wire.codec", "-wire.phase-deadline", "-wire.fault-plan",
+		"-replica.n", "-replica.quorum-timeout",
 		"-obs.journal", "-obs.ledger", "-obs.http", "-obs.trace-out", "-obs.trace-seed", "-obs.trace-limit",
 		"-obs.bundle-dir", "-obs.bundle-cpu",
 	}

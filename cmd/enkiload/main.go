@@ -7,6 +7,12 @@
 //
 //	enkiload -households 1000000 -shards 1024 -codec binary
 //	enkiload -households 100000 -shards 128 -days 3 -check
+//	enkiload -households 500 -replicas 3 -days 3 -kill-leader 2
+//
+// With -replicas N (odd, > 1) the harness settles through a
+// quorum-replicated wire center instead of the shard fabric, one agent
+// connection per household; -kill-leader D kills the current leader
+// before day D so the run crosses a mid-sequence failover.
 //
 // With -check the harness re-settles every day on a single worker and
 // fails unless the merged day report is byte-identical — the
@@ -22,6 +28,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"enki/internal/core"
@@ -62,6 +69,9 @@ type loadFlags struct {
 	faultShard   int
 	bundleDir    string
 	bundleOnFail bool
+
+	replicas   int
+	killLeader int
 }
 
 func newFlagSet() (*flag.FlagSet, *loadFlags) {
@@ -87,7 +97,19 @@ func newFlagSet() (*flag.FlagSet, *loadFlags) {
 	fs.IntVar(&f.faultShard, "fault-shard", 0, "shard whose link -fault-plan sabotages")
 	fs.StringVar(&f.bundleDir, "bundle-dir", "", "enable the flight recorder and write breach-triggered debug bundles here (enables the default SLOs)")
 	fs.BoolVar(&f.bundleOnFail, "bundle-on-fail", false, "capture a debug bundle when the run fails (requires -bundle-dir)")
+	fs.IntVar(&f.replicas, "replicas", 1, "settle through a replicated wire center with this many replicas (odd; 1 = sharded cluster mode)")
+	fs.IntVar(&f.killLeader, "kill-leader", 0, "kill the leader replica before settling this day (requires -replicas > 1)")
 	return fs, f
+}
+
+// clusterOnlyFlags are meaningless against a replicated wire center:
+// replicas settle one neighborhood over TCP, not an in-process shard
+// fabric, so the shard/fault/ops machinery has nothing to attach to.
+var clusterOnlyFlags = map[string]bool{
+	"shards": true, "workers": true, "codec": true, "batch": true,
+	"records": true, "check": true, "fault-plan": true, "fault-shard": true,
+	"ops": true, "ops-check": true, "fed-out": true,
+	"bundle-dir": true, "bundle-on-fail": true,
 }
 
 func run(argv []string, out io.Writer) error {
@@ -98,11 +120,30 @@ func run(argv []string, out io.Writer) error {
 	if f.households < 1 {
 		return fmt.Errorf("-households %d must be positive", f.households)
 	}
-	if f.shards < 1 || f.shards > f.households {
+	if f.replicas == 1 && (f.shards < 1 || f.shards > f.households) {
 		return fmt.Errorf("-shards %d must be in [1, households]", f.shards)
 	}
 	if f.days < 1 {
 		return fmt.Errorf("-days %d must be positive", f.days)
+	}
+	if f.replicas > 1 {
+		var bad []string
+		fs.Visit(func(fl *flag.Flag) {
+			if clusterOnlyFlags[fl.Name] {
+				bad = append(bad, "-"+fl.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("%s: cluster-only, not valid with -replicas %d", strings.Join(bad, ", "), f.replicas)
+		}
+		if f.killLeader < 0 || f.killLeader > f.days {
+			return fmt.Errorf("-kill-leader %d outside [0, %d]", f.killLeader, f.days)
+		}
+		if f.households > 10_000 {
+			return fmt.Errorf("-households %d: replicated mode drives one wire agent per household; use ≤ 10000", f.households)
+		}
+	} else if f.killLeader != 0 {
+		return fmt.Errorf("-kill-leader requires -replicas > 1")
 	}
 	if _, ok := netproto.LookupCodec(f.codec); !ok {
 		return fmt.Errorf("unknown -codec %q (have: %v)", f.codec, netproto.CodecNames())
@@ -127,6 +168,9 @@ func run(argv []string, out io.Writer) error {
 	}
 
 	ctx := context.Background()
+	if f.replicas > 1 {
+		return runReplicated(ctx, f, pricer, out)
+	}
 	start := time.Now()
 	cluster, err := startCluster(ctx, f, pricer, f.workers)
 	if err != nil {
@@ -276,6 +320,95 @@ func run(argv []string, out io.Writer) error {
 		}
 		defer w.Close()
 		return snap.WriteJSON(w)
+	}
+	return nil
+}
+
+// runReplicated drives the same truthful population through a
+// quorum-replicated wire center instead of the shard fabric: one agent
+// connection per household, with an optional scripted leader kill so
+// the failover path gets exercised at load, not just in unit tests.
+func runReplicated(ctx context.Context, f *loadFlags, pricer pricing.Pricer, out io.Writer) error {
+	gen, err := profile.NewGenerator(profile.DefaultConfig(), dist.New(f.seed))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rs, err := netproto.StartReplicaSet(ctx,
+		netproto.WithReplicas(f.replicas),
+		netproto.WithPricer(pricer),
+		netproto.WithMechanism(mechanism.Config{K: mechanism.DefaultK, Xi: f.xi}),
+		netproto.WithRating(f.rating),
+		netproto.WithTraceSeed(f.seed),
+	)
+	if err != nil {
+		return err
+	}
+	defer rs.Close()
+
+	// Failover hands agents a new leader address mid-day, so every
+	// agent needs the set-aware dialer and enough retry headroom to
+	// outlast an election.
+	retry := netproto.RetryPolicy{
+		MaxAttempts: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond,
+		Multiplier: 2, Jitter: 0.2, Seed: f.seed,
+	}
+	agents := make([]*netproto.Agent, 0, f.households)
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+	for i := 0; i < f.households; i++ {
+		p := gen.Draw()
+		a, err := netproto.Connect(ctx, rs.Addr(), core.HouseholdID(i), &netproto.Truthful{Type: p.TypeWide()},
+			netproto.WithDialer(rs.Dialer()), netproto.WithRetryPolicy(retry))
+		if err != nil {
+			return fmt.Errorf("connect household %d: %w", i, err)
+		}
+		agents = append(agents, a)
+	}
+	if err := rs.WaitForAgentsContext(ctx, f.households); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "enrolled %d wire households against a %d-replica center (leader %d) in %v\n",
+		f.households, f.replicas, rs.Leader(), time.Since(start).Round(time.Millisecond))
+
+	for day := 1; day <= f.days; day++ {
+		if day == f.killLeader {
+			victim := rs.Leader()
+			if err := rs.Kill(victim); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "day %d: killed leader %d before settlement\n", day, victim)
+		}
+		dayStart := time.Now()
+		rec, err := rs.RunDayContext(ctx, day)
+		if err != nil {
+			return fmt.Errorf("day %d: %w", day, err)
+		}
+		elapsed := time.Since(dayStart)
+		var revenue float64
+		for _, p := range rec.Payments {
+			revenue += p
+		}
+		residual := revenue - f.xi*rec.Cost
+		fmt.Fprintf(out, "day %d: settled %d households cost %.2f revenue %.2f residual %+.3g peak %.1f kW in %v (leader %d term %d)\n",
+			day, len(rec.Reports), rec.Cost, revenue, residual, rec.Peak,
+			elapsed.Round(time.Millisecond), rs.Leader(), rs.Term())
+		if math.Abs(residual) > 1e-6*math.Max(1, math.Abs(revenue)) {
+			return fmt.Errorf("day %d: budget identity violated: Σp = %.9f, ξ·κ = %.9f", day, revenue, f.xi*rec.Cost)
+		}
+	}
+	fmt.Fprintf(out, "replica set: %d failovers, leader %d, term %d\n", rs.Failovers(), rs.Leader(), rs.Term())
+
+	if f.out != "" {
+		w, err := os.Create(f.out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		return obs.Default().Snapshot().WriteJSON(w)
 	}
 	return nil
 }

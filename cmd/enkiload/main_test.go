@@ -128,3 +128,50 @@ func TestLoadFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadReplicatedWithLeaderKill drives the replicated wire mode:
+// 40 households against 3 replicas, leader killed before day 2, and
+// the budget identity checked on every day including the failover one.
+func TestLoadReplicatedWithLeaderKill(t *testing.T) {
+	obs.Default().Reset()
+	var out strings.Builder
+	err := run([]string{
+		"-households", "40", "-days", "2", "-replicas", "3", "-kill-leader", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"enrolled 40 wire households against a 3-replica center (leader 0)",
+		"day 1: settled 40 households",
+		"day 2: killed leader 0 before settlement",
+		"day 2: settled 40 households",
+		"term 2",
+		"replica set: 1 failovers, leader 1, term 2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestLoadReplicatedFlagValidation rejects cluster-only flags and
+// nonsense kill schedules in replicated mode.
+func TestLoadReplicatedFlagValidation(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-replicas", "3", "-shards", "8"},
+		{"-replicas", "3", "-check"},
+		{"-replicas", "3", "-ops", "127.0.0.1:0"},
+		{"-replicas", "3", "-fault-plan", "drop@3"},
+		{"-replicas", "2", "-households", "10"},
+		{"-replicas", "3", "-kill-leader", "5", "-days", "2"},
+		{"-replicas", "3", "-households", "20000"},
+		{"-kill-leader", "1"},
+	} {
+		var out strings.Builder
+		if err := run(argv, &out); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", argv)
+		}
+	}
+}

@@ -46,9 +46,12 @@ type opsReport struct {
 	Ready  bool              `json:"ready"`
 	Day    obs.DayStatus     `json:"day"`
 	Shards []obs.ShardStatus `json:"shards"`
-	SLO    *obs.SLOReport    `json:"slo,omitempty"`
-	Bundle *obs.BundleStatus `json:"bundle,omitempty"`
-	Ledger []ledgerLine      `json:"ledgerTail,omitempty"`
+	// Replicas is the quorum-set health of a replicated center (absent
+	// when the target does not serve /api/v1/replicas).
+	Replicas *obs.ReplicaSetStatus `json:"replicas,omitempty"`
+	SLO      *obs.SLOReport        `json:"slo,omitempty"`
+	Bundle   *obs.BundleStatus     `json:"bundle,omitempty"`
+	Ledger   []ledgerLine          `json:"ledgerTail,omitempty"`
 	// PAR and Spread mirror the mechanism gauges for the last settled
 	// day: peak-to-average ratio and max−min payment.
 	PAR    float64 `json:"par,omitempty"`
@@ -185,6 +188,12 @@ func fetch(client *http.Client, base string, tailN int) (*opsReport, error) {
 	if _, err := get("/api/v1/shards", &rep.Shards, true); err != nil {
 		return nil, err
 	}
+	var replicas obs.ReplicaSetStatus
+	if ok, err := get("/api/v1/replicas", &replicas, false); err != nil {
+		return nil, err
+	} else if ok {
+		rep.Replicas = &replicas
+	}
 	var slo obs.SLOReport
 	if ok, err := get("/api/v1/slo", &slo, false); err != nil {
 		return nil, err
@@ -281,6 +290,19 @@ func render(w io.Writer, rep *opsReport) {
 			if s.Err != "" {
 				fmt.Fprintf(w, "       err: %s\n", s.Err)
 			}
+		}
+	}
+
+	if rep.Replicas != nil {
+		r := rep.Replicas
+		quorum := "quorum"
+		if !r.Quorum {
+			quorum = "NO QUORUM"
+		}
+		fmt.Fprintf(w, "replicas: leader %d term %d %s, %d failovers\n", r.Leader, r.Term, quorum, r.Failovers)
+		for _, rs := range r.Replicas {
+			fmt.Fprintf(w, "  %-2d %-9s term %-4d commit %-6d lag %-4d %s\n",
+				rs.ID, rs.Role, rs.Term, rs.CommitIndex, rs.CommitLag, rs.Addr)
 		}
 	}
 

@@ -269,3 +269,88 @@ func TestOpsFlagValidation(t *testing.T) {
 		t.Error("run against a dead port succeeded")
 	}
 }
+
+// TestOpsOnceJSONAgainstReplicaSet scrapes a live 3-replica settlement
+// center after a leader kill: the replicas section must show the new
+// leader, the bumped term, the failover count, and one row per replica.
+func TestOpsOnceJSONAgainstReplicaSet(t *testing.T) {
+	var ledgerBuf bytes.Buffer
+	rs, err := netproto.StartReplicaSet(context.Background(),
+		netproto.WithReplicas(3),
+		netproto.WithTraceSeed(5),
+		netproto.WithLedger(netproto.NewJournal(&ledgerBuf)),
+	)
+	if err != nil {
+		t.Fatalf("StartReplicaSet: %v", err)
+	}
+	t.Cleanup(func() { rs.Close() })
+
+	types := []core.Type{
+		{True: core.MustPreference(18, 22, 2), ValuationFactor: 5},
+		{True: core.MustPreference(17, 23, 2), ValuationFactor: 4},
+	}
+	retry := netproto.RetryPolicy{MaxAttempts: 20, BaseDelay: 5e6, MaxDelay: 25e7, Multiplier: 2, Jitter: 0.2, Seed: 1}
+	for i, typ := range types {
+		a, err := netproto.Connect(context.Background(), rs.Addr(), core.HouseholdID(i), &netproto.Truthful{Type: typ},
+			netproto.WithDialer(rs.Dialer()), netproto.WithRetryPolicy(retry))
+		if err != nil {
+			t.Fatalf("connect %d: %v", i, err)
+		}
+		t.Cleanup(func() { a.Close() })
+	}
+	if err := rs.WaitForAgentsContext(context.Background(), len(types)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.RunDayContext(context.Background(), 1); err != nil {
+		t.Fatalf("day 1: %v", err)
+	}
+	if err := rs.Kill(rs.Leader()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.RunDayContext(context.Background(), 2); err != nil {
+		t.Fatalf("day 2 after failover: %v", err)
+	}
+
+	op := rs.Operator()
+	srv, err := obs.ServeOperator("127.0.0.1:0", op)
+	if err != nil {
+		t.Fatalf("ServeOperator: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	op.SetReady(true)
+
+	var out strings.Builder
+	if err := run([]string{"-addr", srv.Addr(), "-once", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep opsReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Replicas == nil {
+		t.Fatal("replicas section absent though the target serves /api/v1/replicas")
+	}
+	r := rep.Replicas
+	if r.Leader != 1 || r.Term != 2 || r.Failovers != 1 || !r.Quorum {
+		t.Errorf("replicas = leader %d term %d failovers %d quorum %v, want leader 1 term 2 failovers 1 quorum true",
+			r.Leader, r.Term, r.Failovers, r.Quorum)
+	}
+	if len(r.Replicas) != 3 {
+		t.Fatalf("%d replica rows, want 3", len(r.Replicas))
+	}
+	if rep.Day.DaysSettled != 2 {
+		t.Errorf("days settled = %d, want 2 (count survives failover)", rep.Day.DaysSettled)
+	}
+
+	// The table view renders the replica section too.
+	out.Reset()
+	if err := run([]string{"-addr", srv.Addr(), "-once"}, &out); err != nil {
+		t.Fatalf("run table: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replicas: leader 1 term 2 quorum, 1 failovers") {
+		t.Errorf("table missing replica summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "dead") || !strings.Contains(out.String(), "leader") {
+		t.Errorf("table missing replica roles:\n%s", out.String())
+	}
+}

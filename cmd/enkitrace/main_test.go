@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net"
 	"os"
 	"path/filepath"
@@ -282,5 +283,69 @@ func TestRunRejectsNoInputs(t *testing.T) {
 	}
 	if err := run([]string{"-trace", filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
 		t.Error("missing trace file should be an error")
+	}
+}
+
+// TestAuditSurvivingReplicaLedger is the failover acceptance for the
+// audit tool: a 3-replica center loses its leader between the ledger
+// append and the commit broadcast, the day finishes under the new
+// leader, and the surviving replica's journal still audits cleanly
+// (exit 0) with one entry per day.
+func TestAuditSurvivingReplicaLedger(t *testing.T) {
+	rs, err := netproto.StartReplicaSet(context.Background(),
+		netproto.WithReplicas(3),
+		netproto.WithTraceSeed(33),
+		netproto.WithPhaseDeadline(5*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	types := []core.Type{
+		{True: core.MustPreference(18, 22, 2), ValuationFactor: 5},
+		{True: core.MustPreference(17, 23, 2), ValuationFactor: 4},
+		{True: core.MustPreference(19, 24, 3), ValuationFactor: 6},
+	}
+	retry := netproto.RetryPolicy{
+		MaxAttempts: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond,
+		Multiplier: 2, Jitter: 0.2, Seed: 1,
+	}
+	for i, typ := range types {
+		a, err := netproto.Connect(context.Background(), rs.Addr(), core.HouseholdID(i), &netproto.Truthful{Type: typ},
+			netproto.WithDialer(rs.Dialer()), netproto.WithRetryPolicy(retry))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+	}
+	if err := rs.WaitForAgentsContext(context.Background(), len(types)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.RunDayContext(context.Background(), 1); err != nil {
+		t.Fatalf("day 1: %v", err)
+	}
+	if err := rs.Kill(rs.Leader()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.RunDayContext(context.Background(), 2); err != nil {
+		t.Fatalf("day 2 after failover: %v", err)
+	}
+	if rs.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", rs.Failovers())
+	}
+
+	survivor := rs.Leader()
+	ledgerPath := filepath.Join(t.TempDir(), "survivor.jsonl")
+	if err := os.WriteFile(ledgerPath, rs.ReplicaLedger(survivor), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-ledger", ledgerPath}, &out); err != nil {
+		t.Fatalf("audit of surviving replica %d failed: %v\n%s", survivor, err, out.String())
+	}
+	if !strings.Contains(out.String(), "audit: 0 mismatches in 2 entries") {
+		t.Errorf("unexpected audit summary:\n%s", out.String())
 	}
 }

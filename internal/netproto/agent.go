@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -113,6 +114,9 @@ func Connect(ctx context.Context, addr string, id core.HouseholdID, policy Polic
 	for _, opt := range opts {
 		opt(o)
 	}
+	if err := o.validate("Connect", targetAgent); err != nil {
+		return nil, err
+	}
 	cfg := o.agent
 	if cfg.dial == nil {
 		var d net.Dialer
@@ -148,6 +152,9 @@ func NewAgent(conn net.Conn, id core.HouseholdID, policy Policy, opts ...Option)
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(o)
+	}
+	if err := o.validate("NewAgent", targetAgent); err != nil {
+		return nil, err
 	}
 	return newAgent(conn, id, policy, o.agent)
 }
@@ -197,7 +204,7 @@ func (a *Agent) handshake(conn net.Conn, token string) (string, error) {
 		return "", fmt.Errorf("netproto: read welcome: %w", err)
 	}
 	if welcome.Kind != KindWelcome {
-		return "", fmt.Errorf("netproto: registration rejected: %s %s", welcome.Kind, welcome.Err)
+		return "", rejectionError(welcome)
 	}
 	var ws *wireState
 	if welcome.Codec != "" {
@@ -211,6 +218,32 @@ func (a *Agent) handshake(conn net.Conn, token string) (string, error) {
 	a.ws = ws
 	a.mu.Unlock()
 	return welcome.Token, nil
+}
+
+// rejectionError maps a registration rejection onto the sentinel error
+// taxonomy: a token mismatch is ErrSessionExpired, a follower replica
+// is ErrNotLeader. The wire strings themselves are stable protocol
+// surface; the sentinels are what callers should branch on.
+func rejectionError(welcome *Message) error {
+	switch {
+	case strings.Contains(welcome.Err, "token"):
+		return fmt.Errorf("netproto: registration rejected (%s): %w", welcome.Err, ErrSessionExpired)
+	case strings.Contains(welcome.Err, "not leader"):
+		return fmt.Errorf("netproto: registration rejected (%s): %w", welcome.Err, ErrNotLeader)
+	default:
+		return fmt.Errorf("netproto: registration rejected: %s %s", welcome.Kind, welcome.Err)
+	}
+}
+
+// terminalErr is the error an agent records when its reconnect path
+// gives up: with a retry policy configured the cause is wrapped in
+// ErrRetryExhausted, so callers distinguish "retried and lost" from the
+// policy-less first-failure-is-terminal mode.
+func (a *Agent) terminalErr(cause error) error {
+	if !a.cfg.retry.Enabled() {
+		return cause
+	}
+	return fmt.Errorf("%w (%d attempts): %v", ErrRetryExhausted, a.cfg.retry.MaxAttempts, cause)
 }
 
 // ID returns the agent's household ID.
@@ -296,7 +329,7 @@ func (a *Agent) loop() {
 			if a.reconnect() {
 				continue
 			}
-			a.setErr(err)
+			a.setErr(a.terminalErr(err))
 			return
 		}
 		fatal, err := a.handle(m)
@@ -316,7 +349,7 @@ func (a *Agent) loop() {
 		if a.reconnect() {
 			continue
 		}
-		a.setErr(err)
+		a.setErr(a.terminalErr(err))
 		return
 	}
 }

@@ -2,6 +2,7 @@ package netproto
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -71,6 +72,54 @@ type CenterConfig struct {
 	// to the center's operator plane (see Operator). Objectives are
 	// validated at start-up.
 	SLO []obs.Objective
+
+	// Replication hooks, set only by a ReplicaSet (same package) on the
+	// centers it leads with; all nil on a standalone center. Each hook
+	// blocks until its entry is quorum-committed, so a day can only
+	// settle once a majority of replicas can reproduce it.
+	onMember      func(id core.HouseholdID, token string, epoch uint64) error
+	onPhase       func(day int, phase string, data json.RawMessage) error
+	onSettle      func(tid string, day int, record *DayRecord, entry json.RawMessage) error
+	beforeDeliver func(day int) error
+	// seedSessions pre-registers the committed membership on a failover
+	// center, so agents resume with the tokens the old leader issued.
+	seedSessions []seedSession
+	// epochFloor continues the registration-epoch sequence past the old
+	// leader's committed registrations.
+	epochFloor uint64
+	// resume carries quorum-committed mid-day state: a new leader skips
+	// the phases whose boundary entries committed and recomputes the
+	// rest deterministically.
+	resume map[int]*dayResume
+}
+
+// seedSession is one committed household membership a failover center
+// starts with: the session exists (dark) before its agent reconnects.
+type seedSession struct {
+	id    core.HouseholdID
+	token string
+}
+
+// dayResume is the committed mid-day state for one settlement day,
+// rebuilt from the quorum log's phase-boundary entries on failover.
+type dayResume struct {
+	reports      []core.Report
+	absent       []core.HouseholdID
+	consumptions []core.Consumption
+	substituted  []bool
+	haveCons     bool
+}
+
+// prefPhasePayload is the replicated preference phase boundary.
+type prefPhasePayload struct {
+	Reports []core.Report      `json:"reports"`
+	Absent  []core.HouseholdID `json:"absent,omitempty"`
+}
+
+// consPhasePayload is the replicated consumption phase boundary.
+type consPhasePayload struct {
+	Consumptions []core.Consumption `json:"consumptions"`
+	Substituted  []bool             `json:"substituted,omitempty"`
 }
 
 // DefaultPhaseDeadline is the per-phase wait applied when neither
@@ -227,6 +276,9 @@ func StartCenterListener(ln net.Listener, opts ...Option) (*Center, error) {
 	for _, opt := range opts {
 		opt(o)
 	}
+	if err := o.validate("StartCenter", targetCenter); err != nil {
+		return nil, err
+	}
 	return newCenter(ln, o.resolveCenter())
 }
 
@@ -274,6 +326,11 @@ func newCenter(ln net.Listener, cfg CenterConfig) (*Center, error) {
 		closing:  make(chan struct{}),
 	}
 	c.stat.phase = "idle"
+	c.epoch = cfg.epochFloor
+	for _, ss := range cfg.seedSessions {
+		// Seeded members start dark; their agents resume by token.
+		c.sessions[ss.id] = &session{id: ss.id, token: ss.token}
+	}
 	if cfg.Reporting {
 		c.fed = obs.NewFederation(obs.Default())
 	}
@@ -412,6 +469,7 @@ func (c *Center) handleConn(conn net.Conn) {
 	c.mu.Lock()
 	s := c.sessions[hello.ID]
 	resume := false
+	fresh := false
 	switch {
 	case s != nil && s.conn != nil:
 		c.mu.Unlock()
@@ -430,6 +488,7 @@ func (c *Center) handleConn(conn net.Conn) {
 		c.epoch++
 		s = &session{id: hello.ID, token: sessionToken(c.cfg.TraceSeed, hello.ID, c.epoch)}
 		c.sessions[hello.ID] = s
+		fresh = true
 	}
 	s.conn = cc
 	var replay []*Message
@@ -441,7 +500,25 @@ func (c *Center) handleConn(conn net.Conn) {
 		s.missedPay = nil
 	}
 	token := s.token
+	epoch := c.epoch
 	c.mu.Unlock()
+
+	// A replicated center commits the membership before welcoming: the
+	// welcome is the promise that a failover leader will recognize this
+	// token, so it must not be issued until a majority holds the entry.
+	if fresh && c.cfg.onMember != nil {
+		if err := c.cfg.onMember(hello.ID, token, epoch); err != nil {
+			_ = WriteMessage(conn, &Message{Kind: KindError, ID: hello.ID,
+				Err: "registration not replicated: " + err.Error()})
+			c.mu.Lock()
+			if c.sessions[hello.ID] == s {
+				delete(c.sessions, hello.ID)
+			}
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+	}
 
 	if err := cc.sendLegacy(&Message{Kind: KindWelcome, ID: hello.ID, Token: token, Codec: codecName}); err != nil {
 		c.markDark(cc)
@@ -579,26 +656,41 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 		return nil, errors.New("netproto: no registered agents")
 	}
 
-	prefMsgs, absent, err := c.phase(ctx, daySpan, tid, members, KindPreference, day,
-		func(id core.HouseholdID, tc *obs.TraceContext) *Message {
-			return &Message{Kind: KindRequest, ID: id, Day: day, Trace: tc}
-		})
-	if err != nil {
-		return nil, err
-	}
-	reports := make([]core.Report, 0, len(prefMsgs))
-	for _, id := range members {
-		m, ok := prefMsgs[id]
-		if !ok {
-			continue // dark past the deadline: absent for the day
+	res := c.cfg.resume[day]
+
+	var reports []core.Report
+	var absent []core.HouseholdID
+	if res != nil && res.reports != nil {
+		// The preference boundary is quorum-committed: a failover leader
+		// resumes from it instead of re-running the round, so the day's
+		// inputs are exactly the ones a majority can reproduce.
+		reports, absent = res.reports, res.absent
+	} else {
+		prefMsgs, prefDark, err := c.phase(ctx, daySpan, tid, members, KindPreference, day,
+			func(id core.HouseholdID, tc *obs.TraceContext) *Message {
+				return &Message{Kind: KindRequest, ID: id, Day: day, Trace: tc}
+			})
+		if err != nil {
+			return nil, err
 		}
-		if m.Pref == nil {
-			return nil, fmt.Errorf("netproto: household %d sent preference frame without pref", id)
+		absent = prefDark
+		reports = make([]core.Report, 0, len(prefMsgs))
+		for _, id := range members {
+			m, ok := prefMsgs[id]
+			if !ok {
+				continue // dark past the deadline: absent for the day
+			}
+			if m.Pref == nil {
+				return nil, fmt.Errorf("netproto: household %d sent preference frame without pref", id)
+			}
+			reports = append(reports, core.Report{ID: id, Pref: *m.Pref})
 		}
-		reports = append(reports, core.Report{ID: id, Pref: *m.Pref})
-	}
-	if len(reports) == 0 {
-		return nil, fmt.Errorf("netproto: day %d: no household reported a preference (all %d dark)", day, len(members))
+		if len(reports) == 0 {
+			return nil, fmt.Errorf("netproto: day %d: no household reported a preference (all %d dark)", day, len(members))
+		}
+		if err := c.commitPhase(day, "preference", prefPhasePayload{Reports: reports, Absent: absent}); err != nil {
+			return nil, err
+		}
 	}
 
 	assignments, err := c.cfg.Scheduler.Allocate(reports)
@@ -613,49 +705,86 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 	for i, r := range reports {
 		active[i] = r.ID
 	}
-	consMsgs, consDark, err := c.phase(ctx, daySpan, tid, active, KindConsumption, day,
-		func(id core.HouseholdID, tc *obs.TraceContext) *Message {
-			iv := byID[id]
-			return &Message{Kind: KindAllocation, ID: id, Day: day, Interval: &iv, Trace: tc}
-		})
-	if err != nil {
-		return nil, err
-	}
-	darkSet := make(map[core.HouseholdID]bool, len(consDark))
-	for _, id := range consDark {
-		darkSet[id] = true
-	}
-	consumptions := make([]core.Consumption, len(reports))
+	var consumptions []core.Consumption
 	var substituted []bool
-	for i, r := range reports {
-		if darkSet[r.ID] {
-			if substituted == nil {
-				substituted = make([]bool, len(reports))
+	if res != nil && res.haveCons {
+		consumptions, substituted = res.consumptions, res.substituted
+	} else {
+		consMsgs, consDark, err := c.phase(ctx, daySpan, tid, active, KindConsumption, day,
+			func(id core.HouseholdID, tc *obs.TraceContext) *Message {
+				iv := byID[id]
+				return &Message{Kind: KindAllocation, ID: id, Day: day, Interval: &iv, Trace: tc}
+			})
+		if err != nil {
+			return nil, err
+		}
+		darkSet := make(map[core.HouseholdID]bool, len(consDark))
+		for _, id := range consDark {
+			darkSet[id] = true
+		}
+		consumptions = make([]core.Consumption, len(reports))
+		for i, r := range reports {
+			if darkSet[r.ID] {
+				if substituted == nil {
+					substituted = make([]bool, len(reports))
+				}
+				substituted[i] = true
+				consumptions[i] = core.Consumption{ID: r.ID, Interval: mechanism.DarkConsumption(r.Pref)}
+				continue
 			}
-			substituted[i] = true
-			consumptions[i] = core.Consumption{ID: r.ID, Interval: mechanism.DarkConsumption(r.Pref)}
-			continue
+			m := consMsgs[r.ID]
+			if m.Interval == nil {
+				return nil, fmt.Errorf("netproto: household %d sent consumption frame without interval", r.ID)
+			}
+			if m.Interval.Len() != r.Pref.Duration {
+				return nil, fmt.Errorf("netproto: household %d consumed %d slots, declared %d",
+					r.ID, m.Interval.Len(), r.Pref.Duration)
+			}
+			consumptions[i] = core.Consumption{ID: r.ID, Interval: *m.Interval}
 		}
-		m := consMsgs[r.ID]
-		if m.Interval == nil {
-			return nil, fmt.Errorf("netproto: household %d sent consumption frame without interval", r.ID)
+		if err := c.commitPhase(day, "consumption", consPhasePayload{Consumptions: consumptions, Substituted: substituted}); err != nil {
+			return nil, err
 		}
-		if m.Interval.Len() != r.Pref.Duration {
-			return nil, fmt.Errorf("netproto: household %d consumed %d slots, declared %d",
-				r.ID, m.Interval.Len(), r.Pref.Duration)
+	}
+	nSub := 0
+	for _, sub := range substituted {
+		if sub {
+			nSub++
 		}
-		consumptions[i] = core.Consumption{ID: r.ID, Interval: *m.Interval}
 	}
 
 	c.stat.setPhase("settling")
 	settleSpan := daySpan.StartChild(obs.SpanNetSettle, "day", strconv.Itoa(day))
-	record, err := c.settle(tid, day, reports, assignments, consumptions, substituted)
+	record, entry, err := c.settle(tid, day, reports, assignments, consumptions, substituted)
 	settleSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	if len(absent) > 0 {
 		record.Absent = absent
+	}
+
+	// Commit the settled day. A replicated center blocks here until a
+	// majority holds the day entry — the ledger append happens in the
+	// apply path on every replica — while a standalone center appends
+	// directly to its ledger.
+	if c.cfg.onSettle != nil {
+		raw, err := json.Marshal(entry)
+		if err != nil {
+			return nil, fmt.Errorf("netproto: encode ledger entry: %w", err)
+		}
+		if err := c.cfg.onSettle(tid, day, record, raw); err != nil {
+			return nil, err
+		}
+	} else if c.cfg.Ledger != nil {
+		if err := c.cfg.Ledger.AppendValue(entry); err != nil {
+			return nil, fmt.Errorf("netproto: audit ledger: %w", err)
+		}
+	}
+	if c.cfg.beforeDeliver != nil {
+		if err := c.cfg.beforeDeliver(day); err != nil {
+			return nil, err
+		}
 	}
 
 	paySpan := daySpan.StartChild(obs.SpanNetPhase, obs.LabelPhase, string(KindPayment), "day", strconv.Itoa(day))
@@ -674,7 +803,7 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 	paySpan.End()
 
 	obs.Default().Counter(obs.MetricNetDaysTotal).Inc()
-	if nSub := len(consDark); nSub > 0 || len(absent) > 0 {
+	if nSub > 0 || len(absent) > 0 {
 		obs.Default().Counter(obs.MetricNetDegradedDaysTotal).Inc()
 		if nSub > 0 {
 			obs.Default().Counter(obs.MetricNetSubstitutionsTotal).Add(uint64(nSub))
@@ -682,7 +811,7 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 	}
 	if rec := obs.DefaultRecorder(); rec.Enabled() {
 		action := "ok"
-		if len(consDark) > 0 || len(absent) > 0 {
+		if nSub > 0 || len(absent) > 0 {
 			action = "degraded"
 		}
 		rec.Record(obs.Event{Kind: obs.EventDay, Day: day, Shard: -1, Action: action, N: len(reports), TraceID: tid})
@@ -702,7 +831,7 @@ func (c *Center) RunDayContext(ctx context.Context, day int) (*DayRecord, error)
 	s.lastTrace = tid
 	s.lastSettled = len(reports)
 	s.lastAbsent = len(absent)
-	s.lastSubstituted = len(consDark)
+	s.lastSubstituted = nSub
 	s.lastCost = record.Cost
 	s.lastRevenue = revenue
 	s.lastResidual = revenue - c.cfg.Mechanism.Xi*record.Cost
@@ -760,7 +889,7 @@ func wireTrace(tid string, span *obs.ActiveSpan) *obs.TraceContext {
 // Substituted households forfeit their flexibility reward regardless of
 // where their imputed consumption landed (they never confirmed
 // compliance), putting them on the Eq. 5 defector path.
-func (c *Center) settle(tid string, day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption, substituted []bool) (*DayRecord, error) {
+func (c *Center) settle(tid string, day int, reports []core.Report, assignments []core.Assignment, consumptions []core.Consumption, substituted []bool) (*DayRecord, *mechanism.LedgerEntry, error) {
 	prefs := make([]core.Preference, len(reports))
 	assigned := make([]core.Interval, len(reports))
 	consumed := make([]core.Interval, len(reports))
@@ -779,21 +908,20 @@ func (c *Center) settle(tid string, day int, reports []core.Report, assignments 
 	defect := mechanism.DefectionScores(c.cfg.Pricer, c.cfg.Rating, assigned, consumed)
 	psi, err := mechanism.SocialCostScores(flex, defect, c.cfg.Mechanism.K)
 	if err != nil {
-		return nil, fmt.Errorf("netproto: social cost: %w", err)
+		return nil, nil, fmt.Errorf("netproto: social cost: %w", err)
 	}
 	load := core.LoadOf(consumed, c.cfg.Rating)
 	cost := pricing.Cost(c.cfg.Pricer, load)
 	payments, err := mechanism.Payments(psi, c.cfg.Mechanism.Xi, cost)
 	if err != nil {
-		return nil, fmt.Errorf("netproto: payments: %w", err)
+		return nil, nil, fmt.Errorf("netproto: payments: %w", err)
 	}
 	mechanism.RecordSettlementMetrics(flex, defect, psi, payments, cost, c.cfg.Mechanism.Xi, load.PAR())
-	if c.cfg.Ledger != nil {
-		entry := mechanism.BuildLedgerEntry(tid, day, c.cfg.Mechanism, c.cfg.Rating,
+	var entry *mechanism.LedgerEntry
+	if c.cfg.Ledger != nil || c.cfg.onSettle != nil {
+		e := mechanism.BuildLedgerEntry(tid, day, c.cfg.Mechanism, c.cfg.Rating,
 			reports, assigned, consumed, substituted, predicted, flex, defect, psi, payments, cost, load.Peak())
-		if err := c.cfg.Ledger.AppendValue(entry); err != nil {
-			return nil, fmt.Errorf("netproto: audit ledger: %w", err)
-		}
+		entry = &e
 	}
 	return &DayRecord{
 		Day:          day,
@@ -808,7 +936,46 @@ func (c *Center) settle(tid string, day int, reports []core.Report, assignments 
 		Cost:         cost,
 		Peak:         load.Peak(),
 		Substituted:  substituted,
-	}, nil
+	}, entry, nil
+}
+
+// commitPhase replicates a phase boundary through the onPhase hook, if one is
+// installed. The payload is marshalled once so every replica journals the same
+// bytes.
+func (c *Center) commitPhase(day int, phase string, payload any) error {
+	if c.cfg.onPhase == nil {
+		return nil
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("netproto: encode %s phase: %w", phase, err)
+	}
+	return c.cfg.onPhase(day, phase, data)
+}
+
+// redeliverDay re-issues payment notices for a day that was already committed
+// to the replicated journal. Delivery is best-effort, exactly like the normal
+// payment phase: agents that are connected receive the notice immediately,
+// dark sessions have it queued for resume, and agents dedupe by day.
+func (c *Center) redeliverDay(record *DayRecord) *DayRecord {
+	c.stat.setPhase("payment")
+	trace := &obs.TraceContext{TraceID: record.TraceID}
+	for i, r := range record.Reports {
+		if i >= len(record.Payments) {
+			break
+		}
+		detail := &PaymentDetail{
+			Amount:      record.Payments[i],
+			Flexibility: record.Flexibility[i],
+			Defection:   record.Defection[i],
+			SocialCost:  record.SocialCost[i],
+			TotalCost:   record.Cost,
+			PeakLoad:    record.Peak,
+		}
+		c.deliverPayment(&Message{Kind: KindPayment, ID: r.ID, Day: record.Day, Payment: detail, Trace: trace})
+	}
+	c.stat.setPhase("settled")
+	return record
 }
 
 func (s *centerStatus) startPhase(day int, phase string, members int, deadline time.Duration) {

@@ -147,6 +147,9 @@ func StartCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
 	for _, opt := range opts {
 		opt(o)
 	}
+	if err := o.validate("StartCluster", targetCluster); err != nil {
+		return nil, err
+	}
 	custom := o.center.Scheduler != nil
 	center := o.resolveCenter()
 	cfg := o.cluster

@@ -1,0 +1,34 @@
+package netproto
+
+import (
+	"errors"
+
+	"enki/internal/replica"
+)
+
+// Sentinel errors of the settlement protocol, re-exported through the
+// public net facade so callers branch with errors.Is instead of string
+// matching. Every error returned on these paths wraps its sentinel.
+var (
+	// ErrNotLeader marks an operation that reached a replica which is
+	// not the current leader — a registration against a follower, or a
+	// replication append from a deposed leader. Shared with
+	// internal/replica so errors.Is matches across both layers.
+	ErrNotLeader = replica.ErrNotLeader
+
+	// ErrQuorumLost marks a replicated operation that could not reach a
+	// majority of the replica set: the day cannot commit and fails
+	// rather than settling unreplicated.
+	ErrQuorumLost = errors.New("netproto: quorum lost")
+
+	// ErrSessionExpired marks a session-resumption handshake the center
+	// rejected: the presented token no longer matches the session (the
+	// ID re-registered fresh, bumping the epoch, or the token is simply
+	// wrong).
+	ErrSessionExpired = errors.New("netproto: session expired")
+
+	// ErrRetryExhausted marks an agent whose retry policy ran out of
+	// reconnect attempts; the agent is terminal and Err returns an
+	// error wrapping this sentinel.
+	ErrRetryExhausted = errors.New("netproto: retry attempts exhausted")
+)

@@ -2,7 +2,10 @@ package netproto
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sort"
+	"strings"
 	"time"
 
 	"enki/internal/mechanism"
@@ -25,20 +28,99 @@ type agentConfig struct {
 	reporting bool     // piggyback per-agent obs snapshots on the consumption phase
 }
 
-// options is the combined center/agent/cluster option state. One Option
-// type serves every constructor — an option that only concerns another
-// surface is simply inert, so a test can build one shared option list
-// (say, a fault plan plus a phase deadline) and hand it to both ends.
+// replicaConfig is the replica-set side of the option set.
+type replicaConfig struct {
+	n             int           // replica count, odd (2f+1)
+	leaderID      int           // initial leader replica ID
+	quorumTimeout time.Duration // per-follower deadline on append/commit round trips
+}
+
+// target is the bitmask of constructors an option applies to. Every
+// option declares its targets so a constructor can reject options that
+// would otherwise be silently ignored (e.g. WithShards on Connect).
+type target uint8
+
+const (
+	targetCenter target = 1 << iota
+	targetAgent
+	targetCluster
+	targetReplica
+)
+
+// constructors names the constructor functions a target mask covers, in
+// a fixed order, for validation error messages.
+func (t target) constructors() string {
+	var names []string
+	if t&targetCenter != 0 {
+		names = append(names, "StartCenter")
+	}
+	if t&targetAgent != 0 {
+		names = append(names, "Connect/NewAgent")
+	}
+	if t&targetCluster != 0 {
+		names = append(names, "StartCluster")
+	}
+	if t&targetReplica != 0 {
+		names = append(names, "StartReplicaSet")
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// appliedOption records one applied With* option for target validation.
+type appliedOption struct {
+	name    string
+	targets target
+}
+
+// options is the combined center/agent/cluster/replica option state.
+// One Option type serves every constructor; each constructor validates
+// that every applied option actually targets it, so a misplaced option
+// is a descriptive error instead of a silent no-op.
 type options struct {
 	center  CenterConfig
 	agent   agentConfig
 	cluster ClusterConfig
+	replica replicaConfig
+	applied []appliedOption
 }
 
-// Option configures StartCenter, StartCenterListener, Connect, and
-// NewAgent. Options meaningful to only one side are no-ops on the
-// other.
+// Option configures StartCenter, StartCenterListener, Connect,
+// NewAgent, StartCluster, and StartReplicaSet. Each option declares
+// which constructors it targets; passing it elsewhere returns a
+// descriptive error from the constructor.
 type Option func(*options)
+
+// option wraps an apply function with its name and target mask so
+// constructors can validate the applied set.
+func option(name string, targets target, apply func(*options)) Option {
+	return func(o *options) {
+		o.applied = append(o.applied, appliedOption{name: name, targets: targets})
+		apply(o)
+	}
+}
+
+// validate checks every applied option against the constructor's
+// target, returning a descriptive error for the first mismatch.
+func (o *options) validate(ctor string, t target) error {
+	for _, a := range o.applied {
+		if a.targets&t == 0 {
+			return fmt.Errorf("netproto: %s does not apply to %s (it configures %s)",
+				a.name, ctor, a.targets.constructors())
+		}
+	}
+	return nil
+}
+
+// Replica-set defaults.
+const (
+	// DefaultReplicas is the replica count without WithReplicas: 2f+1
+	// with f=1, the smallest set that survives one center crash.
+	DefaultReplicas = 3
+	// DefaultQuorumTimeout bounds each append/commit round trip to one
+	// follower before the leader counts it as unreachable.
+	DefaultQuorumTimeout = 2 * time.Second
+)
 
 // defaultOptions is the options-based constructors' starting point: the
 // quadratic pricer from the paper's evaluation, the default mechanism
@@ -61,6 +143,11 @@ func defaultOptions() *options {
 			BatchSize: DefaultBatchSize,
 			Records:   true,
 		},
+		replica: replicaConfig{
+			n:             DefaultReplicas,
+			leaderID:      0,
+			quorumTimeout: DefaultQuorumTimeout,
+		},
 	}
 }
 
@@ -76,28 +163,33 @@ func (o *options) resolveCenter() CenterConfig {
 	return cfg
 }
 
+// settlementTargets is the mask for options that configure how a day
+// settles — meaningful wherever a center runs, including inside a
+// cluster shard or a replica set.
+const settlementTargets = targetCenter | targetCluster | targetReplica
+
 // WithScheduler sets the center's allocation scheduler (default:
 // sched.Greedy over the configured pricer and rating).
 func WithScheduler(s sched.Scheduler) Option {
-	return func(o *options) { o.center.Scheduler = s }
+	return option("WithScheduler", settlementTargets, func(o *options) { o.center.Scheduler = s })
 }
 
 // WithPricer sets the hourly pricing function on the center (default:
 // the paper's quadratic pricer).
 func WithPricer(p pricing.Pricer) Option {
-	return func(o *options) { o.center.Pricer = p }
+	return option("WithPricer", settlementTargets, func(o *options) { o.center.Pricer = p })
 }
 
 // WithMechanism sets the mechanism's payment-scaling parameters
 // (default: mechanism.DefaultConfig).
 func WithMechanism(m mechanism.Config) Option {
-	return func(o *options) { o.center.Mechanism = m }
+	return option("WithMechanism", settlementTargets, func(o *options) { o.center.Mechanism = m })
 }
 
 // WithRating sets the per-household appliance power rating in kW
 // (default: 2).
 func WithRating(r float64) Option {
-	return func(o *options) { o.center.Rating = r }
+	return option("WithRating", settlementTargets, func(o *options) { o.center.Rating = r })
 }
 
 // WithPhaseDeadline bounds each protocol phase on the center: a
@@ -106,18 +198,20 @@ func WithRating(r float64) Option {
 // Eq. 5 defector path if it reported and then vanished. Default:
 // DefaultPhaseDeadline.
 func WithPhaseDeadline(d time.Duration) Option {
-	return func(o *options) { o.center.PhaseDeadline = d }
+	return option("WithPhaseDeadline", settlementTargets, func(o *options) { o.center.PhaseDeadline = d })
 }
 
 // WithTraceSeed sets the seed for the center's deterministic per-day
 // trace IDs and session tokens.
 func WithTraceSeed(seed uint64) Option {
-	return func(o *options) { o.center.TraceSeed = seed }
+	return option("WithTraceSeed", settlementTargets, func(o *options) { o.center.TraceSeed = seed })
 }
 
-// WithLedger directs the center's per-day audit-ledger entries to j.
+// WithLedger directs the center's per-day audit-ledger entries to j. On
+// a replica set j receives the quorum-committed merged ledger: every
+// committed day exactly once, across failovers.
 func WithLedger(j *Journal) Option {
-	return func(o *options) { o.center.Ledger = j }
+	return option("WithLedger", settlementTargets, func(o *options) { o.center.Ledger = j })
 }
 
 // WithFaultPlan installs a deterministic fault-injection schedule on
@@ -125,10 +219,10 @@ func WithLedger(j *Journal) Option {
 // whole message stream (reconnects included) on an agent. Nil restores
 // fault-free delivery.
 func WithFaultPlan(p *FaultPlan) Option {
-	return func(o *options) {
+	return option("WithFaultPlan", targetCenter|targetAgent|targetReplica, func(o *options) {
 		o.center.FaultPlan = p
 		o.agent.plan = p
-	}
+	})
 }
 
 // WithRetryPolicy enables agent-side reconnection with the given
@@ -136,14 +230,15 @@ func WithFaultPlan(p *FaultPlan) Option {
 // the first link failure as terminal, matching the pre-fault-tolerance
 // behaviour.
 func WithRetryPolicy(p RetryPolicy) Option {
-	return func(o *options) { o.agent.retry = p }
+	return option("WithRetryPolicy", targetAgent, func(o *options) { o.agent.retry = p })
 }
 
 // WithDialer replaces the agent's transport dialer (default: plain TCP
 // to the Connect address). Reconnect attempts reuse it, so a TLS agent
-// keeps TLS across resumes.
+// keeps TLS across resumes — and a replica-set agent keeps following
+// the current leader (see ReplicaSet.Dialer).
 func WithDialer(d DialFunc) Option {
-	return func(o *options) { o.agent.dial = d }
+	return option("WithDialer", targetAgent, func(o *options) { o.agent.dial = d })
 }
 
 // WithCodec sets the batch-frame codec (CodecJSON or CodecBinary) the
@@ -152,10 +247,10 @@ func WithDialer(d DialFunc) Option {
 // offers nothing stays on the legacy per-message JSON framing. Default:
 // CodecJSON.
 func WithCodec(name string) Option {
-	return func(o *options) {
+	return option("WithCodec", settlementTargets, func(o *options) {
 		o.center.Codec = name
 		o.cluster.Codec = name
-	}
+	})
 }
 
 // WithMetricsReporting enables obs federation on both sides of the
@@ -166,10 +261,10 @@ func WithCodec(name string) Option {
 // messages shift fault-plan indices, so chaos plans written against the
 // plain stream stay valid unless a test opts in.
 func WithMetricsReporting(on bool) Option {
-	return func(o *options) {
+	return option("WithMetricsReporting", settlementTargets|targetAgent, func(o *options) {
 		o.center.Reporting = on
 		o.agent.reporting = on
-	}
+	})
 }
 
 // WithSLO installs the burn-rate objectives the center's operator plane
@@ -177,33 +272,33 @@ func WithMetricsReporting(on bool) Option {
 // installs obs.DefaultObjectives. Without this option the endpoint
 // serves 404.
 func WithSLO(objectives ...obs.Objective) Option {
-	return func(o *options) {
+	return option("WithSLO", settlementTargets, func(o *options) {
 		if len(objectives) == 0 {
 			objectives = obs.DefaultObjectives()
 		}
 		o.center.SLO = objectives
-	}
+	})
 }
 
 // WithShards partitions a cluster's households into n neighborhoods,
 // each settled as its own independent mechanism day (default 1 — the
 // single-neighborhood special case).
 func WithShards(n int) Option {
-	return func(o *options) { o.cluster.Shards = n }
+	return option("WithShards", targetCluster, func(o *options) { o.cluster.Shards = n })
 }
 
 // WithBatchSize caps the messages carried per batch frame on cluster
 // shard links (default DefaultBatchSize; 1 degenerates to unbatched
 // framing, the baseline the BENCH_net delta is measured against).
 func WithBatchSize(n int) Option {
-	return func(o *options) { o.cluster.BatchSize = n }
+	return option("WithBatchSize", targetCluster, func(o *options) { o.cluster.BatchSize = n })
 }
 
 // WithWorkers sets the worker-pool size a cluster settles shards with
 // (default 0 = GOMAXPROCS; the Workers:1≡Workers:N contract guarantees
 // the count never changes any settled byte).
 func WithWorkers(n int) Option {
-	return func(o *options) { o.cluster.Workers = n }
+	return option("WithWorkers", targetCluster, func(o *options) { o.cluster.Workers = n })
 }
 
 // WithShardRecords controls whether ClusterDay retains every shard's
@@ -211,7 +306,7 @@ func WithWorkers(n int) Option {
 // only the per-shard summaries — the memory-bounded mode the
 // million-household enkiload runs use.
 func WithShardRecords(keep bool) Option {
-	return func(o *options) { o.cluster.Records = keep }
+	return option("WithShardRecords", targetCluster, func(o *options) { o.cluster.Records = keep })
 }
 
 // WithShardFaultPlan injects a deterministic fault plan into one
@@ -219,10 +314,31 @@ func WithShardRecords(keep bool) Option {
 // day-phase stream, so a plan names the same messages on every run.
 // Sibling shards are untouched.
 func WithShardFaultPlan(shard int, plan *FaultPlan) Option {
-	return func(o *options) {
+	return option("WithShardFaultPlan", targetCluster, func(o *options) {
 		if o.cluster.ShardFaults == nil {
 			o.cluster.ShardFaults = make(map[int]*FaultPlan)
 		}
 		o.cluster.ShardFaults[shard] = plan
-	}
+	})
+}
+
+// WithReplicas sets the replica count of a StartReplicaSet — 2f+1
+// centers surviving f crashes (default DefaultReplicas = 3). The count
+// must be odd and positive so every quorum is a strict majority.
+func WithReplicas(n int) Option {
+	return option("WithReplicas", targetReplica, func(o *options) { o.replica.n = n })
+}
+
+// WithReplicaID sets the replica that leads at start-up (default 0).
+// After a failover leadership always falls to the lowest live ID,
+// regardless of who led first.
+func WithReplicaID(id int) Option {
+	return option("WithReplicaID", targetReplica, func(o *options) { o.replica.leaderID = id })
+}
+
+// WithQuorumTimeout bounds each append/commit round trip to one
+// follower (default DefaultQuorumTimeout). A follower that misses the
+// deadline does not count toward the entry's quorum.
+func WithQuorumTimeout(d time.Duration) Option {
+	return option("WithQuorumTimeout", targetReplica, func(o *options) { o.replica.quorumTimeout = d })
 }

@@ -24,18 +24,20 @@ var reportingTypes = []core.Type{
 	{True: core.MustPreference(8, 14, 2), ValuationFactor: 2},
 }
 
-// startReportingPair starts a center with the given options and one
-// truthful agent per reportingTypes entry, sharing the option list so
-// both sides agree on reporting.
-func startReportingPair(t *testing.T, opts ...Option) *Center {
+// startReportingPair starts a center with the given center options and
+// one truthful agent per reportingTypes entry with the given agent
+// options. The lists are separate because options validate their
+// targets: both must carry WithMetricsReporting for reporting tests so
+// the two sides agree.
+func startReportingPair(t *testing.T, agentOpts []Option, centerOpts ...Option) *Center {
 	t.Helper()
-	c, err := StartCenter("127.0.0.1:0", opts...)
+	c, err := StartCenter("127.0.0.1:0", centerOpts...)
 	if err != nil {
 		t.Fatalf("StartCenter: %v", err)
 	}
 	t.Cleanup(func() { c.Close() })
 	for i, typ := range reportingTypes {
-		a, err := Connect(context.Background(), c.Addr(), core.HouseholdID(i), &Truthful{Type: typ}, opts...)
+		a, err := Connect(context.Background(), c.Addr(), core.HouseholdID(i), &Truthful{Type: typ}, agentOpts...)
 		if err != nil {
 			t.Fatalf("connect agent %d: %v", i, err)
 		}
@@ -55,7 +57,8 @@ func startReportingPair(t *testing.T, opts ...Option) *Center {
 // up-to-date source per agent. Day 2's snapshots carry day 1's payment
 // feedback, so the merged days-settled counter equals the agent count.
 func TestCenterReportingFederatesAgentSnapshots(t *testing.T) {
-	c := startReportingPair(t, WithMetricsReporting(true), WithPhaseDeadline(5*time.Second))
+	c := startReportingPair(t, []Option{WithMetricsReporting(true)},
+		WithMetricsReporting(true), WithPhaseDeadline(5*time.Second))
 	for day := 1; day <= 2; day++ {
 		if _, err := c.RunDayContext(context.Background(), day); err != nil {
 			t.Fatalf("day %d: %v", day, err)
@@ -99,7 +102,7 @@ func TestCenterReportingFederatesAgentSnapshots(t *testing.T) {
 // the default wire stream is unchanged, keeping fault-plan indices and
 // existing chaos plans valid.
 func TestCenterReportingOffKeepsWireClean(t *testing.T) {
-	c := startReportingPair(t)
+	c := startReportingPair(t, nil)
 	if _, err := c.RunDayContext(context.Background(), 1); err != nil {
 		t.Fatalf("day 1: %v", err)
 	}
@@ -126,7 +129,7 @@ func TestCenterReportingOffKeepsWireClean(t *testing.T) {
 func TestCenterOperatorServesLiveDay(t *testing.T) {
 	var ledgerBuf bytes.Buffer
 	ledger := NewJournal(&ledgerBuf)
-	c := startReportingPair(t,
+	c := startReportingPair(t, []Option{WithMetricsReporting(true)},
 		WithMetricsReporting(true),
 		WithSLO(),
 		WithLedger(ledger),

@@ -59,6 +59,35 @@ type StatusSource interface {
 	ShardStatuses() []ShardStatus
 }
 
+// ReplicaStatus is one replica's operator view — what /api/v1/replicas
+// serves, one element per replica of the settlement center's quorum
+// set.
+type ReplicaStatus struct {
+	ID          int    `json:"id"`
+	Role        string `json:"role"` // "leader", "follower", or "dead"
+	Term        uint64 `json:"term"`
+	CommitIndex uint64 `json:"commitIndex"`
+	CommitLag   uint64 `json:"commitLag"` // held log length minus commit watermark
+	Addr        string `json:"addr,omitempty"`
+}
+
+// ReplicaSetStatus is the whole quorum set's operator view: the
+// current leader, its term, whether a majority of replicas is still
+// live, and how many mid-day takeovers have happened.
+type ReplicaSetStatus struct {
+	Leader    int             `json:"leader"` // -1 when no quorum holds
+	Term      uint64          `json:"term"`
+	Quorum    bool            `json:"quorum"`
+	Failovers uint64          `json:"failovers"`
+	Replicas  []ReplicaStatus `json:"replicas"`
+}
+
+// ReplicaSource supplies replica-set health; the netproto ReplicaSet
+// implements it.
+type ReplicaSource interface {
+	ReplicaStatuses() ReplicaSetStatus
+}
+
 // LedgerTailer serves the last n audit-ledger lines; the netproto
 // Journal implements it. Lines are raw JSON (mechanism.LedgerEntry
 // encodings) — obs stays dependency-free of the mechanism package.
@@ -81,6 +110,7 @@ const MaxLedgerTail = 256
 type Operator struct {
 	Registry   *Registry
 	Status     StatusSource
+	Replicas   ReplicaSource // replica-set health, served at /api/v1/replicas
 	Ledger     LedgerTailer
 	Federation *Federation
 	SLO        *SLOEngine
@@ -169,6 +199,13 @@ func (o *Operator) register(mux *http.ServeMux) {
 			shards = []ShardStatus{}
 		}
 		writeJSON(w, shards)
+	})
+	mux.HandleFunc("/api/v1/replicas", func(w http.ResponseWriter, r *http.Request) {
+		if o.Replicas == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, o.Replicas.ReplicaStatuses())
 	})
 	mux.HandleFunc("/api/v1/ledger/tail", func(w http.ResponseWriter, r *http.Request) {
 		if o.Ledger == nil {

@@ -146,6 +146,18 @@ const (
 	MetricObsBundleSuppressed = "enki_obs_bundle_suppressed_total"
 	MetricObsBundleErrors     = "enki_obs_bundle_errors_total"
 	MetricObsBundleLastUnix   = "enki_obs_bundle_last_unix"
+
+	// internal/netproto replica set — quorum-journal replication
+	// health, labeled by replica ID (LabelReplica). Role is 1 on the
+	// leader and 0 on followers; term counts elections; commit lag is
+	// the gap between the longest held log and a replica's commit
+	// watermark; failovers counts mid-day leader takeovers. All four
+	// are pure functions of the replicated log and the kill schedule,
+	// so they sit inside the Workers:1≡Workers:N determinism contract.
+	MetricReplicaRole           = "enki_replica_role"
+	MetricReplicaTerm           = "enki_replica_term"
+	MetricReplicaCommitLag      = "enki_replica_commit_lag"
+	MetricReplicaFailoversTotal = "enki_replica_failovers_total"
 )
 
 // Span names. Every span the repository starts is named here — the
@@ -185,6 +197,7 @@ const (
 	LabelObjective = "objective"
 	LabelWindow    = "window"
 	LabelSource    = "source"
+	LabelReplica   = "replica"
 )
 
 // Bound label values for the solver's pruned-nodes series: which bound

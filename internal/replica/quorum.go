@@ -1,0 +1,28 @@
+package replica
+
+// Quorum tracks acknowledgements for one appended entry across an
+// n-replica set. Acks are idempotent per replica, so a duplicated
+// delivery never double-counts toward the majority.
+type Quorum struct {
+	n     int
+	acked map[int]bool
+}
+
+// NewQuorum returns a tracker for an n-replica set.
+func NewQuorum(n int) *Quorum {
+	return &Quorum{n: n, acked: make(map[int]bool, n)}
+}
+
+// Ack records replica id's acknowledgement and reports whether the
+// entry has reached a majority.
+func (q *Quorum) Ack(id int) bool {
+	q.acked[id] = true
+	return q.Reached()
+}
+
+// Acks returns the number of distinct replicas that have acknowledged.
+func (q *Quorum) Acks() int { return len(q.acked) }
+
+// Reached reports whether a majority of the n replicas has
+// acknowledged.
+func (q *Quorum) Reached() bool { return len(q.acked) >= Majority(q.n) }

@@ -183,3 +183,74 @@ func ExampleWithFaultPlan() {
 	// households settled: 3
 	// degraded: false
 }
+
+// ExampleStartReplicaSet replicates the settlement center across three
+// replicas, kills the leader after the first day, and lets the lowest
+// live replica take over: the agents reconnect through the set's
+// dialer with their session tokens and the second day settles normally
+// on the new leader.
+func ExampleStartReplicaSet() {
+	ctx := context.Background()
+	var ledger bytes.Buffer
+	rs, err := enkinet.StartReplicaSet(ctx,
+		enkinet.WithReplicas(3),
+		enkinet.WithPhaseDeadline(5*time.Second),
+		enkinet.WithTraceSeed(7),
+		enkinet.WithLedger(enkinet.NewJournal(&ledger)),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer rs.Close()
+
+	for i, typ := range exampleTypes {
+		agent, err := enkinet.Connect(ctx, rs.Addr(), enki.HouseholdID(i), &enkinet.Truthful{Type: typ},
+			enkinet.WithDialer(rs.Dialer()),
+			enkinet.WithRetryPolicy(enkinet.DefaultRetryPolicy()),
+		)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		defer agent.Close()
+	}
+	if err := rs.WaitForAgentsContext(ctx, len(exampleTypes)); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	if _, err := rs.RunDayContext(ctx, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := rs.Kill(rs.Leader()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	record, err := rs.RunDayContext(ctx, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	var revenue float64
+	for _, p := range record.Payments {
+		revenue += p
+	}
+	residual := revenue - enki.DefaultXi*record.Cost
+	records, err := enkinet.ReadJournal(bytes.NewReader(ledger.Bytes()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("leader after failover: %d\n", rs.Leader())
+	fmt.Printf("days in merged ledger: %d\n", len(records))
+	fmt.Printf("budget balanced: %v\n", math.Abs(residual) < 1e-9)
+	fmt.Printf("degraded: %v\n", record.Substituted != nil || record.Absent != nil)
+	// Output:
+	// leader after failover: 1
+	// days in merged ledger: 2
+	// budget balanced: true
+	// degraded: false
+}

@@ -1,0 +1,56 @@
+// Pre-v1 compatibility surface. Everything in this file is deprecated
+// and kept only so existing callers keep compiling; new code should use
+// the consolidated v1 API in net.go.
+//
+// Migration table:
+//
+//	Deprecated                        v1 replacement
+//	--------------------------------  ------------------------------------------
+//	NewCenter(addr, cfg)              StartCenter(addr, opts...)
+//	NewCenterWithListener(ln, cfg)    StartCenterListener(ln, opts...)
+//	Dial(addr, id, policy)            Connect(ctx, addr, id, policy, opts...)
+//	Center.WaitForAgents(n, timeout)  Center.WaitForAgentsContext(ctx, n)
+//	Center.RunDay(day)                Center.RunDayContext(ctx, day)
+//	CenterConfig.ReplyTimeout         WithPhaseDeadline(d)
+//	DefaultReplyTimeout               DefaultPhaseDeadline
+//
+// The config-struct constructors take CenterConfig directly; every
+// field has a corresponding With* option (WithScheduler, WithPricer,
+// WithMechanism, WithRating, WithPhaseDeadline, WithTraceSeed,
+// WithLedger, WithCodec, WithMetricsReporting, WithSLO).
+package net
+
+import (
+	stdnet "net"
+
+	"enki/internal/core"
+	"enki/internal/netproto"
+)
+
+// DefaultReplyTimeout is the historical name of the per-phase wait.
+//
+// Deprecated: use DefaultPhaseDeadline.
+const DefaultReplyTimeout = netproto.DefaultReplyTimeout
+
+// NewCenter starts a center on addr from an explicit config struct.
+//
+// Deprecated: use StartCenter with functional options.
+func NewCenter(addr string, cfg CenterConfig) (*Center, error) {
+	return netproto.NewCenter(addr, cfg)
+}
+
+// NewCenterWithListener starts a center on a caller-provided listener
+// from an explicit config struct.
+//
+// Deprecated: use StartCenterListener with functional options.
+func NewCenterWithListener(ln stdnet.Listener, cfg CenterConfig) (*Center, error) {
+	return netproto.NewCenterWithListener(ln, cfg)
+}
+
+// Dial connects an agent without a context or options.
+//
+// Deprecated: use Connect, which takes a context governing the dial and
+// handshake and accepts options such as WithRetryPolicy.
+func Dial(addr string, id core.HouseholdID, policy Policy) (*Agent, error) {
+	return netproto.Dial(addr, id, policy)
+}

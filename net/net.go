@@ -23,10 +23,28 @@
 //	}
 //	record, _ := cluster.ClusterDay(ctx, 1) // per-shard DayRecords, merged deterministically
 //
+// To survive the center itself crashing, StartReplicaSet replicates the
+// settlement journal across 2f+1 replicas with a quorum commit rule and
+// fails over mid-day — the next leader resumes the day from the
+// replicated journal and the agents reconnect through the set's Dialer:
+//
+//	rs, _ := net.StartReplicaSet(ctx, net.WithReplicas(3), net.WithLedger(journal))
+//	agent, _ := net.Connect(ctx, rs.Addr(), 0, &net.Truthful{Type: typ},
+//		net.WithDialer(rs.Dialer()), net.WithRetryPolicy(net.DefaultRetryPolicy()))
+//	rs.WaitForAgentsContext(ctx, 1)
+//	record, _ := rs.RunDayContext(ctx, 1)
+//
 // For fault-tolerant agents add net.WithRetryPolicy; for deterministic
 // chaos testing add net.WithFaultPlan (per-connection) or
 // net.WithShardFaultPlan (per-shard). See example_test.go for complete
 // runnable sessions.
+//
+// Every With* option declares which constructors it configures;
+// passing one elsewhere (say WithShards to Connect) is a descriptive
+// error rather than a silent no-op. Failure modes are classified by
+// the exported sentinels (ErrNotLeader, ErrQuorumLost,
+// ErrSessionExpired, ErrRetryExhausted) for errors.Is. Deprecated
+// pre-v1 constructors live in legacy.go with a migration table.
 package net
 
 import (
@@ -81,6 +99,27 @@ type (
 	ClusterDayRecord = netproto.ClusterDayRecord
 	// ShardDay is one neighborhood's outcome within a cluster day.
 	ShardDay = netproto.ShardDay
+	// ReplicaSet is a settlement center replicated across 2f+1 nodes
+	// with a quorum journal and mid-day leader failover.
+	ReplicaSet = netproto.ReplicaSet
+)
+
+// Sentinel errors, for errors.Is. Constructors and agents wrap these
+// consistently so callers can classify failures without string
+// matching.
+var (
+	// ErrNotLeader marks an operation routed to a replica that no
+	// longer leads.
+	ErrNotLeader = netproto.ErrNotLeader
+	// ErrQuorumLost marks a replicated operation that could not reach a
+	// majority of replicas.
+	ErrQuorumLost = netproto.ErrQuorumLost
+	// ErrSessionExpired marks a reconnect whose session token the
+	// center no longer recognizes.
+	ErrSessionExpired = netproto.ErrSessionExpired
+	// ErrRetryExhausted marks an agent that spent every reconnect
+	// attempt of its retry policy.
+	ErrRetryExhausted = netproto.ErrRetryExhausted
 )
 
 // Batch-frame codecs a connection or cluster link can negotiate.
@@ -110,6 +149,11 @@ const (
 	// DefaultFaultHold is the delay a FaultDelay injects when the plan
 	// sets no Hold.
 	DefaultFaultHold = netproto.DefaultFaultHold
+	// DefaultReplicas is StartReplicaSet's replica count without
+	// WithReplicas: 2f+1 with f=1.
+	DefaultReplicas = netproto.DefaultReplicas
+	// DefaultQuorumTimeout bounds each replica append/commit round trip.
+	DefaultQuorumTimeout = netproto.DefaultQuorumTimeout
 )
 
 // StartCenter listens on addr and serves the settlement protocol,
@@ -149,6 +193,20 @@ func StartCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
 	return netproto.StartCluster(ctx, opts...)
 }
 
+// StartReplicaSet starts a quorum-replicated settlement center:
+// WithReplicas(n) nodes (n odd, default 3), one of which leads the
+// agent-facing protocol while replicating every durable decision —
+// memberships, phase boundaries, settled days — to the others,
+// committing each once a majority holds it. If the leader dies, the
+// lowest live replica takes over mid-day and resumes from the last
+// committed phase boundary; agents that dial through Dialer and carry a
+// retry policy reconnect to the new leader with their session tokens
+// and the day settles to the same ledger bytes as a fault-free run.
+// Replica health is served at /api/v1/replicas on Operator's handler.
+func StartReplicaSet(ctx context.Context, opts ...Option) (*ReplicaSet, error) {
+	return netproto.StartReplicaSet(ctx, opts...)
+}
+
 // Configuration options, re-exported from internal/netproto.
 var (
 	WithScheduler      = netproto.WithScheduler
@@ -174,22 +232,14 @@ var (
 	// WithSLO installs burn-rate objectives on the center or cluster
 	// (defaults to obs.DefaultObjectives when called with none).
 	WithSLO = netproto.WithSLO
+	// WithReplicas sets StartReplicaSet's replica count (odd, 2f+1).
+	WithReplicas = netproto.WithReplicas
+	// WithReplicaID picks the replica that leads first.
+	WithReplicaID = netproto.WithReplicaID
+	// WithQuorumTimeout bounds each append/commit round trip to one
+	// follower.
+	WithQuorumTimeout = netproto.WithQuorumTimeout
 )
-
-// NewCenter starts a center on addr from an explicit config struct.
-//
-// Deprecated: use StartCenter with functional options.
-func NewCenter(addr string, cfg CenterConfig) (*Center, error) {
-	return netproto.NewCenter(addr, cfg)
-}
-
-// Dial connects an agent without a context or options.
-//
-// Deprecated: use Connect, which takes a context governing the dial and
-// handshake and accepts options such as WithRetryPolicy.
-func Dial(addr string, id core.HouseholdID, policy Policy) (*Agent, error) {
-	return netproto.Dial(addr, id, policy)
-}
 
 // DefaultRetryPolicy returns the stock reconnect policy: 5 attempts,
 // 50ms base delay doubling to a 2s cap, ±20% seeded jitter.

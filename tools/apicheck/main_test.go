@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNetGoldenIsCurrent is the same gate CI runs: the committed
+// net/api.txt must match the live surface of the net package.
+func TestNetGoldenIsCurrent(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-pkg", filepath.Join("..", "..", "net"), "-golden", filepath.Join("..", "..", "net", "api.txt")}, &out)
+	if err != nil {
+		t.Fatalf("net surface diverged from golden: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "matches") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+// write a toy package, freeze it, drift it, and check the diff report.
+func TestDetectsDriftAndUpdate(t *testing.T) {
+	dir := t.TempDir()
+	pkg := filepath.Join(dir, "toy")
+	if err := os.Mkdir(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join(dir, "api.txt")
+	src := `package toy
+
+// Exported API.
+const Version = 1
+
+type Widget struct{ Name string }
+
+// Grow makes the widget bigger.
+func (w *Widget) Grow(by int) error { return nil }
+
+func New(name string) *Widget { return nil }
+
+func internal() {}
+
+var hidden = 3
+`
+	if err := os.WriteFile(filepath.Join(pkg, "toy.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-pkg", pkg, "-golden", golden, "-update"}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"const Version = 1",
+		"type Widget struct{ Name string }",
+		"func (w *Widget) Grow(by int) error",
+		"func New(name string) *Widget",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("golden missing %q:\n%s", want, raw)
+		}
+	}
+	if strings.Contains(string(raw), "internal") || strings.Contains(string(raw), "hidden") {
+		t.Errorf("golden leaked unexported symbols:\n%s", raw)
+	}
+
+	out.Reset()
+	if err := run([]string{"-pkg", pkg, "-golden", golden}, &out); err != nil {
+		t.Fatalf("fresh golden should match: %v\n%s", err, out.String())
+	}
+
+	// Drift: rename New → Make.
+	drifted := strings.Replace(src, "func New(", "func Make(", 1)
+	if err := os.WriteFile(filepath.Join(pkg, "toy.go"), []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-pkg", pkg, "-golden", golden}, &out)
+	if err == nil {
+		t.Fatalf("drifted surface should fail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "- func New(name string) *Widget") ||
+		!strings.Contains(out.String(), "+ func Make(name string) *Widget") {
+		t.Errorf("diff report missing the renamed symbol:\n%s", out.String())
+	}
+
+	// Test files never count toward the surface.
+	if err := os.WriteFile(filepath.Join(pkg, "toy.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	testSrc := "package toy\n\nfunc ExportedTestHelper() {}\n"
+	if err := os.WriteFile(filepath.Join(pkg, "toy_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-pkg", pkg, "-golden", golden}, &out); err != nil {
+		t.Fatalf("_test.go files must not affect the surface: %v\n%s", err, out.String())
+	}
+
+	// Missing golden names the -update remedy.
+	out.Reset()
+	err = run([]string{"-pkg", pkg, "-golden", filepath.Join(dir, "absent.txt")}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-update") {
+		t.Errorf("missing golden error should mention -update, got: %v", err)
+	}
+}
